@@ -1,0 +1,8 @@
+//! Regenerates the design-choice ablations (DESIGN.md §6).
+
+fn main() {
+    let seed = experiments::prevalence::DEFAULT_SEED;
+    println!("{}", experiments::ablation::peering(seed));
+    println!("{}", experiments::ablation::window(seed));
+    println!("{}", experiments::ablation::split_des_validation(seed, 10, 30));
+}

@@ -1,0 +1,7 @@
+//! Regenerates one of the paper's results. Run via `cargo bench`.
+
+fn main() {
+    let seed = experiments::prevalence::DEFAULT_SEED;
+    let _ = seed;
+    println!("{}", experiments::extensions::placement(seed, 4));
+}

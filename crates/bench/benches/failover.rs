@@ -1,0 +1,6 @@
+//! Regenerates the §VI-A failover scenario.
+
+fn main() {
+    let seed = experiments::prevalence::DEFAULT_SEED;
+    println!("{}", experiments::failover::failover(seed, 20, 60));
+}

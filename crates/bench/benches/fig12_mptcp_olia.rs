@@ -1,0 +1,11 @@
+//! Regenerates one of the paper's results. Run via `cargo bench`.
+
+fn main() {
+    let seed = experiments::prevalence::DEFAULT_SEED;
+    let _ = seed;
+    let cfg = experiments::mptcp_exp::MptcpExpConfig::paper(seed);
+    println!(
+        "{}",
+        experiments::mptcp_exp::validate(&cfg, transport::des::CouplingAlg::Olia)
+    );
+}

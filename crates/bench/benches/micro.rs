@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the substrates: event queue, packet
+//! simulation rate, policy routing, C4.5 training, path evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simcore::{EventQueue, SimDuration, SimTime};
+use topology::gen::{generate, InternetConfig};
+use transport::des::{DesPath, Netsim, TransferConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_nanos(i * 7 % 5_000), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_des_tcp(c: &mut Criterion) {
+    c.bench_function("des_tcp_1s_100mbps", |b| {
+        b.iter(|| {
+            let mut sim = Netsim::new(1);
+            let l = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
+            let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(1));
+            sim.run().remove(f).bytes_delivered
+        });
+    });
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let net = generate(&InternetConfig::paper_scale(), 7);
+    let dests: Vec<topology::AsId> = net.ases().map(|a| a.id()).take(8).collect();
+    c.bench_function("bgp_table_paper_scale", |b| {
+        b.iter(|| {
+            let mut bgp = routing::Bgp::new();
+            for &d in &dests {
+                let _ = bgp.table(&net, d).len();
+            }
+        });
+    });
+}
+
+fn bench_route_expansion(c: &mut Criterion) {
+    let mut net = generate(&InternetConfig::paper_scale(), 7);
+    let stubs: Vec<topology::AsId> = net
+        .ases()
+        .filter(|a| a.tier() == topology::AsTier::Stub)
+        .map(|a| a.id())
+        .collect();
+    let a = net.attach_host("a", stubs[0], 100_000_000);
+    let b = net.attach_host("b", stubs[40], 100_000_000);
+    let mut bgp = routing::Bgp::new();
+    // Warm the AS-level cache so the benchmark isolates expansion.
+    let _ = routing::route(&net, &mut bgp, a, b);
+    c.bench_function("route_expand_paper_scale", |b2| {
+        b2.iter(|| routing::route(&net, &mut bgp, a, b).map(|p| p.hop_count()));
+    });
+}
+
+fn bench_c45(c: &mut Criterion) {
+    let mut rng = simcore::SimRng::seed_from(3);
+    let mut ds = mlcls::Dataset::new(vec!["x".into(), "y".into()]);
+    for _ in 0..2_000 {
+        let x = rng.uniform_range(-1.0, 1.0);
+        let y = rng.uniform_range(-1.0, 1.0);
+        ds.push(vec![x, y], x > 0.1 && y > 0.2);
+    }
+    c.bench_function("c45_fit_2k_rows", |b| {
+        b.iter(|| mlcls::Tree::fit(&ds, &mlcls::TreeConfig::default()).node_count());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_des_tcp,
+    bench_bgp,
+    bench_route_expansion,
+    bench_c45
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! # cloud — the cloud-provider substrate
+//!
+//! CRONets rents its overlay nodes from a global cloud provider (IBM
+//! Softlayer in the paper). This crate models the four provider trends
+//! the paper's introduction leans on:
+//!
+//! 1. **global footprint** — data centers in many cities
+//!    ([`provider::ProviderConfig`] defaults to the paper's five:
+//!    Washington DC, San Jose, Dallas, Amsterdam, Tokyo, and can grow to
+//!    a 40-location footprint);
+//! 2. **well-provisioned private backbone** — a clean full mesh of
+//!    [`topology::LinkKind::CloudBackbone`] links between data centers;
+//! 3. **aggressive peering at IXPs** — the provider AS peers with every
+//!    transit AS that has a PoP near one of its data centers, which is
+//!    what creates the path diversity CRONets exploits;
+//! 4. **cheap rate-limited VMs** — [`vnic`] provisions virtual servers
+//!    whose port speed (100 Mbps in the paper, upgradable to 1/10 Gbps)
+//!    is the access capacity of the overlay node, and [`pricing`] prices
+//!    them against leased lines (§VII-D).
+//!
+//! # Example
+//!
+//! ```
+//! use topology::gen::{generate, InternetConfig};
+//! use cloud::provider::{attach_provider, ProviderConfig};
+//!
+//! let mut net = generate(&InternetConfig::small(), 7);
+//! let provider = attach_provider(&mut net, &ProviderConfig::paper_five(), 7);
+//! assert_eq!(provider.datacenters().len(), 5);
+//! assert!(net.cloud_as().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pricing;
+pub mod provider;
+pub mod vnic;
+
+pub use pricing::{leased_line_monthly_usd, overlay_monthly_usd, PortSpeed, TrafficPlan};
+pub use provider::{attach_provider, CloudProvider, Datacenter, ProviderConfig};
+pub use vnic::provision_vm;

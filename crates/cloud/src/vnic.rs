@@ -1,0 +1,114 @@
+//! Provisioning virtual servers in data centers.
+//!
+//! A CRONets overlay node is "a virtual Linux server ... provisioned with
+//! a single core (2.0 GHz), a 100 Mbps network, and 4 GB RAM" (§II). The
+//! load-bearing property for the network experiments is the **software
+//! rate limit on the virtual NIC**: we model the VM as a host router whose
+//! access link to the data-center gateway has exactly the port speed.
+
+use topology::congestion::CongestionProfile;
+use topology::{LinkKind, Network, RouterId, RouterKind};
+
+use crate::provider::CloudProvider;
+
+/// Provisions a virtual server in data center `dc_index` with the given
+/// port speed, returning its host router. The access link is clean (the
+/// provider's internal fabric is not the bottleneck — the port cap is).
+///
+/// # Panics
+///
+/// Panics if `dc_index` is out of range or `port_bps` is zero.
+///
+/// # Example
+///
+/// ```
+/// use topology::gen::{generate, InternetConfig};
+/// use cloud::provider::{attach_provider, ProviderConfig};
+/// use cloud::vnic::provision_vm;
+///
+/// let mut net = generate(&InternetConfig::small(), 3);
+/// let p = attach_provider(&mut net, &ProviderConfig::paper_five(), 3);
+/// let vm = provision_vm(&mut net, &p, 1, "overlay-sj", 100_000_000);
+/// assert_eq!(net.router(vm).kind(), topology::RouterKind::Host);
+/// ```
+#[must_use]
+pub fn provision_vm(
+    net: &mut Network,
+    provider: &CloudProvider,
+    dc_index: usize,
+    name: &str,
+    port_bps: u64,
+) -> RouterId {
+    assert!(port_bps > 0, "port speed must be positive");
+    let dc = provider
+        .datacenters()
+        .get(dc_index)
+        .unwrap_or_else(|| panic!("no data center at index {dc_index}"));
+    let gateway = dc.router();
+    let city = net.router(gateway).city();
+    let vm = net.add_router(provider.asid(), city, RouterKind::Host);
+    net.add_link(
+        vm,
+        gateway,
+        LinkKind::Access,
+        port_bps,
+        simcore::SimDuration::from_micros(200),
+        CongestionProfile::clean(),
+    );
+    net.set_router_name(vm, name);
+    vm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{attach_provider, ProviderConfig};
+    use topology::gen::{generate, InternetConfig};
+
+    fn world() -> (Network, CloudProvider) {
+        let mut net = generate(&InternetConfig::small(), 4);
+        let p = attach_provider(&mut net, &ProviderConfig::paper_five(), 4);
+        (net, p)
+    }
+
+    #[test]
+    fn vm_is_a_host_in_the_cloud_as() {
+        let (mut net, p) = world();
+        let vm = provision_vm(&mut net, &p, 0, "o1", 100_000_000);
+        assert_eq!(net.router(vm).asn(), p.asid());
+        assert_eq!(net.router(vm).kind(), RouterKind::Host);
+    }
+
+    #[test]
+    fn vm_port_speed_caps_its_access_link() {
+        let (mut net, p) = world();
+        for (i, port) in [(0usize, 100_000_000u64), (1, 1_000_000_000), (2, 10_000_000_000)] {
+            let vm = provision_vm(&mut net, &p, i, "o", port);
+            let (_, link) = net.neighbors(vm)[0];
+            assert_eq!(net.link(link).capacity_bps(), port);
+            assert_eq!(net.link(link).kind(), LinkKind::Access);
+        }
+    }
+
+    #[test]
+    fn vm_attaches_to_the_requested_dc() {
+        let (mut net, p) = world();
+        let vm = provision_vm(&mut net, &p, 4, "tokyo-vm", 100_000_000);
+        assert_eq!(net.router(vm).city().name, "Tokyo");
+        assert_eq!(net.neighbors(vm)[0].0, p.datacenters()[4].router());
+    }
+
+    #[test]
+    #[should_panic(expected = "no data center at index")]
+    fn bad_dc_index_panics() {
+        let (mut net, p) = world();
+        let _ = provision_vm(&mut net, &p, 99, "x", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "port speed must be positive")]
+    fn zero_port_panics() {
+        let (mut net, p) = world();
+        let _ = provision_vm(&mut net, &p, 0, "x", 0);
+    }
+}

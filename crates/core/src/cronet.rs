@@ -1,0 +1,290 @@
+//! Building a CRONet: cloud provider + overlay VMs + tunnels.
+
+use cloud::pricing::PortSpeed;
+use cloud::provider::{attach_provider, CloudProvider, ProviderConfig};
+use cloud::vnic::provision_vm;
+use routing::Bgp;
+use simcore::SimDuration;
+use topology::{Network, RouterId};
+use transport::model::TcpParams;
+
+use crate::eval::{eval_pair, PairEval};
+use crate::tunnel::TunnelKind;
+
+/// One overlay node: a cloud VM running the tunnel endpoint, NAT and
+/// (optionally) the split-TCP proxy.
+#[derive(Debug, Clone)]
+pub struct OverlayNode {
+    vm: RouterId,
+    forward_delay: SimDuration,
+    relay_efficiency: f64,
+}
+
+impl OverlayNode {
+    /// The VM's host router in the topology.
+    #[must_use]
+    pub fn vm(&self) -> RouterId {
+        self.vm
+    }
+
+    /// One-way packet forwarding latency added by
+    /// decapsulation + NAT + re-encapsulation on the node.
+    #[must_use]
+    pub fn forward_delay(&self) -> SimDuration {
+        self.forward_delay
+    }
+
+    /// Throughput efficiency of the split-TCP relay (the paper finds the
+    /// proxy "does not impact the performance improvements", i.e. this is
+    /// close to 1).
+    #[must_use]
+    pub fn relay_efficiency(&self) -> f64 {
+        self.relay_efficiency
+    }
+}
+
+/// A deployed cloud-routed overlay network.
+#[derive(Debug, Clone)]
+pub struct Cronet {
+    provider: CloudProvider,
+    nodes: Vec<OverlayNode>,
+    tunnel: TunnelKind,
+    params: TcpParams,
+}
+
+impl Cronet {
+    /// Starts a builder with the paper's defaults.
+    #[must_use]
+    pub fn builder() -> CronetBuilder {
+        CronetBuilder::new()
+    }
+
+    /// The underlying cloud provider.
+    #[must_use]
+    pub fn provider(&self) -> &CloudProvider {
+        &self.provider
+    }
+
+    /// The overlay nodes, in data-center order.
+    #[must_use]
+    pub fn nodes(&self) -> &[OverlayNode] {
+        &self.nodes
+    }
+
+    /// Tunnel technology in use.
+    #[must_use]
+    pub fn tunnel(&self) -> TunnelKind {
+        self.tunnel
+    }
+
+    /// Endpoint TCP parameters used for evaluation.
+    #[must_use]
+    pub fn params(&self) -> &TcpParams {
+        &self.params
+    }
+
+    /// Evaluates every path mode for the endpoint pair `(a, b)` under the
+    /// network's current congestion state. Returns `None` if policy
+    /// routing cannot connect the pair at all.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        net: &Network,
+        bgp: &mut Bgp,
+        a: RouterId,
+        b: RouterId,
+    ) -> Option<PairEval> {
+        eval_pair(net, bgp, a, b, &self.nodes, self.tunnel, &self.params)
+    }
+
+    /// Evaluates the pair against a subset of overlay nodes (used by the
+    /// §IV "how many overlay nodes do we need" analysis).
+    #[must_use]
+    pub fn evaluate_subset(
+        &self,
+        net: &Network,
+        bgp: &mut Bgp,
+        a: RouterId,
+        b: RouterId,
+        node_indices: &[usize],
+    ) -> Option<PairEval> {
+        let subset: Vec<OverlayNode> = node_indices
+            .iter()
+            .map(|&i| self.nodes[i].clone())
+            .collect();
+        eval_pair(net, bgp, a, b, &subset, self.tunnel, &self.params)
+    }
+}
+
+/// Builder for [`Cronet`]: pick the provider footprint, VM port speed,
+/// tunnel kind and endpoint TCP parameters, then `build` against a
+/// topology.
+///
+/// # Example
+///
+/// ```
+/// use cronets::{CronetBuilder, TunnelKind};
+/// use cloud::pricing::PortSpeed;
+/// use topology::gen::{generate, InternetConfig};
+///
+/// let mut net = generate(&InternetConfig::small(), 1);
+/// let cronet = CronetBuilder::new()
+///     .tunnel(TunnelKind::Gre)
+///     .port(PortSpeed::Mbps100)
+///     .build(&mut net, 1);
+/// assert_eq!(cronet.nodes().len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CronetBuilder {
+    provider_config: ProviderConfig,
+    port: PortSpeed,
+    tunnel: TunnelKind,
+    params: TcpParams,
+    forward_delay: SimDuration,
+    relay_efficiency: f64,
+}
+
+impl Default for CronetBuilder {
+    fn default() -> Self {
+        CronetBuilder::new()
+    }
+}
+
+impl CronetBuilder {
+    /// Paper defaults: five Softlayer DCs, 100 Mbps ports, GRE tunnels.
+    #[must_use]
+    pub fn new() -> Self {
+        CronetBuilder {
+            provider_config: ProviderConfig::paper_five(),
+            port: PortSpeed::Mbps100,
+            tunnel: TunnelKind::Gre,
+            params: TcpParams::default(),
+            // Software forwarding on a 2 GHz single-core VM.
+            forward_delay: SimDuration::from_micros(300),
+            relay_efficiency: 0.97,
+        }
+    }
+
+    /// Overrides the provider footprint.
+    #[must_use]
+    pub fn provider_config(mut self, config: ProviderConfig) -> Self {
+        self.provider_config = config;
+        self
+    }
+
+    /// Sets the VM port speed (§VII-C studies 1/10 Gbps upgrades).
+    #[must_use]
+    pub fn port(mut self, port: PortSpeed) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Sets the tunnel technology.
+    #[must_use]
+    pub fn tunnel(mut self, tunnel: TunnelKind) -> Self {
+        self.tunnel = tunnel;
+        self
+    }
+
+    /// Sets endpoint TCP parameters.
+    #[must_use]
+    pub fn params(mut self, params: TcpParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the overlay node's forwarding latency.
+    #[must_use]
+    pub fn forward_delay(mut self, delay: SimDuration) -> Self {
+        self.forward_delay = delay;
+        self
+    }
+
+    /// Sets the split-relay efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not within `(0, 1]`.
+    #[must_use]
+    pub fn relay_efficiency(mut self, eff: f64) -> Self {
+        assert!(eff > 0.0 && eff <= 1.0, "relay efficiency must be in (0,1]");
+        self.relay_efficiency = eff;
+        self
+    }
+
+    /// Attaches the provider to `net` and provisions one overlay VM per
+    /// data center. Deterministic in `(self, net, seed)`.
+    #[must_use]
+    pub fn build(&self, net: &mut Network, seed: u64) -> Cronet {
+        let provider = attach_provider(net, &self.provider_config, seed);
+        let nodes = (0..provider.datacenters().len())
+            .map(|i| {
+                let name = format!("overlay-{}", provider.dc_city(net, i).name);
+                let vm = provision_vm(net, &provider, i, &name, self.port.bps());
+                OverlayNode {
+                    vm,
+                    forward_delay: self.forward_delay,
+                    relay_efficiency: self.relay_efficiency,
+                }
+            })
+            .collect();
+        Cronet {
+            provider,
+            nodes,
+            tunnel: self.tunnel,
+            params: self.params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::gen::{generate, InternetConfig};
+    use topology::{AsTier, RouterKind};
+
+    #[test]
+    fn builder_provisions_one_vm_per_dc() {
+        let mut net = generate(&InternetConfig::small(), 3);
+        let cronet = CronetBuilder::new().build(&mut net, 3);
+        assert_eq!(cronet.nodes().len(), 5);
+        for node in cronet.nodes() {
+            assert_eq!(net.router(node.vm()).kind(), RouterKind::Host);
+            assert_eq!(net.router(node.vm()).asn(), cronet.provider().asid());
+        }
+    }
+
+    #[test]
+    fn port_speed_applies_to_vms() {
+        let mut net = generate(&InternetConfig::small(), 3);
+        let cronet = CronetBuilder::new().port(PortSpeed::Gbps1).build(&mut net, 3);
+        for node in cronet.nodes() {
+            let (_, l) = net.neighbors(node.vm())[0];
+            assert_eq!(net.link(l).capacity_bps(), 1_000_000_000);
+        }
+    }
+
+    #[test]
+    fn evaluate_subset_restricts_nodes() {
+        let mut net = generate(&InternetConfig::small(), 3);
+        let cronet = CronetBuilder::new().build(&mut net, 3);
+        let stubs: Vec<_> = net
+            .ases()
+            .filter(|a| a.tier() == AsTier::Stub)
+            .map(|a| a.id())
+            .collect();
+        let a = net.attach_host("a", stubs[0], 100_000_000);
+        let b = net.attach_host("b", stubs[1], 100_000_000);
+        let mut bgp = Bgp::new();
+        let eval = cronet
+            .evaluate_subset(&net, &mut bgp, a, b, &[0, 2])
+            .unwrap();
+        assert_eq!(eval.overlays.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "relay efficiency")]
+    fn invalid_relay_efficiency_panics() {
+        let _ = CronetBuilder::new().relay_efficiency(1.5);
+    }
+}

@@ -1,0 +1,268 @@
+//! The plain-tunnel forwarder: UDP encapsulation + IP-masquerade NAT.
+//!
+//! The client wraps each datagram in a [`Frame`] naming the real
+//! destination and sends it to the forwarder. The forwarder allocates a
+//! masqueraded source port per flow (binding an actual socket to it),
+//! sends the naked payload to the destination, and pipes responses back
+//! to the client wrapped in a frame naming the origin — exactly the
+//! "NAT allows the return traffic ... without having to establish any
+//! tunnel with that other endpoint" behaviour of §II.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::dataplane::frame::Frame;
+use crate::nat::{FlowKey, Masquerade, Proto};
+
+/// A running UDP encapsulation forwarder.
+#[derive(Debug)]
+pub struct UdpForwarder {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    nat: Arc<Mutex<Masquerade>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+struct FlowState {
+    upstream: UdpSocket,
+}
+
+impl UdpForwarder {
+    /// Binds a forwarder on `127.0.0.1` (ephemeral port) allocating
+    /// masqueraded ports from `port_range`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(port_range: std::ops::Range<u16>) -> io::Result<UdpForwarder> {
+        let ingress = UdpSocket::bind("127.0.0.1:0")?;
+        let addr = ingress.local_addr()?;
+        ingress.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let nat = Arc::new(Mutex::new(Masquerade::new(port_range)));
+
+        let sd = Arc::clone(&shutdown);
+        let nat2 = Arc::clone(&nat);
+        let main = std::thread::spawn(move || {
+            let mut flows: HashMap<FlowKey, FlowState> = HashMap::new();
+            let mut responders: Vec<JoinHandle<()>> = Vec::new();
+            let mut buf = [0u8; 64 * 1024 + 512];
+            while !sd.load(Ordering::Relaxed) {
+                let (n, client) = match ingress.recv_from(&mut buf) {
+                    Ok(x) => x,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                let Ok(frame) = Frame::decode(Bytes::copy_from_slice(&buf[..n])) else {
+                    continue; // malformed encapsulation: drop
+                };
+                let Ok(dst) = frame.addr.parse::<SocketAddr>() else {
+                    continue;
+                };
+                let key = FlowKey {
+                    proto: Proto::Udp,
+                    inside_src: client,
+                    dst,
+                };
+                if let std::collections::hash_map::Entry::Vacant(e) = flows.entry(key) {
+                    // New flow: allocate a masqueraded port and bind the
+                    // upstream socket to it. When the pool is full, drop
+                    // the datagram instead of panicking the forwarder —
+                    // flow expiry is left to the embedding application
+                    // (the kernel's masquerade uses idle timers here).
+                    let port = {
+                        let mut nat = nat2.lock();
+                        if nat.active() >= nat.capacity() {
+                            continue;
+                        }
+                        nat.translate(key)
+                    };
+                    let Ok(upstream) = UdpSocket::bind(("127.0.0.1", port)) else {
+                        nat2.lock().remove(key);
+                        continue;
+                    };
+                    // Responder thread: upstream replies -> client frames.
+                    let back = ingress.try_clone().expect("clone ingress");
+                    let up2 = upstream.try_clone().expect("clone upstream");
+                    up2.set_read_timeout(Some(Duration::from_millis(20))).ok();
+                    let sd2 = Arc::clone(&sd);
+                    responders.push(std::thread::spawn(move || {
+                        let mut rbuf = [0u8; 64 * 1024];
+                        while !sd2.load(Ordering::Relaxed) {
+                            match up2.recv_from(&mut rbuf) {
+                                Ok((rn, from)) => {
+                                    if from != dst {
+                                        continue; // strict NAT: only the mapped peer
+                                    }
+                                    let f = Frame::new(
+                                        from.to_string(),
+                                        Bytes::copy_from_slice(&rbuf[..rn]),
+                                    );
+                                    let _ = back.send_to(&f.encode(), client);
+                                }
+                                Err(e)
+                                    if e.kind() == io::ErrorKind::WouldBlock
+                                        || e.kind() == io::ErrorKind::TimedOut =>
+                                {
+                                    continue;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }));
+                    e.insert(FlowState { upstream });
+                }
+                let flow = &flows[&key];
+                let _ = flow.upstream.send_to(&frame.payload, dst);
+            }
+            for r in responders {
+                let _ = r.join();
+            }
+        });
+
+        Ok(UdpForwarder {
+            addr,
+            shutdown,
+            nat,
+            threads: vec![main],
+        })
+    }
+
+    /// The forwarder's ingress address (where clients send frames).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of active NAT translations.
+    #[must_use]
+    pub fn active_flows(&self) -> usize {
+        self.nat.lock().active()
+    }
+}
+
+impl Drop for UdpForwarder {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A UDP echo server that prefixes responses with `ack:`.
+    fn spawn_udp_echo() -> io::Result<(SocketAddr, Arc<AtomicBool>, JoinHandle<()>)> {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        let addr = sock.local_addr()?;
+        sock.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 65536];
+            while !stop2.load(Ordering::Relaxed) {
+                if let Ok((n, from)) = sock.recv_from(&mut buf) {
+                    let mut reply = b"ack:".to_vec();
+                    reply.extend_from_slice(&buf[..n]);
+                    let _ = sock.send_to(&reply, from);
+                }
+            }
+        });
+        Ok((addr, stop, t))
+    }
+
+    fn send_and_recv(
+        client: &UdpSocket,
+        fwd: &UdpForwarder,
+        dst: SocketAddr,
+        data: &[u8],
+    ) -> io::Result<Frame> {
+        let f = Frame::new(dst.to_string(), Bytes::copy_from_slice(data));
+        client.send_to(&f.encode(), fwd.addr())?;
+        let mut buf = [0u8; 65536];
+        let (n, _) = client.recv_from(&mut buf)?;
+        Frame::decode(Bytes::copy_from_slice(&buf[..n]))
+    }
+
+    #[test]
+    fn forwards_and_returns_through_nat() {
+        let (echo, stop, _t) = spawn_udp_echo().unwrap();
+        let fwd = UdpForwarder::spawn(45_000..45_100).unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+
+        let reply = send_and_recv(&client, &fwd, echo, b"ping").unwrap();
+        assert_eq!(&reply.payload[..], b"ack:ping");
+        assert_eq!(reply.addr, echo.to_string(), "return frame names the origin");
+        assert_eq!(fwd.active_flows(), 1);
+        stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn flows_reuse_their_mapping() {
+        let (echo, stop, _t) = spawn_udp_echo().unwrap();
+        let fwd = UdpForwarder::spawn(45_200..45_300).unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        for i in 0..5 {
+            let msg = format!("m{i}");
+            let reply = send_and_recv(&client, &fwd, echo, msg.as_bytes()).unwrap();
+            assert_eq!(&reply.payload[..], format!("ack:{msg}").as_bytes());
+        }
+        assert_eq!(fwd.active_flows(), 1, "one flow, one mapping");
+        stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn distinct_clients_get_distinct_translations() {
+        let (echo, stop, _t) = spawn_udp_echo().unwrap();
+        let fwd = UdpForwarder::spawn(45_400..45_500).unwrap();
+        let c1 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let c2 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for c in [&c1, &c2] {
+            c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        }
+        let r1 = send_and_recv(&c1, &fwd, echo, b"one").unwrap();
+        let r2 = send_and_recv(&c2, &fwd, echo, b"two").unwrap();
+        assert_eq!(&r1.payload[..], b"ack:one");
+        assert_eq!(&r2.payload[..], b"ack:two");
+        assert_eq!(fwd.active_flows(), 2);
+        stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn malformed_datagrams_are_dropped_not_fatal() {
+        let (echo, stop, _t) = spawn_udp_echo().unwrap();
+        let fwd = UdpForwarder::spawn(45_600..45_700).unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        // Garbage first...
+        client.send_to(b"\xFF\xFFgarbage", fwd.addr()).unwrap();
+        // ...then a valid exchange still works.
+        let reply = send_and_recv(&client, &fwd, echo, b"still alive").unwrap();
+        assert_eq!(&reply.payload[..], b"ack:still alive");
+        stop.store(true, Ordering::Relaxed);
+    }
+}

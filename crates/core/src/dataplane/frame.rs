@@ -1,0 +1,200 @@
+//! Wire framing: `[u16 addr_len][addr utf8][u32 payload_len][payload]`.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Longest accepted address string.
+const MAX_ADDR_LEN: usize = 256;
+/// Longest accepted payload (64 KiB covers a UDP datagram).
+const MAX_PAYLOAD_LEN: usize = 64 * 1024;
+
+/// A tunnel frame: the remote destination address plus the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Destination (or, on the return path, source) address as text.
+    pub addr: String,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Creates a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address or payload exceeds the wire limits.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, payload: impl Into<Bytes>) -> Self {
+        let addr = addr.into();
+        let payload = payload.into();
+        assert!(addr.len() <= MAX_ADDR_LEN, "address too long");
+        assert!(payload.len() <= MAX_PAYLOAD_LEN, "payload too long");
+        Frame { addr, payload }
+    }
+
+    /// Serializes the frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(2 + self.addr.len() + 4 + self.payload.len());
+        buf.put_u16(self.addr.len() as u16);
+        buf.put_slice(self.addr.as_bytes());
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses a frame from a complete buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the buffer is truncated, oversized fields
+    /// are declared, or the address is not UTF-8.
+    pub fn decode(mut buf: Bytes) -> io::Result<Frame> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if buf.remaining() < 2 {
+            return Err(bad("frame shorter than address length"));
+        }
+        let alen = buf.get_u16() as usize;
+        if alen > MAX_ADDR_LEN {
+            return Err(bad("address length exceeds limit"));
+        }
+        if buf.remaining() < alen + 4 {
+            return Err(bad("frame truncated in address/payload length"));
+        }
+        let addr_bytes = buf.copy_to_bytes(alen);
+        let addr = String::from_utf8(addr_bytes.to_vec())
+            .map_err(|_| bad("address is not valid UTF-8"))?;
+        let plen = buf.get_u32() as usize;
+        if plen > MAX_PAYLOAD_LEN {
+            return Err(bad("payload length exceeds limit"));
+        }
+        if buf.remaining() < plen {
+            return Err(bad("frame truncated in payload"));
+        }
+        let payload = buf.copy_to_bytes(plen);
+        Ok(Frame { addr, payload })
+    }
+}
+
+/// Writes a frame to a stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame<W: Write>(mut w: W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())
+}
+
+/// Reads one frame from a stream (blocking until complete or EOF).
+///
+/// # Errors
+///
+/// Returns `UnexpectedEof` on a clean close before a full frame, other
+/// I/O errors as-is, and `InvalidData` for malformed frames.
+pub fn read_frame<R: Read>(mut r: R) -> io::Result<Frame> {
+    let mut len2 = [0u8; 2];
+    r.read_exact(&mut len2)?;
+    let alen = u16::from_be_bytes(len2) as usize;
+    if alen > MAX_ADDR_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "address length exceeds limit"));
+    }
+    let mut addr = vec![0u8; alen];
+    r.read_exact(&mut addr)?;
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let plen = u32::from_be_bytes(len4) as usize;
+    if plen > MAX_PAYLOAD_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "payload length exceeds limit"));
+    }
+    let mut payload = vec![0u8; plen];
+    r.read_exact(&mut payload)?;
+    let addr = String::from_utf8(addr)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "address is not valid UTF-8"))?;
+    Ok(Frame {
+        addr,
+        payload: Bytes::from(payload),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let f = Frame::new("127.0.0.1:8080", Bytes::from_static(b"hello overlay"));
+        let decoded = Frame::decode(f.encode()).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn roundtrip_through_a_stream() {
+        let f = Frame::new("10.0.0.1:53", Bytes::from_static(b"payload"));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &f).unwrap();
+        let decoded = read_frame(&wire[..]).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn multiple_frames_stream_in_order() {
+        let frames: Vec<Frame> = (0..5)
+            .map(|i| Frame::new(format!("h{i}:1"), Bytes::from(vec![i as u8; i])))
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let f = Frame::new("a:1", Bytes::new());
+        assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let f = Frame::new("127.0.0.1:9", Bytes::from_static(b"abc"));
+        let full = f.encode();
+        for cut in [1usize, 3, full.len() - 1] {
+            let err = Frame::decode(full.slice(..cut)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected() {
+        // Claim a 60,000-byte address.
+        let mut bad = BytesMut::new();
+        bad.put_u16(60_000);
+        bad.put_slice(&[0u8; 16]);
+        assert!(Frame::decode(bad.freeze()).is_err());
+    }
+
+    #[test]
+    fn non_utf8_address_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        buf.put_u32(0);
+        assert!(Frame::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn stream_eof_maps_to_unexpected_eof() {
+        let err = read_frame(&b"\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too long")]
+    fn oversized_payload_panics_at_construction() {
+        let _ = Frame::new("a:1", Bytes::from(vec![0u8; MAX_PAYLOAD_LEN + 1]));
+    }
+}

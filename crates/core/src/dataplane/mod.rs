@@ -1,0 +1,23 @@
+//! A runnable dataplane over real sockets.
+//!
+//! The experiments use the simulated network, but a CRONets deployment is
+//! ultimately three small programs running on cloud VMs. This module
+//! implements them with `std::net` + threads, and the test suite drives
+//! them end-to-end over loopback:
+//!
+//! * [`frame`] — length-prefixed wire framing (via the `bytes` crate);
+//! * [`relay`] — the split-TCP proxy: terminates the client's TCP
+//!   connection at the overlay node and opens a second one toward the
+//!   destination (§II's "Split-Overlay" mode, after Bakre & Badrinath's
+//!   I-TCP);
+//! * [`forwarder`] — a UDP encapsulation forwarder with IP-masquerade
+//!   NAT: the plain tunnel mode, using [`crate::nat::Masquerade`] for the
+//!   return-path mapping exactly as the paper describes.
+
+pub mod forwarder;
+pub mod frame;
+pub mod relay;
+
+pub use forwarder::UdpForwarder;
+pub use frame::{read_frame, write_frame, Frame};
+pub use relay::SplitRelay;

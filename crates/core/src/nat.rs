@@ -1,0 +1,216 @@
+//! IP-masquerade NAT, as run on each overlay node.
+//!
+//! The paper's overlay node "runs a NAT through the Linux IP Masquerade
+//! feature. The NAT allows the return traffic from the other endpoint to
+//! also traverse the overlay node, without having to establish any tunnel
+//! with that other endpoint" (§II). This module is a working
+//! source-NAT/port-allocation table; the UDP dataplane forwarder uses it
+//! verbatim, and its behaviour (return-path mapping) is what the path
+//! model assumes.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+/// Transport protocol of a translated flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// TCP flows.
+    Tcp,
+    /// UDP flows.
+    Udp,
+}
+
+/// The key identifying an inside flow: protocol, inside source, and the
+/// outside destination it talks to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Inside (pre-NAT) source address.
+    pub inside_src: SocketAddr,
+    /// Outside destination address.
+    pub dst: SocketAddr,
+}
+
+/// A masquerade table: allocates an outside port per inside flow and
+/// answers reverse lookups for return traffic.
+///
+/// # Example
+///
+/// ```
+/// use cronets::nat::{Masquerade, FlowKey, Proto};
+///
+/// let mut nat = Masquerade::new(40_000..41_000);
+/// let key = FlowKey {
+///     proto: Proto::Tcp,
+///     inside_src: "10.0.0.7:5555".parse().unwrap(),
+///     dst: "93.184.216.34:80".parse().unwrap(),
+/// };
+/// let port = nat.translate(key);
+/// assert_eq!(nat.reverse(Proto::Tcp, port, key.dst), Some(key.inside_src));
+/// ```
+#[derive(Debug)]
+pub struct Masquerade {
+    range: std::ops::Range<u16>,
+    next: u16,
+    forward: HashMap<FlowKey, u16>,
+    reverse: HashMap<(Proto, u16, SocketAddr), SocketAddr>,
+}
+
+impl Masquerade {
+    /// Creates a table allocating outside ports from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[must_use]
+    pub fn new(range: std::ops::Range<u16>) -> Self {
+        assert!(!range.is_empty(), "port range must be non-empty");
+        Masquerade {
+            next: range.start,
+            range,
+            forward: HashMap::new(),
+            reverse: HashMap::new(),
+        }
+    }
+
+    /// Number of active translations.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Size of the port pool (upper bound on same-destination flows).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Translates an inside flow to its outside source port, allocating
+    /// one on first use (idempotent afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port range is exhausted.
+    pub fn translate(&mut self, key: FlowKey) -> u16 {
+        if let Some(&port) = self.forward.get(&key) {
+            return port;
+        }
+        let port = self.allocate(key);
+        self.forward.insert(key, port);
+        self.reverse.insert((key.proto, port, key.dst), key.inside_src);
+        port
+    }
+
+    fn allocate(&mut self, key: FlowKey) -> u16 {
+        let span = self.range.len() as u16;
+        for _ in 0..span {
+            let candidate = self.next;
+            self.next = if self.next + 1 >= self.range.end {
+                self.range.start
+            } else {
+                self.next + 1
+            };
+            if !self
+                .reverse
+                .contains_key(&(key.proto, candidate, key.dst))
+            {
+                return candidate;
+            }
+        }
+        panic!("masquerade port range exhausted");
+    }
+
+    /// Resolves return traffic: which inside source does `(proto,
+    /// outside_port, remote)` belong to?
+    #[must_use]
+    pub fn reverse(&self, proto: Proto, outside_port: u16, remote: SocketAddr) -> Option<SocketAddr> {
+        self.reverse.get(&(proto, outside_port, remote)).copied()
+    }
+
+    /// Removes a translation (connection teardown / idle expiry).
+    /// Returns `true` if it existed.
+    pub fn remove(&mut self, key: FlowKey) -> bool {
+        if let Some(port) = self.forward.remove(&key) {
+            self.reverse.remove(&(key.proto, port, key.dst));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(port: u16, dst_port: u16) -> FlowKey {
+        FlowKey {
+            proto: Proto::Udp,
+            inside_src: format!("10.1.2.3:{port}").parse().unwrap(),
+            dst: format!("198.51.100.9:{dst_port}").parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn translation_is_idempotent() {
+        let mut nat = Masquerade::new(1000..1010);
+        let k = key(5000, 80);
+        let p1 = nat.translate(k);
+        let p2 = nat.translate(k);
+        assert_eq!(p1, p2);
+        assert_eq!(nat.active(), 1);
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ports() {
+        let mut nat = Masquerade::new(1000..1010);
+        let p1 = nat.translate(key(5000, 80));
+        let p2 = nat.translate(key(5001, 80));
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn reverse_maps_return_traffic() {
+        let mut nat = Masquerade::new(1000..1010);
+        let k = key(5000, 80);
+        let p = nat.translate(k);
+        assert_eq!(nat.reverse(Proto::Udp, p, k.dst), Some(k.inside_src));
+        assert_eq!(nat.reverse(Proto::Udp, p, key(5000, 81).dst), None);
+        assert_eq!(nat.reverse(Proto::Tcp, p, k.dst), None, "protocol is part of the key");
+    }
+
+    #[test]
+    fn ports_can_be_reused_for_different_destinations() {
+        // Classic symmetric-NAT property: the same outside port can serve
+        // two flows if their remote endpoints differ.
+        let mut nat = Masquerade::new(1000..1001);
+        let k1 = key(5000, 80);
+        let k2 = key(5001, 81);
+        assert_eq!(nat.translate(k1), 1000);
+        assert_eq!(nat.translate(k2), 1000);
+        assert_eq!(nat.reverse(Proto::Udp, 1000, k1.dst), Some(k1.inside_src));
+        assert_eq!(nat.reverse(Proto::Udp, 1000, k2.dst), Some(k2.inside_src));
+    }
+
+    #[test]
+    fn removal_frees_the_port() {
+        let mut nat = Masquerade::new(1000..1001);
+        let k1 = key(5000, 80);
+        nat.translate(k1);
+        assert!(nat.remove(k1));
+        assert!(!nat.remove(k1));
+        // Port is reusable for another flow to the same destination now.
+        let k2 = key(6000, 80);
+        assert_eq!(nat.translate(k2), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut nat = Masquerade::new(1000..1002);
+        nat.translate(key(1, 80));
+        nat.translate(key(2, 80));
+        nat.translate(key(3, 80));
+    }
+}

@@ -1,0 +1,19 @@
+//! Overlay path selection (paper §VI).
+//!
+//! "Given the dynamic nature of Internet paths, how to determine the best
+//! path to use?" Two answers:
+//!
+//! * [`probing`] — the traditional baseline the paper contrasts with:
+//!   periodically probe every path and pin the winner until the next
+//!   probe. Cheap but stale between probes.
+//! * [`mptcp`] — the paper's proposal: run MPTCP across the direct path
+//!   and all overlay paths; the coupled congestion controller (OLIA)
+//!   finds the best path automatically with no probing, and the
+//!   uncoupled variant (CUBIC per subflow) aggregates paths up to the
+//!   NIC limit (Figs. 12–13).
+
+pub mod mptcp;
+pub mod probing;
+
+pub use mptcp::{mptcp_over, single_path_des, split_path_des, MptcpSelection};
+pub use probing::{PathChoice, ProbingSelector};

@@ -1,0 +1,83 @@
+//! Tunnel encapsulation: GRE and IPsec overheads.
+//!
+//! The paper's overlay nodes terminate "a tunnel (GRE or IPsec)" from one
+//! endpoint and masquerade toward the other (§II). For the performance
+//! model, what matters about the tunnel is (a) the per-packet header
+//! overhead, which shrinks the effective MSS the TCP connection can use,
+//! and (b) that split-TCP "is applicable only when the end points do not
+//! enforce IPsec".
+
+use serde::{Deserialize, Serialize};
+
+/// The tunnel technology between an endpoint and its overlay node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TunnelKind {
+    /// Generic Routing Encapsulation: outer IP (20) + GRE (4–8) bytes.
+    Gre,
+    /// IPsec ESP in tunnel mode: outer IP + SPI/sequence + IV + padding +
+    /// ICV; ~73 bytes for AES-CBC/SHA-1, the 2015-era default.
+    Ipsec,
+}
+
+impl TunnelKind {
+    /// Per-packet encapsulation overhead in bytes.
+    #[must_use]
+    pub fn overhead_bytes(self) -> u32 {
+        match self {
+            TunnelKind::Gre => 24,
+            TunnelKind::Ipsec => 73,
+        }
+    }
+
+    /// The MSS a TCP connection can use through this tunnel, given the
+    /// untunneled MSS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overhead would consume the whole segment.
+    #[must_use]
+    pub fn effective_mss(self, mss: u32) -> u32 {
+        assert!(
+            mss > self.overhead_bytes() + 100,
+            "MSS {mss} too small for {self:?} encapsulation"
+        );
+        mss - self.overhead_bytes()
+    }
+
+    /// Whether a split-TCP proxy can operate at the overlay node: IPsec
+    /// end-to-end encrypts the TCP header, so the proxy cannot terminate
+    /// the connection (paper §II: split mode "is applicable only when the
+    /// end points do not enforce IPsec").
+    #[must_use]
+    pub fn supports_split_tcp(self) -> bool {
+        matches!(self, TunnelKind::Gre)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gre_costs_less_than_ipsec() {
+        assert!(TunnelKind::Gre.overhead_bytes() < TunnelKind::Ipsec.overhead_bytes());
+    }
+
+    #[test]
+    fn effective_mss_subtracts_overhead() {
+        assert_eq!(TunnelKind::Gre.effective_mss(1448), 1424);
+        assert_eq!(TunnelKind::Ipsec.effective_mss(1448), 1375);
+    }
+
+    #[test]
+    fn split_tcp_requires_cleartext_headers() {
+        assert!(TunnelKind::Gre.supports_split_tcp());
+        assert!(!TunnelKind::Ipsec.supports_split_tcp());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_mss_panics() {
+        let _ = TunnelKind::Ipsec.effective_mss(150);
+    }
+}

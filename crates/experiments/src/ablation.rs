@@ -1,0 +1,391 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Three questions the paper's narrative raises but never isolates:
+//!
+//! 1. **How much of the gain comes from the provider's aggressive IXP
+//!    peering?** ([`peering`]) Re-run the controlled sweep with a cloud
+//!    that buys Tier-1 transit but peers with nobody.
+//! 2. **How much comes from endpoints being window-limited?**
+//!    ([`window`]) Sweep the endpoint socket-buffer cap: with huge
+//!    windows, the RTT-halving benefit of split-TCP should shrink and
+//!    only the loss-avoidance benefit remain.
+//! 3. **Is the analytic split model honest?** ([`split_des_validation`])
+//!    Compare the analytic plain/split estimates against full
+//!    packet-level runs (including a real relay with a finite buffer) on
+//!    sampled pairs.
+
+use std::fmt;
+
+use cloud::provider::ProviderConfig;
+use cronets::select::mptcp::{single_path_des, split_path_des};
+use measure::stats::Cdf;
+use routing::route;
+use simcore::SimDuration;
+use topology::RouterId;
+use transport::model::TcpParams;
+
+use crate::scenario::{ScenarioConfig, World};
+use crate::sweep::Sweep;
+
+/// Result of the peering ablation.
+#[derive(Debug, Clone)]
+pub struct PeeringAblation {
+    /// Median split improvement with the default (aggressively peered)
+    /// provider.
+    pub with_peering: f64,
+    /// Median split improvement with a transit-only provider.
+    pub without_peering: f64,
+    /// Fractions of pairs improved, same order.
+    pub frac_improved: (f64, f64),
+    /// Median *absolute* best-split throughput (bps), same order. The
+    /// improvement *ratio* is a misleading ablation metric here because
+    /// removing peering also degrades the direct paths of the cloud
+    /// senders (shrinking the denominator); what peering actually buys is
+    /// higher absolute overlay throughput.
+    pub median_split_bps: (f64, f64),
+}
+
+fn controlled_sweep_with(provider: ProviderConfig, seed: u64) -> Sweep {
+    let config = ScenarioConfig {
+        provider,
+        ..ScenarioConfig::controlled()
+    };
+    let mut world = World::build(&config, seed);
+    let senders: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
+    let receivers = world.clients.clone();
+    Sweep::run(&mut world, &senders, &receivers, true)
+}
+
+/// Runs the peering ablation.
+#[must_use]
+pub fn peering(seed: u64) -> PeeringAblation {
+    let with = controlled_sweep_with(ProviderConfig::paper_five(), seed);
+    let without = controlled_sweep_with(
+        ProviderConfig {
+            peering_prob: 0.0,
+            ..ProviderConfig::paper_five()
+        },
+        seed,
+    );
+    let stats = |s: &Sweep| {
+        let ratios: Vec<f64> = s.records.iter().map(|r| r.split_ratio()).collect();
+        let improved = ratios.iter().filter(|&&r| r > 1.0).count() as f64 / ratios.len() as f64;
+        let abs: Vec<f64> = s.records.iter().map(|r| r.best_split_bps()).collect();
+        (
+            Cdf::new(ratios).expect("non-empty").median(),
+            improved,
+            Cdf::new(abs).expect("non-empty").median(),
+        )
+    };
+    let (m_with, f_with, a_with) = stats(&with);
+    let (m_without, f_without, a_without) = stats(&without);
+    PeeringAblation {
+        with_peering: m_with,
+        without_peering: m_without,
+        frac_improved: (f_with, f_without),
+        median_split_bps: (a_with, a_without),
+    }
+}
+
+impl fmt::Display for PeeringAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Ablation: aggressive IXP peering ===")?;
+        writeln!(
+            f,
+            "with peering:    median improvement {:.2}x, improved {:.0}%",
+            self.with_peering,
+            self.frac_improved.0 * 100.0
+        )?;
+        writeln!(
+            f,
+            "without peering: median improvement {:.2}x, improved {:.0}%",
+            self.without_peering,
+            self.frac_improved.1 * 100.0
+        )?;
+        writeln!(
+            f,
+            "median best-split throughput: {:.1} Mbps (peered) vs {:.1} Mbps (transit-only)",
+            self.median_split_bps.0 / 1e6,
+            self.median_split_bps.1 / 1e6
+        )
+    }
+}
+
+/// Result of the endpoint-window ablation.
+#[derive(Debug, Clone)]
+pub struct WindowAblation {
+    /// `(max_window bytes, median split improvement, frac improved)`.
+    pub rows: Vec<(u64, f64, f64)>,
+}
+
+/// Runs the window ablation at 256 KiB / 1 MiB / 8 MiB socket caps.
+#[must_use]
+pub fn window(seed: u64) -> WindowAblation {
+    let rows = [256u64 << 10, 1 << 20, 8 << 20]
+        .into_iter()
+        .map(|w| {
+            // Build the world once per row, directly with the ablated
+            // endpoint parameters.
+            let config = ScenarioConfig::controlled();
+            let params = TcpParams {
+                max_window: w,
+                ..TcpParams::default()
+            };
+            let mut net = topology::gen::generate(&config.internet, seed);
+            let cronet = cronets::CronetBuilder::new()
+                .provider_config(config.provider.clone())
+                .params(params)
+                .build(&mut net, seed);
+            let mut world = World {
+                net,
+                cronet,
+                clients: Vec::new(),
+                servers: Vec::new(),
+                bgp: routing::Bgp::new(),
+                seed,
+            };
+            let mut rng = simcore::SimRng::seed_from(seed).fork(0xE0D);
+            let stubs: Vec<topology::AsId> = world
+                .net
+                .ases()
+                .filter(|a| a.tier() == topology::AsTier::Stub)
+                .map(|a| a.id())
+                .collect();
+            for i in 0..30 {
+                let asn = *rng.choose(&stubs);
+                let h = world
+                    .net
+                    .attach_host(&format!("w{i}"), asn, crate::scenario::ACCESS_BPS);
+                world.clients.push(h);
+            }
+            let senders: Vec<RouterId> =
+                world.cronet.nodes().iter().map(|n| n.vm()).collect();
+            let receivers = world.clients.clone();
+            let sweep = Sweep::run(&mut world, &senders, &receivers, true);
+            let ratios: Vec<f64> = sweep.records.iter().map(|r| r.split_ratio()).collect();
+            let improved =
+                ratios.iter().filter(|&&r| r > 1.0).count() as f64 / ratios.len() as f64;
+            (w, Cdf::new(ratios).expect("non-empty").median(), improved)
+        })
+        .collect();
+    WindowAblation { rows }
+}
+
+impl fmt::Display for WindowAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Ablation: endpoint socket-buffer cap ===")?;
+        for (w, median, improved) in &self.rows {
+            writeln!(
+                f,
+                "max_window {:>8} KiB: median improvement {median:.2}x, improved {:.0}%",
+                w >> 10,
+                improved * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One pair's analytic-vs-DES comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitValidationPoint {
+    /// Analytic split estimate (bps).
+    pub analytic_split: f64,
+    /// Packet-level split relay result (bps).
+    pub des_split: f64,
+    /// Analytic direct-path estimate (bps).
+    pub analytic_direct: f64,
+    /// Packet-level direct result (bps).
+    pub des_direct: f64,
+}
+
+/// Result of the analytic-vs-DES validation.
+#[derive(Debug, Clone)]
+pub struct SplitValidation {
+    /// One point per sampled pair.
+    pub points: Vec<SplitValidationPoint>,
+}
+
+impl SplitValidation {
+    /// Median of `|log2(des/analytic)|` for the split estimates — 1.0
+    /// means a factor-of-two typical error.
+    #[must_use]
+    pub fn median_split_log_error(&self) -> f64 {
+        let errs: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| (p.des_split / p.analytic_split.max(1.0)).log2().abs())
+            .collect();
+        Cdf::new(errs).map_or(f64::INFINITY, |c| c.median())
+    }
+
+    /// Same for the direct estimates.
+    #[must_use]
+    pub fn median_direct_log_error(&self) -> f64 {
+        let errs: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| (p.des_direct / p.analytic_direct.max(1.0)).log2().abs())
+            .collect();
+        Cdf::new(errs).map_or(f64::INFINITY, |c| c.median())
+    }
+}
+
+/// Validates the analytic model against packet-level runs on `n_pairs`
+/// sampled controlled pairs.
+#[must_use]
+pub fn split_des_validation(seed: u64, n_pairs: usize, secs: u64) -> SplitValidation {
+    let mut world = World::build(&ScenarioConfig::controlled(), seed);
+    let vms: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
+    let params = *world.cronet.params();
+    let duration = SimDuration::from_secs(secs);
+    let nodes = world.cronet.nodes().to_vec();
+
+    let mut points = Vec::new();
+    'outer: for (si, &sender) in vms.iter().enumerate() {
+        for (ci, &receiver) in world.clients.clone().iter().enumerate() {
+            if points.len() >= n_pairs {
+                break 'outer;
+            }
+            // Spread the sample across senders and clients.
+            if (si + ci) % 3 != 0 {
+                continue;
+            }
+            let Some(direct) = route(&world.net, &mut world.bgp, sender, receiver) else {
+                continue;
+            };
+            // Best overlay node by the analytic split estimate.
+            let mut best: Option<(f64, routing::RouterPath, routing::RouterPath)> = None;
+            for node in &nodes {
+                if node.vm() == sender {
+                    continue;
+                }
+                let Some(s1) = route(&world.net, &mut world.bgp, sender, node.vm()) else {
+                    continue;
+                };
+                let Some(s2) = route(&world.net, &mut world.bgp, node.vm(), receiver) else {
+                    continue;
+                };
+                let q1 = cronets::eval::quality(&world.net, &s1);
+                let q2 = cronets::eval::quality(&world.net, &s2);
+                let est = transport::model::split_tcp_throughput(
+                    &q1,
+                    &q2,
+                    &params,
+                    node.relay_efficiency(),
+                );
+                if best.as_ref().is_none_or(|(b, _, _)| est > *b) {
+                    best = Some((est, s1, s2));
+                }
+            }
+            let Some((analytic_split, s1, s2)) = best else { continue };
+            let q_direct = cronets::eval::quality(&world.net, &direct);
+            let analytic_direct = transport::model::tcp_throughput(&q_direct, &params);
+            let pair_seed = seed ^ ((points.len() as u64 + 1) << 16);
+            let des_direct =
+                single_path_des(&world.net, &direct, &params, duration, pair_seed).goodput_bps;
+            let des_split = split_path_des(
+                &world.net,
+                &s1,
+                &s2,
+                &params,
+                duration,
+                4 << 20,
+                pair_seed ^ 1,
+            )
+            .goodput_bps;
+            points.push(SplitValidationPoint {
+                analytic_split,
+                des_split,
+                analytic_direct,
+                des_direct,
+            });
+        }
+    }
+    SplitValidation { points }
+}
+
+impl fmt::Display for SplitValidation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Ablation: analytic model vs packet-level DES ===")?;
+        writeln!(
+            f,
+            "{:>6} {:>14} {:>12} {:>14} {:>12}",
+            "pair", "split model", "split DES", "direct model", "direct DES"
+        )?;
+        for (i, p) in self.points.iter().enumerate() {
+            writeln!(
+                f,
+                "{:>6} {:>14.2} {:>12.2} {:>14.2} {:>12.2}",
+                i + 1,
+                p.analytic_split / 1e6,
+                p.des_split / 1e6,
+                p.analytic_direct / 1e6,
+                p.des_direct / 1e6
+            )?;
+        }
+        writeln!(
+            f,
+            "median |log2(DES/model)|: split {:.2}, direct {:.2} (1.0 = factor of two)",
+            self.median_split_log_error(),
+            self.median_direct_log_error()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prevalence::DEFAULT_SEED;
+
+    #[test]
+    fn peering_is_load_bearing() {
+        let a = peering(DEFAULT_SEED);
+        // Stripping IXP peering must reduce the overlay's *absolute*
+        // delivered throughput (the ratio alone is misleading because the
+        // ablation also degrades the cloud senders' direct paths).
+        assert!(
+            a.median_split_bps.0 > 1.2 * a.median_split_bps.1,
+            "peering didn't matter: {:.1} vs {:.1} Mbps",
+            a.median_split_bps.0 / 1e6,
+            a.median_split_bps.1 / 1e6
+        );
+    }
+
+    #[test]
+    fn window_cap_shapes_the_gain_then_saturates() {
+        let a = window(DEFAULT_SEED);
+        assert_eq!(a.rows.len(), 3);
+        let (_, small, _) = a.rows[0];
+        let (_, mid, _) = a.rows[1];
+        let (_, huge, _) = a.rows[2];
+        // A 256 KiB cap throttles *overlay* paths too (they are the ones
+        // with headroom), suppressing the measured gains...
+        assert!(
+            small < mid,
+            "tiny windows should suppress gains: {small:.2} vs {mid:.2}"
+        );
+        // ...and beyond the bandwidth-delay product more window buys
+        // nothing (1 MiB ≈ 8 MiB).
+        assert!(
+            (huge - mid).abs() / mid < 0.15,
+            "gains kept moving past the BDP: {mid:.2} -> {huge:.2}"
+        );
+    }
+
+    #[test]
+    fn analytic_model_tracks_the_des_within_a_factor_of_two() {
+        let v = split_des_validation(DEFAULT_SEED, 6, 20);
+        assert!(v.points.len() >= 4, "only {} validation pairs", v.points.len());
+        assert!(
+            v.median_split_log_error() < 1.0,
+            "split model off by 2^{:.2}",
+            v.median_split_log_error()
+        );
+        assert!(
+            v.median_direct_log_error() < 1.0,
+            "direct model off by 2^{:.2}",
+            v.median_direct_log_error()
+        );
+    }
+}

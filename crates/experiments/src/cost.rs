@@ -1,0 +1,151 @@
+//! §I / §VII-D: the cost comparison.
+//!
+//! The paper's abstract claims the overlay delivers its gains "at a tenth
+//! of the cost of leasing private lines of comparable performance", and
+//! §VII-D sketches the cost-analysis dimensions (server type, traffic
+//! volume, port speed). This experiment regenerates the comparison table
+//! from the `cloud::pricing` model.
+
+use std::fmt;
+
+use cloud::pricing::{
+    leased_line_monthly_usd, overlay_monthly_usd, PortSpeed, TrafficPlan,
+};
+use topology::geo::city_by_name;
+
+/// One row of the comparison: an overlay deployment against a leased line
+/// of the same capacity over a named city pair.
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Human-readable route.
+    pub route: String,
+    /// Distance in km.
+    pub distance_km: f64,
+    /// Port speed compared.
+    pub port: PortSpeed,
+    /// Overlay deployment monthly cost (USD).
+    pub overlay_usd: f64,
+    /// Leased-line monthly cost (USD).
+    pub leased_usd: f64,
+}
+
+impl CostRow {
+    /// Leased / overlay cost ratio.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.leased_usd / self.overlay_usd
+    }
+}
+
+/// The §VII-D comparison table.
+#[derive(Debug, Clone)]
+pub struct CostComparison {
+    /// One row per route × port speed.
+    pub rows: Vec<CostRow>,
+}
+
+/// City pairs representative of the paper's branch-office scenario.
+const ROUTES: &[(&str, &str)] = &[
+    ("New York", "San Jose"),
+    ("Dallas", "Washington DC"),
+    ("London", "Frankfurt"),
+    ("San Jose", "Tokyo"),
+    ("Amsterdam", "Singapore"),
+];
+
+/// Builds the comparison: a two-node overlay (the §IV finding that 1–2
+/// nodes capture most of the benefit) with a 10 TB traffic plan, against
+/// leased lines of each port speed.
+#[must_use]
+pub fn cost_comparison() -> CostComparison {
+    let mut rows = Vec::new();
+    for &(a, b) in ROUTES {
+        let ca = city_by_name(a).expect("catalog city");
+        let cb = city_by_name(b).expect("catalog city");
+        let distance_km = ca.location.distance_km(cb.location);
+        for port in [PortSpeed::Mbps100, PortSpeed::Gbps1] {
+            rows.push(CostRow {
+                route: format!("{a} - {b}"),
+                distance_km,
+                port,
+                overlay_usd: overlay_monthly_usd(2, port, TrafficPlan::Gb10000),
+                leased_usd: leased_line_monthly_usd(port.bps(), distance_km),
+            });
+        }
+    }
+    CostComparison { rows }
+}
+
+impl CostComparison {
+    /// Median leased/overlay ratio across the comparable-performance
+    /// (100 Mbps, the measured configuration) rows.
+    #[must_use]
+    pub fn median_ratio(&self) -> f64 {
+        let mut ratios: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.port == PortSpeed::Mbps100)
+            .map(CostRow::ratio)
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ratios[ratios.len() / 2]
+    }
+}
+
+impl fmt::Display for CostComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== §VII-D: overlay vs leased-line monthly cost (USD) ===")?;
+        writeln!(
+            f,
+            "{:<26} {:>9} {:>10} {:>12} {:>12} {:>8}",
+            "route", "km", "port", "overlay", "leased", "ratio"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<26} {:>9.0} {:>10?} {:>12.0} {:>12.0} {:>8.1}",
+                r.route,
+                r.distance_km,
+                r.port,
+                r.overlay_usd,
+                r.leased_usd,
+                r.ratio()
+            )?;
+        }
+        writeln!(
+            f,
+            "median ratio {:.1}x — the paper's 'a tenth of the cost'",
+            self.median_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_is_roughly_a_tenth_of_leased_lines() {
+        let c = cost_comparison();
+        let median = c.median_ratio();
+        assert!(
+            (5.0..40.0).contains(&median),
+            "median cost ratio {median:.1}"
+        );
+    }
+
+    #[test]
+    fn every_route_favours_the_overlay_at_100mbps() {
+        let c = cost_comparison();
+        for r in c.rows.iter().filter(|r| r.port == PortSpeed::Mbps100) {
+            assert!(r.ratio() > 1.0, "{}: ratio {:.1}", r.route, r.ratio());
+        }
+    }
+
+    #[test]
+    fn table_covers_all_routes_and_ports() {
+        let c = cost_comparison();
+        assert_eq!(c.rows.len(), ROUTES.len() * 2);
+        assert!(c.to_string().contains("tenth"));
+    }
+}

@@ -1,0 +1,193 @@
+//! TSV export of the figure data (for gnuplot/matplotlib replotting).
+//!
+//! Every CDF figure exports as `x<TAB>F(x)` rows; bar figures export one
+//! row per index. `export_fast(dir, seed)` writes everything derivable
+//! from the cached sweeps (the packet-level Figs. 12–13 are excluded —
+//! run their bench targets and keep the printed tables).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use measure::stats::Cdf;
+
+use crate::{factors, longitudinal, prevalence, quality};
+
+/// Writes a CDF as `value<TAB>fraction` rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_cdf<W: Write>(mut w: W, cdf: &Cdf) -> io::Result<()> {
+    for (x, y) in cdf.points() {
+        writeln!(w, "{x:.6}\t{y:.6}")?;
+    }
+    Ok(())
+}
+
+fn save_cdf(dir: &Path, name: &str, cdf: &Cdf, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let path = dir.join(name);
+    let mut file = fs::File::create(&path)?;
+    writeln!(file, "# value\tcdf")?;
+    write_cdf(&mut file, cdf)?;
+    out.push(path);
+    Ok(())
+}
+
+fn save_rows(
+    dir: &Path,
+    name: &str,
+    header: &str,
+    rows: impl IntoIterator<Item = String>,
+    out: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    let path = dir.join(name);
+    let mut file = fs::File::create(&path)?;
+    writeln!(file, "# {header}")?;
+    for row in rows {
+        writeln!(file, "{row}")?;
+    }
+    out.push(path);
+    Ok(())
+}
+
+/// Exports the analytic-model figures (2–11, Table I) as TSV files into
+/// `dir` (created if missing). Returns the written paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_fast(dir: &Path, seed: u64) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+
+    let f2 = prevalence::fig2(seed);
+    save_cdf(dir, "fig02_plain_overlay_cdf.tsv", &f2.plain.cdf, &mut written)?;
+    save_cdf(dir, "fig02_split_overlay_cdf.tsv", &f2.split.cdf, &mut written)?;
+
+    let f3 = prevalence::fig3(seed);
+    save_cdf(dir, "fig03_plain_cloud_cdf.tsv", &f3.plain.cdf, &mut written)?;
+    save_cdf(dir, "fig03_split_cloud_cdf.tsv", &f3.split.cdf, &mut written)?;
+    save_cdf(dir, "fig03_discrete_cloud_cdf.tsv", &f3.discrete.cdf, &mut written)?;
+
+    let f4 = quality::fig4(seed);
+    save_cdf(dir, "fig04_direct_retx_cdf.tsv", &f4.direct, &mut written)?;
+    save_cdf(dir, "fig04_overlay_retx_cdf.tsv", &f4.overlay, &mut written)?;
+
+    let f5 = quality::fig5(seed);
+    save_cdf(dir, "fig05_rtt_ratio_cdf.tsv", &f5.ratios, &mut written)?;
+
+    let f8 = factors::fig8(seed);
+    save_cdf(dir, "fig08_diversity_all_cdf.tsv", &f8.all_cdf(), &mut written)?;
+
+    let f9 = factors::fig9(seed);
+    save_rows(
+        dir,
+        "fig09_rtt_bins.tsv",
+        "bin\tcount\tmedian_ratio\tfrac_improved\tmad",
+        f9.rows.iter().map(|r| {
+            format!(
+                "{}\t{}\t{:.4}\t{:.4}\t{:.4}",
+                r.label, r.count, r.median_ratio, r.frac_improved, r.mad
+            )
+        }),
+        &mut written,
+    )?;
+
+    let f10 = factors::fig10(seed);
+    save_rows(
+        dir,
+        "fig10_loss_bins.tsv",
+        "bin\tcount\tmedian_ratio\tfrac_improved\tmad",
+        std::iter::once(&f10.zero_loss)
+            .chain(f10.rows.iter())
+            .map(|r| {
+                format!(
+                    "{}\t{}\t{:.4}\t{:.4}\t{:.4}",
+                    r.label, r.count, r.median_ratio, r.frac_improved, r.mad
+                )
+            }),
+        &mut written,
+    )?;
+
+    let f11 = factors::fig11(seed);
+    save_rows(
+        dir,
+        "fig11_scatter.tsv",
+        "direct_mbps\tincrease_ratio",
+        f11.points
+            .iter()
+            .map(|(x, y)| format!("{x:.4}\t{y:.4}")),
+        &mut written,
+    )?;
+
+    let l = longitudinal::longitudinal(seed);
+    save_rows(
+        dir,
+        "fig06_longitudinal.tsv",
+        "path\tdirect_mbps\tdirect_std\toverlay_mbps\toverlay_std\tratio",
+        l.paths.iter().enumerate().map(|(i, p)| {
+            format!(
+                "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+                i + 1,
+                p.direct_avg() / 1e6,
+                p.direct_std() / 1e6,
+                p.overlay_avg() / 1e6,
+                p.overlay_std() / 1e6,
+                p.improvement()
+            )
+        }),
+        &mut written,
+    )?;
+    save_rows(
+        dir,
+        "fig07_min_nodes.tsv",
+        "path\tmin_nodes",
+        l.min_nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| format!("{}\t{k}", i + 1)),
+        &mut written,
+    )?;
+    save_rows(
+        dir,
+        "tab01_node_count.tsv",
+        "nodes\tmean_improvement\tmedian_improvement",
+        l.table1()
+            .iter()
+            .map(|(k, mean, median)| format!("{k}\t{mean:.4}\t{median:.4}")),
+        &mut written,
+    )?;
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prevalence::DEFAULT_SEED;
+
+    #[test]
+    fn write_cdf_emits_sorted_rows() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        let mut buf = Vec::new();
+        write_cdf(&mut buf, &cdf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let first: f64 = text.lines().next().unwrap().split('\t').next().unwrap().parse().unwrap();
+        assert_eq!(first, 1.0);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().last().unwrap().ends_with("1.000000"));
+    }
+
+    #[test]
+    fn export_fast_writes_all_figures() {
+        let dir = std::env::temp_dir().join(format!("cronets-export-{}", std::process::id()));
+        let written = export_fast(&dir, DEFAULT_SEED).unwrap();
+        assert!(written.len() >= 13, "only {} files", written.len());
+        for path in &written {
+            let meta = std::fs::metadata(path).unwrap();
+            assert!(meta.len() > 10, "{path:?} is empty");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,208 @@
+//! §VI-A robustness: failing the default path mid-transfer.
+//!
+//! "If the default Internet path fails, the two proxies can still
+//! continue their connections through the overlay paths." We fail a link
+//! that only the direct path uses, halfway through a transfer, and
+//! compare a single-path TCP connection (which stalls) against the
+//! MPTCP proxy setup (which keeps moving data over the overlay paths).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use cronets::select::mptcp::mptcp_over_with_failures;
+use routing::{route, RouterPath};
+use simcore::SimDuration;
+use topology::{LinkId, RouterId};
+use transport::des::CouplingAlg;
+
+use crate::scenario::{ScenarioConfig, World};
+
+/// Result of one failover run.
+#[derive(Debug, Clone)]
+pub struct Failover {
+    /// Per-second goodput of the MPTCP connection (failure at
+    /// `fail_at_s`).
+    pub mptcp_series_bps: Vec<f64>,
+    /// Per-second goodput of a plain TCP connection on the direct path
+    /// under the same failure.
+    pub direct_series_bps: Vec<f64>,
+    /// When the direct-only link failed (seconds).
+    pub fail_at_s: u64,
+}
+
+impl Failover {
+    fn mean(series: &[f64]) -> f64 {
+        if series.is_empty() {
+            return 0.0;
+        }
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+
+    /// Mean MPTCP goodput after the failure (skipping two recovery
+    /// seconds).
+    #[must_use]
+    pub fn mptcp_after_failure(&self) -> f64 {
+        Self::mean(&self.mptcp_series_bps[(self.fail_at_s as usize + 2).min(self.mptcp_series_bps.len())..])
+    }
+
+    /// Mean direct-TCP goodput after the failure.
+    #[must_use]
+    pub fn direct_after_failure(&self) -> f64 {
+        Self::mean(&self.direct_series_bps[(self.fail_at_s as usize + 2).min(self.direct_series_bps.len())..])
+    }
+}
+
+/// Runs the failover scenario: picks a client pair whose direct path has
+/// links no overlay path uses, fails one of them at `fail_at_s`, and
+/// measures both configurations for `total_s` seconds.
+///
+/// # Panics
+///
+/// Panics if no suitable pair exists in the world (does not happen for
+/// the controlled scenario at reasonable seeds).
+#[must_use]
+pub fn failover(seed: u64, fail_at_s: u64, total_s: u64) -> Failover {
+    let mut world = World::build(&ScenarioConfig::controlled(), seed);
+    let vms: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
+    let params = *world.cronet.params();
+    let nodes = world.cronet.nodes().to_vec();
+
+    // Find a (sender, client) pair and a direct-only link.
+    let mut chosen: Option<(RouterPath, Vec<RouterPath>, LinkId)> = None;
+    'outer: for &sender in &vms {
+        for &client in &world.clients.clone() {
+            let Some(direct) = route(&world.net, &mut world.bgp, sender, client) else {
+                continue;
+            };
+            let mut overlays = Vec::new();
+            for node in &nodes {
+                if node.vm() == sender {
+                    continue;
+                }
+                let (Some(s1), Some(s2)) = (
+                    route(&world.net, &mut world.bgp, sender, node.vm()),
+                    route(&world.net, &mut world.bgp, node.vm(), client),
+                ) else {
+                    continue;
+                };
+                overlays.push(s1.join(s2));
+            }
+            if overlays.len() < 2 {
+                continue;
+            }
+            let overlay_links: HashSet<LinkId> = overlays
+                .iter()
+                .flat_map(|p| p.links().iter().copied())
+                .collect();
+            // A middle link only the direct path uses (not the shared
+            // first/last hops).
+            let interior = &direct.links()[1..direct.links().len().saturating_sub(1)];
+            if let Some(&solo) = interior.iter().find(|l| !overlay_links.contains(l)) {
+                chosen = Some((direct, overlays, solo));
+                break 'outer;
+            }
+        }
+    }
+    let (direct, overlays, fail_link) = chosen.expect("a pair with a direct-only link exists");
+
+    let duration = SimDuration::from_secs(total_s);
+    let interval = Some(SimDuration::from_secs(1));
+    let failures = [(fail_link, SimDuration::from_secs(fail_at_s), 1.0)];
+
+    let mut paths: Vec<&RouterPath> = vec![&direct];
+    paths.extend(overlays.iter());
+    let (_, mptcp_series_bps) = mptcp_over_with_failures(
+        &world.net,
+        &paths,
+        CouplingAlg::Olia,
+        &params,
+        duration,
+        seed ^ 0xFA11,
+        &failures,
+        interval,
+    );
+    let (_, direct_series_bps) = mptcp_over_with_failures(
+        &world.net,
+        &[&direct],
+        CouplingAlg::Uncoupled,
+        &params,
+        duration,
+        seed ^ 0xFA12,
+        &failures,
+        interval,
+    );
+    Failover {
+        mptcp_series_bps,
+        direct_series_bps,
+        fail_at_s,
+    }
+}
+
+impl fmt::Display for Failover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== §VI-A: direct-path failure at t={}s ===",
+            self.fail_at_s
+        )?;
+        writeln!(f, "{:>5} {:>14} {:>14}", "sec", "MPTCP Mbps", "direct Mbps")?;
+        for (i, (m, d)) in self
+            .mptcp_series_bps
+            .iter()
+            .zip(&self.direct_series_bps)
+            .enumerate()
+        {
+            writeln!(f, "{:>5} {:>14.2} {:>14.2}", i + 1, m / 1e6, d / 1e6)?;
+        }
+        writeln!(
+            f,
+            "after the failure: MPTCP {:.2} Mbps, direct TCP {:.2} Mbps",
+            self.mptcp_after_failure() / 1e6,
+            self.direct_after_failure() / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prevalence::DEFAULT_SEED;
+    use std::sync::OnceLock;
+
+    fn run() -> &'static Failover {
+        static RUN: OnceLock<Failover> = OnceLock::new();
+        RUN.get_or_init(|| failover(DEFAULT_SEED, 10, 30))
+    }
+
+    #[test]
+    fn mptcp_survives_the_direct_path_failure() {
+        let r = run();
+        assert!(
+            r.mptcp_after_failure() > 1_000_000.0,
+            "MPTCP died with the direct path: {:.2} Mbps",
+            r.mptcp_after_failure() / 1e6
+        );
+    }
+
+    #[test]
+    fn plain_tcp_does_not_survive() {
+        let r = run();
+        assert!(
+            r.direct_after_failure() < r.mptcp_after_failure() * 0.2,
+            "direct TCP kept {:.2} Mbps vs MPTCP {:.2}",
+            r.direct_after_failure() / 1e6,
+            r.mptcp_after_failure() / 1e6
+        );
+        // And it was alive before the failure.
+        let before: f64 =
+            r.direct_series_bps[2..8].iter().sum::<f64>() / 6.0;
+        assert!(before > 500_000.0, "direct was never alive: {before}");
+    }
+
+    #[test]
+    fn series_cover_the_whole_run() {
+        let r = run();
+        assert_eq!(r.mptcp_series_bps.len(), 30);
+        assert_eq!(r.direct_series_bps.len(), 30);
+    }
+}

@@ -1,0 +1,46 @@
+//! # experiments — reproducing every table and figure of the paper
+//!
+//! Each module reproduces one (or one family of) results from *CRONets:
+//! Cloud-Routed Overlay Networks* (ICDCS 2016), over the simulated
+//! Internet + cloud substrate. The mapping (also in DESIGN.md):
+//!
+//! | module | paper result |
+//! |---|---|
+//! | [`prevalence`] | Fig. 2 (web-server experiment) and Fig. 3 (controlled senders): CDFs of throughput-improvement ratios |
+//! | [`quality`] | Fig. 4 (retransmission-rate CDFs) and Fig. 5 (RTT-ratio CDF) |
+//! | [`longitudinal`] | Fig. 6 (one-week persistence), Fig. 7 (min #overlay nodes), Table I (nodes vs improvement) |
+//! | [`factors`] | Fig. 8 (diversity scores), Fig. 9 (RTT bins), Fig. 10 (loss bins), Fig. 11 (gain vs direct throughput) |
+//! | [`thresholds`] | §V-B C4.5 analysis: joint RTT/loss reduction thresholds |
+//! | [`mptcp_exp`] | Fig. 12 (MPTCP/OLIA) and Fig. 13 (MPTCP/uncoupled CUBIC) |
+//! | [`cost`] | §I/§VII-D cost comparison ("a tenth of the cost") |
+//! | [`extensions`] | §VII future work: multi-hop overlays, port-speed sweep, node placement |
+//! | [`ablation`] | design-choice ablations: IXP peering, endpoint windows, analytic-vs-DES validation |
+//! | [`export`] | TSV export of all figure data for external plotting |
+//! | [`failover`] | §VI-A: direct-path failure mid-transfer, MPTCP vs plain TCP |
+//!
+//! Every experiment is deterministic in its seed, returns a typed result,
+//! and knows how to render itself as the rows/series of the original
+//! figure. The test suite asserts the *shape* of each result (who wins,
+//! by roughly what factor) — absolute numbers differ from the paper's
+//! testbed, as expected for a simulation reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cost;
+pub mod export;
+pub mod extensions;
+pub mod failover;
+pub mod factors;
+pub mod longitudinal;
+pub mod mptcp_exp;
+pub mod prevalence;
+pub mod quality;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+pub mod thresholds;
+
+pub use scenario::{ScenarioConfig, World};
+pub use sweep::{PairRecord, Sweep};

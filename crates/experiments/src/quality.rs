@@ -1,0 +1,176 @@
+//! Figures 4 and 5: packet-loss and RTT effects of the overlay.
+//!
+//! * **Fig. 4**: CDFs of TCP retransmission rates over direct paths vs
+//!   the best of the overlay tunnels. Paper shape: the overlay reduces
+//!   the *median* retransmission rate by an order of magnitude
+//!   (2.69×10⁻⁴ → 1.66×10⁻⁵).
+//! * **Fig. 5**: CDF of (min overlay RTT / direct RTT). Paper shape: the
+//!   overlay reduces average RTT for 52% of pairs — and the longer the
+//!   direct RTT, the likelier the reduction (68% of ≥100 ms paths, 90%
+//!   of ≥150 ms paths).
+
+use std::fmt;
+
+use measure::stats::Cdf;
+
+use crate::prevalence::controlled_sweep;
+use crate::report::cdf_summary;
+
+/// Result of the Fig. 4 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Retransmission rates over direct paths.
+    pub direct: Cdf,
+    /// Best (lowest) retransmission rate across overlay tunnels per pair.
+    pub overlay: Cdf,
+}
+
+impl Fig4 {
+    /// Median reduction factor (direct median / overlay median).
+    #[must_use]
+    pub fn median_reduction(&self) -> f64 {
+        self.direct.median() / self.overlay.median().max(1e-12)
+    }
+}
+
+/// Runs the Fig. 4 experiment.
+#[must_use]
+pub fn fig4(seed: u64) -> Fig4 {
+    let sweep = controlled_sweep(seed);
+    Fig4 {
+        direct: Cdf::new(sweep.records.iter().map(|r| r.direct.loss).collect())
+            .expect("non-empty sweep"),
+        overlay: Cdf::new(sweep.records.iter().map(|r| r.min_overlay_loss()).collect())
+            .expect("non-empty sweep"),
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Fig. 4: TCP retransmission rates ===")?;
+        write!(f, "{}", cdf_summary("direct paths", &self.direct, &[1e-4, 1e-3]))?;
+        write!(f, "{}", cdf_summary("best overlay tunnel", &self.overlay, &[1e-4, 1e-3]))?;
+        writeln!(
+            f,
+            "median retransmission rate: direct {:.3e} vs overlay {:.3e} ({:.1}x reduction)",
+            self.direct.median(),
+            self.overlay.median(),
+            self.median_reduction()
+        )
+    }
+}
+
+/// Result of the Fig. 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// Per-pair ratios: min overlay RTT / direct RTT.
+    pub ratios: Cdf,
+    /// Fraction of pairs whose RTT the overlay reduces.
+    pub frac_reduced: f64,
+    /// Same fraction among pairs with direct RTT ≥ 100 ms.
+    pub frac_reduced_100ms: f64,
+    /// Same fraction among pairs with direct RTT ≥ 150 ms.
+    pub frac_reduced_150ms: f64,
+}
+
+/// Runs the Fig. 5 experiment.
+#[must_use]
+pub fn fig5(seed: u64) -> Fig5 {
+    let sweep = controlled_sweep(seed);
+    let ratios: Vec<f64> = sweep
+        .records
+        .iter()
+        .map(|r| r.min_overlay_rtt().as_secs_f64() / r.direct.rtt.as_secs_f64().max(1e-9))
+        .collect();
+    let frac = |min_ms: u64| -> f64 {
+        let eligible: Vec<&crate::sweep::PairRecord> = sweep
+            .records
+            .iter()
+            .filter(|r| r.direct.rtt.as_millis() >= min_ms)
+            .collect();
+        if eligible.is_empty() {
+            return 0.0;
+        }
+        eligible
+            .iter()
+            .filter(|r| r.min_overlay_rtt() < r.direct.rtt)
+            .count() as f64
+            / eligible.len() as f64
+    };
+    Fig5 {
+        ratios: Cdf::new(ratios).expect("non-empty sweep"),
+        frac_reduced: frac(0),
+        frac_reduced_100ms: frac(100),
+        frac_reduced_150ms: frac(150),
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Fig. 5: overlay RTT / direct RTT ===")?;
+        write!(f, "{}", cdf_summary("RTT ratio", &self.ratios, &[1.0]))?;
+        writeln!(
+            f,
+            "overlay reduces RTT for {:.0}% of pairs ({:.0}% of >=100 ms paths, {:.0}% of >=150 ms paths)",
+            self.frac_reduced * 100.0,
+            self.frac_reduced_100ms * 100.0,
+            self.frac_reduced_150ms * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prevalence::DEFAULT_SEED;
+
+    #[test]
+    fn fig4_overlay_cuts_the_median_retx_rate() {
+        let fig = fig4(DEFAULT_SEED);
+        // Paper: an order of magnitude. The five-DC simulated overlay has
+        // bounded exit diversity, so we require a substantial (>=3x)
+        // median reduction and document the gap in EXPERIMENTS.md.
+        assert!(
+            fig.median_reduction() >= 3.0,
+            "median reduction only {:.1}x",
+            fig.median_reduction()
+        );
+        // Direct paths carry measurable loss at the median, like the
+        // paper's 2.69e-4.
+        assert!(
+            fig.direct.median() > 1e-5,
+            "direct median {:.2e} implausibly clean",
+            fig.direct.median()
+        );
+    }
+
+    #[test]
+    fn fig5_reduction_fraction_and_rtt_trend() {
+        let fig = fig5(DEFAULT_SEED);
+        // Paper: 52% overall.
+        assert!(
+            (0.30..0.70).contains(&fig.frac_reduced),
+            "overall reduction fraction {:.2}",
+            fig.frac_reduced
+        );
+        // Monotone trend with direct RTT (paper: 52% -> 68% -> 90%).
+        assert!(
+            fig.frac_reduced_100ms >= fig.frac_reduced - 0.05,
+            "100ms {:.2} vs overall {:.2}",
+            fig.frac_reduced_100ms,
+            fig.frac_reduced
+        );
+        assert!(
+            fig.frac_reduced_150ms > fig.frac_reduced,
+            "150ms {:.2} vs overall {:.2}",
+            fig.frac_reduced_150ms,
+            fig.frac_reduced
+        );
+    }
+
+    #[test]
+    fn displays_render() {
+        assert!(fig4(DEFAULT_SEED).to_string().contains("Fig. 4"));
+        assert!(fig5(DEFAULT_SEED).to_string().contains("Fig. 5"));
+    }
+}

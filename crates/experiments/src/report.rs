@@ -1,0 +1,102 @@
+//! ASCII rendering of experiment results: CDF summaries, bar tables.
+
+use measure::stats::Cdf;
+
+/// Renders the key points of a CDF as one table: selected quantiles plus
+/// the fraction below/above landmark values.
+#[must_use]
+pub fn cdf_summary(name: &str, cdf: &Cdf, landmarks: &[f64]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{name} (n={}):", cdf.len());
+    let _ = writeln!(
+        out,
+        "  p10={:.4}  p25={:.4}  median={:.4}  p75={:.4}  p90={:.4}  mean={:.4}",
+        cdf.quantile(0.10),
+        cdf.quantile(0.25),
+        cdf.median(),
+        cdf.quantile(0.75),
+        cdf.quantile(0.90),
+        cdf.mean()
+    );
+    for &x in landmarks {
+        let _ = writeln!(out, "  F({x}) = {:.3}", cdf.fraction_leq(x));
+    }
+    out
+}
+
+/// Renders CDF points as `x<TAB>F(x)` rows, decimated to at most
+/// `max_points` (the series a plotting tool would consume).
+#[must_use]
+pub fn cdf_series(cdf: &Cdf, max_points: usize) -> String {
+    use std::fmt::Write as _;
+    let pts = cdf.points();
+    let step = (pts.len() / max_points.max(1)).max(1);
+    let mut out = String::new();
+    for (x, y) in pts.iter().step_by(step) {
+        let _ = writeln!(out, "{x:.6}\t{y:.4}");
+    }
+    out
+}
+
+/// Renders a bar table: one row per index with several named columns.
+#[must_use]
+pub fn bar_table(title: &str, columns: &[(&str, &[f64])]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:>6}", "idx");
+    for (name, _) in columns {
+        let _ = write!(out, "{name:>24}");
+    }
+    let _ = writeln!(out);
+    let rows = columns.iter().map(|(_, v)| v.len()).min().unwrap_or(0);
+    for i in 0..rows {
+        let _ = write!(out, "{:>6}", i + 1);
+        for (_, v) in columns {
+            let _ = write!(out, "{:>24.3}", v[i]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Formats bits-per-second as Mbit/s.
+#[must_use]
+pub fn mbps(bps: f64) -> f64 {
+    bps / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_summary_contains_landmarks() {
+        let cdf = Cdf::new((1..=100).map(f64::from).collect()).unwrap();
+        let s = cdf_summary("test", &cdf, &[50.0]);
+        assert!(s.contains("median=50.5"));
+        assert!(s.contains("F(50) = 0.500"));
+    }
+
+    #[test]
+    fn cdf_series_is_decimated() {
+        let cdf = Cdf::new((1..=1000).map(f64::from).collect()).unwrap();
+        let s = cdf_series(&cdf, 10);
+        assert!(s.lines().count() <= 11);
+    }
+
+    #[test]
+    fn bar_table_renders_all_rows() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let t = bar_table("demo", &[("x", &a), ("y", &b)]);
+        assert_eq!(t.lines().count(), 4); // title + header + 2 rows
+        assert!(t.contains("demo"));
+    }
+
+    #[test]
+    fn mbps_scales() {
+        assert_eq!(mbps(5_000_000.0), 5.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! World construction: the Internet, the cloud, clients and servers.
+//!
+//! Mirrors the paper's measurement footprint:
+//!
+//! * **web-server experiment** (§II-A): ~110 PlanetLab clients
+//!   (48 Europe, 45 Americas, 14 Asia, 3 Australia) × 10 mirror servers
+//!   (North America, Europe, Asia) × 5 Softlayer overlay DCs;
+//! * **controlled-senders experiment** (§II-B): 50 PlanetLab clients
+//!   (26 Americas, 18 Europe, 5 Asia, 1 Australia), the five cloud VMs
+//!   taking turns as TCP sender while the other four act as overlays;
+//! * **MPTCP validation** (§VI-B): 9 cloud VMs across USA/Europe/Asia.
+
+use cloud::provider::ProviderConfig;
+use cronets::{Cronet, CronetBuilder};
+use routing::Bgp;
+use simcore::SimRng;
+use topology::gen::{generate, InternetConfig};
+use topology::geo::Continent;
+use topology::{AsTier, Network, RouterId};
+
+/// Host access-link speed used for clients and servers (100 Mbps, like
+/// the vNIC of the paper's measurement hosts).
+pub const ACCESS_BPS: u64 = 100_000_000;
+
+/// Configuration of a full experiment world.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Topology parameters.
+    pub internet: InternetConfig,
+    /// Cloud provider footprint.
+    pub provider: ProviderConfig,
+    /// Clients per continent `(continent, count)`.
+    pub clients: Vec<(Continent, usize)>,
+    /// Number of servers (spread over North America, Europe, Asia like
+    /// the Eclipse mirror list).
+    pub n_servers: usize,
+}
+
+impl ScenarioConfig {
+    /// The §II-A web-server experiment footprint.
+    #[must_use]
+    pub fn web_server() -> Self {
+        ScenarioConfig {
+            internet: InternetConfig::paper_scale(),
+            provider: ProviderConfig::paper_five(),
+            clients: vec![
+                (Continent::Europe, 48),
+                (Continent::NorthAmerica, 38),
+                (Continent::SouthAmerica, 7),
+                (Continent::Asia, 14),
+                (Continent::Australia, 3),
+            ],
+            n_servers: 10,
+        }
+    }
+
+    /// The §II-B controlled-senders footprint (50 clients).
+    #[must_use]
+    pub fn controlled() -> Self {
+        ScenarioConfig {
+            internet: InternetConfig::paper_scale(),
+            provider: ProviderConfig::paper_five(),
+            clients: vec![
+                (Continent::NorthAmerica, 22),
+                (Continent::SouthAmerica, 4),
+                (Continent::Europe, 18),
+                (Continent::Asia, 5),
+                (Continent::Australia, 1),
+            ],
+            n_servers: 0,
+        }
+    }
+
+    /// The §VI MPTCP validation footprint (9 cloud VMs, no edge hosts).
+    #[must_use]
+    pub fn mptcp_nine() -> Self {
+        ScenarioConfig {
+            internet: InternetConfig::paper_scale(),
+            provider: ProviderConfig::paper_nine(),
+            clients: Vec::new(),
+            n_servers: 0,
+        }
+    }
+
+    /// A miniature world for unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            internet: InternetConfig::small(),
+            provider: ProviderConfig::paper_five(),
+            clients: vec![(Continent::Europe, 3), (Continent::NorthAmerica, 3)],
+            n_servers: 2,
+        }
+    }
+}
+
+/// A built world: topology + cloud + endpoints, ready for experiments.
+#[derive(Debug)]
+pub struct World {
+    /// The network (mutable: congestion evolves across epochs).
+    pub net: Network,
+    /// The deployed overlay network.
+    pub cronet: Cronet,
+    /// Client hosts (PlanetLab stand-ins).
+    pub clients: Vec<RouterId>,
+    /// Server hosts (web mirror stand-ins).
+    pub servers: Vec<RouterId>,
+    /// Route cache.
+    pub bgp: Bgp,
+    /// The seed the world was built from.
+    pub seed: u64,
+}
+
+impl World {
+    /// Builds a world deterministically from `(config, seed)`.
+    #[must_use]
+    pub fn build(config: &ScenarioConfig, seed: u64) -> World {
+        let mut net = generate(&config.internet, seed);
+        let cronet = CronetBuilder::new()
+            .provider_config(config.provider.clone())
+            .build(&mut net, seed);
+        let mut rng = SimRng::seed_from(seed).fork(0xE0D);
+
+        // Stub ASes grouped by continent for client placement.
+        let stubs_on = |net: &Network, cont: Continent| -> Vec<topology::AsId> {
+            net.ases()
+                .filter(|a| a.tier() == AsTier::Stub)
+                .filter(|a| {
+                    a.routers().first().is_some_and(|&r| {
+                        net.router(r).city().continent == cont
+                    })
+                })
+                .map(|a| a.id())
+                .collect()
+        };
+
+        let mut clients = Vec::new();
+        for &(cont, count) in &config.clients {
+            let pool = stubs_on(&net, cont);
+            assert!(
+                !pool.is_empty(),
+                "no stub ASes on {cont:?}; enlarge the topology"
+            );
+            for i in 0..count {
+                let asn = *rng.choose(&pool);
+                let name = format!("pl-{cont:?}-{i}");
+                clients.push(net.attach_host(&name, asn, ACCESS_BPS));
+            }
+        }
+
+        // Servers on the three server continents, round-robin.
+        let server_continents = [Continent::NorthAmerica, Continent::Europe, Continent::Asia];
+        let mut servers = Vec::new();
+        for i in 0..config.n_servers {
+            let cont = server_continents[i % server_continents.len()];
+            let pool = stubs_on(&net, cont);
+            assert!(!pool.is_empty(), "no stub ASes on {cont:?} for servers");
+            let asn = *rng.choose(&pool);
+            servers.push(net.attach_host(&format!("mirror-{i}"), asn, ACCESS_BPS));
+        }
+
+        World {
+            net,
+            cronet,
+            clients,
+            servers,
+            bgp: Bgp::new(),
+            seed,
+        }
+    }
+
+    /// Advances the world by one measurement epoch (3 hours in the
+    /// longitudinal study): every link's congestion takes an AR(1) step.
+    pub fn step_epoch(&mut self, epoch: u64) {
+        let mut rng = SimRng::seed_from(self.seed).fork(0xE70C ^ epoch);
+        self.net.step_epoch(&mut rng, epoch);
+        // Routing is policy-based and ignores performance: tables stay
+        // valid across epochs (the paper's premise).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_server_world_matches_paper_counts() {
+        let world = World::build(&ScenarioConfig::tiny(), 3);
+        assert_eq!(world.clients.len(), 6);
+        assert_eq!(world.servers.len(), 2);
+        assert_eq!(world.cronet.nodes().len(), 5);
+    }
+
+    #[test]
+    fn worlds_are_deterministic() {
+        let w1 = World::build(&ScenarioConfig::tiny(), 9);
+        let w2 = World::build(&ScenarioConfig::tiny(), 9);
+        assert_eq!(w1.clients, w2.clients);
+        assert_eq!(w1.servers, w2.servers);
+        assert_eq!(w1.net.link_count(), w2.net.link_count());
+    }
+
+    #[test]
+    fn clients_sit_on_their_continents() {
+        let world = World::build(&ScenarioConfig::tiny(), 5);
+        // First 3 clients Europe, next 3 North America (config order).
+        for &c in &world.clients[..3] {
+            assert_eq!(
+                world.net.router(c).city().continent,
+                Continent::Europe
+            );
+        }
+        for &c in &world.clients[3..] {
+            assert_eq!(
+                world.net.router(c).city().continent,
+                Continent::NorthAmerica
+            );
+        }
+    }
+
+    #[test]
+    fn epochs_change_congestion() {
+        let mut world = World::build(&ScenarioConfig::tiny(), 7);
+        let before: Vec<f64> = world.net.links().map(|l| l.level()).collect();
+        world.step_epoch(1);
+        let after: Vec<f64> = world.net.links().map(|l| l.level()).collect();
+        let changed = before
+            .iter()
+            .zip(&after)
+            .filter(|(a, b)| (*a - *b).abs() > 1e-12)
+            .count();
+        assert!(changed > before.len() / 2, "only {changed} links moved");
+    }
+}

@@ -1,0 +1,289 @@
+//! The path sweep: measure every (sender, receiver) pair across all
+//! modes, with segment caching.
+//!
+//! A sweep over S senders × R receivers × N overlay nodes only needs
+//! `S·N + N·R` overlay segment routes plus `S·R` direct routes; caching
+//! segments keeps the 6,600-path experiment fast.
+
+use std::collections::HashMap;
+
+use cronets::eval::{modes_from_segments, quality, Measurement};
+use measure::diversity::{common_router_segments, diversity_score};
+use routing::{route, RouterPath};
+use simcore::SimDuration;
+use topology::RouterId;
+use transport::model::tcp_throughput;
+
+use crate::scenario::World;
+
+/// All measurements for one (sender, receiver) pair.
+#[derive(Debug, Clone)]
+pub struct PairRecord {
+    /// TCP sender (web server / cloud VM).
+    pub sender: RouterId,
+    /// TCP receiver (PlanetLab client).
+    pub receiver: RouterId,
+    /// The default Internet path measurement.
+    pub direct: Measurement,
+    /// Router-level hop count of the direct path.
+    pub direct_hops: usize,
+    /// Plain-tunnel measurement per overlay node.
+    pub plain: Vec<Measurement>,
+    /// Split-overlay measurement per overlay node.
+    pub split: Vec<Measurement>,
+    /// Discrete upper bound per overlay node.
+    pub discrete: Vec<f64>,
+    /// Diversity score of each overlay path against the direct path.
+    pub diversity: Vec<f64>,
+    /// Hop count of each overlay path.
+    pub overlay_hops: Vec<usize>,
+    /// Common-router location (three direct-path segments) for the best
+    /// split-overlay path.
+    pub common_segments: [usize; 3],
+}
+
+impl PairRecord {
+    /// Best plain-overlay throughput.
+    #[must_use]
+    pub fn best_plain_bps(&self) -> f64 {
+        self.plain.iter().map(|m| m.throughput_bps).fold(0.0, f64::max)
+    }
+
+    /// Best split-overlay throughput.
+    #[must_use]
+    pub fn best_split_bps(&self) -> f64 {
+        self.split.iter().map(|m| m.throughput_bps).fold(0.0, f64::max)
+    }
+
+    /// Best discrete-overlay throughput.
+    #[must_use]
+    pub fn best_discrete_bps(&self) -> f64 {
+        self.discrete.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Plain-overlay improvement ratio over direct.
+    #[must_use]
+    pub fn plain_ratio(&self) -> f64 {
+        self.best_plain_bps() / self.direct.throughput_bps.max(1.0)
+    }
+
+    /// Split-overlay improvement ratio over direct (the headline metric).
+    #[must_use]
+    pub fn split_ratio(&self) -> f64 {
+        self.best_split_bps() / self.direct.throughput_bps.max(1.0)
+    }
+
+    /// Discrete-overlay improvement ratio over direct.
+    #[must_use]
+    pub fn discrete_ratio(&self) -> f64 {
+        self.best_discrete_bps() / self.direct.throughput_bps.max(1.0)
+    }
+
+    /// Lowest retransmission rate across overlay tunnels (Fig. 4).
+    #[must_use]
+    pub fn min_overlay_loss(&self) -> f64 {
+        self.plain.iter().map(|m| m.loss).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Lowest average RTT across overlay tunnels (Fig. 5).
+    #[must_use]
+    pub fn min_overlay_rtt(&self) -> SimDuration {
+        self.plain
+            .iter()
+            .map(|m| m.rtt)
+            .min()
+            .unwrap_or(SimDuration::MAX)
+    }
+
+    /// Index (into this record's vectors) of the best split overlay.
+    #[must_use]
+    pub fn best_split_index(&self) -> usize {
+        (0..self.split.len())
+            .max_by(|&a, &b| {
+                self.split[a]
+                    .throughput_bps
+                    .partial_cmp(&self.split[b].throughput_bps)
+                    .unwrap()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Diversity score of the best split-overlay path.
+    #[must_use]
+    pub fn best_split_diversity(&self) -> f64 {
+        self.diversity
+            .get(self.best_split_index())
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// One record per connected (sender, receiver) pair.
+    pub records: Vec<PairRecord>,
+}
+
+impl Sweep {
+    /// Runs the sweep for all `senders × receivers` pairs under the
+    /// world's *current* congestion state.
+    ///
+    /// `exclude_sender_node` removes the overlay node co-located with the
+    /// sender VM from that sender's candidate set (the controlled-senders
+    /// experiment: "when one virtual server acts as a TCP sender ... the
+    /// other four virtual servers act as overlay nodes").
+    #[must_use]
+    pub fn run(
+        world: &mut World,
+        senders: &[RouterId],
+        receivers: &[RouterId],
+        exclude_sender_node: bool,
+    ) -> Sweep {
+        let net = &world.net;
+        let bgp = &mut world.bgp;
+        let params = *world.cronet.params();
+        let tunnel = world.cronet.tunnel();
+        let nodes = world.cronet.nodes();
+
+        // Segment caches.
+        let mut to_node: HashMap<(RouterId, RouterId), Option<RouterPath>> = HashMap::new();
+        let mut from_node: HashMap<(RouterId, RouterId), Option<RouterPath>> = HashMap::new();
+
+        let mut records = Vec::with_capacity(senders.len() * receivers.len());
+        for &sender in senders {
+            for node in nodes {
+                to_node
+                    .entry((sender, node.vm()))
+                    .or_insert_with(|| route(net, bgp, sender, node.vm()));
+            }
+            for &receiver in receivers {
+                if sender == receiver {
+                    continue;
+                }
+                let Some(direct_path) = route(net, bgp, sender, receiver) else {
+                    continue;
+                };
+                let q_direct = quality(net, &direct_path);
+                let direct = Measurement {
+                    throughput_bps: tcp_throughput(&q_direct, &params),
+                    rtt: q_direct.rtt,
+                    loss: q_direct.loss,
+                };
+
+                let mut plain = Vec::new();
+                let mut split = Vec::new();
+                let mut discrete = Vec::new();
+                let mut diversity = Vec::new();
+                let mut overlay_hops = Vec::new();
+                let mut overlay_paths: Vec<RouterPath> = Vec::new();
+                for node in nodes {
+                    if exclude_sender_node && node.vm() == sender {
+                        continue;
+                    }
+                    let Some(seg1) = to_node[&(sender, node.vm())].clone() else {
+                        continue;
+                    };
+                    let seg2 = from_node
+                        .entry((node.vm(), receiver))
+                        .or_insert_with(|| route(net, bgp, node.vm(), receiver));
+                    let Some(seg2) = seg2.clone() else { continue };
+                    let q_a = quality(net, &seg1);
+                    let q_b = quality(net, &seg2);
+                    let (p, s, d) = modes_from_segments(&q_a, &q_b, node, tunnel, &params);
+                    let opath = seg1.join(seg2);
+                    plain.push(p);
+                    split.push(s);
+                    discrete.push(d);
+                    diversity.push(diversity_score(&direct_path, &opath));
+                    overlay_hops.push(opath.hop_count());
+                    overlay_paths.push(opath);
+                }
+                if plain.is_empty() {
+                    continue;
+                }
+                let mut record = PairRecord {
+                    sender,
+                    receiver,
+                    direct,
+                    direct_hops: direct_path.hop_count(),
+                    plain,
+                    split,
+                    discrete,
+                    diversity,
+                    overlay_hops,
+                    common_segments: [0; 3],
+                };
+                record.common_segments = common_router_segments(
+                    &direct_path,
+                    &overlay_paths[record.best_split_index()],
+                );
+                records.push(record);
+            }
+        }
+        Sweep { records }
+    }
+
+    /// Number of observed Internet paths: each record contributes the
+    /// direct path plus one per overlay node (the paper's "6,600 paths"
+    /// accounting).
+    #[must_use]
+    pub fn observed_paths(&self) -> usize {
+        self.records.iter().map(|r| 1 + r.plain.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn tiny_sweep() -> Sweep {
+        let mut world = World::build(&ScenarioConfig::tiny(), 13);
+        let senders = world.servers.clone();
+        let receivers = world.clients.clone();
+        Sweep::run(&mut world, &senders, &receivers, false)
+    }
+
+    #[test]
+    fn sweep_covers_all_pairs() {
+        let sweep = tiny_sweep();
+        assert_eq!(sweep.records.len(), 2 * 6);
+        assert_eq!(sweep.observed_paths(), 12 * 6);
+    }
+
+    #[test]
+    fn ratios_are_internally_consistent() {
+        let sweep = tiny_sweep();
+        for r in &sweep.records {
+            assert!(r.best_split_bps() <= r.best_discrete_bps() * 1.0 + 1e-6);
+            assert!(r.split_ratio() >= 0.0);
+            assert!(r.min_overlay_loss().is_finite());
+            assert!((0.0..=1.0).contains(&r.best_split_diversity()));
+            let total_common: usize = r.common_segments.iter().sum();
+            assert!(total_common >= 2, "endpoints are always common");
+        }
+    }
+
+    #[test]
+    fn excluding_sender_node_reduces_candidates() {
+        let mut world = World::build(&ScenarioConfig::tiny(), 13);
+        let vms: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
+        let receivers = world.clients.clone();
+        let with = Sweep::run(&mut world, &vms[..1], &receivers, false);
+        let without = Sweep::run(&mut world, &vms[..1], &receivers, true);
+        assert_eq!(with.records[0].plain.len(), 5);
+        assert_eq!(without.records[0].plain.len(), 4);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = tiny_sweep();
+        let b = tiny_sweep();
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.direct.throughput_bps, y.direct.throughput_bps);
+            assert_eq!(x.best_split_bps(), y.best_split_bps());
+        }
+    }
+}

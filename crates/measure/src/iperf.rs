@@ -1,0 +1,160 @@
+//! iperf-style throughput measurement of simulated paths.
+//!
+//! Two modes, mirroring the paper's two measurement stages:
+//!
+//! * [`iperf_model`] — instantaneous steady-state estimate from the
+//!   analytic model, for large path sweeps (the 6,600-path experiment);
+//! * [`iperf_des`] — an actual timed transfer through the packet-level
+//!   DES (the controlled-server and MPTCP experiments, where the paper
+//!   ran `iperf` for 30 s or 1 min).
+
+use routing::RouterPath;
+use simcore::SimDuration;
+use topology::Network;
+use transport::des::{DesPath, Netsim, TransferConfig};
+use transport::model::{tcp_throughput, PathQuality, TcpParams};
+use transport::FlowStats;
+
+/// The path quality a TCP sender currently experiences along a routed
+/// path (RTT with queueing, end-to-end loss, bottleneck capacity).
+#[must_use]
+pub fn path_quality(net: &Network, path: &RouterPath) -> PathQuality {
+    PathQuality {
+        rtt: path.rtt(net),
+        loss: path.loss_prob(net),
+        bottleneck_bps: path.bottleneck_bps(net),
+    }
+}
+
+/// Analytic iperf: the steady-state TCP throughput estimate for a routed
+/// path under the current congestion state, in bits per second.
+///
+/// # Example
+///
+/// ```
+/// use topology::gen::{generate, InternetConfig};
+/// use routing::{route, Bgp};
+/// use transport::model::TcpParams;
+///
+/// let mut net = generate(&InternetConfig::small(), 3);
+/// let stubs: Vec<_> = net
+///     .ases()
+///     .filter(|a| a.tier() == topology::AsTier::Stub)
+///     .map(|a| a.id())
+///     .collect();
+/// let a = net.attach_host("a", stubs[0], 100_000_000);
+/// let b = net.attach_host("b", stubs[1], 100_000_000);
+/// let path = route(&net, &mut Bgp::new(), a, b).unwrap();
+/// let bps = measure::iperf::iperf_model(&net, &path, &TcpParams::default());
+/// assert!(bps > 0.0);
+/// ```
+#[must_use]
+pub fn iperf_model(net: &Network, path: &RouterPath, params: &TcpParams) -> f64 {
+    tcp_throughput(&path_quality(net, path), params)
+}
+
+/// DES iperf: builds a one-flow packet-level simulation of the routed
+/// path (one simulated link per topology link, with its current loss and
+/// latency) and runs a timed transfer.
+///
+/// `seed` controls loss realizations; the same seed reproduces the same
+/// transfer exactly.
+#[must_use]
+pub fn iperf_des(
+    net: &Network,
+    path: &RouterPath,
+    params: &TcpParams,
+    duration: SimDuration,
+    seed: u64,
+) -> FlowStats {
+    let mut sim = Netsim::new(seed);
+    let links: Vec<usize> = path
+        .links()
+        .iter()
+        .map(|&l| {
+            let link = net.link(l);
+            // Queue sized at ~100 ms of the link rate, floored to 64 KiB.
+            let queue = (link.capacity_bps() / 8 / 10).max(64 << 10);
+            sim.add_link(
+                link.capacity_bps(),
+                link.latency(),
+                link.loss_prob(),
+                queue,
+            )
+        })
+        .collect();
+    let cfg = TransferConfig {
+        duration,
+        params: *params,
+        cc: transport::des::CongestionAlg::Reno,
+        sample_interval: None,
+    };
+    let flow = sim.add_tcp_flow(DesPath::new(links), &cfg);
+    sim.run().remove(flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routing::{route, Bgp};
+    use topology::gen::{generate, InternetConfig};
+    use topology::AsTier;
+
+    fn sample_path() -> (Network, RouterPath) {
+        let mut net = generate(&InternetConfig::small(), 17);
+        let stubs: Vec<_> = net
+            .ases()
+            .filter(|a| a.tier() == AsTier::Stub)
+            .map(|a| a.id())
+            .collect();
+        let a = net.attach_host("a", stubs[0], 100_000_000);
+        let b = net.attach_host("b", stubs[2], 100_000_000);
+        let p = route(&net, &mut Bgp::new(), a, b).unwrap();
+        (net, p)
+    }
+
+    #[test]
+    fn model_and_des_agree_within_model_error() {
+        let (net, path) = sample_path();
+        let params = TcpParams::default();
+        let model = iperf_model(&net, &path, &params);
+        let des = iperf_des(&net, &path, &params, SimDuration::from_secs(20), 3).goodput_bps;
+        let ratio = des / model;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "model {model} vs DES {des} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn path_quality_reflects_congestion_state() {
+        let (mut net, path) = sample_path();
+        for &l in path.links() {
+            net.link_mut(l).set_level(0.0);
+        }
+        let clean = path_quality(&net, &path);
+        for &l in path.links() {
+            net.link_mut(l).set_level(1.0);
+        }
+        let congested = path_quality(&net, &path);
+        assert!(congested.rtt > clean.rtt);
+        assert!(congested.loss > clean.loss);
+        assert_eq!(congested.bottleneck_bps, clean.bottleneck_bps);
+    }
+
+    #[test]
+    fn model_throughput_bounded_by_access_capacity() {
+        let (net, path) = sample_path();
+        let bps = iperf_model(&net, &path, &TcpParams::default());
+        assert!(bps <= 100_000_000.0, "exceeds the 100 Mbps access link");
+    }
+
+    #[test]
+    fn des_iperf_is_deterministic_per_seed() {
+        let (net, path) = sample_path();
+        let params = TcpParams::default();
+        let a = iperf_des(&net, &path, &params, SimDuration::from_secs(5), 9);
+        let b = iperf_des(&net, &path, &params, SimDuration::from_secs(5), 9);
+        assert_eq!(a.bytes_delivered, b.bytes_delivered);
+    }
+}

@@ -1,0 +1,29 @@
+//! # measure — the measurement toolkit
+//!
+//! The paper's methodology section (§II) names its tools: iperf for
+//! throughput, tstat for retransmission rates and RTTs, traceroute for
+//! paths. This crate provides the equivalents over the simulated network,
+//! plus the statistics the evaluation section is built from:
+//!
+//! * [`stats`] — empirical CDFs (most of the paper's figures are CDFs),
+//!   quantiles, means/medians, median absolute deviation (Fig. 9's error
+//!   bars), and value binning (Figs. 9 and 10);
+//! * [`iperf`] — throughput measurement of a path, via the analytic model
+//!   (prevalence sweeps) or the packet-level DES;
+//! * [`tstat`] — retransmission-rate and average-RTT extraction from flow
+//!   statistics (Figs. 4 and 5);
+//! * [`diversity`] — the §V-A diversity score and the three-segment
+//!   common-router location analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diversity;
+pub mod iperf;
+pub mod stats;
+pub mod tstat;
+
+pub use diversity::{common_router_segments, diversity_score};
+pub use iperf::{iperf_des, iperf_model};
+pub use stats::{Bins, Cdf};
+pub use tstat::TstatReport;

@@ -1,0 +1,106 @@
+//! tstat-style per-transfer reporting.
+//!
+//! The paper (§II-B) derives two metrics from captured packets with
+//! tstat: the **TCP retransmission rate** — "the ratio of number of
+//! retransmitted bytes over the total number of bytes sent" — and the
+//! **average RTT** — "the time elapsed between the TCP data segments and
+//! their corresponding ACK", which captures queueing as well as
+//! propagation delay. This module extracts exactly those from a
+//! simulated transfer, and offers an analytic estimate for model-mode
+//! sweeps.
+
+use routing::RouterPath;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+use topology::Network;
+use transport::FlowStats;
+
+/// The two tstat-derived metrics for one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TstatReport {
+    /// Retransmitted segments / segments sent.
+    pub retx_rate: f64,
+    /// Mean data-to-ACK round-trip time.
+    pub avg_rtt: SimDuration,
+}
+
+impl TstatReport {
+    /// Extracts the report from a DES transfer.
+    #[must_use]
+    pub fn from_flow(stats: &FlowStats) -> Self {
+        TstatReport {
+            retx_rate: stats.retx_rate,
+            avg_rtt: stats.avg_rtt,
+        }
+    }
+
+    /// Analytic estimate for a routed path under the current congestion
+    /// state: the retransmission rate is the end-to-end loss probability
+    /// (every lost segment is retransmitted ~once), and the average RTT
+    /// is the current queueing-inclusive RTT.
+    #[must_use]
+    pub fn from_path(net: &Network, path: &RouterPath) -> Self {
+        TstatReport {
+            retx_rate: path.loss_prob(net),
+            avg_rtt: path.rtt(net),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routing::{route, Bgp};
+    use simcore::SimDuration;
+    use topology::gen::{generate, InternetConfig};
+    use topology::AsTier;
+
+    #[test]
+    fn from_flow_passes_metrics_through() {
+        let stats = FlowStats {
+            goodput_bps: 1e6,
+            bytes_delivered: 1,
+            segments_sent: 1_000,
+            retransmits: 10,
+            retx_rate: 0.01,
+            avg_rtt: SimDuration::from_millis(80),
+            min_rtt: SimDuration::from_millis(75),
+            duration: SimDuration::from_secs(10),
+            per_subflow_goodput: vec![1e6],
+            interval_goodput_bps: Vec::new(),
+        };
+        let r = TstatReport::from_flow(&stats);
+        assert_eq!(r.retx_rate, 0.01);
+        assert_eq!(r.avg_rtt, SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn analytic_and_des_reports_agree_in_shape() {
+        let mut net = generate(&InternetConfig::small(), 23);
+        let stubs: Vec<_> = net
+            .ases()
+            .filter(|a| a.tier() == AsTier::Stub)
+            .map(|a| a.id())
+            .collect();
+        let a = net.attach_host("a", stubs[0], 100_000_000);
+        let b = net.attach_host("b", stubs[4], 100_000_000);
+        let path = route(&net, &mut Bgp::new(), a, b).unwrap();
+        let analytic = TstatReport::from_path(&net, &path);
+        let des = TstatReport::from_flow(&crate::iperf::iperf_des(
+            &net,
+            &path,
+            &transport::model::TcpParams::default(),
+            SimDuration::from_secs(20),
+            1,
+        ));
+        // The DES RTT includes self-induced queueing, so it is at least
+        // the analytic (cross-traffic) RTT.
+        assert!(des.avg_rtt >= analytic.avg_rtt);
+        // Retransmission rates are both "about the loss rate": within a
+        // factor of a few, or both negligible.
+        if analytic.retx_rate > 1e-4 {
+            let ratio = des.retx_rate / analytic.retx_rate;
+            assert!((0.2..5.0).contains(&ratio), "retx ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Labeled datasets of continuous features.
+
+use serde::{Deserialize, Serialize};
+
+/// A dataset of rows of continuous features with boolean labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no features are named.
+    #[must_use]
+    pub fn new(feature_names: Vec<String>) -> Self {
+        assert!(!feature_names.is_empty(), "a dataset needs features");
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Appends a labeled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the feature count or a
+    /// feature is non-finite.
+    pub fn push(&mut self, row: Vec<f64>, label: bool) {
+        assert_eq!(
+            row.len(),
+            self.feature_names.len(),
+            "row width mismatches feature count"
+        );
+        assert!(row.iter().all(|x| x.is_finite()), "features must be finite");
+        self.rows.push(row);
+        self.labels.push(label);
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Feature names.
+    #[must_use]
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Feature value of `row` at `feature`.
+    #[must_use]
+    pub fn value(&self, row: usize, feature: usize) -> f64 {
+        self.rows[row][feature]
+    }
+
+    /// Label of `row`.
+    #[must_use]
+    pub fn label(&self, row: usize) -> bool {
+        self.labels[row]
+    }
+
+    /// Count of positive labels among `indices`.
+    #[must_use]
+    pub fn positives(&self, indices: &[usize]) -> usize {
+        indices.iter().filter(|&&i| self.labels[i]).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        assert!(ds.is_empty());
+        ds.push(vec![1.0, 2.0], true);
+        ds.push(vec![3.0, 4.0], false);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.feature_count(), 2);
+        assert_eq!(ds.value(1, 0), 3.0);
+        assert!(ds.label(0));
+        assert_eq!(ds.positives(&[0, 1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        ds.push(vec![1.0, 2.0], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_feature_panics() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        ds.push(vec![f64::NAN], true);
+    }
+}

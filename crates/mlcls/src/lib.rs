@@ -1,0 +1,37 @@
+//! # mlcls — C4.5 decision trees
+//!
+//! The paper (§V-B) uses "the C4.5 algorithm (one of the most popular
+//! classification algorithms)" to characterize how combined RTT and loss
+//! reductions predict throughput gain, arriving at the headline
+//! thresholds: an overlay path that reduces RTT by ≥ 10.5% *and* loss by
+//! ≥ 12.1% has a high likelihood of increasing throughput.
+//!
+//! This crate is a from-scratch C4.5 for continuous features and binary
+//! labels: entropy/gain-ratio splits, minimum-leaf stopping, pessimistic
+//! error pruning, and rule extraction (the piece that turns the trained
+//! tree back into "RTT ↓ ≥ x and loss ↓ ≥ y" statements).
+//!
+//! # Example
+//!
+//! ```
+//! use mlcls::{Dataset, Tree, TreeConfig};
+//!
+//! // y = x0 > 0.5
+//! let mut ds = Dataset::new(vec!["x0".into()]);
+//! for i in 0..100 {
+//!     let x = i as f64 / 100.0;
+//!     ds.push(vec![x], x > 0.5);
+//! }
+//! let tree = Tree::fit(&ds, &TreeConfig::default());
+//! assert!(tree.predict(&[0.9]));
+//! assert!(!tree.predict(&[0.1]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod tree;
+
+pub use dataset::Dataset;
+pub use tree::{Condition, Rule, Tree, TreeConfig};

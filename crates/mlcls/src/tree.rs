@@ -1,0 +1,613 @@
+//! The C4.5 tree: gain-ratio splits on continuous features, pessimistic
+//! pruning, rule extraction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Minimum rows in a leaf (C4.5's `-m`).
+    pub min_leaf: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Pessimistic-pruning confidence z-score (C4.5's CF = 25% ≈ z 0.6745);
+    /// larger prunes more.
+    pub pruning_z: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            min_leaf: 4,
+            max_depth: 12,
+            pruning_z: 0.6745,
+        }
+    }
+}
+
+/// One comparison on a path from root to leaf.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Feature index.
+    pub feature: usize,
+    /// Split threshold.
+    pub threshold: f64,
+    /// `true` for `value > threshold`, `false` for `value <= threshold`.
+    pub greater: bool,
+}
+
+/// A root-to-leaf rule: the conjunction of conditions, the predicted
+/// class, and how well the rule is supported by training data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Conditions along the path.
+    pub conditions: Vec<Condition>,
+    /// Predicted label at the leaf.
+    pub label: bool,
+    /// Training rows reaching the leaf.
+    pub support: usize,
+    /// Fraction of those rows with the predicted label.
+    pub confidence: f64,
+}
+
+impl Rule {
+    /// Collapses redundant conditions: a path may test the same feature
+    /// several times (`x > 0.1 AND x > 0.4`); only the binding threshold
+    /// matters (the max for `>`, the min for `<=`). Condition order is
+    /// normalized to (feature, direction).
+    #[must_use]
+    pub fn simplified(&self) -> Rule {
+        use std::collections::BTreeMap;
+        let mut binding: BTreeMap<(usize, bool), f64> = BTreeMap::new();
+        for c in &self.conditions {
+            binding
+                .entry((c.feature, c.greater))
+                .and_modify(|t| {
+                    *t = if c.greater {
+                        t.max(c.threshold)
+                    } else {
+                        t.min(c.threshold)
+                    };
+                })
+                .or_insert(c.threshold);
+        }
+        Rule {
+            conditions: binding
+                .into_iter()
+                .map(|((feature, greater), threshold)| Condition {
+                    feature,
+                    threshold,
+                    greater,
+                })
+                .collect(),
+            ..self.clone()
+        }
+    }
+
+    /// The binding lower bound this rule places on `feature` (from its
+    /// `>` conditions), if any.
+    #[must_use]
+    pub fn lower_bound(&self, feature: usize) -> Option<f64> {
+        self.conditions
+            .iter()
+            .filter(|c| c.feature == feature && c.greater)
+            .map(|c| c.threshold)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        label: bool,
+        support: usize,
+        confidence: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Subtree for `value <= threshold`.
+        le: Box<Node>,
+        /// Subtree for `value > threshold`.
+        gt: Box<Node>,
+    },
+}
+
+/// A trained C4.5 decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    root: Node,
+    feature_names: Vec<String>,
+}
+
+fn entropy(pos: usize, total: usize) -> f64 {
+    if total == 0 || pos == 0 || pos == total {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    let q = 1.0 - p;
+    -(p * p.log2() + q * q.log2())
+}
+
+/// Upper confidence bound on the error rate of a leaf with `errors`
+/// mistakes out of `n` (C4.5's pessimistic estimate, Wilson-style with
+/// continuity correction folded into the classic formula).
+fn pessimistic_error(errors: usize, n: usize, z: f64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let f = errors as f64 / n as f64;
+    let nn = n as f64;
+    let z2 = z * z;
+    let numerator =
+        f + z2 / (2.0 * nn) + z * (f / nn - f * f / nn + z2 / (4.0 * nn * nn)).max(0.0).sqrt();
+    (numerator / (1.0 + z2 / nn)).min(1.0)
+}
+
+impl Tree {
+    /// Trains a tree on the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    #[must_use]
+    pub fn fit(data: &Dataset, config: &TreeConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let root = build(data, &indices, config, 0);
+        Tree {
+            root,
+            feature_names: data.feature_names().to_vec(),
+        }
+    }
+
+    /// Predicts the label for a feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is narrower than the training features require.
+    #[must_use]
+    pub fn predict(&self, row: &[f64]) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    le,
+                    gt,
+                } => {
+                    node = if row[*feature] <= *threshold { le } else { gt };
+                }
+            }
+        }
+    }
+
+    /// Classification accuracy on a dataset.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| {
+                let row: Vec<f64> = (0..data.feature_count()).map(|f| data.value(i, f)).collect();
+                self.predict(&row) == data.label(i)
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Number of nodes (splits + leaves).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { le, gt, .. } => 1 + count(le) + count(gt),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// All root-to-leaf rules.
+    #[must_use]
+    pub fn rules(&self) -> Vec<Rule> {
+        let mut out = Vec::new();
+        fn walk(node: &Node, path: &mut Vec<Condition>, out: &mut Vec<Rule>) {
+            match node {
+                Node::Leaf {
+                    label,
+                    support,
+                    confidence,
+                } => out.push(Rule {
+                    conditions: path.clone(),
+                    label: *label,
+                    support: *support,
+                    confidence: *confidence,
+                }),
+                Node::Split {
+                    feature,
+                    threshold,
+                    le,
+                    gt,
+                } => {
+                    path.push(Condition {
+                        feature: *feature,
+                        threshold: *threshold,
+                        greater: false,
+                    });
+                    walk(le, path, out);
+                    path.pop();
+                    path.push(Condition {
+                        feature: *feature,
+                        threshold: *threshold,
+                        greater: true,
+                    });
+                    walk(gt, path, out);
+                    path.pop();
+                }
+            }
+        }
+        let mut path = Vec::new();
+        walk(&self.root, &mut path, &mut out);
+        out
+    }
+
+    /// The strongest positive rule: among rules predicting `true`, the one
+    /// with the highest `confidence · support` — for the paper's analysis
+    /// this is the "RTT ↓ ≥ x AND loss ↓ ≥ y ⇒ improvement" statement.
+    #[must_use]
+    pub fn dominant_positive_rule(&self) -> Option<Rule> {
+        self.rules()
+            .into_iter()
+            .filter(|r| r.label)
+            .max_by(|a, b| {
+                let sa = a.confidence * a.support as f64;
+                let sb = b.confidence * b.support as f64;
+                sa.partial_cmp(&sb).unwrap()
+            })
+    }
+
+    /// Formats a rule using the training feature names.
+    #[must_use]
+    pub fn format_rule(&self, rule: &Rule) -> String {
+        if rule.conditions.is_empty() {
+            return format!(
+                "(always) => {} [n={}, conf={:.2}]",
+                rule.label, rule.support, rule.confidence
+            );
+        }
+        let conds: Vec<String> = rule
+            .conditions
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {} {:.4}",
+                    self.feature_names[c.feature],
+                    if c.greater { ">" } else { "<=" },
+                    c.threshold
+                )
+            })
+            .collect();
+        format!(
+            "{} => {} [n={}, conf={:.2}]",
+            conds.join(" AND "),
+            rule.label,
+            rule.support,
+            rule.confidence
+        )
+    }
+}
+
+fn make_leaf(data: &Dataset, indices: &[usize]) -> Node {
+    let pos = data.positives(indices);
+    let n = indices.len();
+    let label = n > 0 && pos * 2 >= n && pos > 0;
+    let correct = if label { pos } else { n - pos };
+    Node::Leaf {
+        label,
+        support: n,
+        confidence: if n == 0 { 0.0 } else { correct as f64 / n as f64 },
+    }
+}
+
+fn build(data: &Dataset, indices: &[usize], config: &TreeConfig, depth: usize) -> Node {
+    let pos = data.positives(indices);
+    // Stop: pure, too small, or too deep.
+    if pos == 0
+        || pos == indices.len()
+        || indices.len() < 2 * config.min_leaf
+        || depth >= config.max_depth
+    {
+        return make_leaf(data, indices);
+    }
+
+    let base = entropy(pos, indices.len());
+    let mut best: Option<(f64, usize, f64)> = None; // (gain_ratio, feature, threshold)
+
+    for feature in 0..data.feature_count() {
+        // Sort indices by feature value; candidate thresholds are the
+        // midpoints between adjacent distinct values.
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_by(|&a, &b| {
+            data.value(a, feature)
+                .partial_cmp(&data.value(b, feature))
+                .unwrap()
+        });
+        let mut pos_le = 0usize;
+        for k in 0..sorted.len() - 1 {
+            if data.label(sorted[k]) {
+                pos_le += 1;
+            }
+            let v0 = data.value(sorted[k], feature);
+            let v1 = data.value(sorted[k + 1], feature);
+            if v0 == v1 {
+                continue;
+            }
+            let n_le = k + 1;
+            let n_gt = sorted.len() - n_le;
+            if n_le < config.min_leaf || n_gt < config.min_leaf {
+                continue;
+            }
+            let threshold = (v0 + v1) / 2.0;
+            let pos_gt = pos - pos_le;
+            let w_le = n_le as f64 / sorted.len() as f64;
+            let w_gt = 1.0 - w_le;
+            let gain =
+                base - w_le * entropy(pos_le, n_le) - w_gt * entropy(pos_gt, n_gt);
+            // Split info penalizes unbalanced splits (C4.5 gain ratio).
+            let split_info = -(w_le * w_le.log2() + w_gt * w_gt.log2());
+            if split_info <= 1e-12 || gain <= 1e-12 {
+                continue;
+            }
+            let ratio = gain / split_info;
+            if best.is_none_or(|(b, _, _)| ratio > b) {
+                best = Some((ratio, feature, threshold));
+            }
+        }
+    }
+
+    let Some((_, feature, threshold)) = best else {
+        return make_leaf(data, indices);
+    };
+    let (le_idx, gt_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| data.value(i, feature) <= threshold);
+    let split = Node::Split {
+        feature,
+        threshold,
+        le: Box::new(build(data, &le_idx, config, depth + 1)),
+        gt: Box::new(build(data, &gt_idx, config, depth + 1)),
+    };
+
+    // Pessimistic subtree-replacement pruning (bottom-up, as in C4.5):
+    // if collapsing this subtree into a majority leaf does not raise the
+    // pessimistic error estimate, collapse it.
+    let n = indices.len();
+    let leaf_errors = pos.min(n - pos);
+    let as_leaf = pessimistic_error(leaf_errors, n, config.pruning_z) * n as f64;
+    if as_leaf <= subtree_pessimistic(&split, config.pruning_z) + 1e-9 {
+        make_leaf(data, indices)
+    } else {
+        split
+    }
+}
+
+/// Total pessimistic error mass of a subtree: Σ over leaves of
+/// `pe(errors, support) · support`.
+fn subtree_pessimistic(node: &Node, z: f64) -> f64 {
+    match node {
+        Node::Leaf {
+            support,
+            confidence,
+            ..
+        } => {
+            let errors = ((1.0 - confidence) * *support as f64).round() as usize;
+            pessimistic_error(errors, *support, z) * *support as f64
+        }
+        Node::Split { le, gt, .. } => subtree_pessimistic(le, z) + subtree_pessimistic(gt, z),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimRng;
+
+    fn threshold_dataset(n: usize, noise: f64, seed: u64) -> Dataset {
+        // The paper's shape: positive iff rtt_red >= 0.105 AND loss_red >= 0.121.
+        let mut rng = SimRng::seed_from(seed);
+        let mut ds = Dataset::new(vec!["rtt_reduction".into(), "loss_reduction".into()]);
+        for _ in 0..n {
+            let rtt = rng.uniform_range(-0.5, 0.8);
+            let loss = rng.uniform_range(-0.5, 0.9);
+            let mut label = rtt >= 0.105 && loss >= 0.121;
+            if rng.bernoulli(noise) {
+                label = !label;
+            }
+            ds.push(vec![rtt, loss], label);
+        }
+        ds
+    }
+
+    #[test]
+    fn fits_a_single_threshold() {
+        let mut ds = Dataset::new(vec!["x".into()]);
+        for i in 0..200 {
+            let x = i as f64 / 200.0;
+            ds.push(vec![x], x > 0.37);
+        }
+        let tree = Tree::fit(&ds, &TreeConfig::default());
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        assert!(tree.predict(&[0.38]));
+        assert!(!tree.predict(&[0.36]));
+    }
+
+    #[test]
+    fn recovers_the_paper_style_joint_thresholds() {
+        let ds = threshold_dataset(3_000, 0.0, 42);
+        let tree = Tree::fit(&ds, &TreeConfig::default());
+        assert!(tree.accuracy(&ds) > 0.99);
+        let rule = tree.dominant_positive_rule().expect("positive rule exists");
+        // The dominant positive rule must bound both features from below
+        // near the true thresholds.
+        let mut rtt_thresh = None;
+        let mut loss_thresh = None;
+        for c in &rule.conditions {
+            if c.greater {
+                match c.feature {
+                    0 => rtt_thresh = Some(c.threshold),
+                    1 => loss_thresh = Some(c.threshold),
+                    _ => {}
+                }
+            }
+        }
+        let rtt = rtt_thresh.expect("rtt lower bound");
+        let loss = loss_thresh.expect("loss lower bound");
+        assert!((rtt - 0.105).abs() < 0.05, "rtt threshold {rtt}");
+        assert!((loss - 0.121).abs() < 0.05, "loss threshold {loss}");
+    }
+
+    #[test]
+    fn handles_label_noise_with_pruning() {
+        let ds = threshold_dataset(2_000, 0.08, 7);
+        let tree = Tree::fit(&ds, &TreeConfig::default());
+        // Generalization check on a clean dataset.
+        let clean = threshold_dataset(1_000, 0.0, 8);
+        assert!(
+            tree.accuracy(&clean) > 0.9,
+            "noisy training generalized at {}",
+            tree.accuracy(&clean)
+        );
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees() {
+        let ds = threshold_dataset(1_000, 0.15, 3);
+        let unpruned = Tree::fit(
+            &ds,
+            &TreeConfig {
+                pruning_z: 0.0,
+                ..TreeConfig::default()
+            },
+        );
+        let pruned = Tree::fit(
+            &ds,
+            &TreeConfig {
+                pruning_z: 2.0,
+                ..TreeConfig::default()
+            },
+        );
+        assert!(
+            pruned.node_count() <= unpruned.node_count(),
+            "pruned {} vs unpruned {}",
+            pruned.node_count(),
+            unpruned.node_count()
+        );
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let mut ds = Dataset::new(vec!["x".into()]);
+        for i in 0..50 {
+            ds.push(vec![i as f64], true);
+        }
+        let tree = Tree::fit(&ds, &TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert!(tree.predict(&[123.0]));
+    }
+
+    #[test]
+    fn min_leaf_is_respected() {
+        let mut ds = Dataset::new(vec!["x".into()]);
+        for i in 0..10 {
+            ds.push(vec![i as f64], i >= 5);
+        }
+        let tree = Tree::fit(
+            &ds,
+            &TreeConfig {
+                min_leaf: 6,
+                ..TreeConfig::default()
+            },
+        );
+        // 10 rows cannot produce two leaves of ≥6: single leaf.
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn rules_cover_the_feature_space() {
+        let ds = threshold_dataset(500, 0.0, 9);
+        let tree = Tree::fit(&ds, &TreeConfig::default());
+        let rules = tree.rules();
+        assert!(!rules.is_empty());
+        let total_support: usize = rules.iter().map(|r| r.support).sum();
+        assert_eq!(total_support, ds.len(), "rules partition the data");
+        // Every rule is printable.
+        for r in &rules {
+            let s = tree.format_rule(r);
+            assert!(s.contains("=>"));
+        }
+    }
+
+    #[test]
+    fn rule_simplification_keeps_binding_thresholds() {
+        let rule = Rule {
+            conditions: vec![
+                Condition { feature: 0, threshold: -2.9, greater: true },
+                Condition { feature: 0, threshold: -1.2, greater: true },
+                Condition { feature: 1, threshold: 0.03, greater: true },
+                Condition { feature: 1, threshold: 0.32, greater: true },
+                Condition { feature: 0, threshold: 0.9, greater: false },
+                Condition { feature: 0, threshold: 0.5, greater: false },
+            ],
+            label: true,
+            support: 10,
+            confidence: 1.0,
+        };
+        let s = rule.simplified();
+        assert_eq!(s.conditions.len(), 3);
+        assert_eq!(rule.lower_bound(0), Some(-1.2));
+        assert_eq!(rule.lower_bound(1), Some(0.32));
+        assert_eq!(rule.lower_bound(2), None);
+        let le: Vec<&Condition> = s.conditions.iter().filter(|c| !c.greater).collect();
+        assert_eq!(le.len(), 1);
+        assert_eq!(le[0].threshold, 0.5);
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(0, 10), 0.0);
+        assert_eq!(entropy(10, 10), 0.0);
+        assert!((entropy(5, 10) - 1.0).abs() < 1e-12);
+        assert!(entropy(3, 10) < 1.0);
+    }
+
+    #[test]
+    fn pessimistic_error_grows_with_z_and_shrinks_with_n() {
+        let small = pessimistic_error(1, 10, 0.6745);
+        let large = pessimistic_error(10, 100, 0.6745);
+        assert!(small > large, "same rate, more data => lower bound");
+        let strict = pessimistic_error(1, 10, 2.0);
+        assert!(strict > small);
+        assert_eq!(pessimistic_error(0, 0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let ds = threshold_dataset(800, 0.05, 4);
+        let t1 = Tree::fit(&ds, &TreeConfig::default());
+        let t2 = Tree::fit(&ds, &TreeConfig::default());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let ds = Dataset::new(vec!["x".into()]);
+        let _ = Tree::fit(&ds, &TreeConfig::default());
+    }
+}

@@ -1,0 +1,364 @@
+//! Router-level expansion of AS-level routes.
+//!
+//! Interdomain routing picks the AS sequence; *intradomain* routing picks
+//! the routers. We expand with the two standard behaviours:
+//!
+//! * **intra-AS shortest path** by propagation delay (IGP metrics follow
+//!   fiber distance, not transient queueing);
+//! * **hot-potato egress**: when an AS hands traffic to the next AS, it
+//!   exits at the border router closest (by IGP distance) to where the
+//!   traffic entered — the "hot potato" policy the paper names as one of
+//!   the reasons routing bottlenecks exist.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use topology::{AsId, LinkId, Network, RouterId};
+
+use crate::bgp::Bgp;
+use crate::path::RouterPath;
+
+/// Shortest intra-AS route between two routers of the same AS, weighted
+/// by link propagation delay (nanoseconds). Returns `None` if the AS's
+/// internal graph does not connect them.
+///
+/// # Panics
+///
+/// Panics if the routers belong to different ASes.
+#[must_use]
+pub fn intra_as_path(net: &Network, from: RouterId, to: RouterId) -> Option<RouterPath> {
+    let asn = net.router(from).asn();
+    assert_eq!(
+        asn,
+        net.router(to).asn(),
+        "intra_as_path called across AS boundary"
+    );
+    if from == to {
+        return Some(RouterPath::trivial(from));
+    }
+
+    // Dijkstra restricted to links whose both endpoints are in `asn`.
+    let n = net.router_count();
+    let mut dist: Vec<u64> = vec![u64::MAX; n];
+    let mut prev: Vec<Option<(RouterId, LinkId)>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, RouterId)>> = BinaryHeap::new();
+    dist[from.index()] = 0;
+    heap.push(Reverse((0, from)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == to {
+            break;
+        }
+        for &(v, l) in net.neighbors(u) {
+            if net.router(v).asn() != asn {
+                continue;
+            }
+            let nd = d + net.link(l).prop_delay().as_nanos().max(1);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some((u, l));
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    if dist[to.index()] == u64::MAX {
+        return None;
+    }
+    // Reconstruct.
+    let mut routers = vec![to];
+    let mut links = Vec::new();
+    let mut cur = to;
+    while let Some((p, l)) = prev[cur.index()] {
+        routers.push(p);
+        links.push(l);
+        cur = p;
+    }
+    routers.reverse();
+    links.reverse();
+    Some(RouterPath::new(routers, links))
+}
+
+/// IGP distance (propagation nanoseconds) from `from` to every router of
+/// the same AS; `u64::MAX` marks unreachable routers.
+fn igp_distances(net: &Network, from: RouterId) -> Vec<u64> {
+    let asn = net.router(from).asn();
+    let n = net.router_count();
+    let mut dist: Vec<u64> = vec![u64::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(u64, RouterId)>> = BinaryHeap::new();
+    dist[from.index()] = 0;
+    heap.push(Reverse((0, from)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &(v, l) in net.neighbors(u) {
+            if net.router(v).asn() != asn {
+                continue;
+            }
+            let nd = d + net.link(l).prop_delay().as_nanos().max(1);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Computes the default (BGP-selected) router-level path from `src` to
+/// `dst`, or `None` if policy routing cannot connect them.
+///
+/// # Example
+///
+/// ```
+/// use topology::gen::{generate, InternetConfig};
+/// use routing::{route, Bgp};
+///
+/// let mut net = generate(&InternetConfig::small(), 3);
+/// let stubs: Vec<_> = net
+///     .ases()
+///     .filter(|a| a.tier() == topology::AsTier::Stub)
+///     .map(|a| a.id())
+///     .collect();
+/// let a = net.attach_host("a", stubs[0], 100_000_000);
+/// let b = net.attach_host("b", stubs[1], 100_000_000);
+/// let path = route(&net, &mut Bgp::new(), a, b).unwrap();
+/// assert!(path.is_consistent(&net));
+/// ```
+#[must_use]
+pub fn route(net: &Network, bgp: &mut Bgp, src: RouterId, dst: RouterId) -> Option<RouterPath> {
+    let src_as = net.router(src).asn();
+    let dst_as = net.router(dst).asn();
+    let as_path = bgp.as_path(net, src_as, dst_as)?;
+    expand_as_path(net, &as_path, src, dst)
+}
+
+/// Expands an explicit AS path into a router-level path with hot-potato
+/// egress selection. Returns `None` if some AS pair on the path has no
+/// connecting link or an AS's internal graph is disconnected.
+#[must_use]
+pub fn expand_as_path(
+    net: &Network,
+    as_path: &[AsId],
+    src: RouterId,
+    dst: RouterId,
+) -> Option<RouterPath> {
+    let mut path = RouterPath::trivial(src);
+    let mut ingress = src;
+    for (i, window) in as_path.windows(2).enumerate() {
+        let (cur_as, next_as) = (window[0], window[1]);
+        debug_assert_eq!(net.router(ingress).asn(), cur_as, "expansion desync");
+        // Hot potato: among the links to next_as, pick the one whose
+        // near-side border router is IGP-closest to the ingress.
+        let candidates = net.links_between(cur_as, next_as);
+        if candidates.is_empty() {
+            return None;
+        }
+        let dist = igp_distances(net, ingress);
+        let mut best: Option<(u64, LinkId, RouterId, RouterId)> = None;
+        for &l in candidates {
+            let link = net.link(l);
+            let (near, far) = if net.router(link.a()).asn() == cur_as {
+                (link.a(), link.b())
+            } else {
+                (link.b(), link.a())
+            };
+            let d = dist[near.index()];
+            if d == u64::MAX {
+                continue;
+            }
+            let cand = (d, l, near, far);
+            if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                best = Some(cand);
+            }
+        }
+        let (_, l, near, far) = best?;
+        let to_border = intra_as_path(net, ingress, near)?;
+        path = path.join(to_border);
+        path = path.join(RouterPath::new(vec![near, far], vec![l]));
+        ingress = far;
+        let _ = i;
+    }
+    // Final leg inside the destination AS.
+    let tail = intra_as_path(net, ingress, dst)?;
+    Some(path.join(tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::is_valley_free;
+    use topology::gen::{generate, InternetConfig};
+    use topology::{AsTier, RouterKind};
+
+    fn net_with_hosts() -> (Network, Vec<RouterId>) {
+        let mut net = generate(&InternetConfig::small(), 21);
+        let stubs: Vec<AsId> = net
+            .ases()
+            .filter(|a| a.tier() == AsTier::Stub)
+            .map(|a| a.id())
+            .collect();
+        let hosts: Vec<RouterId> = stubs
+            .iter()
+            .take(8)
+            .enumerate()
+            .map(|(i, &s)| net.attach_host(&format!("h{i}"), s, 100_000_000))
+            .collect();
+        (net, hosts)
+    }
+
+    #[test]
+    fn routes_exist_between_all_test_hosts() {
+        let (net, hosts) = net_with_hosts();
+        let mut bgp = Bgp::new();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                let p = route(&net, &mut bgp, a, b).expect("hosts must be connected");
+                assert_eq!(p.source(), a);
+                assert_eq!(p.destination(), b);
+                assert!(p.is_consistent(&net));
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_paths_follow_the_as_path() {
+        let (net, hosts) = net_with_hosts();
+        let mut bgp = Bgp::new();
+        let p = route(&net, &mut bgp, hosts[0], hosts[1]).unwrap();
+        let expect = bgp
+            .as_path(
+                &net,
+                net.router(hosts[0]).asn(),
+                net.router(hosts[1]).asn(),
+            )
+            .unwrap();
+        assert_eq!(p.as_path(&net), expect);
+        assert!(is_valley_free(&net, &p.as_path(&net)));
+    }
+
+    #[test]
+    fn paths_have_no_router_loops() {
+        let (net, hosts) = net_with_hosts();
+        let mut bgp = Bgp::new();
+        for &a in &hosts[..4] {
+            for &b in &hosts[..4] {
+                if a == b {
+                    continue;
+                }
+                let p = route(&net, &mut bgp, a, b).unwrap();
+                let mut routers = p.routers().to_vec();
+                routers.sort();
+                let n = routers.len();
+                routers.dedup();
+                assert_eq!(routers.len(), n, "router repeated on {a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_as_path_within_single_as() {
+        let (net, _) = net_with_hosts();
+        // Pick a tier-1 AS with several routers.
+        let t1 = net.ases().find(|a| a.tier() == AsTier::Tier1).unwrap();
+        let routers = t1.routers();
+        let p = intra_as_path(&net, routers[0], routers[routers.len() - 1]).unwrap();
+        assert!(p.is_consistent(&net));
+        // All hops stay inside the AS.
+        for &r in p.routers() {
+            assert_eq!(net.router(r).asn(), t1.id());
+        }
+    }
+
+    #[test]
+    fn intra_as_trivial_when_same_router() {
+        let (net, hosts) = net_with_hosts();
+        let p = intra_as_path(&net, hosts[0], hosts[0]).unwrap();
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "across AS boundary")]
+    fn intra_as_rejects_cross_as_query() {
+        let (net, hosts) = net_with_hosts();
+        let _ = intra_as_path(&net, hosts[0], hosts[1]);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (net, hosts) = net_with_hosts();
+        let mut b1 = Bgp::new();
+        let mut b2 = Bgp::new();
+        for &a in &hosts[..3] {
+            for &b in &hosts[..3] {
+                if a != b {
+                    assert_eq!(route(&net, &mut b1, a, b), route(&net, &mut b2, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_potato_exits_at_nearest_border() {
+        // Two links between AS a (routers in Chicago + Tokyo) and AS b;
+        // traffic entering at Chicago must leave via the Chicago-side link.
+        use simcore::SimDuration;
+        use topology::congestion::CongestionProfile;
+        use topology::geo::city_by_name;
+        use topology::LinkKind;
+
+        let mut net = Network::new();
+        let a = net.add_as("a", AsTier::Transit, false);
+        let b = net.add_as("b", AsTier::Stub, false);
+        net.add_relationship(a, b, topology::Relationship::ProviderOf);
+        let chi = city_by_name("Chicago").unwrap();
+        let tok = city_by_name("Tokyo").unwrap();
+        let a_chi = net.add_router(a, chi, RouterKind::Backbone);
+        let a_tok = net.add_router(a, tok, RouterKind::Backbone);
+        let b_chi = net.add_router(b, chi, RouterKind::Backbone);
+        let b_tok = net.add_router(b, tok, RouterKind::Backbone);
+        net.add_link(
+            a_chi,
+            a_tok,
+            LinkKind::IntraAs,
+            1_000_000_000,
+            SimDuration::from_millis(50),
+            CongestionProfile::clean(),
+        );
+        net.add_link(
+            b_chi,
+            b_tok,
+            LinkKind::IntraAs,
+            1_000_000_000,
+            SimDuration::from_millis(50),
+            CongestionProfile::clean(),
+        );
+        let l_chi = net.add_link(
+            a_chi,
+            b_chi,
+            LinkKind::Transit,
+            1_000_000_000,
+            SimDuration::from_millis(1),
+            CongestionProfile::clean(),
+        );
+        let _l_tok = net.add_link(
+            a_tok,
+            b_tok,
+            LinkKind::Transit,
+            1_000_000_000,
+            SimDuration::from_millis(1),
+            CongestionProfile::clean(),
+        );
+        // From a_chi to b_tok: hot potato exits via the Chicago link even
+        // though the Tokyo link would put the long haul inside AS a.
+        let p = expand_as_path(&net, &[a, b], a_chi, b_tok).unwrap();
+        assert!(p.links().contains(&l_chi));
+        assert_eq!(p.routers()[0], a_chi);
+        assert_eq!(p.routers()[1], b_chi);
+    }
+}

@@ -1,0 +1,288 @@
+//! Router-level paths and their aggregate metrics.
+
+use simcore::SimDuration;
+use topology::{AsId, LinkId, Network, RouterId};
+
+/// A concrete router-level path: an alternating sequence of routers and
+/// the links between them.
+///
+/// Metrics are evaluated against the *current* congestion state of the
+/// network, so the same `RouterPath` yields different RTT/loss values as
+/// epochs advance — exactly how a fixed BGP path behaves on the real
+/// Internet while congestion fluctuates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterPath {
+    routers: Vec<RouterId>,
+    links: Vec<LinkId>,
+}
+
+impl RouterPath {
+    /// Builds a path from its routers and connecting links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers.len() != links.len() + 1` or the path is empty.
+    #[must_use]
+    pub fn new(routers: Vec<RouterId>, links: Vec<LinkId>) -> Self {
+        assert!(!routers.is_empty(), "a path has at least one router");
+        assert_eq!(
+            routers.len(),
+            links.len() + 1,
+            "router/link counts inconsistent"
+        );
+        RouterPath { routers, links }
+    }
+
+    /// A single-router path (source == destination).
+    #[must_use]
+    pub fn trivial(router: RouterId) -> Self {
+        RouterPath {
+            routers: vec![router],
+            links: Vec::new(),
+        }
+    }
+
+    /// First router.
+    #[must_use]
+    pub fn source(&self) -> RouterId {
+        self.routers[0]
+    }
+
+    /// Last router.
+    #[must_use]
+    pub fn destination(&self) -> RouterId {
+        *self.routers.last().unwrap()
+    }
+
+    /// All routers, in order.
+    #[must_use]
+    pub fn routers(&self) -> &[RouterId] {
+        &self.routers
+    }
+
+    /// All links, in order.
+    #[must_use]
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of router-level hops (links).
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Concatenates this path with another that starts where this ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` does not start at this path's destination.
+    #[must_use]
+    pub fn join(mut self, other: RouterPath) -> RouterPath {
+        assert_eq!(
+            self.destination(),
+            other.source(),
+            "joined paths must share an endpoint"
+        );
+        self.routers.extend_from_slice(&other.routers[1..]);
+        self.links.extend_from_slice(&other.links);
+        RouterPath {
+            routers: self.routers,
+            links: self.links,
+        }
+    }
+
+    /// The AS-level path (consecutive duplicates collapsed).
+    #[must_use]
+    pub fn as_path(&self, net: &Network) -> Vec<AsId> {
+        let mut out: Vec<AsId> = Vec::new();
+        for &r in &self.routers {
+            let asn = net.router(r).asn();
+            if out.last() != Some(&asn) {
+                out.push(asn);
+            }
+        }
+        out
+    }
+
+    /// One-way delay: sum of link propagation + current queueing delays.
+    #[must_use]
+    pub fn one_way_delay(&self, net: &Network) -> SimDuration {
+        self.links.iter().map(|&l| net.link(l).latency()).sum()
+    }
+
+    /// Round-trip time under the symmetric-link model.
+    #[must_use]
+    pub fn rtt(&self, net: &Network) -> SimDuration {
+        self.one_way_delay(net) * 2
+    }
+
+    /// End-to-end packet loss probability: `1 − ∏(1 − p_link)`.
+    #[must_use]
+    pub fn loss_prob(&self, net: &Network) -> f64 {
+        let survive: f64 = self
+            .links
+            .iter()
+            .map(|&l| 1.0 - net.link(l).loss_prob())
+            .product();
+        (1.0 - survive).clamp(0.0, 1.0)
+    }
+
+    /// Bottleneck capacity in bits per second (`u64::MAX` for a trivial
+    /// path).
+    #[must_use]
+    pub fn bottleneck_bps(&self, net: &Network) -> u64 {
+        self.links
+            .iter()
+            .map(|&l| net.link(l).capacity_bps())
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Checks structural integrity against the network: every link must
+    /// actually connect its adjacent routers. Used by tests.
+    #[must_use]
+    pub fn is_consistent(&self, net: &Network) -> bool {
+        self.links.iter().enumerate().all(|(i, &l)| {
+            let link = net.link(l);
+            let (a, b) = (self.routers[i], self.routers[i + 1]);
+            (link.a() == a && link.b() == b) || (link.a() == b && link.b() == a)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+    use topology::congestion::CongestionProfile;
+    use topology::geo::city_by_name;
+    use topology::{AsTier, LinkKind, RouterKind};
+
+    /// Linear chain: h1 - r1 - r2 - h2 across three ASes.
+    fn chain() -> (Network, RouterPath) {
+        let mut net = Network::new();
+        let a = net.add_as("a", AsTier::Stub, false);
+        let b = net.add_as("b", AsTier::Transit, false);
+        let c = net.add_as("c", AsTier::Stub, false);
+        net.add_relationship(b, a, topology::Relationship::ProviderOf);
+        net.add_relationship(b, c, topology::Relationship::ProviderOf);
+        let city = city_by_name("Chicago").unwrap();
+        let r1 = net.add_router(a, city, RouterKind::Backbone);
+        let r2 = net.add_router(b, city, RouterKind::Backbone);
+        let r3 = net.add_router(b, city_by_name("Dallas").unwrap(), RouterKind::Backbone);
+        let r4 = net.add_router(c, city_by_name("Dallas").unwrap(), RouterKind::Backbone);
+        let mut congested = CongestionProfile::congested(0.5, 0.02);
+        congested.base_loss = 0.0;
+        let l1 = net.add_link(
+            r1,
+            r2,
+            LinkKind::Transit,
+            1_000_000_000,
+            SimDuration::from_millis(2),
+            CongestionProfile::clean(),
+        );
+        let l2 = net.add_link(
+            r2,
+            r3,
+            LinkKind::IntraAs,
+            10_000_000_000,
+            SimDuration::from_millis(10),
+            congested,
+        );
+        let l3 = net.add_link(
+            r3,
+            r4,
+            LinkKind::Transit,
+            2_000_000_000,
+            SimDuration::from_millis(3),
+            CongestionProfile::clean(),
+        );
+        let path = RouterPath::new(vec![r1, r2, r3, r4], vec![l1, l2, l3]);
+        (net, path)
+    }
+
+    #[test]
+    fn metrics_aggregate_over_links() {
+        let (mut net, path) = chain();
+        // Zero out congestion for a deterministic check.
+        for i in 0..net.link_count() {
+            net.link_mut(topology::LinkId::from_raw(i as u32)).set_level(0.0);
+        }
+        assert_eq!(path.one_way_delay(&net), SimDuration::from_millis(15));
+        assert_eq!(path.rtt(&net), SimDuration::from_millis(30));
+        assert_eq!(path.bottleneck_bps(&net), 1_000_000_000);
+        assert_eq!(path.hop_count(), 3);
+        assert!(path.is_consistent(&net));
+    }
+
+    #[test]
+    fn loss_composes_multiplicatively() {
+        let (mut net, path) = chain();
+        for i in 0..net.link_count() {
+            net.link_mut(topology::LinkId::from_raw(i as u32)).set_level(1.0);
+        }
+        let per_link: Vec<f64> = path.links().iter().map(|&l| net.link(l).loss_prob()).collect();
+        let expect = 1.0 - per_link.iter().map(|p| 1.0 - p).product::<f64>();
+        assert!((path.loss_prob(&net) - expect).abs() < 1e-12);
+        assert!(path.loss_prob(&net) > 0.0);
+    }
+
+    #[test]
+    fn rtt_rises_with_congestion() {
+        let (mut net, path) = chain();
+        for i in 0..net.link_count() {
+            net.link_mut(topology::LinkId::from_raw(i as u32)).set_level(0.0);
+        }
+        let idle = path.rtt(&net);
+        for i in 0..net.link_count() {
+            net.link_mut(topology::LinkId::from_raw(i as u32)).set_level(1.0);
+        }
+        assert!(path.rtt(&net) > idle);
+    }
+
+    #[test]
+    fn as_path_collapses_consecutive_routers() {
+        let (net, path) = chain();
+        let asp = path.as_path(&net);
+        assert_eq!(asp.len(), 3);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let (net, path) = chain();
+        let routers = path.routers().to_vec();
+        let links = path.links().to_vec();
+        let first = RouterPath::new(routers[..2].to_vec(), links[..1].to_vec());
+        let second = RouterPath::new(routers[1..].to_vec(), links[1..].to_vec());
+        let joined = first.join(second);
+        assert_eq!(joined, path);
+        assert!(joined.is_consistent(&net));
+    }
+
+    #[test]
+    #[should_panic(expected = "share an endpoint")]
+    fn join_rejects_disjoint_paths() {
+        let (_, path) = chain();
+        let routers = path.routers().to_vec();
+        let a = RouterPath::trivial(routers[0]);
+        let b = RouterPath::trivial(routers[2]);
+        let _ = a.join(b);
+    }
+
+    #[test]
+    fn trivial_path_metrics() {
+        let (net, path) = chain();
+        let t = RouterPath::trivial(path.source());
+        assert_eq!(t.rtt(&net), SimDuration::ZERO);
+        assert_eq!(t.loss_prob(&net), 0.0);
+        assert_eq!(t.bottleneck_bps(&net), u64::MAX);
+        assert_eq!(t.hop_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts inconsistent")]
+    fn mismatched_lengths_panic() {
+        let _ = RouterPath::new(vec![RouterId::from_raw(0)], vec![topology::LinkId::from_raw(0)]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Traceroute over the simulated network.
+//!
+//! The paper collects traceroute output from its controlled senders and
+//! uses it for the path-diversity analysis (§V-A). This module produces
+//! the same per-hop view from a [`RouterPath`].
+
+use simcore::SimDuration;
+use topology::{Network, RouterId};
+
+use crate::path::RouterPath;
+
+/// One traceroute hop: the responding router and the round-trip time to
+/// it (cumulative one-way latency, doubled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// The responding router.
+    pub router: RouterId,
+    /// RTT to this hop.
+    pub rtt: SimDuration,
+}
+
+/// Runs a traceroute along `path`, reporting every router after the
+/// source with the RTT a probe would measure.
+///
+/// # Example
+///
+/// ```
+/// use topology::gen::{generate, InternetConfig};
+/// use routing::{route, traceroute, Bgp};
+///
+/// let mut net = generate(&InternetConfig::small(), 3);
+/// let stubs: Vec<_> = net
+///     .ases()
+///     .filter(|a| a.tier() == topology::AsTier::Stub)
+///     .map(|a| a.id())
+///     .collect();
+/// let a = net.attach_host("a", stubs[0], 100_000_000);
+/// let b = net.attach_host("b", stubs[1], 100_000_000);
+/// let path = route(&net, &mut Bgp::new(), a, b).unwrap();
+/// let hops = traceroute(&net, &path);
+/// assert_eq!(hops.len(), path.hop_count());
+/// assert_eq!(hops.last().unwrap().router, b);
+/// ```
+#[must_use]
+pub fn traceroute(net: &Network, path: &RouterPath) -> Vec<Hop> {
+    let mut hops = Vec::with_capacity(path.hop_count());
+    let mut cumulative = SimDuration::ZERO;
+    for (i, &link) in path.links().iter().enumerate() {
+        cumulative += net.link(link).latency();
+        hops.push(Hop {
+            router: path.routers()[i + 1],
+            rtt: cumulative * 2,
+        });
+    }
+    hops
+}
+
+/// Renders a traceroute in the familiar textual form, one hop per line.
+#[must_use]
+pub fn format_traceroute(net: &Network, hops: &[Hop]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, hop) in hops.iter().enumerate() {
+        let router = net.router(hop.router);
+        let _ = writeln!(
+            out,
+            "{:>3}  {} ({})  {:.3} ms",
+            i + 1,
+            router.name(),
+            router.id(),
+            hop.rtt.as_nanos() as f64 / 1e6
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::Bgp;
+    use crate::expand::route;
+    use topology::gen::{generate, InternetConfig};
+    use topology::AsTier;
+
+    fn sample() -> (Network, RouterPath) {
+        let mut net = generate(&InternetConfig::small(), 33);
+        let stubs: Vec<_> = net
+            .ases()
+            .filter(|a| a.tier() == AsTier::Stub)
+            .map(|a| a.id())
+            .collect();
+        let a = net.attach_host("a", stubs[0], 100_000_000);
+        let b = net.attach_host("b", stubs[3], 100_000_000);
+        let p = route(&net, &mut Bgp::new(), a, b).unwrap();
+        (net, p)
+    }
+
+    #[test]
+    fn hop_rtts_are_monotonic() {
+        let (net, path) = sample();
+        let hops = traceroute(&net, &path);
+        for w in hops.windows(2) {
+            assert!(w[0].rtt <= w[1].rtt, "RTT decreased along the path");
+        }
+    }
+
+    #[test]
+    fn last_hop_rtt_equals_path_rtt() {
+        let (net, path) = sample();
+        let hops = traceroute(&net, &path);
+        assert_eq!(hops.last().unwrap().rtt, path.rtt(&net));
+    }
+
+    #[test]
+    fn formatting_includes_every_hop() {
+        let (net, path) = sample();
+        let hops = traceroute(&net, &path);
+        let text = format_traceroute(&net, &hops);
+        assert_eq!(text.lines().count(), hops.len());
+        assert!(text.contains("ms"));
+    }
+
+    #[test]
+    fn empty_path_produces_no_hops() {
+        let (net, path) = sample();
+        let trivial = RouterPath::trivial(path.source());
+        assert!(traceroute(&net, &trivial).is_empty());
+    }
+}

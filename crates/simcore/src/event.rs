@@ -1,0 +1,241 @@
+//! Time-ordered event queue with stable tie-breaking and lazy cancellation.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::SimTime;
+
+/// A handle identifying a scheduled event, usable to cancel it.
+///
+/// Handles are unique per [`EventQueue`] for the lifetime of the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A discrete-event queue: events are delivered in nondecreasing time
+/// order, and events scheduled for the same instant are delivered in the
+/// order they were scheduled (FIFO).
+///
+/// Cancellation is *lazy*: [`EventQueue::cancel`] marks the handle and the
+/// entry is discarded when it reaches the head of the heap, giving O(log n)
+/// amortized cost for all operations.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let h = q.schedule(SimTime::from_nanos(10), "drop me");
+/// q.schedule(SimTime::from_nanos(20), "keep me");
+/// q.cancel(h);
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("keep me"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Seqs scheduled and neither fired nor cancelled yet.
+    pending: HashSet<u64>,
+    /// Seqs cancelled but not yet discarded from the heap.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    /// Time of the last popped event; pops are monotone.
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event ([`SimTime::ZERO`]
+    /// before the first pop). Schedules in the past are rejected against
+    /// this clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` for delivery at `time` and returns a handle
+    /// that can cancel it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`EventQueue::now`] — scheduling
+    /// into the past is always a model bug.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        assert!(
+            time >= self.now,
+            "scheduled event at {time} before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending, `false` if it had already fired or been
+    /// cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The time of the earliest pending event, if any, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of live (scheduled, not fired, not cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_nanos(1), "a");
+        let h2 = q.schedule(SimTime::from_nanos(2), "b");
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel reports false");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(2), "b")));
+        assert!(!q.cancel(h2), "cancel after fire reports false");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_nanos(1), "x");
+        q.schedule(SimTime::from_nanos(9), "y");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(5), ());
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-link congestion: loss and queueing delay with AR(1) dynamics.
+//!
+//! The paper's longitudinal study (§IV) finds that overlay gains persist
+//! over a week but that individual links see *transient events* ("we
+//! speculate that an intermediate ISP ... was experiencing transient
+//! events"). We model per-link congestion as a bounded AR(1) process over
+//! measurement epochs, plus occasional heavy-tailed flash events.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimRng};
+
+/// Static congestion characteristics of a link.
+///
+/// The instantaneous *level* (in `[0, 1]`, held by the link) maps to a
+/// packet-loss probability and a queueing delay through this profile:
+///
+/// * `loss = base_loss + level² · (peak_loss − base_loss)` — quadratic, so
+///   moderately loaded links lose little and saturated links lose a lot;
+/// * `queue_delay = level · queue_at_peak`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestionProfile {
+    /// Loss probability when completely idle (transmission errors etc.).
+    pub base_loss: f64,
+    /// Loss probability at level 1.0 (fully congested).
+    pub peak_loss: f64,
+    /// Queueing delay added at level 1.0.
+    pub queue_at_peak: SimDuration,
+    /// Evolution parameters across epochs.
+    pub dynamics: CongestionDynamics,
+}
+
+impl CongestionProfile {
+    /// A clean, well-provisioned link: essentially lossless, negligible
+    /// queueing (cloud backbones, lightly used access links).
+    #[must_use]
+    pub fn clean() -> Self {
+        CongestionProfile {
+            base_loss: 1e-6,
+            peak_loss: 1e-4,
+            queue_at_peak: SimDuration::from_millis(2),
+            dynamics: CongestionDynamics {
+                mean_level: 0.05,
+                persistence: 0.5,
+                volatility: 0.02,
+                flash_prob: 0.0,
+                flash_shape: 2.0,
+            },
+        }
+    }
+
+    /// A congestion-prone core link (inter-AS transit/peering): the kind
+    /// of routing bottleneck Akella et al. and Kang & Gligor locate in and
+    /// around Tier-1 ASes.
+    #[must_use]
+    pub fn congested(mean_level: f64, peak_loss: f64) -> Self {
+        CongestionProfile {
+            base_loss: 1e-5,
+            peak_loss,
+            queue_at_peak: SimDuration::from_millis(60),
+            dynamics: CongestionDynamics {
+                mean_level,
+                persistence: 0.8,
+                volatility: 0.13,
+                flash_prob: 0.04,
+                flash_shape: 1.5,
+            },
+        }
+    }
+
+    /// Loss probability at a given congestion level.
+    #[must_use]
+    pub fn loss_at(&self, level: f64) -> f64 {
+        let level = level.clamp(0.0, 1.0);
+        (self.base_loss + level * level * (self.peak_loss - self.base_loss)).clamp(0.0, 1.0)
+    }
+
+    /// Queueing delay at a given congestion level.
+    #[must_use]
+    pub fn queue_delay_at(&self, level: f64) -> SimDuration {
+        self.queue_at_peak.mul_f64(level.clamp(0.0, 1.0))
+    }
+}
+
+/// AR(1) evolution of a link's congestion level across epochs.
+///
+/// `level' = mean + persistence · (level − mean) + volatility · ε`, clamped
+/// to `[0, 1]`, with probability `flash_prob` of a Pareto-tailed flash
+/// event pushing the level toward saturation for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestionDynamics {
+    /// Long-run mean level.
+    pub mean_level: f64,
+    /// AR(1) persistence in `[0, 1)`; higher = slower-moving congestion.
+    pub persistence: f64,
+    /// Standard deviation of the per-epoch innovation.
+    pub volatility: f64,
+    /// Per-epoch probability of a transient flash-congestion event.
+    pub flash_prob: f64,
+    /// Pareto shape of flash magnitude (smaller = heavier tail).
+    pub flash_shape: f64,
+}
+
+impl CongestionDynamics {
+    /// Advances `level` by one epoch and returns the new level.
+    #[must_use]
+    pub fn step(&self, level: f64, rng: &mut SimRng) -> f64 {
+        let mut next = self.mean_level
+            + self.persistence * (level - self.mean_level)
+            + self.volatility * rng.standard_normal();
+        if self.flash_prob > 0.0 && rng.bernoulli(self.flash_prob) {
+            // Flash events push the link toward saturation; magnitude is
+            // heavy-tailed so most flashes are mild and a few are severe.
+            let burst = (rng.pareto(0.3, self.flash_shape) - 0.3).min(1.0);
+            next += burst;
+        }
+        next.clamp(0.0, 1.0)
+    }
+
+    /// A stationary draw from (an approximation of) the process's
+    /// long-run distribution, used to initialize links.
+    #[must_use]
+    pub fn stationary_draw(&self, rng: &mut SimRng) -> f64 {
+        let denom = (1.0 - self.persistence * self.persistence).sqrt().max(1e-6);
+        (self.mean_level + self.volatility / denom * rng.standard_normal()).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_grows_quadratically_with_level() {
+        let p = CongestionProfile::congested(0.4, 0.01);
+        assert!(p.loss_at(0.0) <= 2e-5);
+        let mid = p.loss_at(0.5);
+        let full = p.loss_at(1.0);
+        assert!(mid < full);
+        assert!((full - 0.01).abs() < 1e-9);
+        // Quadratic: level 0.5 gives ~1/4 of peak excess.
+        assert!((mid - p.base_loss) / (full - p.base_loss) < 0.3);
+    }
+
+    #[test]
+    fn loss_and_queue_clamp_level() {
+        let p = CongestionProfile::congested(0.4, 0.02);
+        assert_eq!(p.loss_at(2.0), p.loss_at(1.0));
+        assert_eq!(p.queue_delay_at(-1.0), SimDuration::ZERO);
+        assert_eq!(p.queue_delay_at(1.5), p.queue_at_peak);
+    }
+
+    #[test]
+    fn ar1_converges_to_mean() {
+        let dyn_ = CongestionDynamics {
+            mean_level: 0.4,
+            persistence: 0.8,
+            volatility: 0.05,
+            flash_prob: 0.0,
+            flash_shape: 1.5,
+        };
+        let mut rng = SimRng::seed_from(77);
+        let mut level = 0.0;
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            level = dyn_.step(level, &mut rng);
+            sum += level;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.4).abs() < 0.02, "long-run mean was {mean}");
+    }
+
+    #[test]
+    fn levels_stay_in_unit_interval() {
+        let dyn_ = CongestionDynamics {
+            mean_level: 0.9,
+            persistence: 0.9,
+            volatility: 0.3,
+            flash_prob: 0.2,
+            flash_shape: 1.1,
+        };
+        let mut rng = SimRng::seed_from(3);
+        let mut level = 0.5;
+        for _ in 0..5_000 {
+            level = dyn_.step(level, &mut rng);
+            assert!((0.0..=1.0).contains(&level));
+        }
+    }
+
+    #[test]
+    fn flashes_produce_occasional_saturation() {
+        let dyn_ = CongestionDynamics {
+            mean_level: 0.1,
+            persistence: 0.5,
+            volatility: 0.02,
+            flash_prob: 0.05,
+            flash_shape: 1.2,
+        };
+        let mut rng = SimRng::seed_from(9);
+        let mut level = 0.1;
+        let mut peaks = 0;
+        for _ in 0..10_000 {
+            level = dyn_.step(level, &mut rng);
+            if level > 0.6 {
+                peaks += 1;
+            }
+        }
+        assert!(peaks > 10, "expected transient events, saw {peaks}");
+    }
+
+    #[test]
+    fn stationary_draw_is_bounded_and_centered() {
+        let p = CongestionProfile::congested(0.35, 0.01);
+        let mut rng = SimRng::seed_from(4);
+        let draws: Vec<f64> = (0..5_000).map(|_| p.dynamics.stationary_draw(&mut rng)).collect();
+        assert!(draws.iter().all(|d| (0.0..=1.0).contains(d)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.35).abs() < 0.03, "stationary mean {mean}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Geography: city catalog, great-circle distances, propagation delay.
+//!
+//! The paper's measurement spans five continents (PlanetLab clients in
+//! Europe, the Americas, Asia and Australia; Softlayer data centers in
+//! Washington DC, San Jose, Dallas, Amsterdam and Tokyo). We reuse the
+//! same real-world geography so RTT distributions — and therefore the RTT
+//! bins of Fig. 9 — have realistic shapes.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Mean earth radius in kilometers.
+const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// Speed of light in fiber, km/s (about 2/3 of c in vacuum).
+const FIBER_KM_PER_SEC: f64 = 200_000.0;
+
+/// Fiber paths are not great circles; measured paths are typically
+/// 1.2–1.6× longer than geodesic distance. We use a fixed stretch so the
+/// model stays deterministic.
+const PATH_STRETCH: f64 = 1.4;
+
+/// A point on the earth's surface.
+///
+/// # Example
+///
+/// ```
+/// use topology::geo::GeoPoint;
+/// let nyc = GeoPoint::new(40.71, -74.01);
+/// let lon = GeoPoint::new(51.51, -0.13);
+/// let d = nyc.distance_km(lon);
+/// assert!((5_500.0..5_700.0).contains(&d), "NYC-London ≈ 5,570 km, got {d}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude/longitude in degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if latitude is outside `[-90, 90]` or longitude outside
+    /// `[-180, 180]`.
+    #[must_use]
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
+        assert!((-180.0..=180.0).contains(&lon), "longitude {lon} out of range");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in kilometers.
+    #[must_use]
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+
+    /// One-way propagation delay of a fiber path to `other`, including the
+    /// typical stretch of real fiber routes over the geodesic.
+    #[must_use]
+    pub fn propagation_delay(self, other: GeoPoint) -> SimDuration {
+        let km = self.distance_km(other) * PATH_STRETCH;
+        // Never model two distinct sites as closer than 100 us one-way:
+        // there is always some metro/last-mile distance.
+        SimDuration::from_secs_f64((km / FIBER_KM_PER_SEC).max(100e-6))
+    }
+}
+
+/// Continents, used to stratify client populations like the paper
+/// ("48 in Europe, 45 in America, 14 in Asia, and 3 in Australia").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    /// North America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Australia / Oceania.
+    Australia,
+}
+
+/// A named city with coordinates; the unit of geographic placement for
+/// routers, data centers and end hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct City {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Location.
+    pub location: GeoPoint,
+    /// Continent the city is on.
+    pub continent: Continent,
+}
+
+impl City {
+    const fn new(name: &'static str, lat: f64, lon: f64, continent: Continent) -> City {
+        City {
+            name,
+            location: GeoPoint { lat, lon },
+            continent,
+        }
+    }
+}
+
+/// The world-city catalog used by the topology generator. Includes every
+/// Softlayer data-center city named in the paper (Washington DC, San Jose,
+/// Dallas, Amsterdam, Tokyo) plus major PoP/IXP cities on five continents.
+pub const WORLD_CITIES: &[City] = &[
+    // North America
+    City::new("New York", 40.71, -74.01, Continent::NorthAmerica),
+    City::new("Washington DC", 38.91, -77.04, Continent::NorthAmerica),
+    City::new("Chicago", 41.88, -87.63, Continent::NorthAmerica),
+    City::new("Dallas", 32.78, -96.80, Continent::NorthAmerica),
+    City::new("Houston", 29.76, -95.37, Continent::NorthAmerica),
+    City::new("San Jose", 37.34, -121.89, Continent::NorthAmerica),
+    City::new("Seattle", 47.61, -122.33, Continent::NorthAmerica),
+    City::new("Los Angeles", 34.05, -118.24, Continent::NorthAmerica),
+    City::new("Portland", 45.52, -122.68, Continent::NorthAmerica),
+    City::new("Denver", 39.74, -104.99, Continent::NorthAmerica),
+    City::new("Atlanta", 33.75, -84.39, Continent::NorthAmerica),
+    City::new("Miami", 25.76, -80.19, Continent::NorthAmerica),
+    City::new("Toronto", 43.65, -79.38, Continent::NorthAmerica),
+    City::new("Montreal", 45.50, -73.57, Continent::NorthAmerica),
+    // South America
+    City::new("Sao Paulo", -23.55, -46.63, Continent::SouthAmerica),
+    City::new("Buenos Aires", -34.60, -58.38, Continent::SouthAmerica),
+    City::new("Santiago", -33.45, -70.67, Continent::SouthAmerica),
+    // Europe
+    City::new("London", 51.51, -0.13, Continent::Europe),
+    City::new("Amsterdam", 52.37, 4.90, Continent::Europe),
+    City::new("Frankfurt", 50.11, 8.68, Continent::Europe),
+    City::new("Paris", 48.86, 2.35, Continent::Europe),
+    City::new("Madrid", 40.42, -3.70, Continent::Europe),
+    City::new("Milan", 45.46, 9.19, Continent::Europe),
+    City::new("Zurich", 47.38, 8.54, Continent::Europe),
+    City::new("Geneva", 46.20, 6.14, Continent::Europe),
+    City::new("Stockholm", 59.33, 18.07, Continent::Europe),
+    City::new("Warsaw", 52.23, 21.01, Continent::Europe),
+    City::new("Vienna", 48.21, 16.37, Continent::Europe),
+    City::new("Dublin", 53.35, -6.26, Continent::Europe),
+    // Asia
+    City::new("Tokyo", 35.68, 139.69, Continent::Asia),
+    City::new("Osaka", 34.69, 135.50, Continent::Asia),
+    City::new("Seoul", 37.57, 126.98, Continent::Asia),
+    City::new("Beijing", 39.90, 116.41, Continent::Asia),
+    City::new("Shanghai", 31.23, 121.47, Continent::Asia),
+    City::new("Hong Kong", 22.32, 114.17, Continent::Asia),
+    City::new("Singapore", 1.35, 103.82, Continent::Asia),
+    City::new("Taipei", 25.03, 121.57, Continent::Asia),
+    City::new("Mumbai", 19.08, 72.88, Continent::Asia),
+    City::new("Bangalore", 12.97, 77.59, Continent::Asia),
+    // Australia
+    City::new("Sydney", -33.87, 151.21, Continent::Australia),
+    City::new("Melbourne", -37.81, 144.96, Continent::Australia),
+    City::new("Perth", -31.95, 115.86, Continent::Australia),
+];
+
+/// Looks a city up by name in [`WORLD_CITIES`].
+///
+/// # Example
+///
+/// ```
+/// use topology::geo::city_by_name;
+/// assert!(city_by_name("Tokyo").is_some());
+/// assert!(city_by_name("Atlantis").is_none());
+/// ```
+#[must_use]
+pub fn city_by_name(name: &str) -> Option<City> {
+    WORLD_CITIES.iter().copied().find(|c| c.name == name)
+}
+
+/// All catalog cities on a given continent.
+#[must_use]
+pub fn cities_on(continent: Continent) -> Vec<City> {
+    WORLD_CITIES
+        .iter()
+        .copied()
+        .filter(|c| c.continent == continent)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = city_by_name("Tokyo").unwrap().location;
+        let b = city_by_name("Amsterdam").unwrap().location;
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        assert!(a.distance_km(a) < 1e-9);
+    }
+
+    #[test]
+    fn known_distances_are_plausible() {
+        let sj = city_by_name("San Jose").unwrap().location;
+        let tk = city_by_name("Tokyo").unwrap().location;
+        let d = sj.distance_km(tk);
+        assert!((8_000.0..9_000.0).contains(&d), "SJ-Tokyo ≈ 8,300 km, got {d}");
+    }
+
+    #[test]
+    fn transpacific_delay_matches_reality() {
+        let sj = city_by_name("San Jose").unwrap().location;
+        let tk = city_by_name("Tokyo").unwrap().location;
+        let one_way = sj.propagation_delay(tk);
+        // Real SJ<->Tokyo RTT is ~100-120 ms, so one-way ~50-60 ms.
+        let ms = one_way.as_millis();
+        assert!((45..70).contains(&ms), "one-way {ms} ms");
+    }
+
+    #[test]
+    fn same_city_delay_has_floor() {
+        let p = city_by_name("Dallas").unwrap().location;
+        assert!(p.propagation_delay(p) >= SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn catalog_covers_all_continents_and_paper_dcs() {
+        for c in [
+            Continent::NorthAmerica,
+            Continent::SouthAmerica,
+            Continent::Europe,
+            Continent::Asia,
+            Continent::Australia,
+        ] {
+            assert!(!cities_on(c).is_empty(), "no cities on {c:?}");
+        }
+        for dc in ["Washington DC", "San Jose", "Dallas", "Amsterdam", "Tokyo"] {
+            assert!(city_by_name(dc).is_some(), "missing paper DC city {dc}");
+        }
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut names: Vec<_> = WORLD_CITIES.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn invalid_latitude_panics() {
+        let _ = GeoPoint::new(91.0, 0.0);
+    }
+}

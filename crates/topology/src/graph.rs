@@ -1,0 +1,550 @@
+//! The network graph: autonomous systems, routers, links, relationships.
+
+use std::collections::HashMap;
+
+use simcore::{SimDuration, SimRng};
+
+use crate::congestion::CongestionProfile;
+use crate::geo::City;
+use crate::ids::{AsId, LinkId, RouterId};
+use crate::link::{Link, LinkKind};
+
+/// Position of an AS in the Internet hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AsTier {
+    /// Settlement-free core: peers with all other Tier-1s, buys from nobody.
+    Tier1,
+    /// Regional/national transit provider: buys from Tier-1s, sells to stubs.
+    Transit,
+    /// Edge network (enterprise, campus, eyeball ISP): buys transit only.
+    Stub,
+}
+
+/// Business relationship between two ASes, following the Gao–Rexford model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Relationship {
+    /// The first AS sells transit to the second (provider → customer).
+    ProviderOf,
+    /// Settlement-free peering.
+    PeerWith,
+}
+
+/// What a router is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RouterKind {
+    /// A PoP/backbone/border router of an AS.
+    Backbone,
+    /// An end host (PlanetLab node, web server, cloud VM) attached to an AS.
+    Host,
+}
+
+/// An autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsNode {
+    id: AsId,
+    name: String,
+    tier: AsTier,
+    /// `true` for the cloud provider AS built by the `cloud` crate.
+    is_cloud: bool,
+    routers: Vec<RouterId>,
+}
+
+impl AsNode {
+    /// The AS id.
+    #[must_use]
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"tier1-3"`, `"cloud"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Hierarchy tier.
+    #[must_use]
+    pub fn tier(&self) -> AsTier {
+        self.tier
+    }
+
+    /// `true` if this AS is the cloud provider.
+    #[must_use]
+    pub fn is_cloud(&self) -> bool {
+        self.is_cloud
+    }
+
+    /// Routers (PoPs and hosts) inside this AS.
+    #[must_use]
+    pub fn routers(&self) -> &[RouterId] {
+        &self.routers
+    }
+}
+
+/// A router: an AS point of presence, border router, or end host.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: RouterId,
+    asn: AsId,
+    city: City,
+    kind: RouterKind,
+    name: String,
+}
+
+impl Router {
+    /// The router id.
+    #[must_use]
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// The AS this router belongs to.
+    #[must_use]
+    pub fn asn(&self) -> AsId {
+        self.asn
+    }
+
+    /// Where the router is located.
+    #[must_use]
+    pub fn city(&self) -> City {
+        self.city
+    }
+
+    /// Backbone or host.
+    #[must_use]
+    pub fn kind(&self) -> RouterKind {
+        self.kind
+    }
+
+    /// Human-readable name (e.g. `"tier1-0/Chicago"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The complete router-level network with AS-level business relationships.
+///
+/// Built incrementally by the generator ([`crate::gen`]) and by the cloud
+/// provider extension (`cloud` crate), then consumed read-only by routing,
+/// and epoch-stepped by the longitudinal experiments.
+///
+/// # Example
+///
+/// ```
+/// use topology::gen::{InternetConfig, generate};
+///
+/// let mut net = generate(&InternetConfig::small(), 1);
+/// let hosts: Vec<_> = net.hosts().collect();
+/// assert!(hosts.is_empty(), "generator adds no hosts; experiments attach them");
+/// let stub = net.ases().find(|a| a.tier() == topology::AsTier::Stub).unwrap().id();
+/// let h = net.attach_host("client-0", stub, 100_000_000);
+/// assert_eq!(net.router(h).kind(), topology::RouterKind::Host);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    ases: Vec<AsNode>,
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    /// Per-router adjacency: (neighbor, connecting link).
+    adj: Vec<Vec<(RouterId, LinkId)>>,
+    /// Per-AS provider list (ASes this AS buys transit from).
+    providers: Vec<Vec<AsId>>,
+    /// Per-AS customer list.
+    customers: Vec<Vec<AsId>>,
+    /// Per-AS peer list.
+    peers: Vec<Vec<AsId>>,
+    /// Inter-AS links indexed by unordered AS pair (smaller id first).
+    inter_as_links: HashMap<(AsId, AsId), Vec<LinkId>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    // ----- construction -----------------------------------------------
+
+    /// Adds an AS and returns its id.
+    pub fn add_as(&mut self, name: impl Into<String>, tier: AsTier, is_cloud: bool) -> AsId {
+        let id = AsId::from_raw(self.ases.len() as u32);
+        self.ases.push(AsNode {
+            id,
+            name: name.into(),
+            tier,
+            is_cloud,
+            routers: Vec::new(),
+        });
+        self.providers.push(Vec::new());
+        self.customers.push(Vec::new());
+        self.peers.push(Vec::new());
+        id
+    }
+
+    /// Adds a router to an AS and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` does not exist.
+    pub fn add_router(&mut self, asn: AsId, city: City, kind: RouterKind) -> RouterId {
+        let id = RouterId::from_raw(self.routers.len() as u32);
+        let name = format!("{}/{}", self.ases[asn.index()].name, city.name);
+        self.routers.push(Router {
+            id,
+            asn,
+            city,
+            kind,
+            name,
+        });
+        self.adj.push(Vec::new());
+        self.ases[asn.index()].routers.push(id);
+        id
+    }
+
+    /// Adds a bidirectional link and returns its id. Inter-AS links are
+    /// also recorded in the AS-pair index used by path expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either router does not exist, if the endpoints coincide,
+    /// or if an inter-AS link kind is used for an intra-AS link (and vice
+    /// versa).
+    pub fn add_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        kind: LinkKind,
+        capacity_bps: u64,
+        prop_delay: SimDuration,
+        profile: CongestionProfile,
+    ) -> LinkId {
+        let as_a = self.routers[a.index()].asn;
+        let as_b = self.routers[b.index()].asn;
+        assert_eq!(
+            kind.is_inter_as(),
+            as_a != as_b,
+            "link kind {kind:?} inconsistent with AS boundary ({as_a} vs {as_b})"
+        );
+        let id = LinkId::from_raw(self.links.len() as u32);
+        let link = Link::new(id, a, b, kind, capacity_bps, prop_delay, profile);
+        self.links.push(link);
+        self.adj[a.index()].push((b, id));
+        self.adj[b.index()].push((a, id));
+        if as_a != as_b {
+            let key = if as_a <= as_b { (as_a, as_b) } else { (as_b, as_a) };
+            self.inter_as_links.entry(key).or_default().push(id);
+        }
+        id
+    }
+
+    /// Renames a router (e.g. to label end hosts and overlay VMs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_router_name(&mut self, r: RouterId, name: impl Into<String>) {
+        self.routers[r.index()].name = name.into();
+    }
+
+    /// Records a business relationship between two ASes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ASes coincide.
+    pub fn add_relationship(&mut self, a: AsId, b: AsId, rel: Relationship) {
+        assert_ne!(a, b, "an AS cannot have a relationship with itself");
+        match rel {
+            Relationship::ProviderOf => {
+                self.customers[a.index()].push(b);
+                self.providers[b.index()].push(a);
+            }
+            Relationship::PeerWith => {
+                self.peers[a.index()].push(b);
+                self.peers[b.index()].push(a);
+            }
+        }
+    }
+
+    /// Attaches an end host to an AS: adds a `Host` router co-located with
+    /// the AS's first router and an access link of `access_bps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AS has no routers yet.
+    pub fn attach_host(&mut self, name: &str, asn: AsId, access_bps: u64) -> RouterId {
+        let gateway = *self.ases[asn.index()]
+            .routers
+            .first()
+            .unwrap_or_else(|| panic!("{asn} has no routers to attach host {name} to"));
+        let city = self.routers[gateway.index()].city;
+        let host = self.add_router(asn, city, RouterKind::Host);
+        self.routers[host.index()].name = name.to_string();
+        self.add_link(
+            host,
+            gateway,
+            LinkKind::Access,
+            access_bps,
+            SimDuration::from_millis(1),
+            CongestionProfile::clean(),
+        );
+        host
+    }
+
+    // ----- accessors ----------------------------------------------------
+
+    /// Number of ASes.
+    #[must_use]
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Number of routers (including hosts).
+    #[must_use]
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The AS with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn as_node(&self, id: AsId) -> &AsNode {
+        &self.ases[id.index()]
+    }
+
+    /// The router with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.index()]
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Mutable link access (used by congestion dynamics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+
+    /// Iterates over all ASes.
+    pub fn ases(&self) -> impl Iterator<Item = &AsNode> {
+        self.ases.iter()
+    }
+
+    /// Iterates over all routers.
+    pub fn routers(&self) -> impl Iterator<Item = &Router> {
+        self.routers.iter()
+    }
+
+    /// Iterates over all links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// Iterates over all host routers.
+    pub fn hosts(&self) -> impl Iterator<Item = &Router> {
+        self.routers.iter().filter(|r| r.kind == RouterKind::Host)
+    }
+
+    /// Neighbors of a router: `(neighbor, connecting link)` pairs.
+    #[must_use]
+    pub fn neighbors(&self, r: RouterId) -> &[(RouterId, LinkId)] {
+        &self.adj[r.index()]
+    }
+
+    /// Providers of an AS (it is their customer).
+    #[must_use]
+    pub fn providers_of(&self, a: AsId) -> &[AsId] {
+        &self.providers[a.index()]
+    }
+
+    /// Customers of an AS.
+    #[must_use]
+    pub fn customers_of(&self, a: AsId) -> &[AsId] {
+        &self.customers[a.index()]
+    }
+
+    /// Peers of an AS.
+    #[must_use]
+    pub fn peers_of(&self, a: AsId) -> &[AsId] {
+        &self.peers[a.index()]
+    }
+
+    /// Links crossing between two ASes (unordered), empty if not adjacent.
+    #[must_use]
+    pub fn links_between(&self, a: AsId, b: AsId) -> &[LinkId] {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.inter_as_links.get(&key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The first cloud AS, if one has been attached.
+    #[must_use]
+    pub fn cloud_as(&self) -> Option<AsId> {
+        self.ases.iter().find(|a| a.is_cloud).map(|a| a.id)
+    }
+
+    // ----- dynamics -----------------------------------------------------
+
+    /// Draws every link's congestion level from its stationary
+    /// distribution (used to initialize an experiment run).
+    pub fn randomize_congestion(&mut self, rng: &mut SimRng) {
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let mut stream = rng.fork(0x1000_0000 + i as u64);
+            link.randomize_level(&mut stream);
+        }
+    }
+
+    /// Advances every link's congestion by one epoch.
+    pub fn step_epoch(&mut self, rng: &mut SimRng, epoch: u64) {
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let mut stream = rng.fork((epoch << 24) ^ i as u64);
+            link.step_epoch(&mut stream);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::city_by_name;
+
+    fn two_as_net() -> (Network, AsId, AsId, RouterId, RouterId) {
+        let mut net = Network::new();
+        let a = net.add_as("a", AsTier::Transit, false);
+        let b = net.add_as("b", AsTier::Stub, false);
+        let ra = net.add_router(a, city_by_name("Dallas").unwrap(), RouterKind::Backbone);
+        let rb = net.add_router(b, city_by_name("Tokyo").unwrap(), RouterKind::Backbone);
+        (net, a, b, ra, rb)
+    }
+
+    #[test]
+    fn build_small_graph() {
+        let (mut net, a, b, ra, rb) = two_as_net();
+        net.add_relationship(a, b, Relationship::ProviderOf);
+        let l = net.add_link(
+            ra,
+            rb,
+            LinkKind::Transit,
+            10_000_000_000,
+            SimDuration::from_millis(60),
+            CongestionProfile::clean(),
+        );
+        assert_eq!(net.as_count(), 2);
+        assert_eq!(net.router_count(), 2);
+        assert_eq!(net.link_count(), 1);
+        assert_eq!(net.neighbors(ra), &[(rb, l)]);
+        assert_eq!(net.links_between(a, b), &[l]);
+        assert_eq!(net.links_between(b, a), &[l]);
+        assert_eq!(net.providers_of(b), &[a]);
+        assert_eq!(net.customers_of(a), &[b]);
+        assert!(net.peers_of(a).is_empty());
+        assert!(net.cloud_as().is_none());
+    }
+
+    #[test]
+    fn peering_is_symmetric() {
+        let (mut net, a, b, _, _) = two_as_net();
+        net.add_relationship(a, b, Relationship::PeerWith);
+        assert_eq!(net.peers_of(a), &[b]);
+        assert_eq!(net.peers_of(b), &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent with AS boundary")]
+    fn intra_as_kind_rejected_across_as_boundary() {
+        let (mut net, _, _, ra, rb) = two_as_net();
+        net.add_link(
+            ra,
+            rb,
+            LinkKind::IntraAs,
+            1_000,
+            SimDuration::from_millis(1),
+            CongestionProfile::clean(),
+        );
+    }
+
+    #[test]
+    fn attach_host_creates_access_link() {
+        let (mut net, _, b, _, rb) = two_as_net();
+        let h = net.attach_host("pl-node-1", b, 100_000_000);
+        assert_eq!(net.router(h).kind(), RouterKind::Host);
+        assert_eq!(net.router(h).name(), "pl-node-1");
+        assert_eq!(net.router(h).asn(), b);
+        assert_eq!(net.neighbors(h).len(), 1);
+        assert_eq!(net.neighbors(h)[0].0, rb);
+        assert_eq!(net.hosts().count(), 1);
+        let link = net.link(net.neighbors(h)[0].1);
+        assert_eq!(link.kind(), LinkKind::Access);
+        assert_eq!(link.capacity_bps(), 100_000_000);
+    }
+
+    #[test]
+    fn cloud_as_is_discoverable() {
+        let mut net = Network::new();
+        net.add_as("isp", AsTier::Tier1, false);
+        let c = net.add_as("cloud", AsTier::Transit, true);
+        assert_eq!(net.cloud_as(), Some(c));
+    }
+
+    #[test]
+    fn epoch_stepping_is_deterministic_per_seed() {
+        let build = || {
+            let (mut net, a, b, ra, rb) = two_as_net();
+            net.add_relationship(a, b, Relationship::ProviderOf);
+            net.add_link(
+                ra,
+                rb,
+                LinkKind::Transit,
+                10_000_000_000,
+                SimDuration::from_millis(60),
+                CongestionProfile::congested(0.5, 0.02),
+            );
+            net
+        };
+        let mut n1 = build();
+        let mut n2 = build();
+        let mut r1 = SimRng::seed_from(5);
+        let mut r2 = SimRng::seed_from(5);
+        for epoch in 0..10 {
+            n1.step_epoch(&mut r1, epoch);
+            n2.step_epoch(&mut r2, epoch);
+        }
+        let l1 = n1.link(LinkId::from_raw(0)).level();
+        let l2 = n2.link(LinkId::from_raw(0)).level();
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no routers")]
+    fn attach_host_to_empty_as_panics() {
+        let mut net = Network::new();
+        let a = net.add_as("empty", AsTier::Stub, false);
+        net.attach_host("h", a, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Typed identifiers for topology entities.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from its raw index.
+            #[must_use]
+            pub const fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index.
+            #[must_use]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as `usize`, for direct slab indexing.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an autonomous system.
+    AsId,
+    "AS"
+);
+id_type!(
+    /// Identifier of a router (PoP, border router, or end host).
+    RouterId,
+    "R"
+);
+id_type!(
+    /// Identifier of a link between two routers.
+    LinkId,
+    "L"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let a = AsId::from_raw(7);
+        assert_eq!(a.raw(), 7);
+        assert_eq!(a.index(), 7);
+        assert_eq!(a.to_string(), "AS7");
+        assert_eq!(RouterId::from_raw(3).to_string(), "R3");
+        assert_eq!(LinkId::from_raw(1).to_string(), "L1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(RouterId::from_raw(1) < RouterId::from_raw(2));
+        assert_eq!(AsId::from_raw(5), AsId::from_raw(5));
+    }
+}

@@ -1,0 +1,45 @@
+//! # topology — a structural model of the Internet
+//!
+//! CRONets is a measurement study: its gains come from *where* the
+//! Internet's bottlenecks sit (in and near the core, per Akella et al. and
+//! Kang & Gligor, both cited by the paper) and from the path diversity a
+//! well-peered cloud provider adds. This crate builds a synthetic Internet
+//! with exactly those structural properties:
+//!
+//! * [`geo`] — real-city geography; propagation delay from great-circle
+//!   distance;
+//! * [`graph`] — the network itself: autonomous systems with business
+//!   relationships (customer/provider, peer), routers (PoPs and hosts),
+//!   and links;
+//! * [`link`] — link kinds, capacities and delay;
+//! * [`congestion`] — per-link congestion profiles with AR(1) dynamics for
+//!   longitudinal experiments;
+//! * [`gen`] — a hierarchical Internet generator (Tier-1 clique, transit,
+//!   stubs, IXP-style peering) with a pluggable cloud provider AS.
+//!
+//! # Example
+//!
+//! ```
+//! use topology::gen::{InternetConfig, generate};
+//!
+//! let net = generate(&InternetConfig::small(), 42);
+//! assert!(net.as_count() > 10);
+//! assert!(net.router_count() > net.as_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod congestion;
+pub mod gen;
+pub mod geo;
+pub mod graph;
+pub mod link;
+
+mod ids;
+
+pub use congestion::{CongestionDynamics, CongestionProfile};
+pub use geo::{City, Continent, GeoPoint};
+pub use graph::{AsNode, AsTier, Network, Relationship, Router, RouterKind};
+pub use ids::{AsId, LinkId, RouterId};
+pub use link::{Link, LinkKind};

@@ -1,0 +1,264 @@
+//! Links: the physical/virtual edges of the router-level graph.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimRng};
+
+use crate::congestion::CongestionProfile;
+use crate::ids::{LinkId, RouterId};
+
+/// The role a link plays in the topology; determines default capacity and
+/// where congestion concentrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Last-mile / host attachment link.
+    Access,
+    /// Link between two routers of the same AS.
+    IntraAs,
+    /// Inter-AS customer–provider (transit) link.
+    Transit,
+    /// Inter-AS settlement-free peering link (typically at an IXP).
+    Peering,
+    /// Private inter-datacenter backbone of a cloud provider.
+    CloudBackbone,
+}
+
+impl LinkKind {
+    /// `true` for links that cross an AS boundary.
+    #[must_use]
+    pub fn is_inter_as(self) -> bool {
+        matches!(self, LinkKind::Transit | LinkKind::Peering)
+    }
+}
+
+/// A bidirectional router-to-router link with capacity, propagation delay
+/// and a (dynamic) congestion state.
+///
+/// Links are symmetric: the paper's tunnels carry traffic both ways
+/// through the overlay node (the NAT handles the return path), and
+/// modeling asymmetric link state would not change any of the reproduced
+/// results, which are driven by forward-path loss and round-trip delay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    id: LinkId,
+    a: RouterId,
+    b: RouterId,
+    kind: LinkKind,
+    capacity_bps: u64,
+    prop_delay: SimDuration,
+    profile: CongestionProfile,
+    level: f64,
+}
+
+impl Link {
+    /// Creates a link. The congestion level starts at the profile's mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loops are always a generator bug) or if
+    /// `capacity_bps` is zero.
+    #[must_use]
+    pub fn new(
+        id: LinkId,
+        a: RouterId,
+        b: RouterId,
+        kind: LinkKind,
+        capacity_bps: u64,
+        prop_delay: SimDuration,
+        profile: CongestionProfile,
+    ) -> Self {
+        assert!(a != b, "link endpoints must differ (got {a} twice)");
+        assert!(capacity_bps > 0, "link capacity must be positive");
+        Link {
+            id,
+            a,
+            b,
+            kind,
+            capacity_bps,
+            prop_delay,
+            level: profile.dynamics.mean_level,
+            profile,
+        }
+    }
+
+    /// The link id.
+    #[must_use]
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// One endpoint.
+    #[must_use]
+    pub fn a(&self) -> RouterId {
+        self.a
+    }
+
+    /// The other endpoint.
+    #[must_use]
+    pub fn b(&self) -> RouterId {
+        self.b
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of this link.
+    #[must_use]
+    pub fn other_end(&self, from: RouterId) -> RouterId {
+        if from == self.a {
+            self.b
+        } else if from == self.b {
+            self.a
+        } else {
+            panic!("{from} is not an endpoint of {}", self.id)
+        }
+    }
+
+    /// The link's role.
+    #[must_use]
+    pub fn kind(&self) -> LinkKind {
+        self.kind
+    }
+
+    /// Capacity in bits per second.
+    #[must_use]
+    pub fn capacity_bps(&self) -> u64 {
+        self.capacity_bps
+    }
+
+    /// One-way propagation delay (excluding queueing).
+    #[must_use]
+    pub fn prop_delay(&self) -> SimDuration {
+        self.prop_delay
+    }
+
+    /// The congestion profile.
+    #[must_use]
+    pub fn profile(&self) -> &CongestionProfile {
+        &self.profile
+    }
+
+    /// Current congestion level in `[0, 1]`.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Sets the congestion level (clamped to `[0, 1]`).
+    pub fn set_level(&mut self, level: f64) {
+        self.level = level.clamp(0.0, 1.0);
+    }
+
+    /// Current per-packet loss probability.
+    #[must_use]
+    pub fn loss_prob(&self) -> f64 {
+        self.profile.loss_at(self.level)
+    }
+
+    /// Current one-way queueing delay.
+    #[must_use]
+    pub fn queue_delay(&self) -> SimDuration {
+        self.profile.queue_delay_at(self.level)
+    }
+
+    /// Total one-way latency: propagation plus queueing.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.prop_delay + self.queue_delay()
+    }
+
+    /// Draws an initial level from the profile's stationary distribution.
+    pub fn randomize_level(&mut self, rng: &mut SimRng) {
+        self.level = self.profile.dynamics.stationary_draw(rng);
+    }
+
+    /// Advances the congestion level by one epoch.
+    pub fn step_epoch(&mut self, rng: &mut SimRng) {
+        self.level = self.profile.dynamics.step(self.level, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::CongestionProfile;
+
+    fn test_link(kind: LinkKind) -> Link {
+        Link::new(
+            LinkId::from_raw(0),
+            RouterId::from_raw(1),
+            RouterId::from_raw(2),
+            kind,
+            10_000_000_000,
+            SimDuration::from_millis(5),
+            CongestionProfile::congested(0.5, 0.01),
+        )
+    }
+
+    #[test]
+    fn other_end_flips_endpoints() {
+        let l = test_link(LinkKind::Transit);
+        assert_eq!(l.other_end(RouterId::from_raw(1)), RouterId::from_raw(2));
+        assert_eq!(l.other_end(RouterId::from_raw(2)), RouterId::from_raw(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_end_rejects_foreign_router() {
+        let l = test_link(LinkKind::Transit);
+        let _ = l.other_end(RouterId::from_raw(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_loop_panics() {
+        let _ = Link::new(
+            LinkId::from_raw(0),
+            RouterId::from_raw(1),
+            RouterId::from_raw(1),
+            LinkKind::IntraAs,
+            1,
+            SimDuration::ZERO,
+            CongestionProfile::clean(),
+        );
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        let mut l = test_link(LinkKind::Peering);
+        l.set_level(0.0);
+        let idle = l.latency();
+        l.set_level(1.0);
+        let busy = l.latency();
+        assert!(busy > idle);
+        assert_eq!(busy - idle, l.profile().queue_at_peak);
+    }
+
+    #[test]
+    fn loss_tracks_level() {
+        let mut l = test_link(LinkKind::Transit);
+        l.set_level(0.0);
+        let lo = l.loss_prob();
+        l.set_level(1.0);
+        assert!(l.loss_prob() > lo);
+    }
+
+    #[test]
+    fn inter_as_classification() {
+        assert!(LinkKind::Transit.is_inter_as());
+        assert!(LinkKind::Peering.is_inter_as());
+        assert!(!LinkKind::IntraAs.is_inter_as());
+        assert!(!LinkKind::Access.is_inter_as());
+        assert!(!LinkKind::CloudBackbone.is_inter_as());
+    }
+
+    #[test]
+    fn step_epoch_keeps_level_bounded() {
+        let mut l = test_link(LinkKind::Transit);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1_000 {
+            l.step_epoch(&mut rng);
+            assert!((0.0..=1.0).contains(&l.level()));
+        }
+    }
+}

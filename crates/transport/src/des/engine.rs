@@ -1,0 +1,1578 @@
+//! The discrete-event engine: flows, subflows, the event loop.
+
+use std::collections::{BTreeSet, HashMap};
+
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+use super::cc::{CcState, CongestionAlg, CouplingAlg, SubflowView};
+use super::link::SimLink;
+use crate::model::TcpParams;
+
+/// TCP/IP header overhead added to every segment on the wire.
+const HEADER_BYTES: u32 = 40;
+/// Initial retransmission timeout before any RTT sample (RFC 6298).
+const INITIAL_RTO: SimDuration = SimDuration::from_secs(1);
+/// Upper bound on the backed-off RTO.
+const MAX_RTO: SimDuration = SimDuration::from_secs(60);
+
+/// A forward path through the simulated network: an ordered list of link
+/// indices returned by [`Netsim::add_link`]. ACKs return over the same
+/// links' propagation delays (small, never queued).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesPath {
+    links: Vec<usize>,
+}
+
+impl DesPath {
+    /// Creates a path from link indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty.
+    #[must_use]
+    pub fn new(links: Vec<usize>) -> Self {
+        assert!(!links.is_empty(), "a path needs at least one link");
+        DesPath { links }
+    }
+
+    /// The link indices.
+    #[must_use]
+    pub fn links(&self) -> &[usize] {
+        &self.links
+    }
+}
+
+/// Configuration of a (single- or multi-path) transfer.
+#[derive(Debug, Clone)]
+pub struct TransferConfig {
+    /// How long the sender keeps offering data (an iperf `-t` analog).
+    pub duration: SimDuration,
+    /// Endpoint TCP parameters.
+    pub params: TcpParams,
+    /// Congestion-control algorithm for single-path flows and for
+    /// uncoupled MPTCP subflows.
+    pub cc: CongestionAlg,
+    /// If set, sample the flow's goodput at this interval (the iperf
+    /// `-i` analog); results land in [`FlowStats::interval_goodput_bps`].
+    pub sample_interval: Option<SimDuration>,
+}
+
+impl TransferConfig {
+    /// A transfer of the given duration with default parameters (Reno).
+    #[must_use]
+    pub fn for_secs(secs: u64) -> Self {
+        TransferConfig {
+            duration: SimDuration::from_secs(secs),
+            params: TcpParams::default(),
+            cc: CongestionAlg::Reno,
+            sample_interval: None,
+        }
+    }
+
+    /// Enables per-interval goodput sampling.
+    #[must_use]
+    pub fn sampled_every(mut self, interval: SimDuration) -> Self {
+        self.sample_interval = Some(interval);
+        self
+    }
+}
+
+/// Configuration of an MPTCP connection.
+#[derive(Debug, Clone)]
+pub struct MptcpConfig {
+    /// Base transfer configuration (duration, endpoint params).
+    pub transfer: TransferConfig,
+    /// How subflow windows are coupled.
+    pub coupling: CouplingAlg,
+}
+
+/// Results of one simulated transfer.
+#[derive(Debug, Clone)]
+pub struct FlowStats {
+    /// Application goodput in bits per second (unique bytes delivered in
+    /// order, over the transfer duration).
+    pub goodput_bps: f64,
+    /// Unique payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Data segments put on the wire (including retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// `retransmits / segments_sent` — the tstat-style retransmission
+    /// rate the paper reports in Fig. 4.
+    pub retx_rate: f64,
+    /// Mean of the sender's RTT samples.
+    pub avg_rtt: SimDuration,
+    /// Minimum RTT sample.
+    pub min_rtt: SimDuration,
+    /// Transfer duration.
+    pub duration: SimDuration,
+    /// Goodput per subflow (one entry for plain TCP).
+    pub per_subflow_goodput: Vec<f64>,
+    /// Per-interval goodput series (empty unless
+    /// [`TransferConfig::sample_interval`] was set): entry `i` is the
+    /// goodput over interval `i`.
+    pub interval_goodput_bps: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Data segment `seq` of `(flow, sub)` arrives at hop `hop` of its
+    /// path (per-hop forwarding keeps every link's arrival stream in
+    /// global time order, which the lazy droptail queue requires).
+    Hop { flow: u32, sub: u32, seq: u64, hop: u16 },
+    /// Data segment `seq` of `(flow, sub)` reaches the receiver.
+    Deliver { flow: u32, sub: u32, seq: u64 },
+    /// Cumulative ACK reaches the sender.
+    Ack { flow: u32, sub: u32, cum: u64 },
+    /// Retransmission timer fires (stale if `epoch` mismatches).
+    Timeout { flow: u32, sub: u32, epoch: u64 },
+    /// The sender stops offering new data.
+    Stop { flow: u32 },
+    /// Per-interval goodput sampling tick.
+    Sample { flow: u32 },
+    /// A link's loss probability changes (failure/repair injection);
+    /// the probability travels as raw `f64` bits to stay exact.
+    SetLinkLoss { link: u32, loss_bits: u64 },
+}
+
+#[derive(Debug)]
+struct Subflow {
+    path: Vec<usize>,
+    reverse_delay: SimDuration,
+    cc: CcState,
+    // --- sender (segment units) ---
+    snd_una: u64,
+    snd_nxt: u64,
+    /// Highest sequence ever sent (snd_nxt rewinds on RTO; anything below
+    /// this is a retransmission for accounting purposes).
+    high_water: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recovery_point: u64,
+    // --- RTT estimation (RFC 6298) ---
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    timer_epoch: u64,
+    /// Whether a live (non-stale) timer is scheduled.
+    timer_armed: bool,
+    /// Per-segment send time and whether it was retransmitted (Karn's rule).
+    sent_at: HashMap<u64, (SimTime, bool)>,
+    /// Recovery scan cursor: holes below this have been retransmitted in
+    /// the current recovery episode (SACK scoreboard, RFC 6675 spirit).
+    retx_cursor: u64,
+    // --- receiver ---
+    rcv_nxt: u64,
+    ooo: BTreeSet<u64>,
+    // --- OLIA inter-loss bookkeeping ---
+    interloss_cur: f64,
+    interloss_prev: f64,
+    // --- stats ---
+    segs_sent: u64,
+    retx: u64,
+    /// Diagnostic: recovery episodes entered / timeouts fired.
+    pub(crate) recovery_entries: u64,
+    pub(crate) timeouts: u64,
+    rtt_sum_ns: u128,
+    rtt_samples: u64,
+    min_rtt: SimDuration,
+    /// `snd_una` captured when the flow stopped.
+    final_una: Option<u64>,
+    /// Diagnostic cwnd trace: (100ms tick, cwnd_segs).
+    pub(crate) trace: Vec<(u64, f64)>,
+}
+
+impl Subflow {
+    fn new(path: Vec<usize>, reverse_delay: SimDuration, cc: CongestionAlg) -> Self {
+        Subflow {
+            path,
+            reverse_delay,
+            cc: CcState::new(cc),
+            snd_una: 0,
+            snd_nxt: 0,
+            high_water: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recovery_point: 0,
+            retx_cursor: 0,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: INITIAL_RTO,
+            timer_epoch: 0,
+            timer_armed: false,
+            sent_at: HashMap::new(),
+            rcv_nxt: 0,
+            ooo: BTreeSet::new(),
+            interloss_cur: 0.0,
+            interloss_prev: 0.0,
+            segs_sent: 0,
+            retx: 0,
+            recovery_entries: 0,
+            timeouts: 0,
+            rtt_sum_ns: 0,
+            rtt_samples: 0,
+            min_rtt: SimDuration::MAX,
+            final_una: None,
+            trace: Vec::new(),
+        }
+    }
+
+    fn flight_segs(&self) -> u64 {
+        // snd_nxt can briefly trail a late cumulative ACK right after a
+        // go-back-N rewind; the flight is empty then.
+        self.snd_nxt.saturating_sub(self.snd_una)
+    }
+
+    fn srtt_secs(&self, fallback: SimDuration) -> f64 {
+        self.srtt.unwrap_or(fallback).as_secs_f64().max(1e-4)
+    }
+
+    fn on_rtt_sample(&mut self, sample: SimDuration, min_rto: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let diff = if srtt > sample { srtt - sample } else { sample - srtt };
+                self.rttvar = (self.rttvar * 3 + diff) / 4;
+                self.srtt = Some((srtt * 7 + sample) / 8);
+            }
+        }
+        let rto = self.srtt.unwrap() + self.rttvar * 4;
+        self.rto = rto.max(min_rto).min(MAX_RTO);
+        self.rtt_sum_ns += u128::from(sample.as_nanos());
+        self.rtt_samples += 1;
+        self.min_rtt = self.min_rtt.min(sample);
+    }
+
+    /// Rolls the OLIA inter-loss counters at a loss event.
+    fn roll_interloss(&mut self) {
+        self.interloss_prev = self.interloss_cur;
+        self.interloss_cur = 0.0;
+    }
+
+    fn interloss_best(&self) -> f64 {
+        self.interloss_cur.max(self.interloss_prev).max(1.0)
+    }
+}
+
+/// What a flow is: an ordinary (MP)TCP connection, or a split-TCP relay
+/// whose second segment may only send data the first segment has already
+/// delivered to the relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowKind {
+    Normal,
+    /// Split relay with a bounded relay buffer (in segments): subflow 0
+    /// is A→relay, subflow 1 is relay→B.
+    Relay { buffer_segs: u64 },
+}
+
+#[derive(Debug)]
+struct Flow {
+    subflows: Vec<Subflow>,
+    coupling: CouplingAlg,
+    params: TcpParams,
+    stopped: bool,
+    stop_time: SimTime,
+    kind: FlowKind,
+    sample_interval: Option<SimDuration>,
+    /// Cumulative delivered segments at each sample tick.
+    samples: Vec<u64>,
+}
+
+/// The simulator: links, flows and the event loop.
+///
+/// Deterministic in its seed and construction order.
+#[derive(Debug)]
+pub struct Netsim {
+    queue: EventQueue<Event>,
+    links: Vec<SimLink>,
+    flows: Vec<Flow>,
+    rng: SimRng,
+}
+
+impl Netsim {
+    /// Creates an empty simulation.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Netsim {
+            queue: EventQueue::new(),
+            links: Vec::new(),
+            flows: Vec::new(),
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Adds a unidirectional link and returns its index.
+    pub fn add_link(
+        &mut self,
+        rate_bps: u64,
+        prop_delay: SimDuration,
+        loss_prob: f64,
+        queue_cap_bytes: u64,
+    ) -> usize {
+        self.links
+            .push(SimLink::new(rate_bps, prop_delay, loss_prob, queue_cap_bytes));
+        self.links.len() - 1
+    }
+
+    /// Link accessor (diagnostics).
+    #[must_use]
+    pub fn link(&self, idx: usize) -> &SimLink {
+        &self.links[idx]
+    }
+
+    /// Schedules a change of a link's random-loss probability at `at` —
+    /// failure injection (`loss = 1.0` makes the link a black hole, the
+    /// §VI-A "if the default Internet path fails" scenario) or repair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link index is out of range or `loss` is not a
+    /// probability.
+    pub fn schedule_link_loss(&mut self, link: usize, at: SimTime, loss: f64) {
+        assert!(link < self.links.len(), "no link {link}");
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.queue.schedule(
+            at,
+            Event::SetLinkLoss {
+                link: link as u32,
+                loss_bits: loss.to_bits(),
+            },
+        );
+    }
+
+    /// Adds a single-path TCP flow; returns its index into
+    /// [`Netsim::run`]'s result vector.
+    pub fn add_tcp_flow(&mut self, path: DesPath, cfg: &TransferConfig) -> usize {
+        self.add_flow_inner(vec![path], cfg, CouplingAlg::Uncoupled, cfg.cc)
+    }
+
+    /// Adds an MPTCP connection with one subflow per path.
+    pub fn add_mptcp_flow(&mut self, paths: Vec<DesPath>, cfg: &MptcpConfig) -> usize {
+        // Coupled modes use Reno-style AIMD underneath (the kernel couples
+        // the linear-increase controllers, not CUBIC).
+        let alg = match cfg.coupling {
+            CouplingAlg::Uncoupled => cfg.transfer.cc,
+            CouplingAlg::Lia | CouplingAlg::Olia => CongestionAlg::Reno,
+        };
+        self.add_flow_inner(paths, &cfg.transfer, cfg.coupling, alg)
+    }
+
+    fn add_flow_inner(
+        &mut self,
+        paths: Vec<DesPath>,
+        cfg: &TransferConfig,
+        coupling: CouplingAlg,
+        alg: CongestionAlg,
+    ) -> usize {
+        assert!(!paths.is_empty(), "a flow needs at least one path");
+        let subflows = paths
+            .into_iter()
+            .map(|p| {
+                let reverse: SimDuration = p
+                    .links()
+                    .iter()
+                    .map(|&l| self.links[l].prop_delay())
+                    .sum();
+                Subflow::new(p.links().to_vec(), reverse, alg)
+            })
+            .collect();
+        self.flows.push(Flow {
+            subflows,
+            coupling,
+            params: cfg.params,
+            stopped: false,
+            stop_time: SimTime::ZERO + cfg.duration,
+            kind: FlowKind::Normal,
+            sample_interval: cfg.sample_interval,
+            samples: Vec::new(),
+        });
+        self.flows.len() - 1
+    }
+
+    /// Adds a split-TCP relay: one TCP loop over `first` (A→relay) and an
+    /// independent loop over `second` (relay→B), chained through a relay
+    /// buffer of `buffer_bytes`. The flow's goodput is what arrives at B.
+    ///
+    /// This is the §II "Split-Overlay" mode at packet level; the analytic
+    /// `min(segment throughputs)` model is validated against it in the
+    /// test suite.
+    pub fn add_split_flow(
+        &mut self,
+        first: DesPath,
+        second: DesPath,
+        cfg: &TransferConfig,
+        buffer_bytes: u64,
+    ) -> usize {
+        assert!(buffer_bytes > 0, "relay buffer must be positive");
+        let f = self.add_flow_inner(vec![first, second], cfg, CouplingAlg::Uncoupled, cfg.cc);
+        self.flows[f].kind = FlowKind::Relay {
+            buffer_segs: (buffer_bytes / u64::from(cfg.params.mss)).max(2),
+        };
+        f
+    }
+
+    /// Runs the simulation to completion and returns per-flow statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a simulation with no flows.
+    pub fn run(&mut self) -> Vec<FlowStats> {
+        assert!(!self.flows.is_empty(), "no flows to simulate");
+        // Schedule stops and prime every subflow.
+        for f in 0..self.flows.len() {
+            let stop = self.flows[f].stop_time;
+            self.queue.schedule(stop, Event::Stop { flow: f as u32 });
+            if let Some(interval) = self.flows[f].sample_interval {
+                self.queue
+                    .schedule(SimTime::ZERO + interval, Event::Sample { flow: f as u32 });
+            }
+        }
+        for f in 0..self.flows.len() {
+            for s in 0..self.flows[f].subflows.len() {
+                self.try_send(f, s, SimTime::ZERO);
+            }
+        }
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::Hop { flow, sub, seq, hop } => {
+                    self.forward_hop(flow as usize, sub as usize, seq, hop as usize, now);
+                }
+                Event::Deliver { flow, sub, seq } => self.on_deliver(flow as usize, sub as usize, seq, now),
+                Event::Ack { flow, sub, cum } => self.on_ack(flow as usize, sub as usize, cum, now),
+                Event::Timeout { flow, sub, epoch } => {
+                    self.on_timeout(flow as usize, sub as usize, epoch, now);
+                }
+                Event::Stop { flow } => {
+                    let f = &mut self.flows[flow as usize];
+                    f.stopped = true;
+                    for sub in &mut f.subflows {
+                        sub.final_una = Some(sub.snd_una);
+                    }
+                    // The stop instant doubles as the final sample tick
+                    // when it lands on the sampling grid (the Stop event
+                    // precedes the equal-time Sample, which then no-ops).
+                    if let Some(iv) = f.sample_interval {
+                        let elapsed = f.stop_time.duration_since(SimTime::ZERO);
+                        if elapsed.as_nanos() % iv.as_nanos() == 0 {
+                            let delivered = Self::delivered_segs(f);
+                            f.samples.push(delivered);
+                        }
+                    }
+                }
+                Event::SetLinkLoss { link, loss_bits } => {
+                    self.links[link as usize].set_loss_prob(f64::from_bits(loss_bits));
+                }
+                Event::Sample { flow } => {
+                    let f = &mut self.flows[flow as usize];
+                    if !f.stopped {
+                        let delivered = Self::delivered_segs(f);
+                        f.samples.push(delivered);
+                        let interval = f.sample_interval.expect("sampled flow has interval");
+                        if now + interval <= f.stop_time {
+                            self.queue.schedule(now + interval, Event::Sample { flow });
+                        }
+                    }
+                }
+            }
+        }
+        self.flows.iter().map(Self::stats_of).collect()
+    }
+
+    /// Diagnostic: (snd_una, snd_nxt, cwnd_segs, rto_ms, in_recovery,
+    /// recoveries, timeouts) of one subflow. Test-support only.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_subflow_state(&self, f: usize, s: usize) -> (u64, u64, f64, u64, bool, u64, u64) {
+        let sub = &self.flows[f].subflows[s];
+        (
+            sub.snd_una,
+            sub.snd_nxt,
+            sub.cc.cwnd_segs(),
+            sub.rto.as_millis(),
+            sub.in_recovery,
+            sub.recovery_entries,
+            sub.timeouts,
+        )
+    }
+
+    /// Diagnostic: (rcv_nxt, ooo_len, segs_sent) of one subflow.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_receiver_state(&self, f: usize, s: usize) -> (u64, usize, u64) {
+        let sub = &self.flows[f].subflows[s];
+        (sub.rcv_nxt, sub.ooo.len(), sub.segs_sent)
+    }
+
+    /// Unique delivered segments for goodput accounting (relay flows
+    /// count only the second hop).
+    fn delivered_segs(flow: &Flow) -> u64 {
+        match flow.kind {
+            FlowKind::Relay { .. } => {
+                let s = &flow.subflows[1];
+                s.final_una.unwrap_or(s.snd_una)
+            }
+            FlowKind::Normal => flow
+                .subflows
+                .iter()
+                .map(|s| s.final_una.unwrap_or(s.snd_una))
+                .sum(),
+        }
+    }
+
+    fn stats_of(flow: &Flow) -> FlowStats {
+        let mss = u64::from(flow.params.mss);
+        let duration = flow.stop_time.duration_since(SimTime::ZERO);
+        let dur_s = duration.as_secs_f64().max(1e-9);
+        let per_subflow_goodput: Vec<f64> = flow
+            .subflows
+            .iter()
+            .map(|s| s.final_una.unwrap_or(s.snd_una) as f64 * mss as f64 * 8.0 / dur_s)
+            .collect();
+        // A relay does not add goodput: only what reaches B counts.
+        let bytes: u64 = Self::delivered_segs(flow) * mss;
+        let interval_goodput_bps: Vec<f64> = flow.sample_interval.map_or_else(Vec::new, |iv| {
+            let iv_s = iv.as_secs_f64().max(1e-9);
+            let mut prev = 0u64;
+            flow.samples
+                .iter()
+                .map(|&cum| {
+                    let delta = cum - prev;
+                    prev = cum;
+                    delta as f64 * mss as f64 * 8.0 / iv_s
+                })
+                .collect()
+        });
+        let segs: u64 = flow.subflows.iter().map(|s| s.segs_sent).sum();
+        let retx: u64 = flow.subflows.iter().map(|s| s.retx).sum();
+        let samples: u64 = flow.subflows.iter().map(|s| s.rtt_samples).sum();
+        let rtt_sum: u128 = flow.subflows.iter().map(|s| s.rtt_sum_ns).sum();
+        let avg_rtt = if samples > 0 {
+            SimDuration::from_nanos((rtt_sum / u128::from(samples)) as u64)
+        } else {
+            SimDuration::ZERO
+        };
+        let min_rtt = flow
+            .subflows
+            .iter()
+            .map(|s| s.min_rtt)
+            .min()
+            .unwrap_or(SimDuration::MAX);
+        FlowStats {
+            goodput_bps: bytes as f64 * 8.0 / dur_s,
+            bytes_delivered: bytes,
+            segments_sent: segs,
+            retransmits: retx,
+            retx_rate: if segs > 0 { retx as f64 / segs as f64 } else { 0.0 },
+            avg_rtt,
+            min_rtt: if min_rtt == SimDuration::MAX {
+                SimDuration::ZERO
+            } else {
+                min_rtt
+            },
+            duration,
+            per_subflow_goodput,
+            interval_goodput_bps,
+        }
+    }
+
+    // ----- receiver ----------------------------------------------------
+
+    fn on_deliver(&mut self, f: usize, s: usize, seq: u64, now: SimTime) {
+        let sub = &mut self.flows[f].subflows[s];
+        if seq == sub.rcv_nxt {
+            sub.rcv_nxt += 1;
+            while sub.ooo.remove(&sub.rcv_nxt) {
+                sub.rcv_nxt += 1;
+            }
+        } else if seq > sub.rcv_nxt {
+            sub.ooo.insert(seq);
+        }
+        let cum = sub.rcv_nxt;
+        let delay = sub.reverse_delay;
+        self.queue.schedule(
+            now + delay,
+            Event::Ack {
+                flow: f as u32,
+                sub: s as u32,
+                cum,
+            },
+        );
+        // Split relay: data arriving on the first segment becomes
+        // sendable on the second immediately (the proxy forwards from its
+        // buffer).
+        if s == 0 && matches!(self.flows[f].kind, FlowKind::Relay { .. }) {
+            self.try_send(f, 1, now);
+        }
+    }
+
+    // ----- sender --------------------------------------------------------
+
+    fn subflow_views(&self, f: usize) -> Vec<SubflowView> {
+        let flow = &self.flows[f];
+        let fallback = SimDuration::from_millis(100);
+        flow.subflows
+            .iter()
+            .map(|s| SubflowView {
+                cwnd_segs: s.cc.cwnd_segs(),
+                srtt_s: s.srtt_secs(fallback),
+                interloss_segs: s.interloss_best(),
+            })
+            .collect()
+    }
+
+    fn on_ack(&mut self, f: usize, s: usize, cum: u64, now: SimTime) {
+        {
+            let sub = &mut self.flows[f].subflows[s];
+            let tick = now.as_millis() / 100;
+            if sub.trace.last().is_none_or(|&(t, _)| t < tick) {
+                let w = sub.cc.cwnd_segs();
+                sub.trace.push((tick, w));
+            }
+        }
+        let coupling = self.flows[f].coupling;
+        let min_rto = self.flows[f].params.min_rto;
+        let views = self.subflow_views(f);
+        let sub = &mut self.flows[f].subflows[s];
+
+        if cum > sub.snd_una {
+            let newly = (cum - sub.snd_una) as f64;
+            // RTT sample from the first non-retransmitted segment (Karn).
+            let mut sample = None;
+            for seq in sub.snd_una..cum {
+                if let Some((t, retxed)) = sub.sent_at.remove(&seq) {
+                    if !retxed && sample.is_none() {
+                        sample = Some(now.duration_since(t));
+                    }
+                }
+            }
+            if let Some(m) = sample {
+                sub.on_rtt_sample(m, min_rto);
+                // HyStart-style delay-increase detection: leave slow start
+                // before the exponential burst overflows the path queue.
+                if sub.cc.in_slow_start() {
+                    let floor = sub.min_rtt;
+                    let thresh = floor + floor.mul_f64(0.25).max(SimDuration::from_millis(4));
+                    if m > thresh {
+                        sub.cc.exit_slow_start();
+                    }
+                }
+            }
+            sub.snd_una = cum;
+            // After a go-back-N rewind, an ACK for pre-rewind data can
+            // overtake snd_nxt; acked data needs no resending.
+            sub.snd_nxt = sub.snd_nxt.max(cum);
+            sub.dup_acks = 0;
+            sub.interloss_cur += newly;
+
+            if sub.in_recovery {
+                if cum >= sub.recovery_point {
+                    sub.in_recovery = false;
+                } else {
+                    // Partial ACK: stay in recovery, no window growth;
+                    // try_send keeps filling holes under pipe accounting.
+                    self.rearm_timer(f, s, now);
+                    self.try_send(f, s, now);
+                    return;
+                }
+            } else {
+                let srtt = sub.srtt.unwrap_or(SimDuration::from_millis(100));
+                match coupling {
+                    CouplingAlg::Uncoupled => sub.cc.on_ack_single(newly, now, srtt),
+                    c => sub.cc.on_ack_coupled(c, newly, now, srtt, &views, s),
+                }
+            }
+            if sub.flight_segs() > 0 {
+                self.rearm_timer(f, s, now);
+            } else {
+                // Nothing outstanding: invalidate the timer.
+                let sub = &mut self.flows[f].subflows[s];
+                sub.timer_epoch += 1;
+                sub.timer_armed = false;
+            }
+            self.try_send(f, s, now);
+            // Split relay: ACKs from B free relay buffer space, which may
+            // unblock the A→relay segment.
+            if s == 1 && matches!(self.flows[f].kind, FlowKind::Relay { .. }) {
+                self.try_send(f, 0, now);
+            }
+        } else if sub.flight_segs() > 0 {
+            // Duplicate ACK.
+            sub.dup_acks += 1;
+            // Every duplicate ACK proves the path is alive and carries
+            // new SACK information: restart the retransmission timer
+            // (RFC 6675 §4 behaviour); otherwise self-induced queueing
+            // pushes the RTT past a freshly-armed RTO and spurious
+            // timeouts shred the window.
+            self.rearm_timer(f, s, now);
+            let sub = &mut self.flows[f].subflows[s];
+            if !sub.in_recovery && sub.dup_acks == 3 {
+                sub.cc.on_loss();
+                sub.roll_interloss();
+                sub.in_recovery = true;
+                sub.recovery_point = sub.snd_nxt;
+                sub.retx_cursor = sub.snd_una;
+                sub.recovery_entries += 1;
+                self.rearm_timer(f, s, now);
+            }
+            // Pipe accounting in try_send retransmits the holes.
+            self.try_send(f, s, now);
+        }
+    }
+
+    fn on_timeout(&mut self, f: usize, s: usize, epoch: u64, now: SimTime) {
+        if self.flows[f].stopped {
+            return;
+        }
+        let sub = &mut self.flows[f].subflows[s];
+        if epoch != sub.timer_epoch || sub.flight_segs() == 0 {
+            if epoch == sub.timer_epoch {
+                sub.timer_armed = false;
+            }
+            return;
+        }
+        sub.timeouts += 1;
+        sub.cc.on_timeout(sub.flight_segs() as f64);
+        sub.roll_interloss();
+        sub.in_recovery = false;
+        sub.dup_acks = 0;
+        sub.retx_cursor = sub.snd_una;
+        // Go-back-N: after an RTO everything outstanding is presumed
+        // lost; rewind and resend from snd_una under slow start. The
+        // receiver's out-of-order buffer makes the cumulative ACKs jump
+        // over anything that did survive, so little is actually resent
+        // twice (classic pre-SACK RTO behaviour).
+        sub.snd_nxt = sub.snd_una;
+        // Exponential backoff.
+        sub.rto = (sub.rto * 2).min(MAX_RTO);
+        self.try_send(f, s, now);
+        self.rearm_timer(f, s, now);
+    }
+
+    fn rearm_timer(&mut self, f: usize, s: usize, now: SimTime) {
+        let sub = &mut self.flows[f].subflows[s];
+        sub.timer_epoch += 1;
+        sub.timer_armed = true;
+        let epoch = sub.timer_epoch;
+        let deadline = now + sub.rto;
+        self.queue.schedule(
+            deadline,
+            Event::Timeout {
+                flow: f as u32,
+                sub: s as u32,
+                epoch,
+            },
+        );
+    }
+
+    /// Sends as much as the window allows, retransmitting known holes
+    /// first. "Pipe" follows RFC 6675: outstanding data minus segments
+    /// the receiver already holds out of order (our SACK equivalent), so
+    /// recovery refills an entire window of losses in about one RTT
+    /// instead of one segment per RTT.
+    fn try_send(&mut self, f: usize, s: usize, now: SimTime) {
+        if self.flows[f].stopped {
+            return;
+        }
+        let params = self.flows[f].params;
+        let cwnd_segs = {
+            let sub = &self.flows[f].subflows[s];
+            sub.cc
+                .cwnd_segs()
+                .min(params.max_window as f64 / f64::from(params.mss))
+        };
+        let mut pipe = {
+            let sub = &self.flows[f].subflows[s];
+            let sacked = sub.ooo.range(sub.snd_una..sub.snd_nxt).count() as u64;
+            sub.flight_segs().saturating_sub(sacked) as f64
+        };
+        // Relay flows bound the *new data* a subflow may emit:
+        // A→relay must not overrun the relay buffer; relay→B can only
+        // send bytes the relay has actually received.
+        let new_data_limit: Option<u64> = match self.flows[f].kind {
+            FlowKind::Normal => None,
+            FlowKind::Relay { buffer_segs } => {
+                let flow = &self.flows[f];
+                if s == 0 {
+                    Some(flow.subflows[1].snd_una + buffer_segs)
+                } else {
+                    Some(flow.subflows[0].rcv_nxt)
+                }
+            }
+        };
+        while pipe + 1.0 <= cwnd_segs {
+            let (seq, is_retx) = {
+                let sub = &mut self.flows[f].subflows[s];
+                // Holes are retransmitted only inside a recovery episode:
+                // repairing them outside one would bypass the 3-dup-ack
+                // window reduction entirely (loss without consequence).
+                let hole = if sub.in_recovery { Self::next_hole(sub) } else { None };
+                match hole {
+                    Some(seq) => (seq, true),
+                    None => {
+                        if new_data_limit.is_some_and(|limit| sub.snd_nxt >= limit) {
+                            break; // app-limited by the relay chain
+                        }
+                        let seq = sub.snd_nxt;
+                        sub.snd_nxt += 1;
+                        let resend = seq < sub.high_water;
+                        sub.high_water = sub.high_water.max(sub.snd_nxt);
+                        (seq, resend)
+                    }
+                }
+            };
+            self.send_segment(f, s, seq, is_retx, now);
+            pipe += 1.0;
+        }
+    }
+
+    /// The next unsacked hole past the recovery cursor, if any. Holes
+    /// exist only below the highest out-of-order sequence the receiver
+    /// holds; the cursor guarantees each hole is retransmitted at most
+    /// once per recovery episode.
+    fn next_hole(sub: &mut Subflow) -> Option<u64> {
+        let &hi = sub.ooo.iter().next_back()?;
+        // RFC 6675: this episode only repairs losses from the window that
+        // triggered it. Data sent during recovery that is lost again gets
+        // its own episode (and its own window reduction) later.
+        let hi = hi.min(sub.recovery_point);
+        // Scan from the receiver's cumulative point, not the sender's
+        // (possibly stale) snd_una: segments between the two are already
+        // delivered and must not be mistaken for holes.
+        if sub.retx_cursor < sub.rcv_nxt {
+            sub.retx_cursor = sub.rcv_nxt;
+        }
+        let mut seq = sub.retx_cursor;
+        while seq < hi && sub.ooo.contains(&seq) {
+            seq += 1;
+        }
+        if seq >= hi {
+            sub.retx_cursor = hi;
+            None
+        } else {
+            sub.retx_cursor = seq + 1;
+            Some(seq)
+        }
+    }
+
+    fn send_segment(&mut self, f: usize, s: usize, seq: u64, is_retx: bool, now: SimTime) {
+        let sub = &mut self.flows[f].subflows[s];
+        sub.segs_sent += 1;
+        if is_retx {
+            sub.retx += 1;
+            if let Some(entry) = sub.sent_at.get_mut(&seq) {
+                entry.1 = true; // Karn: no RTT sample from this seq anymore.
+                entry.0 = now;
+            } else {
+                sub.sent_at.insert(seq, (now, true));
+            }
+        } else {
+            sub.sent_at.insert(seq, (now, false));
+        }
+        // Enter the path at hop 0; forwarding proceeds hop by hop through
+        // the event queue so shared links see arrivals in time order.
+        self.forward_hop(f, s, seq, 0, now);
+        self.rearm_timer_if_unarmed(f, s, now);
+    }
+
+    /// Transmits `seq` over hop `hop` of its path at `now`; schedules the
+    /// next hop's arrival, the final delivery, or nothing on a drop.
+    fn forward_hop(&mut self, f: usize, s: usize, seq: u64, hop: usize, now: SimTime) {
+        let wire_bytes = self.flows[f].params.mss + HEADER_BYTES;
+        let link = self.flows[f].subflows[s].path[hop];
+        let Some(arrival) = self.links[link].transmit(now, wire_bytes, &mut self.rng) else {
+            return; // dropped: loss recovery will notice
+        };
+        let last_hop = hop + 1 == self.flows[f].subflows[s].path.len();
+        let event = if last_hop {
+            Event::Deliver {
+                flow: f as u32,
+                sub: s as u32,
+                seq,
+            }
+        } else {
+            Event::Hop {
+                flow: f as u32,
+                sub: s as u32,
+                seq,
+                hop: (hop + 1) as u16,
+            }
+        };
+        self.queue.schedule(arrival, event);
+    }
+
+    /// Arms the retransmission timer if no live timer exists (first
+    /// segment of a burst). Uses an explicit armed flag rather than
+    /// flight-size heuristics.
+    fn rearm_timer_if_unarmed(&mut self, f: usize, s: usize, now: SimTime) {
+        if !self.flows[f].subflows[s].timer_armed {
+            self.rearm_timer(f, s, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{tcp_throughput, PathQuality};
+
+    const MBPS: f64 = 1e6;
+
+    fn one_link_sim(
+        seed: u64,
+        rate_mbps: u64,
+        one_way_ms: u64,
+        loss: f64,
+        secs: u64,
+    ) -> FlowStats {
+        let mut sim = Netsim::new(seed);
+        let l = sim.add_link(
+            rate_mbps * 1_000_000,
+            SimDuration::from_millis(one_way_ms),
+            loss,
+            1 << 20,
+        );
+        let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(secs));
+        sim.run().remove(f)
+    }
+
+    #[test]
+    fn clean_short_path_saturates_the_link() {
+        let stats = one_link_sim(1, 10, 5, 0.0, 10);
+        assert!(
+            stats.goodput_bps > 8.5 * MBPS,
+            "goodput {} of 10 Mbps",
+            stats.goodput_bps
+        );
+        assert_eq!(stats.retransmits_or_queue_only(), ());
+    }
+
+    impl FlowStats {
+        /// Helper assertion: on a clean link any retransmissions must come
+        /// from queue overflow only, i.e. the retx rate stays small.
+        fn retransmits_or_queue_only(&self) {
+            assert!(self.retx_rate < 0.02, "retx rate {}", self.retx_rate);
+        }
+    }
+
+    #[test]
+    fn long_clean_path_is_window_limited() {
+        let stats = one_link_sim(2, 1_000, 100, 0.0, 10);
+        // max_window = 1 MiB, RTT = 200 ms (+queueing) => ~40 Mbps.
+        let expect = (1u64 << 20) as f64 * 8.0 / 0.2;
+        assert!(
+            (stats.goodput_bps - expect).abs() / expect < 0.25,
+            "goodput {} vs window limit {}",
+            stats.goodput_bps,
+            expect
+        );
+    }
+
+    #[test]
+    fn goodput_decreases_with_loss() {
+        let g1 = one_link_sim(3, 100, 40, 1e-4, 15).goodput_bps;
+        let g2 = one_link_sim(3, 100, 40, 1e-3, 15).goodput_bps;
+        let g3 = one_link_sim(3, 100, 40, 1e-2, 15).goodput_bps;
+        assert!(g1 > g2 && g2 > g3, "{g1} > {g2} > {g3} violated");
+    }
+
+    #[test]
+    fn retx_rate_tracks_link_loss() {
+        let stats = one_link_sim(4, 50, 20, 5e-3, 20);
+        assert!(
+            (stats.retx_rate - 5e-3).abs() < 4e-3,
+            "retx {} vs loss 5e-3",
+            stats.retx_rate
+        );
+    }
+
+    #[test]
+    fn avg_rtt_reflects_path_delay() {
+        let stats = one_link_sim(5, 100, 50, 1e-3, 10);
+        let rtt_ms = stats.avg_rtt.as_millis();
+        assert!(
+            (100..200).contains(&rtt_ms),
+            "avg rtt {rtt_ms} ms for a 100 ms path"
+        );
+        assert!(stats.min_rtt >= SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn des_agrees_with_padhye_model() {
+        let stats = one_link_sim(6, 100, 40, 2e-3, 30);
+        let q = PathQuality {
+            rtt: SimDuration::from_millis(80),
+            loss: 2e-3,
+            bottleneck_bps: 100_000_000,
+        };
+        let model = tcp_throughput(&q, &TcpParams::default());
+        let ratio = stats.goodput_bps / model;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "DES {} vs model {model}: ratio {ratio}",
+            stats.goodput_bps
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stats() {
+        let a = one_link_sim(7, 100, 30, 1e-3, 5);
+        let b = one_link_sim(7, 100, 30, 1e-3, 5);
+        assert_eq!(a.bytes_delivered, b.bytes_delivered);
+        assert_eq!(a.segments_sent, b.segments_sent);
+        assert_eq!(a.retransmits, b.retransmits);
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let a = one_link_sim(8, 100, 30, 1e-3, 5);
+        let b = one_link_sim(9, 100, 30, 1e-3, 5);
+        assert_ne!(a.bytes_delivered, b.bytes_delivered);
+    }
+
+    #[test]
+    fn multi_hop_path_works() {
+        let mut sim = Netsim::new(10);
+        let l1 = sim.add_link(1_000_000_000, SimDuration::from_millis(5), 0.0, 1 << 20);
+        let l2 = sim.add_link(20_000_000, SimDuration::from_millis(30), 1e-3, 1 << 20);
+        let l3 = sim.add_link(1_000_000_000, SimDuration::from_millis(5), 0.0, 1 << 20);
+        let f = sim.add_tcp_flow(
+            DesPath::new(vec![l1, l2, l3]),
+            &TransferConfig::for_secs(10),
+        );
+        let stats = sim.run().remove(f);
+        assert!(stats.goodput_bps < 20.0 * MBPS, "bottleneck respected");
+        assert!(stats.goodput_bps > 2.0 * MBPS, "transfer made progress");
+        assert!(stats.min_rtt >= SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn cubic_beats_reno_on_high_bdp_path() {
+        let run = |alg| {
+            let mut sim = Netsim::new(11);
+            let l = sim.add_link(1_000_000_000, SimDuration::from_millis(50), 5e-5, 4 << 20);
+            let mut cfg = TransferConfig::for_secs(30);
+            cfg.cc = alg;
+            cfg.params.max_window = 64 << 20;
+            let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
+            sim.run().remove(f).goodput_bps
+        };
+        let reno = run(CongestionAlg::Reno);
+        let cubic = run(CongestionAlg::Cubic);
+        assert!(
+            cubic > reno,
+            "CUBIC {cubic} should beat Reno {reno} on high-BDP paths"
+        );
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_roughly_fairly() {
+        let mut sim = Netsim::new(12);
+        let l = sim.add_link(50_000_000, SimDuration::from_millis(20), 0.0, 512 << 10);
+        let f1 = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(20));
+        let f2 = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(20));
+        let stats = sim.run();
+        let (g1, g2) = (stats[f1].goodput_bps, stats[f2].goodput_bps);
+        let total = g1 + g2;
+        assert!(total > 35.0 * MBPS, "link underused: {total}");
+        let ratio = g1.max(g2) / g1.min(g2).max(1.0);
+        assert!(ratio < 2.0, "unfair split {g1} vs {g2}");
+    }
+
+
+    // ---------- failure injection ----------
+
+    #[test]
+    fn mptcp_fails_over_when_the_best_path_dies_mid_transfer() {
+        // §VI-A: "If the default Internet path fails, the two proxies can
+        // still continue their connections through the overlay paths."
+        let mut sim = Netsim::new(41);
+        let good = sim.add_link(100_000_000, SimDuration::from_millis(15), 1e-5, 1 << 20);
+        let backup = sim.add_link(50_000_000, SimDuration::from_millis(40), 1e-4, 1 << 20);
+        sim.schedule_link_loss(good, SimTime::ZERO + SimDuration::from_secs(10), 1.0);
+        let cfg = MptcpConfig {
+            transfer: TransferConfig::for_secs(30)
+                .sampled_every(SimDuration::from_secs(1)),
+            coupling: CouplingAlg::Olia,
+        };
+        let f = sim.add_mptcp_flow(vec![DesPath::new(vec![good]), DesPath::new(vec![backup])], &cfg);
+        let stats = sim.run().remove(f);
+        // The connection survives: the tail of the series (well after the
+        // failure + RTO backoff) still moves data on the backup path.
+        let tail: f64 = stats.interval_goodput_bps[20..].iter().sum::<f64>()
+            / stats.interval_goodput_bps[20..].len() as f64;
+        assert!(
+            tail > 5_000_000.0,
+            "no failover: tail goodput {:.2} Mbps",
+            tail / 1e6
+        );
+        // And the failure is visible: the first seconds ran faster than
+        // the post-failure steady state on the (slower) backup path.
+        let head: f64 = stats.interval_goodput_bps[2..9].iter().sum::<f64>() / 7.0;
+        assert!(head > tail, "failure had no effect: head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn single_path_tcp_stalls_after_its_link_dies() {
+        let mut sim = Netsim::new(42);
+        let l = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-5, 1 << 20);
+        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(5), 1.0);
+        let cfg = TransferConfig::for_secs(20).sampled_every(SimDuration::from_secs(1));
+        let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
+        let stats = sim.run().remove(f);
+        let after: f64 = stats.interval_goodput_bps[8..].iter().sum();
+        assert!(after < 1_000_000.0, "dead link still delivered {after}");
+        assert!(stats.interval_goodput_bps[1] > 1_000_000.0, "never ramped up");
+    }
+
+    #[test]
+    fn link_repair_restores_throughput() {
+        let mut sim = Netsim::new(43);
+        let l = sim.add_link(50_000_000, SimDuration::from_millis(20), 1e-5, 1 << 20);
+        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(5), 1.0);
+        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(8), 1e-5);
+        let cfg = TransferConfig::for_secs(60).sampled_every(SimDuration::from_secs(1));
+        let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
+        let stats = sim.run().remove(f);
+        // After repair (+RTO backoff recovery), throughput returns.
+        let tail: f64 = stats.interval_goodput_bps[40..].iter().sum::<f64>() / 20.0;
+        assert!(
+            tail > 10_000_000.0,
+            "no recovery after repair: tail {:.2} Mbps",
+            tail / 1e6
+        );
+    }
+
+    // ---------- goodput sampling ----------
+
+    #[test]
+    fn interval_sampling_produces_the_series() {
+        let mut sim = Netsim::new(31);
+        let l = sim.add_link(20_000_000, SimDuration::from_millis(40), 1e-4, 1 << 20);
+        let cfg = TransferConfig::for_secs(10).sampled_every(SimDuration::from_secs(1));
+        let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
+        let stats = sim.run().remove(f);
+        assert_eq!(stats.interval_goodput_bps.len(), 10);
+        // The series must integrate to (approximately) the total.
+        let sum_bytes: f64 = stats.interval_goodput_bps.iter().sum::<f64>() / 8.0;
+        let total = stats.bytes_delivered as f64;
+        assert!(
+            (sum_bytes - total).abs() / total < 0.05,
+            "series integrates to {sum_bytes}, total {total}"
+        );
+        // Slow start: the first second delivers less than the best second.
+        let first = stats.interval_goodput_bps[0];
+        let best = stats.interval_goodput_bps.iter().cloned().fold(0.0, f64::max);
+        assert!(first < best, "no ramp-up visible: first {first}, best {best}");
+    }
+
+    #[test]
+    fn unsampled_flows_have_empty_series() {
+        let stats = one_link_sim(32, 10, 5, 0.0, 2);
+        assert!(stats.interval_goodput_bps.is_empty());
+    }
+
+    // ---------- split-TCP relay ----------
+
+    /// Two equal lossy segments: returns (plain end-to-end TCP goodput
+    /// over the concatenation, split-relay goodput, solo goodput of one
+    /// segment).
+    fn split_vs_plain(seed: u64, loss: f64, secs: u64) -> (f64, f64, f64) {
+        let seg = |sim: &mut Netsim| {
+            (
+                sim.add_link(100_000_000, SimDuration::from_millis(40), loss, 1 << 20),
+                sim.add_link(100_000_000, SimDuration::from_millis(40), loss, 1 << 20),
+            )
+        };
+        let mut sim_plain = Netsim::new(seed);
+        let (a, b) = seg(&mut sim_plain);
+        let f = sim_plain.add_tcp_flow(DesPath::new(vec![a, b]), &TransferConfig::for_secs(secs));
+        let plain = sim_plain.run().remove(f).goodput_bps;
+
+        let mut sim_split = Netsim::new(seed ^ 0x5111);
+        let (a, b) = seg(&mut sim_split);
+        let f = sim_split.add_split_flow(
+            DesPath::new(vec![a]),
+            DesPath::new(vec![b]),
+            &TransferConfig::for_secs(secs),
+            4 << 20,
+        );
+        let split = sim_split.run().remove(f).goodput_bps;
+
+        let mut sim_solo = Netsim::new(seed ^ 0x5010);
+        let (a, _) = seg(&mut sim_solo);
+        let f = sim_solo.add_tcp_flow(DesPath::new(vec![a]), &TransferConfig::for_secs(secs));
+        let solo = sim_solo.run().remove(f).goodput_bps;
+        (plain, split, solo)
+    }
+
+    #[test]
+    fn split_relay_approaches_the_single_segment_rate() {
+        // The discrete-overlay argument (paper §II): the split relay's
+        // rate is about min(segment rates) — here the segments are equal,
+        // so about the solo rate of one segment.
+        let (_, split, solo) = split_vs_plain(21, 1e-3, 60);
+        let ratio = split / solo;
+        assert!(
+            (0.6..1.15).contains(&ratio),
+            "split {split} vs solo segment {solo} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn split_relay_beats_plain_end_to_end_tcp() {
+        // Equal segments: plain TCP sees twice the RTT and compounded
+        // loss; the split relay roughly doubles throughput (Mathis).
+        let (plain, split, _) = split_vs_plain(22, 1e-3, 60);
+        assert!(
+            split > 1.4 * plain,
+            "split {split} should clearly beat plain {plain}"
+        );
+    }
+
+    #[test]
+    fn relay_goodput_counts_only_bytes_reaching_the_receiver() {
+        let mut sim = Netsim::new(23);
+        // Fast first segment, slow second: B receives at the slow rate.
+        let a = sim.add_link(100_000_000, SimDuration::from_millis(5), 0.0, 1 << 20);
+        let b = sim.add_link(10_000_000, SimDuration::from_millis(5), 0.0, 1 << 20);
+        let f = sim.add_split_flow(
+            DesPath::new(vec![a]),
+            DesPath::new(vec![b]),
+            &TransferConfig::for_secs(10),
+            4 << 20,
+        );
+        let stats = sim.run().remove(f);
+        assert!(
+            stats.goodput_bps < 10_500_000.0,
+            "relay reported more than the slow segment: {}",
+            stats.goodput_bps
+        );
+        assert!(stats.goodput_bps > 7_000_000.0, "slow segment underused: {}", stats.goodput_bps);
+    }
+
+    #[test]
+    fn tiny_relay_buffer_throttles_the_first_segment() {
+        let run = |buffer: u64| {
+            let mut sim = Netsim::new(24);
+            let a = sim.add_link(100_000_000, SimDuration::from_millis(30), 0.0, 1 << 20);
+            let b = sim.add_link(100_000_000, SimDuration::from_millis(30), 0.0, 1 << 20);
+            let f = sim.add_split_flow(
+                DesPath::new(vec![a]),
+                DesPath::new(vec![b]),
+                &TransferConfig::for_secs(10),
+                buffer,
+            );
+            sim.run().remove(f).goodput_bps
+        };
+        let small = run(64 << 10);
+        let large = run(4 << 20);
+        assert!(
+            large > 1.5 * small,
+            "buffer made no difference: small {small} vs large {large}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "relay buffer must be positive")]
+    fn zero_relay_buffer_panics() {
+        let mut sim = Netsim::new(25);
+        let a = sim.add_link(1_000_000, SimDuration::from_millis(1), 0.0, 1 << 20);
+        let b = sim.add_link(1_000_000, SimDuration::from_millis(1), 0.0, 1 << 20);
+        let _ = sim.add_split_flow(
+            DesPath::new(vec![a]),
+            DesPath::new(vec![b]),
+            &TransferConfig::for_secs(1),
+            0,
+        );
+    }
+
+    // ---------- MPTCP ----------
+
+    fn two_path_mptcp(
+        seed: u64,
+        coupling: CouplingAlg,
+        loss_a: f64,
+        loss_b: f64,
+        secs: u64,
+    ) -> (FlowStats, f64, f64) {
+        // Returns MPTCP stats plus the solo-TCP goodput of each path.
+        let build = |sim: &mut Netsim| {
+            let a = sim.add_link(100_000_000, SimDuration::from_millis(20), loss_a, 1 << 20);
+            let b = sim.add_link(100_000_000, SimDuration::from_millis(25), loss_b, 1 << 20);
+            (a, b)
+        };
+        let mut sim = Netsim::new(seed);
+        let (a, b) = build(&mut sim);
+        let cfg = MptcpConfig {
+            transfer: TransferConfig::for_secs(secs),
+            coupling,
+        };
+        let f = sim.add_mptcp_flow(vec![DesPath::new(vec![a]), DesPath::new(vec![b])], &cfg);
+        let stats = sim.run().remove(f);
+
+        let mut sim_a = Netsim::new(seed ^ 0xAAAA);
+        let (a2, _) = build(&mut sim_a);
+        let fa = sim_a.add_tcp_flow(DesPath::new(vec![a2]), &TransferConfig::for_secs(secs));
+        let solo_a = sim_a.run().remove(fa).goodput_bps;
+
+        let mut sim_b = Netsim::new(seed ^ 0xBBBB);
+        let (_, b2) = build(&mut sim_b);
+        let fb = sim_b.add_tcp_flow(DesPath::new(vec![b2]), &TransferConfig::for_secs(secs));
+        let solo_b = sim_b.run().remove(fb).goodput_bps;
+
+        (stats, solo_a, solo_b)
+    }
+
+    #[test]
+    fn olia_achieves_best_path_throughput() {
+        // Path A good (1e-4), path B poor (5e-3): OLIA must reach about
+        // the best path's solo throughput (paper §VI property). Long
+        // duration so both flows are near their AIMD equilibrium rather
+        // than their (different) slow-start transients.
+        let (mptcp, solo_a, solo_b) = two_path_mptcp(13, CouplingAlg::Olia, 1e-4, 5e-3, 120);
+        let best = solo_a.max(solo_b);
+        assert!(
+            mptcp.goodput_bps > 0.8 * best,
+            "OLIA {} vs best path {best}",
+            mptcp.goodput_bps
+        );
+    }
+
+    #[test]
+    fn lia_achieves_best_path_throughput() {
+        let (mptcp, solo_a, solo_b) = two_path_mptcp(14, CouplingAlg::Lia, 1e-4, 5e-3, 120);
+        let best = solo_a.max(solo_b);
+        assert!(
+            mptcp.goodput_bps > 0.75 * best,
+            "LIA {} vs best path {best}",
+            mptcp.goodput_bps
+        );
+    }
+
+    #[test]
+    fn uncoupled_aggregates_paths() {
+        // Two clean-ish paths: uncoupled CUBIC should approach the sum.
+        let (mptcp, solo_a, solo_b) = two_path_mptcp(15, CouplingAlg::Uncoupled, 1e-5, 1e-5, 20);
+        assert!(
+            mptcp.goodput_bps > 0.75 * (solo_a + solo_b),
+            "uncoupled {} vs sum {}",
+            mptcp.goodput_bps,
+            solo_a + solo_b
+        );
+    }
+
+    #[test]
+    fn coupled_mptcp_is_fair_at_shared_bottleneck() {
+        // MPTCP with two subflows through the same link competing against
+        // one plain TCP: the design goal of [33] is not to take more than
+        // a single TCP would.
+        let mut sim = Netsim::new(16);
+        let l = sim.add_link(50_000_000, SimDuration::from_millis(20), 0.0, 512 << 10);
+        let cfg = MptcpConfig {
+            transfer: TransferConfig::for_secs(120),
+            coupling: CouplingAlg::Lia,
+        };
+        let fm = sim.add_mptcp_flow(vec![DesPath::new(vec![l]), DesPath::new(vec![l])], &cfg);
+        let ft = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(120));
+        let stats = sim.run();
+        let ratio = stats[fm].goodput_bps / stats[ft].goodput_bps.max(1.0);
+        // The RFC 6356 goal is asymptotic (finite runs carry slow-start
+        // transients), so measure over a long run and require near-parity.
+        assert!(
+            ratio < 1.3,
+            "coupled MPTCP grabbed {ratio}x a single TCP's share"
+        );
+    }
+
+    #[test]
+    fn mptcp_survives_a_dead_path() {
+        // One path drops everything: the connection must still deliver on
+        // the living path (the failover property of §VI-A).
+        let mut sim = Netsim::new(17);
+        let dead = sim.add_link(100_000_000, SimDuration::from_millis(10), 1.0, 1 << 20);
+        let alive = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
+        let cfg = MptcpConfig {
+            transfer: TransferConfig::for_secs(15),
+            coupling: CouplingAlg::Olia,
+        };
+        let f = sim.add_mptcp_flow(
+            vec![DesPath::new(vec![dead]), DesPath::new(vec![alive])],
+            &cfg,
+        );
+        let stats = sim.run().remove(f);
+        assert!(
+            stats.goodput_bps > 10.0 * MBPS,
+            "failover goodput {}",
+            stats.goodput_bps
+        );
+        assert_eq!(stats.per_subflow_goodput[0], 0.0, "dead path delivered data?");
+    }
+
+    #[test]
+    fn per_subflow_goodput_sums_to_total() {
+        let (mptcp, _, _) = two_path_mptcp(18, CouplingAlg::Olia, 1e-4, 1e-3, 10);
+        let sum: f64 = mptcp.per_subflow_goodput.iter().sum();
+        assert!((sum - mptcp.goodput_bps).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no flows")]
+    fn run_without_flows_panics() {
+        Netsim::new(0).run();
+    }
+
+    #[test]
+    fn stats_freeze_at_stop_time() {
+        let stats = one_link_sim(19, 10, 200, 0.0, 2);
+        // 400 ms RTT, 2 s run: only a few windows complete; goodput must
+        // reflect the 2 s duration, not count post-stop deliveries.
+        assert_eq!(stats.duration, SimDuration::from_secs(2));
+        assert!(stats.goodput_bps < 10.0 * MBPS);
+    }
+}
+
+#[cfg(test)]
+mod debug_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn probe_cubic_window() {
+        for alg in [CongestionAlg::Reno, CongestionAlg::Cubic] {
+            let mut sim = Netsim::new(11);
+            let l = sim.add_link(1_000_000_000, SimDuration::from_millis(50), 5e-5, 4 << 20);
+            let mut cfg = TransferConfig::for_secs(30);
+            cfg.cc = alg;
+            cfg.params.max_window = 64 << 20;
+            let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
+            let st = sim.run().remove(f);
+            let sub = &sim.flows[f].subflows[0];
+            eprintln!("{alg:?}: goodput={:.1}Mbps segs={} retx={} cwnd_end={:.0} ssthresh? in_ss={} avg_rtt={}ms",
+                st.goodput_bps/1e6, st.segments_sent, st.retransmits, sub.cc.cwnd_segs(), sub.cc.in_slow_start(), st.avg_rtt.as_millis());
+        }
+    }
+
+
+
+
+    #[test]
+    #[ignore]
+    fn probe_six_subflows() {
+        let mut sim = Netsim::new(5);
+        let shared = sim.add_link(100_000_000, SimDuration::from_millis(1), 0.0, 1 << 20);
+        let links: Vec<usize> = (0..6)
+            .map(|i| sim.add_link(100_000_000, SimDuration::from_millis(20 + i * 10), 1e-4, 1 << 20))
+            .collect();
+        let paths: Vec<DesPath> = links.iter().map(|&l| DesPath::new(vec![shared, l])).collect();
+        let cfg = MptcpConfig {
+            transfer: TransferConfig::for_secs(10),
+            coupling: CouplingAlg::Olia,
+        };
+        let f = sim.add_mptcp_flow(paths, &cfg);
+        let st = sim.run().remove(f);
+        for s in 0..6 {
+            let (una, nxt, cwnd, rto, _, recs, tos) = sim.debug_subflow_state(f, s);
+            let (rnxt, ooo, sent) = sim.debug_receiver_state(f, s);
+            eprintln!("sub{s}: una={una} nxt={nxt} cwnd={cwnd:.1} rto={rto} recs={recs} tos={tos} rcv_nxt={rnxt} ooo={ooo} sent={sent}");
+        }
+        eprintln!("total {:.2}M per={:?}", st.goodput_bps / 1e6, st.per_subflow_goodput);
+    }
+
+    #[test]
+    #[ignore]
+    fn probe_loss_response() {
+        // Single Reno flow, 100 Mbps, rtt 160 ms, p = 0.46% — how often
+        // does the window actually reduce?
+        let mut sim = Netsim::new(3);
+        let l = sim.add_link(100_000_000, SimDuration::from_millis(80), 0.0046, 1 << 20);
+        let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(60));
+        let st = sim.run().remove(f);
+        let sub = &sim.flows[f].subflows[0];
+        eprintln!("reno: goodput={:.2}M segs={} retx={} recoveries={} timeouts={} cwnd_end={:.0}",
+            st.goodput_bps/1e6, st.segments_sent, st.retransmits, sub.recovery_entries, sub.timeouts, sub.cc.cwnd_segs());
+        let series: Vec<String> = sub.trace.iter().step_by(5).map(|(t, w)| format!("{}:{:.0}", *t as f64/10.0, w)).collect();
+        eprintln!("cwnd trace: {}", series.join(" "));
+    }
+
+    #[test]
+    #[ignore]
+    fn probe_timeline() {
+        for secs in [1u64, 2, 4, 8, 16] {
+            let mut sim = Netsim::new(11);
+            let l = sim.add_link(1_000_000_000, SimDuration::from_millis(50), 5e-5, 4 << 20);
+            let mut cfg = TransferConfig::for_secs(secs);
+            cfg.cc = CongestionAlg::Reno;
+            cfg.params.max_window = 64 << 20;
+            let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
+            let st = sim.run().remove(f);
+            let sub = &sim.flows[f].subflows[0];
+            eprintln!("t={secs}s: goodput={:.1}Mbps segs={} retx={} cwnd={:.0} inrec={} una={} nxt={} rto={} ql_drops={} rnd_drops={}",
+                st.goodput_bps/1e6, st.segments_sent, st.retransmits, sub.cc.cwnd_segs(), sub.in_recovery, sub.snd_una, sub.snd_nxt, sub.rto, sim.links[0].queue_drops, sim.links[0].random_drops);
+        }
+    }
+
+
+    #[test]
+    #[ignore]
+    fn probe_solo_vs_olia_duration() {
+        for secs in [15u64, 30, 60, 120] {
+            // solo on good path
+            let mut sim = Netsim::new(13 ^ 0xAAAA);
+            let a = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
+            let _b = sim.add_link(100_000_000, SimDuration::from_millis(25), 5e-3, 1 << 20);
+            let fa = sim.add_tcp_flow(DesPath::new(vec![a]), &TransferConfig::for_secs(secs));
+            let solo = sim.run().remove(fa);
+            // olia
+            let mut sim2 = Netsim::new(13);
+            let a2 = sim2.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
+            let b2 = sim2.add_link(100_000_000, SimDuration::from_millis(25), 5e-3, 1 << 20);
+            let cfg = MptcpConfig { transfer: TransferConfig::for_secs(secs), coupling: CouplingAlg::Olia };
+            let f = sim2.add_mptcp_flow(vec![DesPath::new(vec![a2]), DesPath::new(vec![b2])], &cfg);
+            let st = sim2.run().remove(f);
+            eprintln!("t={secs}: solo={:.1}M retx={} | olia={:.1}M sub0_cwnd={:.0} retx={}",
+               solo.goodput_bps/1e6, solo.retransmits, st.goodput_bps/1e6,
+               sim2.flows[f].subflows[0].cc.cwnd_segs(), st.retransmits);
+        }
+    }
+
+
+    #[test]
+    #[ignore]
+    fn probe_fairness() {
+        for secs in [20u64, 60, 120] {
+            let mut sim = Netsim::new(16);
+            let l = sim.add_link(50_000_000, SimDuration::from_millis(20), 0.0, 512 << 10);
+            let cfg = MptcpConfig {
+                transfer: TransferConfig::for_secs(secs),
+                coupling: CouplingAlg::Lia,
+            };
+            let fm = sim.add_mptcp_flow(vec![DesPath::new(vec![l]), DesPath::new(vec![l])], &cfg);
+            let ft = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(secs));
+            let stats = sim.run();
+            let m = &sim.flows[fm];
+            eprintln!("t={secs}: mptcp={:.1}M (w0={:.0} w1={:.0} retx={}) tcp={:.1}M (w={:.0} retx={})",
+              stats[fm].goodput_bps/1e6, m.subflows[0].cc.cwnd_segs(), m.subflows[1].cc.cwnd_segs(), stats[fm].retransmits,
+              stats[ft].goodput_bps/1e6, sim.flows[ft].subflows[0].cc.cwnd_segs(), stats[ft].retransmits);
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn probe_olia_windows() {
+        let mut sim = Netsim::new(13);
+        let a = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
+        let b = sim.add_link(100_000_000, SimDuration::from_millis(25), 5e-3, 1 << 20);
+        let cfg = MptcpConfig { transfer: TransferConfig::for_secs(30), coupling: CouplingAlg::Olia };
+        let f = sim.add_mptcp_flow(vec![DesPath::new(vec![a]), DesPath::new(vec![b])], &cfg);
+        let st = sim.run().remove(f);
+        for (i, s) in sim.flows[f].subflows.iter().enumerate() {
+            eprintln!("sub{}: goodput={:.1}Mbps cwnd={:.1} interloss={:.0} srtt={:?} retx={}",
+                i, st.per_subflow_goodput[i]/1e6, s.cc.cwnd_segs(), s.interloss_best(), s.srtt, s.retx);
+        }
+        eprintln!("total={:.1}Mbps", st.goodput_bps/1e6);
+    }
+}

@@ -1,0 +1,32 @@
+//! Packet-level discrete-event simulation of TCP and MPTCP.
+//!
+//! The building blocks:
+//!
+//! * [`SimLink`] — rate + propagation delay + droptail queue + random loss;
+//! * [`CcState`] with [`CongestionAlg`] (Reno/CUBIC) and [`CouplingAlg`]
+//!   (LIA/OLIA/uncoupled) — the congestion-control mathematics;
+//! * [`Netsim`] — the event loop: flows send segments over link chains,
+//!   receivers cumulative-ACK, senders run NewReno loss recovery
+//!   (fast retransmit, partial ACKs, RTO per RFC 6298).
+//!
+//! # Example: one TCP flow over a lossy path
+//!
+//! ```
+//! use simcore::SimDuration;
+//! use transport::des::{DesPath, Netsim, TransferConfig};
+//!
+//! let mut sim = Netsim::new(1);
+//! let l = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-3, 1 << 20);
+//! let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(5));
+//! let stats = sim.run();
+//! assert!(stats[f].goodput_bps > 1_000_000.0);
+//! assert!(stats[f].retx_rate > 0.0);
+//! ```
+
+mod cc;
+mod engine;
+mod link;
+
+pub use cc::{lia_increase, olia_increase, CcState, CongestionAlg, CouplingAlg, SubflowView};
+pub use engine::{DesPath, FlowStats, MptcpConfig, Netsim, TransferConfig};
+pub use link::SimLink;

@@ -1,0 +1,81 @@
+//! Branch-office connectivity (the paper's first motivating scenario):
+//! two offices, a week of shifting congestion, and the choice between a
+//! leased line, a probing selector, and the MPTCP selector.
+//!
+//! ```text
+//! cargo run --release --example branch_office
+//! ```
+
+use cronets_repro::cloud::pricing::{
+    cost_ratio_leased_over_overlay, PortSpeed, TrafficPlan,
+};
+use cronets_repro::cronets::select::probing::ProbingSelector;
+use cronets_repro::cronets::CronetBuilder;
+use cronets_repro::routing::Bgp;
+use cronets_repro::simcore::SimRng;
+use cronets_repro::topology::gen::{generate, InternetConfig};
+use cronets_repro::topology::AsTier;
+
+fn main() {
+    let seed = 77;
+    let mut net = generate(&InternetConfig::paper_scale(), seed);
+    let cronet = CronetBuilder::new().build(&mut net, seed);
+
+    let stubs: Vec<_> = net
+        .ases()
+        .filter(|a| a.tier() == AsTier::Stub)
+        .map(|a| a.id())
+        .collect();
+    let hq = net.attach_host("hq-office", stubs[10], 100_000_000);
+    let branch = net.attach_host("branch-office", stubs[120], 100_000_000);
+    let mut bgp = Bgp::new();
+
+    // One week of 3-hour epochs: the probing selector re-probes every 8
+    // epochs (once a day); an oracle re-probes every epoch.
+    let mut rng = SimRng::seed_from(seed);
+    let mut daily = ProbingSelector::new(8);
+    let mut oracle = ProbingSelector::new(1);
+    let (mut daily_sum, mut oracle_sum, mut direct_sum) = (0.0, 0.0, 0.0);
+    let epochs = 56;
+    println!("epoch  direct Mbps   daily-probe Mbps   oracle Mbps");
+    for epoch in 0..epochs {
+        net.step_epoch(&mut rng, epoch);
+        let eval = cronet.evaluate(&net, &mut bgp, hq, branch).expect("connected");
+        let d = daily.step(&eval);
+        let o = oracle.step(&eval);
+        daily_sum += d;
+        oracle_sum += o;
+        direct_sum += eval.direct.throughput_bps;
+        if epoch % 8 == 0 {
+            println!(
+                "{epoch:>5}  {:>11.2}   {:>16.2}   {:>11.2}",
+                eval.direct.throughput_bps / 1e6,
+                d / 1e6,
+                o / 1e6
+            );
+        }
+    }
+    let n = f64::from(epochs as u32);
+    println!("\nweek averages:");
+    println!("  direct Internet path : {:6.2} Mbit/s", direct_sum / n / 1e6);
+    println!(
+        "  daily probing         : {:6.2} Mbit/s (stale between probes)",
+        daily_sum / n / 1e6
+    );
+    println!(
+        "  per-epoch oracle      : {:6.2} Mbit/s (what MPTCP tracks automatically)",
+        oracle_sum / n / 1e6
+    );
+
+    // And the money: a 2-node overlay vs a leased line between the two
+    // office cities.
+    let a = net.router(hq).city();
+    let b = net.router(branch).city();
+    let km = a.location.distance_km(b.location);
+    let ratio =
+        cost_ratio_leased_over_overlay(2, PortSpeed::Mbps100, TrafficPlan::Gb10000, km);
+    println!(
+        "\n{} -> {} ({km:.0} km): a leased 100 Mbps line costs {ratio:.1}x the 2-node overlay",
+        a.name, b.name
+    );
+}

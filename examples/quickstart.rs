@@ -1,0 +1,80 @@
+//! Quickstart: build an Internet, deploy a CRONet, measure one pair.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cronets_repro::cronets::CronetBuilder;
+use cronets_repro::routing::{traceroute, Bgp};
+use cronets_repro::topology::gen::{generate, InternetConfig};
+use cronets_repro::topology::AsTier;
+
+fn main() {
+    // 1. A synthetic Internet: Tier-1 clique, transit providers, stubs,
+    //    with congestion concentrated in the core.
+    let mut net = generate(&InternetConfig::paper_scale(), 2016);
+
+    // 2. Deploy the overlay: the paper's five Softlayer data centers
+    //    (Washington DC, San Jose, Dallas, Amsterdam, Tokyo) with one
+    //    100 Mbps VM each, GRE tunnels, split-TCP relays.
+    let cronet = CronetBuilder::new().build(&mut net, 2016);
+    println!(
+        "deployed {} overlay nodes in the `{}` cloud",
+        cronet.nodes().len(),
+        net.as_node(cronet.provider().asid()).name()
+    );
+
+    // 3. Two endpoints: a branch office in Europe and one in Asia.
+    let stubs: Vec<_> = net
+        .ases()
+        .filter(|a| a.tier() == AsTier::Stub)
+        .map(|a| a.id())
+        .collect();
+    let office_a = net.attach_host("office-a", stubs[3], 100_000_000);
+    let office_b = net.attach_host("office-b", stubs[97], 100_000_000);
+
+    // 4. Evaluate every path mode between them.
+    let mut bgp = Bgp::new();
+    let eval = cronet
+        .evaluate(&net, &mut bgp, office_a, office_b)
+        .expect("policy routing connects all stubs");
+
+    println!("\ndirect Internet path:");
+    println!(
+        "  throughput {:6.2} Mbit/s | RTT {} | loss {:.2e}",
+        eval.direct.throughput_bps / 1e6,
+        eval.direct.rtt,
+        eval.direct.loss
+    );
+    println!("\nper-overlay-node results (plain tunnel / split-TCP / discrete bound):");
+    for o in &eval.overlays {
+        let city = net.router(cronet.nodes()[o.node].vm()).name();
+        println!(
+            "  via {city:<24} {:6.2} / {:6.2} / {:6.2} Mbit/s",
+            o.plain.throughput_bps / 1e6,
+            o.split.throughput_bps / 1e6,
+            o.discrete_bps / 1e6
+        );
+    }
+    println!(
+        "\nbest split-overlay improves the direct path by {:.2}x",
+        eval.split_improvement_ratio()
+    );
+
+    // 5. Traceroute both paths, like the paper's §V-A analysis.
+    println!("\ntraceroute (direct):");
+    print!(
+        "{}",
+        routing_text(&net, &traceroute(&net, &eval.direct_path))
+    );
+    let best = &eval.overlays[eval.best_split_node().expect("has overlays")];
+    println!("traceroute (best overlay):");
+    print!("{}", routing_text(&net, &traceroute(&net, &best.path)));
+}
+
+fn routing_text(
+    net: &cronets_repro::topology::Network,
+    hops: &[cronets_repro::routing::Hop],
+) -> String {
+    cronets_repro::routing::traceroute::format_traceroute(net, hops)
+}

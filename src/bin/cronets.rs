@@ -1,0 +1,146 @@
+//! `cronets` — command-line runner for the reproduction experiments.
+//!
+//! ```text
+//! cronets list
+//! cronets fig2 [--seed N]
+//! cronets all  [--seed N]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use cronets_repro::experiments as exp;
+use transport::des::CouplingAlg;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig2", "Fig. 2: improvement-ratio CDFs, web-server experiment"),
+    ("fig3", "Fig. 3: improvement-ratio CDFs, controlled cloud senders"),
+    ("fig4", "Fig. 4: retransmission-rate CDFs"),
+    ("fig5", "Fig. 5: RTT-ratio CDF"),
+    ("fig6", "Fig. 6 / Fig. 7 / Table I: one-week longitudinal study"),
+    ("fig8", "Fig. 8: path-diversity analysis"),
+    ("fig9", "Fig. 9: improvement by RTT bin"),
+    ("fig10", "Fig. 10: improvement by loss bin"),
+    ("fig11", "Fig. 11: gain vs direct throughput + hop counts"),
+    ("c45", "SV-B: C4.5 joint RTT/loss thresholds"),
+    ("fig12", "Fig. 12: MPTCP/OLIA validation (packet level, slow)"),
+    ("fig13", "Fig. 13: MPTCP/uncoupled-CUBIC validation (slow)"),
+    ("cost", "SI/SVII-D: cost comparison"),
+    ("multihop", "SVII-B extension: one- vs two-hop overlays"),
+    ("ports", "SVII-C extension: port-speed sweep"),
+    ("placement", "SVII-A extension: greedy node placement"),
+    ("ablation", "design-choice ablations (peering, windows, DES validation)"),
+    ("failover", "SVI-A: direct-path failure mid-transfer (packet level)"),
+    ("export", "write all analytic figure data as TSV into ./figures/"),
+];
+
+fn usage() {
+    eprintln!("usage: cronets <experiment|list|all> [--seed N]");
+    eprintln!("experiments:");
+    for (name, desc) in EXPERIMENTS {
+        eprintln!("  {name:<10} {desc}");
+    }
+}
+
+fn run(name: &str, seed: u64) -> bool {
+    match name {
+        "fig2" => println!("{}", exp::prevalence::fig2(seed)),
+        "fig3" => println!("{}", exp::prevalence::fig3(seed)),
+        "fig4" => println!("{}", exp::quality::fig4(seed)),
+        "fig5" => println!("{}", exp::quality::fig5(seed)),
+        "fig6" => println!("{}", exp::longitudinal::longitudinal(seed)),
+        "fig8" => println!("{}", exp::factors::fig8(seed)),
+        "fig9" => println!("{}", exp::factors::fig9(seed)),
+        "fig10" => println!("{}", exp::factors::fig10(seed)),
+        "fig11" => {
+            println!("{}", exp::factors::fig11(seed));
+            let (longer, much) = exp::factors::hop_count_analysis(seed);
+            println!(
+                "hop counts: {:.0}% of improved overlay paths longer, {:.0}% >= 1.5x",
+                longer * 100.0,
+                much * 100.0
+            );
+        }
+        "c45" => println!("{}", exp::thresholds::thresholds(seed)),
+        "fig12" => {
+            let cfg = exp::mptcp_exp::MptcpExpConfig::paper(seed);
+            println!("{}", exp::mptcp_exp::validate(&cfg, CouplingAlg::Olia));
+        }
+        "fig13" => {
+            let cfg = exp::mptcp_exp::MptcpExpConfig::paper(seed);
+            println!("{}", exp::mptcp_exp::validate(&cfg, CouplingAlg::Uncoupled));
+        }
+        "cost" => println!("{}", exp::cost::cost_comparison()),
+        "multihop" => println!("{}", exp::extensions::multi_hop(seed, 25)),
+        "ports" => println!("{}", exp::extensions::port_sweep(seed)),
+        "placement" => println!("{}", exp::extensions::placement(seed, 4)),
+        "failover" => println!("{}", exp::failover::failover(seed, 20, 60)),
+        "export" => {
+            let dir = std::path::Path::new("figures");
+            match exp::export::export_fast(dir, seed) {
+                Ok(files) => {
+                    for f in &files {
+                        println!("wrote {}", f.display());
+                    }
+                }
+                Err(e) => eprintln!("export failed: {e}"),
+            }
+        }
+        "ablation" => {
+            println!("{}", exp::ablation::peering(seed));
+            println!("{}", exp::ablation::window(seed));
+            println!("{}", exp::ablation::split_des_validation(seed, 10, 30));
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut seed = exp::prevalence::DEFAULT_SEED;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    let Some(cmd) = names.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "list" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for (name, _) in EXPERIMENTS {
+                eprintln!("--- running {name} ---");
+                run(name, seed);
+            }
+            ExitCode::SUCCESS
+        }
+        name => {
+            if run(name, seed) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("unknown experiment {name:?}");
+                usage();
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

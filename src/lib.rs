@@ -1,0 +1,35 @@
+//! # cronets-repro — reproduction of *CRONets: Cloud-Routed Overlay
+//! Networks* (ICDCS 2016)
+//!
+//! This facade crate re-exports the workspace so the examples and
+//! integration tests have a single import surface. The real content lives
+//! in the member crates:
+//!
+//! * [`cronets`] — the paper's contribution: overlay construction,
+//!   tunnels, NAT, split-TCP, MPTCP path selection, and a runnable socket
+//!   dataplane;
+//! * [`topology`] / [`routing`] — the simulated Internet (AS hierarchy,
+//!   Gao–Rexford policy routing, hot-potato expansion, traceroute);
+//! * [`transport`] — packet-level TCP/MPTCP simulation and the analytic
+//!   Mathis/Padhye throughput models;
+//! * [`cloud`] — the cloud provider (data centers, vNIC rate limits,
+//!   backbone, pricing);
+//! * [`measure`] — iperf/tstat analogs and the statistics toolkit;
+//! * [`mlcls`] — C4.5 decision trees for the §V-B threshold analysis;
+//! * [`experiments`] — one module per table/figure of the paper;
+//! * [`simcore`] — the discrete-event core everything runs on.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use cloud;
+pub use cronets;
+pub use experiments;
+pub use measure;
+pub use mlcls;
+pub use routing;
+pub use simcore;
+pub use topology;
+pub use transport;

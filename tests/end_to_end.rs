@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the full pipeline from topology
+//! generation through overlay deployment, measurement and selection.
+
+use cronets_repro::cronets::select::mptcp::{mptcp_over, single_path_des};
+use cronets_repro::cronets::select::probing::ProbingSelector;
+use cronets_repro::cronets::{CronetBuilder, TunnelKind};
+use cronets_repro::measure::diversity::diversity_score;
+use cronets_repro::routing::{bgp::is_valley_free, route, traceroute, Bgp};
+use cronets_repro::simcore::{SimDuration, SimRng};
+use cronets_repro::topology::gen::{generate, InternetConfig};
+use cronets_repro::topology::{AsTier, Network, RouterId};
+use cronets_repro::transport::des::CouplingAlg;
+use cronets_repro::transport::model::{tcp_throughput, TcpParams};
+
+fn world(seed: u64) -> (Network, cronets_repro::cronets::Cronet, RouterId, RouterId) {
+    let mut net = generate(&InternetConfig::paper_scale(), seed);
+    let cronet = CronetBuilder::new().build(&mut net, seed);
+    let stubs: Vec<_> = net
+        .ases()
+        .filter(|a| a.tier() == AsTier::Stub)
+        .map(|a| a.id())
+        .collect();
+    let a = net.attach_host("int-a", stubs[7], 100_000_000);
+    let b = net.attach_host("int-b", stubs[101], 100_000_000);
+    (net, cronet, a, b)
+}
+
+#[test]
+fn full_pipeline_produces_consistent_measurements() {
+    let (net, cronet, a, b) = world(55);
+    let mut bgp = Bgp::new();
+    let eval = cronet.evaluate(&net, &mut bgp, a, b).expect("connected");
+
+    // Structural sanity end to end.
+    assert!(eval.direct_path.is_consistent(&net));
+    assert!(is_valley_free(&net, &eval.direct_path.as_path(&net)));
+    for o in &eval.overlays {
+        assert!(o.path.is_consistent(&net));
+        assert!(o.split.throughput_bps <= o.discrete_bps * (1.0 + 1e-9));
+        let score = diversity_score(&eval.direct_path, &o.path);
+        assert!((0.0..=1.0).contains(&score));
+    }
+
+    // The analytic direct measurement agrees with recomputing it by hand.
+    let by_hand = tcp_throughput(
+        &cronets_repro::cronets::eval::quality(&net, &eval.direct_path),
+        cronet.params(),
+    );
+    assert!((by_hand - eval.direct.throughput_bps).abs() < 1.0);
+
+    // Traceroute terminates at the destination with the path RTT.
+    let hops = traceroute(&net, &eval.direct_path);
+    assert_eq!(hops.last().expect("hops").router, b);
+    assert_eq!(hops.last().expect("hops").rtt, eval.direct_path.rtt(&net));
+}
+
+#[test]
+fn des_and_model_agree_on_routed_paths() {
+    let (net, cronet, a, b) = world(56);
+    let mut bgp = Bgp::new();
+    let path = route(&net, &mut bgp, a, b).expect("connected");
+    let model = tcp_throughput(
+        &cronets_repro::cronets::eval::quality(&net, &path),
+        cronet.params(),
+    );
+    let des = single_path_des(&net, &path, cronet.params(), SimDuration::from_secs(20), 9)
+        .goodput_bps;
+    let ratio = des / model;
+    assert!(
+        (0.25..4.0).contains(&ratio),
+        "model {model:.0} vs DES {des:.0} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn mptcp_beats_or_matches_stale_probing_under_dynamics() {
+    // The paper's §VI argument: probing goes stale; MPTCP follows the
+    // best path automatically. Compare a slow prober against the MPTCP
+    // oracle property over shifting congestion.
+    let (mut net, cronet, a, b) = world(57);
+    let mut bgp = Bgp::new();
+    let mut rng = SimRng::seed_from(57);
+    let mut slow_prober = ProbingSelector::new(16);
+    let mut slow_sum = 0.0;
+    let mut best_sum = 0.0;
+    for epoch in 0..32 {
+        net.step_epoch(&mut rng, epoch);
+        let eval = cronet.evaluate(&net, &mut bgp, a, b).expect("connected");
+        slow_sum += slow_prober.step(&eval);
+        best_sum += eval.best_split_bps().max(eval.direct.throughput_bps);
+    }
+    assert!(
+        best_sum >= slow_sum,
+        "oracle {best_sum} < stale prober {slow_sum}?"
+    );
+}
+
+#[test]
+fn mptcp_delivers_on_real_routed_paths() {
+    let (net, cronet, a, b) = world(58);
+    let mut bgp = Bgp::new();
+    let eval = cronet.evaluate(&net, &mut bgp, a, b).expect("connected");
+    let mut paths: Vec<&cronets_repro::routing::RouterPath> = vec![&eval.direct_path];
+    paths.extend(eval.overlays.iter().map(|o| &o.path));
+    let sel = mptcp_over(
+        &net,
+        &paths,
+        CouplingAlg::Olia,
+        cronet.params(),
+        SimDuration::from_secs(10),
+        3,
+    );
+    assert!(sel.throughput_bps > 100_000.0, "MPTCP stalled: {}", sel.throughput_bps);
+    assert_eq!(sel.per_path_bps.len(), paths.len());
+}
+
+#[test]
+fn ipsec_and_gre_deployments_differ_only_in_split_capability() {
+    let seed = 59;
+    let build = |tunnel| {
+        let mut net = generate(&InternetConfig::small(), seed);
+        let cronet = CronetBuilder::new().tunnel(tunnel).build(&mut net, seed);
+        let stubs: Vec<_> = net
+            .ases()
+            .filter(|x| x.tier() == AsTier::Stub)
+            .map(|x| x.id())
+            .collect();
+        let a = net.attach_host("a", stubs[0], 100_000_000);
+        let b = net.attach_host("b", stubs[9], 100_000_000);
+        let mut bgp = Bgp::new();
+        cronet.evaluate(&net, &mut bgp, a, b).expect("connected")
+    };
+    let gre = build(TunnelKind::Gre);
+    let ipsec = build(TunnelKind::Ipsec);
+    // IPsec "split" degenerates to plain; GRE split is a real mode.
+    for o in &ipsec.overlays {
+        assert_eq!(o.split.throughput_bps, o.plain.throughput_bps);
+    }
+    assert!(gre.best_split_bps() >= gre.best_plain_bps() * 0.9);
+}
+
+#[test]
+fn window_parameters_change_window_limited_paths_only() {
+    let (net, _, a, b) = world(60);
+    let mut bgp = Bgp::new();
+    let path = route(&net, &mut bgp, a, b).expect("connected");
+    let q = cronets_repro::cronets::eval::quality(&net, &path);
+    let small = tcp_throughput(
+        &q,
+        &TcpParams {
+            max_window: 256 << 10,
+            ..TcpParams::default()
+        },
+    );
+    let large = tcp_throughput(
+        &q,
+        &TcpParams {
+            max_window: 16 << 20,
+            ..TcpParams::default()
+        },
+    );
+    assert!(large >= small, "larger windows can never hurt steady state");
+}
