@@ -4,5 +4,8 @@ fn main() {
     let seed = experiments::prevalence::DEFAULT_SEED;
     println!("{}", experiments::ablation::peering(seed));
     println!("{}", experiments::ablation::window(seed));
-    println!("{}", experiments::ablation::split_des_validation(seed, 10, 30));
+    println!(
+        "{}",
+        experiments::ablation::split_des_validation(seed, 10, 30)
+    );
 }

@@ -1,52 +1,67 @@
-//! Criterion micro-benchmarks of the substrates: event queue, packet
-//! simulation rate, policy routing, C4.5 training, path evaluation.
+//! Micro-benchmarks of the substrates: event queue, packet simulation
+//! rate, policy routing, C4.5 training, and the telemetry hot path.
+//!
+//! Self-contained harness (no external bench framework): each bench is
+//! timed over enough iterations to smooth scheduler noise, the median of
+//! several repetitions is reported, and the results are written to
+//! `BENCH_micro.json` at the repo root (bench name → ns/iter) so the
+//! perf trajectory is machine-readable from PR to PR.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use simcore::{EventQueue, SimDuration, SimTime};
 use topology::gen::{generate, InternetConfig};
 use transport::des::{DesPath, Netsim, TransferConfig};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.schedule(SimTime::from_nanos(i * 7 % 5_000), i);
-                }
-                while q.pop().is_some() {}
-                q
-            },
-            BatchSize::SmallInput,
-        );
-    });
+/// Times `f` over `iters` iterations, `reps` times; returns the median
+/// ns/iter.
+fn bench<T>(iters: u32, reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
 }
 
-fn bench_des_tcp(c: &mut Criterion) {
-    c.bench_function("des_tcp_1s_100mbps", |b| {
-        b.iter(|| {
-            let mut sim = Netsim::new(1);
-            let l = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
-            let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(1));
-            sim.run().remove(f).bytes_delivered
-        });
-    });
+fn bench_event_queue() -> f64 {
+    bench(20, 7, || {
+        let mut q = EventQueue::<u64>::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_nanos(i * 7 % 5_000), i);
+        }
+        while q.pop().is_some() {}
+        q
+    })
 }
 
-fn bench_bgp(c: &mut Criterion) {
+fn bench_des_tcp() -> f64 {
+    bench(3, 5, || {
+        let mut sim = Netsim::new(1);
+        let l = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
+        let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(1));
+        sim.run().remove(f).bytes_delivered
+    })
+}
+
+fn bench_bgp() -> f64 {
     let net = generate(&InternetConfig::paper_scale(), 7);
     let dests: Vec<topology::AsId> = net.ases().map(|a| a.id()).take(8).collect();
-    c.bench_function("bgp_table_paper_scale", |b| {
-        b.iter(|| {
-            let mut bgp = routing::Bgp::new();
-            for &d in &dests {
-                let _ = bgp.table(&net, d).len();
-            }
-        });
-    });
+    bench(3, 5, || {
+        let mut bgp = routing::Bgp::new();
+        for &d in &dests {
+            let _ = black_box(bgp.table(&net, d).len());
+        }
+    })
 }
 
-fn bench_route_expansion(c: &mut Criterion) {
+fn bench_route_expansion() -> f64 {
     let mut net = generate(&InternetConfig::paper_scale(), 7);
     let stubs: Vec<topology::AsId> = net
         .ases()
@@ -58,12 +73,12 @@ fn bench_route_expansion(c: &mut Criterion) {
     let mut bgp = routing::Bgp::new();
     // Warm the AS-level cache so the benchmark isolates expansion.
     let _ = routing::route(&net, &mut bgp, a, b);
-    c.bench_function("route_expand_paper_scale", |b2| {
-        b2.iter(|| routing::route(&net, &mut bgp, a, b).map(|p| p.hop_count()));
-    });
+    bench(50, 7, || {
+        routing::route(&net, &mut bgp, a, b).map(|p| p.hop_count())
+    })
 }
 
-fn bench_c45(c: &mut Criterion) {
+fn bench_c45() -> f64 {
     let mut rng = simcore::SimRng::seed_from(3);
     let mut ds = mlcls::Dataset::new(vec!["x".into(), "y".into()]);
     for _ in 0..2_000 {
@@ -71,17 +86,57 @@ fn bench_c45(c: &mut Criterion) {
         let y = rng.uniform_range(-1.0, 1.0);
         ds.push(vec![x, y], x > 0.1 && y > 0.2);
     }
-    c.bench_function("c45_fit_2k_rows", |b| {
-        b.iter(|| mlcls::Tree::fit(&ds, &mlcls::TreeConfig::default()).node_count());
-    });
+    bench(3, 5, || {
+        mlcls::Tree::fit(&ds, &mlcls::TreeConfig::default()).node_count()
+    })
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_des_tcp,
-    bench_bgp,
-    bench_route_expansion,
-    bench_c45
-);
-criterion_main!(benches);
+/// The telemetry hot path with collection disabled: this is the cost
+/// every DES event pays in a plain (un-instrumented) run, and the
+/// number that backs the "near-free when disabled" claim.
+fn bench_metrics_disabled() -> f64 {
+    obs::enable();
+    let c = obs::counter("bench.hot");
+    obs::disable();
+    bench(1_000_000, 7, || obs::add(black_box(c), 1))
+}
+
+/// The same path with collection enabled (one thread-local borrow plus
+/// an array index).
+fn bench_metrics_enabled() -> f64 {
+    obs::enable();
+    let c = obs::counter("bench.hot");
+    let ns = bench(1_000_000, 7, || obs::add(black_box(c), 1));
+    obs::disable();
+    ns
+}
+
+fn main() {
+    let results: Vec<(&str, f64)> = vec![
+        ("event_queue_push_pop_10k", bench_event_queue()),
+        ("des_tcp_1s_100mbps", bench_des_tcp()),
+        ("bgp_table_paper_scale", bench_bgp()),
+        ("route_expand_paper_scale", bench_route_expansion()),
+        ("c45_fit_2k_rows", bench_c45()),
+        ("metrics_add_disabled", bench_metrics_disabled()),
+        ("metrics_add_enabled", bench_metrics_enabled()),
+    ];
+
+    for (name, ns) in &results {
+        println!("{name:30} {ns:>14.1} ns/iter");
+    }
+
+    // Machine-readable trajectory next to the repo root.
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {ns:.1}{sep}\n"));
+    }
+    json.push_str("}\n");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_micro.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+}

@@ -8,10 +8,8 @@
 //! tiers; distance- and bandwidth-priced leased lines) so the comparison
 //! can be regenerated as an experiment.
 
-use serde::{Deserialize, Serialize};
-
 /// Virtual-server port speed options (paper §VII-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortSpeed {
     /// 100 Mbps — the paper's default overlay node port.
     Mbps100,
@@ -44,7 +42,7 @@ impl PortSpeed {
 
 /// Monthly traffic-volume plans (paper §VII-D lists 1,000/5,000/10,000/
 /// 20,000 GB and unlimited).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficPlan {
     /// 1 TB included.
     Gb1000,
@@ -138,7 +136,10 @@ mod tests {
     #[test]
     fn base_vm_matches_paper_price_point() {
         let one = overlay_monthly_usd(1, PortSpeed::Mbps100, TrafficPlan::Gb1000);
-        assert!((18.0..30.0).contains(&one), "paper says ≈$20/month, got {one}");
+        assert!(
+            (18.0..30.0).contains(&one),
+            "paper says ≈$20/month, got {one}"
+        );
     }
 
     #[test]
@@ -157,12 +158,8 @@ mod tests {
         // Abstract: "at a tenth of the cost of leasing private lines of
         // comparable performance" — the paper's five-node overlay with a
         // serious traffic plan vs a transcontinental 100 Mbps line.
-        let ratio = cost_ratio_leased_over_overlay(
-            5,
-            PortSpeed::Mbps100,
-            TrafficPlan::Gb10000,
-            4_000.0,
-        );
+        let ratio =
+            cost_ratio_leased_over_overlay(5, PortSpeed::Mbps100, TrafficPlan::Gb10000, 4_000.0);
         assert!((5.0..20.0).contains(&ratio), "ratio {ratio}");
     }
 

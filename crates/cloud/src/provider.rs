@@ -1,6 +1,5 @@
 //! Building the cloud provider AS inside the Internet topology.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 use topology::congestion::CongestionProfile;
 use topology::gen::nearest_backbone_router;
@@ -13,7 +12,7 @@ const fn gbps(n: u64) -> u64 {
 }
 
 /// Configuration of the cloud provider to attach to a topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProviderConfig {
     /// Provider name (AS name in the topology).
     pub name: String,
@@ -162,8 +161,8 @@ pub fn attach_provider(net: &mut Network, config: &ProviderConfig, seed: u64) ->
         .dc_cities
         .iter()
         .map(|name| {
-            let city = city_by_name(name)
-                .unwrap_or_else(|| panic!("unknown data-center city {name:?}"));
+            let city =
+                city_by_name(name).unwrap_or_else(|| panic!("unknown data-center city {name:?}"));
             Datacenter {
                 router: net.add_router(asid, city, RouterKind::Backbone),
             }
@@ -208,7 +207,14 @@ pub fn attach_provider(net: &mut Network, config: &ProviderConfig, seed: u64) ->
                 .location
                 .propagation_delay(net.router(border).city().location);
             let profile = external_profile(&mut rng);
-            net.add_link(dc.router, border, LinkKind::Transit, gbps(10), delay, profile);
+            net.add_link(
+                dc.router,
+                border,
+                LinkKind::Transit,
+                gbps(10),
+                delay,
+                profile,
+            );
         }
     }
 

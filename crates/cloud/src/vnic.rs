@@ -82,7 +82,11 @@ mod tests {
     #[test]
     fn vm_port_speed_caps_its_access_link() {
         let (mut net, p) = world();
-        for (i, port) in [(0usize, 100_000_000u64), (1, 1_000_000_000), (2, 10_000_000_000)] {
+        for (i, port) in [
+            (0usize, 100_000_000u64),
+            (1, 1_000_000_000),
+            (2, 10_000_000_000),
+        ] {
             let vm = provision_vm(&mut net, &p, i, "o", port);
             let (_, link) = net.neighbors(vm)[0];
             assert_eq!(net.link(link).capacity_bps(), port);

@@ -257,7 +257,9 @@ mod tests {
     #[test]
     fn port_speed_applies_to_vms() {
         let mut net = generate(&InternetConfig::small(), 3);
-        let cronet = CronetBuilder::new().port(PortSpeed::Gbps1).build(&mut net, 3);
+        let cronet = CronetBuilder::new()
+            .port(PortSpeed::Gbps1)
+            .build(&mut net, 3);
         for node in cronet.nodes() {
             let (_, l) = net.neighbors(node.vm())[0];
             assert_eq!(net.link(l).capacity_bps(), 1_000_000_000);

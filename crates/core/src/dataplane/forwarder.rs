@@ -12,14 +12,16 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use obs::sync::{
+    ENCAP_OVERHEAD_BYTES, FRAMES_DROPPED, FRAMES_FORWARDED, FRAMES_RETURNED, NAT_ACTIVE,
+    NAT_POOL_EXHAUSTED, NAT_TRANSLATIONS,
+};
 
-use crate::dataplane::frame::Frame;
+use crate::dataplane::frame::{encap_overhead, Bytes, Frame};
 use crate::nat::{FlowKey, Masquerade, Proto};
 
 /// A running UDP encapsulation forwarder.
@@ -67,9 +69,11 @@ impl UdpForwarder {
                     Err(_) => break,
                 };
                 let Ok(frame) = Frame::decode(Bytes::copy_from_slice(&buf[..n])) else {
+                    FRAMES_DROPPED.inc();
                     continue; // malformed encapsulation: drop
                 };
                 let Ok(dst) = frame.addr.parse::<SocketAddr>() else {
+                    FRAMES_DROPPED.inc();
                     continue;
                 };
                 let key = FlowKey {
@@ -84,14 +88,22 @@ impl UdpForwarder {
                     // flow expiry is left to the embedding application
                     // (the kernel's masquerade uses idle timers here).
                     let port = {
-                        let mut nat = nat2.lock();
+                        let mut nat = nat2.lock().unwrap();
                         if nat.active() >= nat.capacity() {
+                            NAT_POOL_EXHAUSTED.inc();
+                            FRAMES_DROPPED.inc();
                             continue;
                         }
-                        nat.translate(key)
+                        let port = nat.translate(key);
+                        NAT_TRANSLATIONS.inc();
+                        NAT_ACTIVE.set(nat.active() as i64);
+                        port
                     };
                     let Ok(upstream) = UdpSocket::bind(("127.0.0.1", port)) else {
-                        nat2.lock().remove(key);
+                        let mut nat = nat2.lock().unwrap();
+                        nat.remove(key);
+                        NAT_ACTIVE.set(nat.active() as i64);
+                        FRAMES_DROPPED.inc();
                         continue;
                     };
                     // Responder thread: upstream replies -> client frames.
@@ -111,7 +123,10 @@ impl UdpForwarder {
                                         from.to_string(),
                                         Bytes::copy_from_slice(&rbuf[..rn]),
                                     );
-                                    let _ = back.send_to(&f.encode(), client);
+                                    if back.send_to(&f.encode(), client).is_ok() {
+                                        FRAMES_RETURNED.inc();
+                                        ENCAP_OVERHEAD_BYTES.add(encap_overhead(&f.addr) as u64);
+                                    }
                                 }
                                 Err(e)
                                     if e.kind() == io::ErrorKind::WouldBlock
@@ -126,7 +141,10 @@ impl UdpForwarder {
                     e.insert(FlowState { upstream });
                 }
                 let flow = &flows[&key];
-                let _ = flow.upstream.send_to(&frame.payload, dst);
+                if flow.upstream.send_to(&frame.payload, dst).is_ok() {
+                    FRAMES_FORWARDED.inc();
+                    ENCAP_OVERHEAD_BYTES.add(encap_overhead(&frame.addr) as u64);
+                }
             }
             for r in responders {
                 let _ = r.join();
@@ -150,7 +168,7 @@ impl UdpForwarder {
     /// Number of active NAT translations.
     #[must_use]
     pub fn active_flows(&self) -> usize {
-        self.nat.lock().active()
+        self.nat.lock().unwrap().active()
     }
 }
 
@@ -211,7 +229,11 @@ mod tests {
 
         let reply = send_and_recv(&client, &fwd, echo, b"ping").unwrap();
         assert_eq!(&reply.payload[..], b"ack:ping");
-        assert_eq!(reply.addr, echo.to_string(), "return frame names the origin");
+        assert_eq!(
+            reply.addr,
+            echo.to_string(),
+            "return frame names the origin"
+        );
         assert_eq!(fwd.active_flows(), 1);
         stop.store(true, Ordering::Relaxed);
     }

@@ -1,13 +1,114 @@
 //! Wire framing: `[u16 addr_len][addr utf8][u32 payload_len][payload]`.
 
 use std::io::{self, Read, Write};
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::ops::{Deref, RangeTo};
+use std::sync::Arc;
 
 /// Longest accepted address string.
 const MAX_ADDR_LEN: usize = 256;
 /// Longest accepted payload (64 KiB covers a UDP datagram).
 const MAX_PAYLOAD_LEN: usize = 64 * 1024;
+
+/// A cheaply-cloneable, immutable byte buffer (std-only stand-in for the
+/// `bytes` crate's `Bytes`): a shared allocation plus a sub-range, so
+/// clones and slices never copy.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a fresh buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Wraps a static slice (copied; the name mirrors the `bytes` API).
+    #[must_use]
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A zero-copy prefix view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the end of the buffer.
+    #[must_use]
+    pub fn slice(&self, range: RangeTo<usize>) -> Bytes {
+        assert!(range.end <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the contents into a `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
 
 /// A tunnel frame: the remote destination address plus the payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +117,13 @@ pub struct Frame {
     pub addr: String,
     /// Opaque payload bytes.
     pub payload: Bytes,
+}
+
+/// Encoded size of a frame's framing overhead (everything but the
+/// payload): the two length prefixes plus the address text.
+#[must_use]
+pub fn encap_overhead(addr: &str) -> usize {
+    2 + addr.len() + 4
 }
 
 impl Frame {
@@ -36,12 +144,12 @@ impl Frame {
     /// Serializes the frame.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(2 + self.addr.len() + 4 + self.payload.len());
-        buf.put_u16(self.addr.len() as u16);
-        buf.put_slice(self.addr.as_bytes());
-        buf.put_u32(self.payload.len() as u32);
-        buf.put_slice(&self.payload);
-        buf.freeze()
+        let mut buf = Vec::with_capacity(encap_overhead(&self.addr) + self.payload.len());
+        buf.extend_from_slice(&(self.addr.len() as u16).to_be_bytes());
+        buf.extend_from_slice(self.addr.as_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        Bytes::from(buf)
     }
 
     /// Parses a frame from a complete buffer.
@@ -50,29 +158,36 @@ impl Frame {
     ///
     /// Returns `InvalidData` if the buffer is truncated, oversized fields
     /// are declared, or the address is not UTF-8.
-    pub fn decode(mut buf: Bytes) -> io::Result<Frame> {
+    pub fn decode(buf: Bytes) -> io::Result<Frame> {
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-        if buf.remaining() < 2 {
+        let b: &[u8] = &buf;
+        if b.len() < 2 {
             return Err(bad("frame shorter than address length"));
         }
-        let alen = buf.get_u16() as usize;
+        let alen = u16::from_be_bytes([b[0], b[1]]) as usize;
         if alen > MAX_ADDR_LEN {
             return Err(bad("address length exceeds limit"));
         }
-        if buf.remaining() < alen + 4 {
+        if b.len() < 2 + alen + 4 {
             return Err(bad("frame truncated in address/payload length"));
         }
-        let addr_bytes = buf.copy_to_bytes(alen);
-        let addr = String::from_utf8(addr_bytes.to_vec())
+        let addr = String::from_utf8(b[2..2 + alen].to_vec())
             .map_err(|_| bad("address is not valid UTF-8"))?;
-        let plen = buf.get_u32() as usize;
+        let plen_at = 2 + alen;
+        let plen = u32::from_be_bytes([b[plen_at], b[plen_at + 1], b[plen_at + 2], b[plen_at + 3]])
+            as usize;
         if plen > MAX_PAYLOAD_LEN {
             return Err(bad("payload length exceeds limit"));
         }
-        if buf.remaining() < plen {
+        let body_at = plen_at + 4;
+        if b.len() < body_at + plen {
             return Err(bad("frame truncated in payload"));
         }
-        let payload = buf.copy_to_bytes(plen);
+        let payload = Bytes {
+            data: Arc::clone(&buf.data),
+            start: buf.start + body_at,
+            end: buf.start + body_at + plen,
+        };
         Ok(Frame { addr, payload })
     }
 }
@@ -97,7 +212,10 @@ pub fn read_frame<R: Read>(mut r: R) -> io::Result<Frame> {
     r.read_exact(&mut len2)?;
     let alen = u16::from_be_bytes(len2) as usize;
     if alen > MAX_ADDR_LEN {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "address length exceeds limit"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "address length exceeds limit",
+        ));
     }
     let mut addr = vec![0u8; alen];
     r.read_exact(&mut addr)?;
@@ -105,7 +223,10 @@ pub fn read_frame<R: Read>(mut r: R) -> io::Result<Frame> {
     r.read_exact(&mut len4)?;
     let plen = u32::from_be_bytes(len4) as usize;
     if plen > MAX_PAYLOAD_LEN {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "payload length exceeds limit"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "payload length exceeds limit",
+        ));
     }
     let mut payload = vec![0u8; plen];
     r.read_exact(&mut payload)?;
@@ -171,19 +292,19 @@ mod tests {
     #[test]
     fn oversized_declarations_are_rejected() {
         // Claim a 60,000-byte address.
-        let mut bad = BytesMut::new();
-        bad.put_u16(60_000);
-        bad.put_slice(&[0u8; 16]);
-        assert!(Frame::decode(bad.freeze()).is_err());
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&60_000u16.to_be_bytes());
+        bad.extend_from_slice(&[0u8; 16]);
+        assert!(Frame::decode(Bytes::from(bad)).is_err());
     }
 
     #[test]
     fn non_utf8_address_is_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u16(2);
-        buf.put_slice(&[0xFF, 0xFE]);
-        buf.put_u32(0);
-        assert!(Frame::decode(buf.freeze()).is_err());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        assert!(Frame::decode(Bytes::from(buf)).is_err());
     }
 
     #[test]
@@ -196,5 +317,16 @@ mod tests {
     #[should_panic(expected = "payload too long")]
     fn oversized_payload_panics_at_construction() {
         let _ = Frame::new("a:1", Bytes::from(vec![0u8; MAX_PAYLOAD_LEN + 1]));
+    }
+
+    #[test]
+    fn decoded_payload_shares_the_input_allocation() {
+        let f = Frame::new("x:1", Bytes::from(vec![7u8; 1000]));
+        let wire = f.encode();
+        let decoded = Frame::decode(wire.clone()).unwrap();
+        assert!(
+            Arc::ptr_eq(&decoded.payload.data, &wire.data),
+            "decode copied the payload"
+        );
     }
 }

@@ -5,7 +5,8 @@
 //! implements them with `std::net` + threads, and the test suite drives
 //! them end-to-end over loopback:
 //!
-//! * [`frame`] — length-prefixed wire framing (via the `bytes` crate);
+//! * [`frame`] — length-prefixed wire framing over a std-only shared
+//!   byte buffer ([`frame::Bytes`]);
 //! * [`relay`] — the split-TCP proxy: terminates the client's TCP
 //!   connection at the overlay node and opens a second one toward the
 //!   destination (§II's "Split-Overlay" mode, after Bakre & Badrinath's
@@ -19,5 +20,5 @@ pub mod frame;
 pub mod relay;
 
 pub use forwarder::UdpForwarder;
-pub use frame::{read_frame, write_frame, Frame};
+pub use frame::{read_frame, write_frame, Bytes, Frame};
 pub use relay::SplitRelay;

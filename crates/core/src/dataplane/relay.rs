@@ -14,6 +14,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use obs::sync::{RELAY_BYTES, RELAY_CONNECTIONS};
+
 use crate::dataplane::frame::read_frame;
 
 /// A running split-TCP relay bound to a local address.
@@ -91,6 +93,7 @@ impl Drop for SplitRelay {
 }
 
 fn handle_connection(client: TcpStream, relayed: &Arc<AtomicU64>) -> io::Result<()> {
+    RELAY_CONNECTIONS.inc();
     client.set_nodelay(true).ok();
     let hello = read_frame(&client)?;
     let upstream = TcpStream::connect(&hello.addr)?;
@@ -116,6 +119,7 @@ fn pump(mut from: TcpStream, mut to: TcpStream, relayed: &AtomicU64) {
             Ok(0) | Err(_) => break,
             Ok(n) => {
                 relayed.fetch_add(n as u64, Ordering::Relaxed);
+                RELAY_BYTES.add(n as u64);
                 if to.write_all(&buf[..n]).is_err() {
                     break;
                 }
@@ -128,8 +132,7 @@ fn pump(mut from: TcpStream, mut to: TcpStream, relayed: &AtomicU64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataplane::frame::{write_frame, Frame};
-    use bytes::Bytes;
+    use crate::dataplane::frame::{write_frame, Bytes, Frame};
 
     /// A TCP echo server for the tests to target.
     fn spawn_echo() -> io::Result<(SocketAddr, JoinHandle<()>)> {

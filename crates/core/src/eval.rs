@@ -8,7 +8,6 @@
 //! is the slower segment's.
 
 use routing::{expand_as_path, route, Bgp, RouterPath};
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use topology::{Network, RouterId};
 use transport::model::{split_tcp_throughput, tcp_throughput, PathQuality, TcpParams};
@@ -17,7 +16,7 @@ use crate::cronet::OverlayNode;
 use crate::tunnel::TunnelKind;
 
 /// What a TCP transfer experiences over one path configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Steady-state throughput, bits per second.
     pub throughput_bps: f64,
@@ -76,7 +75,10 @@ impl PairEval {
     /// Best discrete-overlay (upper-bound) throughput across nodes.
     #[must_use]
     pub fn best_discrete_bps(&self) -> f64 {
-        self.overlays.iter().map(|o| o.discrete_bps).fold(0.0, f64::max)
+        self.overlays
+            .iter()
+            .map(|o| o.discrete_bps)
+            .fold(0.0, f64::max)
     }
 
     /// Lowest plain-overlay loss across nodes (Fig. 4's best-of-four
@@ -283,7 +285,11 @@ pub fn eval_multi_hop(
         let q = quality(net, &seg);
         // The final leg is NAT-decapsulated, not tunneled — full MSS,
         // matching the one-hop split model.
-        let p = if i + 1 == segments { params } else { &tunnel_params };
+        let p = if i + 1 == segments {
+            params
+        } else {
+            &tunnel_params
+        };
         rate = rate.min(tcp_throughput(&q, p));
         full_path = Some(match full_path {
             None => seg,
@@ -468,9 +474,7 @@ mod tests {
         )
         .unwrap();
         let ratio = eval.split_improvement_ratio();
-        assert!(
-            (ratio - eval.best_split_bps() / eval.direct.throughput_bps).abs() < 1e-9
-        );
+        assert!((ratio - eval.best_split_bps() / eval.direct.throughput_bps).abs() < 1e-9);
         assert!(eval.best_split_node().is_some());
     }
 
@@ -479,9 +483,16 @@ mod tests {
         let (net, cronet, a, b) = world();
         let mut bgp = Bgp::new();
         let chain: Vec<&OverlayNode> = cronet.nodes().iter().take(2).collect();
-        let (bps, path) =
-            eval_multi_hop(&net, &mut bgp, a, b, &chain, TunnelKind::Gre, cronet.params())
-                .unwrap();
+        let (bps, path) = eval_multi_hop(
+            &net,
+            &mut bgp,
+            a,
+            b,
+            &chain,
+            TunnelKind::Gre,
+            cronet.params(),
+        )
+        .unwrap();
         assert!(bps > 0.0);
         assert_eq!(path.source(), a);
         assert_eq!(path.destination(), b);

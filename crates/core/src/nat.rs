@@ -98,7 +98,8 @@ impl Masquerade {
         }
         let port = self.allocate(key);
         self.forward.insert(key, port);
-        self.reverse.insert((key.proto, port, key.dst), key.inside_src);
+        self.reverse
+            .insert((key.proto, port, key.dst), key.inside_src);
         port
     }
 
@@ -111,10 +112,7 @@ impl Masquerade {
             } else {
                 self.next + 1
             };
-            if !self
-                .reverse
-                .contains_key(&(key.proto, candidate, key.dst))
-            {
+            if !self.reverse.contains_key(&(key.proto, candidate, key.dst)) {
                 return candidate;
             }
         }
@@ -124,7 +122,12 @@ impl Masquerade {
     /// Resolves return traffic: which inside source does `(proto,
     /// outside_port, remote)` belong to?
     #[must_use]
-    pub fn reverse(&self, proto: Proto, outside_port: u16, remote: SocketAddr) -> Option<SocketAddr> {
+    pub fn reverse(
+        &self,
+        proto: Proto,
+        outside_port: u16,
+        remote: SocketAddr,
+    ) -> Option<SocketAddr> {
         self.reverse.get(&(proto, outside_port, remote)).copied()
     }
 
@@ -177,7 +180,11 @@ mod tests {
         let p = nat.translate(k);
         assert_eq!(nat.reverse(Proto::Udp, p, k.dst), Some(k.inside_src));
         assert_eq!(nat.reverse(Proto::Udp, p, key(5000, 81).dst), None);
-        assert_eq!(nat.reverse(Proto::Tcp, p, k.dst), None, "protocol is part of the key");
+        assert_eq!(
+            nat.reverse(Proto::Tcp, p, k.dst),
+            None,
+            "protocol is part of the key"
+        );
     }
 
     #[test]

@@ -24,6 +24,25 @@ pub struct MptcpSelection {
     pub per_path_bps: Vec<f64>,
 }
 
+/// Records a finished selection into the telemetry registry: each
+/// subflow's goodput lands in the `mptcp.subflow.goodput_bps` histogram
+/// and a per-index labeled gauge (`...{sf=i}`). No-op when collection is
+/// off; cold path, so names are resolved on the spot.
+fn record_selection(sel: &MptcpSelection) {
+    if !obs::enabled() {
+        return;
+    }
+    let h = obs::histogram("mptcp.subflow.goodput_bps", obs::GOODPUT_EDGES);
+    for (i, &bps) in sel.per_path_bps.iter().enumerate() {
+        obs::observe(h, bps);
+        let g = obs::gauge(&obs::labeled(
+            "mptcp.subflow.goodput_bps",
+            &format!("sf={i}"),
+        ));
+        obs::set(g, bps);
+    }
+}
+
 /// Builds a shared-link DES over the given router-level paths and maps
 /// each to a [`DesPath`]; topology links appearing in several paths are
 /// instantiated once, so subflows contend realistically. Also returns the
@@ -45,12 +64,7 @@ fn build_sim_indexed(
                     *index.entry(l).or_insert_with(|| {
                         let link = net.link(l);
                         let queue = (link.capacity_bps() / 8 / 10).max(64 << 10);
-                        sim.add_link(
-                            link.capacity_bps(),
-                            link.latency(),
-                            link.loss_prob(),
-                            queue,
-                        )
+                        sim.add_link(link.capacity_bps(), link.latency(), link.loss_prob(), queue)
                     })
                 })
                 .collect();
@@ -76,6 +90,7 @@ pub type LinkEvent = (topology::LinkId, SimDuration, f64);
 ///
 /// Panics if `paths` is empty.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn mptcp_over_with_failures(
     net: &Network,
     paths: &[&RouterPath],
@@ -104,13 +119,12 @@ pub fn mptcp_over_with_failures(
     };
     let f = sim.add_mptcp_flow(des_paths, &cfg);
     let stats = sim.run().remove(f);
-    (
-        MptcpSelection {
-            throughput_bps: stats.goodput_bps,
-            per_path_bps: stats.per_subflow_goodput,
-        },
-        stats.interval_goodput_bps,
-    )
+    let sel = MptcpSelection {
+        throughput_bps: stats.goodput_bps,
+        per_path_bps: stats.per_subflow_goodput,
+    };
+    record_selection(&sel);
+    (sel, stats.interval_goodput_bps)
 }
 
 /// Runs an MPTCP connection over all `paths` simultaneously and reports
@@ -146,10 +160,12 @@ pub fn mptcp_over(
     };
     let f = sim.add_mptcp_flow(des_paths, &cfg);
     let stats = sim.run().remove(f);
-    MptcpSelection {
+    let sel = MptcpSelection {
         throughput_bps: stats.goodput_bps,
         per_path_bps: stats.per_subflow_goodput,
-    }
+    };
+    record_selection(&sel);
+    sel
 }
 
 /// Runs a split-TCP relay at packet level over two routed segments
@@ -305,7 +321,6 @@ mod tests {
         );
     }
 
-
     #[test]
     #[ignore]
     fn probe_olia_favoring() {
@@ -317,13 +332,26 @@ mod tests {
         for (i, p) in paths.iter().enumerate() {
             let q = crate::eval::quality(&net, p);
             let solo = single_path_des(&net, p, &params, duration, 6).goodput_bps;
-            eprintln!("path{i}: rtt={}ms loss={:.5} solo={:.2}M olia_share={:.2}M",
-                q.rtt.as_millis(), q.loss, solo/1e6, olia.per_path_bps[i]/1e6);
+            eprintln!(
+                "path{i}: rtt={}ms loss={:.5} solo={:.2}M olia_share={:.2}M",
+                q.rtt.as_millis(),
+                q.loss,
+                solo / 1e6,
+                olia.per_path_bps[i] / 1e6
+            );
         }
-        eprintln!("olia total {:.2}M", olia.throughput_bps/1e6);
+        eprintln!("olia total {:.2}M", olia.throughput_bps / 1e6);
         // re-run capturing internal state
         let (mut sim, des_paths) = build_sim(&net, &paths, 5);
-        let cfg = MptcpConfig { transfer: TransferConfig { duration, params, cc: transport::des::CongestionAlg::Cubic, sample_interval: None }, coupling: CouplingAlg::Olia };
+        let cfg = MptcpConfig {
+            transfer: TransferConfig {
+                duration,
+                params,
+                cc: transport::des::CongestionAlg::Cubic,
+                sample_interval: None,
+            },
+            coupling: CouplingAlg::Olia,
+        };
         let f = sim.add_mptcp_flow(des_paths, &cfg);
         let _ = sim.run();
         for (s, _path) in paths.iter().enumerate() {
@@ -331,19 +359,42 @@ mod tests {
             let (rnxt, ooo, sent) = sim.debug_receiver_state(f, s);
             eprintln!("sub{s}: una={una} nxt={nxt} cwnd={cwnd:.1} rto={rto}ms inrec={inrec} recs={recs} tos={tos} rcv_nxt={rnxt} ooo={ooo} sent={sent}");
             let q = crate::eval::quality(&net, paths[s]);
-            let per_link: Vec<String> = paths[s].links().iter().map(|&l| {
-                let lk = net.link(l);
-                format!("{:.4}@{}ms/{}M", lk.loss_prob(), lk.latency().as_millis(), lk.capacity_bps()/1_000_000)
-            }).collect();
-            eprintln!("   path rtt={}ms links: {}", q.rtt.as_millis(), per_link.join(" "));
+            let per_link: Vec<String> = paths[s]
+                .links()
+                .iter()
+                .map(|&l| {
+                    let lk = net.link(l);
+                    format!(
+                        "{:.4}@{}ms/{}M",
+                        lk.loss_prob(),
+                        lk.latency().as_millis(),
+                        lk.capacity_bps() / 1_000_000
+                    )
+                })
+                .collect();
+            eprintln!(
+                "   path rtt={}ms links: {}",
+                q.rtt.as_millis(),
+                per_link.join(" ")
+            );
         }
         // per-DES-link drop counters
         let (_, des_paths2) = build_sim(&net, &paths, 5);
         for (s, dp) in des_paths2.iter().enumerate() {
-            let drops: Vec<String> = dp.links().iter().map(|&i| {
-                let l = sim.link(i);
-                format!("{}:f{}q{}r{}", i, l.forwarded(), l.queue_drops(), l.random_drops())
-            }).collect();
+            let drops: Vec<String> = dp
+                .links()
+                .iter()
+                .map(|&i| {
+                    let l = sim.link(i);
+                    format!(
+                        "{}:f{}q{}r{}",
+                        i,
+                        l.forwarded(),
+                        l.queue_drops(),
+                        l.random_drops()
+                    )
+                })
+                .collect();
             eprintln!("deslinks sub{s}: {}", drops.join(" "));
         }
     }
@@ -357,13 +408,25 @@ mod tests {
         for (i, p) in paths.iter().enumerate() {
             let q = crate::eval::quality(&net, p);
             let solo = single_path_des(&net, p, &params, SimDuration::from_secs(30), 6).goodput_bps;
-            eprintln!("path{}: rtt={}ms loss={:.4} solo={:.2}Mbps hops={}", i, q.rtt.as_millis(), q.loss, solo/1e6, p.hop_count());
+            eprintln!(
+                "path{}: rtt={}ms loss={:.4} solo={:.2}Mbps hops={}",
+                i,
+                q.rtt.as_millis(),
+                q.loss,
+                solo / 1e6,
+                p.hop_count()
+            );
         }
         {
             // deep probe of uncoupled dur=90
             let (mut sim, des_paths) = build_sim(&net, &paths, 5);
             let cfg = MptcpConfig {
-                transfer: TransferConfig { duration: SimDuration::from_secs(90), params, cc: transport::des::CongestionAlg::Cubic, sample_interval: None },
+                transfer: TransferConfig {
+                    duration: SimDuration::from_secs(90),
+                    params,
+                    cc: transport::des::CongestionAlg::Cubic,
+                    sample_interval: None,
+                },
                 coupling: CouplingAlg::Uncoupled,
             };
             let f = sim.add_mptcp_flow(des_paths, &cfg);
@@ -372,11 +435,35 @@ mod tests {
                st.goodput_bps/1e6, st.segments_sent, st.retransmits, st.retx_rate, st.avg_rtt.as_millis(), st.min_rtt.as_millis());
         }
         for dur in [30u64, 90] {
-            let olia = mptcp_over(&net, &paths, CouplingAlg::Olia, &params, SimDuration::from_secs(dur), 5);
-            let unc = mptcp_over(&net, &paths, CouplingAlg::Uncoupled, &params, SimDuration::from_secs(dur), 5);
-            eprintln!("dur={dur}: olia={:.2}Mbps per={:?} | unc={:.2}Mbps per={:?}",
-                olia.throughput_bps/1e6, olia.per_path_bps.iter().map(|x| (x/1e6*100.0).round()/100.0).collect::<Vec<_>>(),
-                unc.throughput_bps/1e6, unc.per_path_bps.iter().map(|x| (x/1e6*100.0).round()/100.0).collect::<Vec<_>>());
+            let olia = mptcp_over(
+                &net,
+                &paths,
+                CouplingAlg::Olia,
+                &params,
+                SimDuration::from_secs(dur),
+                5,
+            );
+            let unc = mptcp_over(
+                &net,
+                &paths,
+                CouplingAlg::Uncoupled,
+                &params,
+                SimDuration::from_secs(dur),
+                5,
+            );
+            eprintln!(
+                "dur={dur}: olia={:.2}Mbps per={:?} | unc={:.2}Mbps per={:?}",
+                olia.throughput_bps / 1e6,
+                olia.per_path_bps
+                    .iter()
+                    .map(|x| (x / 1e6 * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>(),
+                unc.throughput_bps / 1e6,
+                unc.per_path_bps
+                    .iter()
+                    .map(|x| (x / 1e6 * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            );
         }
     }
 

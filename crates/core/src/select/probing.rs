@@ -8,12 +8,10 @@
 //! moves faster than the probe interval, it rides a stale choice. The
 //! MPTCP selector exists to beat exactly this behaviour.
 
-use serde::{Deserialize, Serialize};
-
 use crate::eval::PairEval;
 
 /// The path a selector currently uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathChoice {
     /// The default Internet path.
     Direct,

@@ -7,10 +7,8 @@
 //! and (b) that split-TCP "is applicable only when the end points do not
 //! enforce IPsec".
 
-use serde::{Deserialize, Serialize};
-
 /// The tunnel technology between an endpoint and its overlay node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TunnelKind {
     /// Generic Routing Encapsulation: outer IP (20) + GRE (4–8) bytes.
     Gre,

@@ -158,13 +158,11 @@ pub fn window(seed: u64) -> WindowAblation {
                     .attach_host(&format!("w{i}"), asn, crate::scenario::ACCESS_BPS);
                 world.clients.push(h);
             }
-            let senders: Vec<RouterId> =
-                world.cronet.nodes().iter().map(|n| n.vm()).collect();
+            let senders: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
             let receivers = world.clients.clone();
             let sweep = Sweep::run(&mut world, &senders, &receivers, true);
             let ratios: Vec<f64> = sweep.records.iter().map(|r| r.split_ratio()).collect();
-            let improved =
-                ratios.iter().filter(|&&r| r > 1.0).count() as f64 / ratios.len() as f64;
+            let improved = ratios.iter().filter(|&&r| r > 1.0).count() as f64 / ratios.len() as f64;
             (w, Cdf::new(ratios).expect("non-empty").median(), improved)
         })
         .collect();
@@ -278,7 +276,9 @@ pub fn split_des_validation(seed: u64, n_pairs: usize, secs: u64) -> SplitValida
                     best = Some((est, s1, s2));
                 }
             }
-            let Some((analytic_split, s1, s2)) = best else { continue };
+            let Some((analytic_split, s1, s2)) = best else {
+                continue;
+            };
             let q_direct = cronets::eval::quality(&world.net, &direct);
             let analytic_direct = transport::model::tcp_throughput(&q_direct, &params);
             let pair_seed = seed ^ ((points.len() as u64 + 1) << 16);
@@ -376,7 +376,11 @@ mod tests {
     #[test]
     fn analytic_model_tracks_the_des_within_a_factor_of_two() {
         let v = split_des_validation(DEFAULT_SEED, 6, 20);
-        assert!(v.points.len() >= 4, "only {} validation pairs", v.points.len());
+        assert!(
+            v.points.len() >= 4,
+            "only {} validation pairs",
+            v.points.len()
+        );
         assert!(
             v.median_split_log_error() < 1.0,
             "split model off by 2^{:.2}",

@@ -8,9 +8,7 @@
 
 use std::fmt;
 
-use cloud::pricing::{
-    leased_line_monthly_usd, overlay_monthly_usd, PortSpeed, TrafficPlan,
-};
+use cloud::pricing::{leased_line_monthly_usd, overlay_monthly_usd, PortSpeed, TrafficPlan};
 use topology::geo::city_by_name;
 
 /// One row of the comparison: an overlay deployment against a leased line
@@ -94,7 +92,10 @@ impl CostComparison {
 
 impl fmt::Display for CostComparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== §VII-D: overlay vs leased-line monthly cost (USD) ===")?;
+        writeln!(
+            f,
+            "=== §VII-D: overlay vs leased-line monthly cost (USD) ==="
+        )?;
         writeln!(
             f,
             "{:<26} {:>9} {:>10} {:>12} {:>12} {:>8}",

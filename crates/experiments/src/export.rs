@@ -62,13 +62,38 @@ pub fn export_fast(dir: &Path, seed: u64) -> io::Result<Vec<PathBuf>> {
     let mut written = Vec::new();
 
     let f2 = prevalence::fig2(seed);
-    save_cdf(dir, "fig02_plain_overlay_cdf.tsv", &f2.plain.cdf, &mut written)?;
-    save_cdf(dir, "fig02_split_overlay_cdf.tsv", &f2.split.cdf, &mut written)?;
+    save_cdf(
+        dir,
+        "fig02_plain_overlay_cdf.tsv",
+        &f2.plain.cdf,
+        &mut written,
+    )?;
+    save_cdf(
+        dir,
+        "fig02_split_overlay_cdf.tsv",
+        &f2.split.cdf,
+        &mut written,
+    )?;
 
     let f3 = prevalence::fig3(seed);
-    save_cdf(dir, "fig03_plain_cloud_cdf.tsv", &f3.plain.cdf, &mut written)?;
-    save_cdf(dir, "fig03_split_cloud_cdf.tsv", &f3.split.cdf, &mut written)?;
-    save_cdf(dir, "fig03_discrete_cloud_cdf.tsv", &f3.discrete.cdf, &mut written)?;
+    save_cdf(
+        dir,
+        "fig03_plain_cloud_cdf.tsv",
+        &f3.plain.cdf,
+        &mut written,
+    )?;
+    save_cdf(
+        dir,
+        "fig03_split_cloud_cdf.tsv",
+        &f3.split.cdf,
+        &mut written,
+    )?;
+    save_cdf(
+        dir,
+        "fig03_discrete_cloud_cdf.tsv",
+        &f3.discrete.cdf,
+        &mut written,
+    )?;
 
     let f4 = quality::fig4(seed);
     save_cdf(dir, "fig04_direct_retx_cdf.tsv", &f4.direct, &mut written)?;
@@ -78,7 +103,12 @@ pub fn export_fast(dir: &Path, seed: u64) -> io::Result<Vec<PathBuf>> {
     save_cdf(dir, "fig05_rtt_ratio_cdf.tsv", &f5.ratios, &mut written)?;
 
     let f8 = factors::fig8(seed);
-    save_cdf(dir, "fig08_diversity_all_cdf.tsv", &f8.all_cdf(), &mut written)?;
+    save_cdf(
+        dir,
+        "fig08_diversity_all_cdf.tsv",
+        &f8.all_cdf(),
+        &mut written,
+    )?;
 
     let f9 = factors::fig9(seed);
     save_rows(
@@ -115,9 +145,7 @@ pub fn export_fast(dir: &Path, seed: u64) -> io::Result<Vec<PathBuf>> {
         dir,
         "fig11_scatter.tsv",
         "direct_mbps\tincrease_ratio",
-        f11.points
-            .iter()
-            .map(|(x, y)| format!("{x:.4}\t{y:.4}")),
+        f11.points.iter().map(|(x, y)| format!("{x:.4}\t{y:.4}")),
         &mut written,
     )?;
 
@@ -173,7 +201,15 @@ mod tests {
         let mut buf = Vec::new();
         write_cdf(&mut buf, &cdf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let first: f64 = text.lines().next().unwrap().split('\t').next().unwrap().parse().unwrap();
+        let first: f64 = text
+            .lines()
+            .next()
+            .unwrap()
+            .split('\t')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert_eq!(first, 1.0);
         assert_eq!(text.lines().count(), 3);
         assert!(text.lines().last().unwrap().ends_with("1.000000"));

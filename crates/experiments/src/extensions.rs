@@ -128,8 +128,7 @@ pub fn port_sweep(seed: u64) -> PortSweep {
         .into_iter()
         .map(|port| {
             // A reduced controlled world, rebuilt per port speed.
-            let mut net =
-                topology::gen::generate(&ScenarioConfig::controlled().internet, seed);
+            let mut net = topology::gen::generate(&ScenarioConfig::controlled().internet, seed);
             let cronet = CronetBuilder::new()
                 .provider_config(ProviderConfig::paper_five())
                 .port(port)
@@ -154,8 +153,7 @@ pub fn port_sweep(seed: u64) -> PortSweep {
                 let h = world.net.attach_host(&format!("c{i}"), asn, 100_000_000);
                 world.clients.push(h);
             }
-            let senders: Vec<RouterId> =
-                world.cronet.nodes().iter().map(|n| n.vm()).collect();
+            let senders: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
             let receivers = world.clients.clone();
             let sweep = Sweep::run(&mut world, &senders, &receivers, true);
             let split = Cdf::new(sweep.records.iter().map(|r| r.best_split_bps()).collect())
@@ -283,11 +281,7 @@ impl fmt::Display for Placement {
         for (i, (city, score)) in self.greedy.iter().zip(&self.greedy_scores).enumerate() {
             writeln!(f, "pick {}: {city} (median improvement {score:.2}x)", i + 1)?;
         }
-        writeln!(
-            f,
-            "paper's fixed five score: {:.2}x",
-            self.paper_five_score
-        )
+        writeln!(f, "paper's fixed five score: {:.2}x", self.paper_five_score)
     }
 }
 

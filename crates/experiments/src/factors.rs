@@ -100,7 +100,12 @@ impl fmt::Display for Fig8 {
             ("ratio <= 0.5", 0.0, 0.5),
         ] {
             if let Some(cdf) = self.diversity_cdf(lo, hi) {
-                writeln!(f, "{name}: n={}, median diversity {:.2}", cdf.len(), cdf.median())?;
+                writeln!(
+                    f,
+                    "{name}: n={}, median diversity {:.2}",
+                    cdf.len(),
+                    cdf.median()
+                )?;
             }
         }
         writeln!(
@@ -215,10 +220,8 @@ pub fn fig10(seed: u64) -> Fig10 {
     // "Zero loss" operationally: below one retransmission per 30-second
     // transfer (the paper measures retx over finite transfers).
     let zero_cut = 1e-5;
-    let (zero, nonzero): (Vec<&PairRecord>, Vec<&PairRecord>) = sweep
-        .records
-        .iter()
-        .partition(|r| r.direct.loss < zero_cut);
+    let (zero, nonzero): (Vec<&PairRecord>, Vec<&PairRecord>) =
+        sweep.records.iter().partition(|r| r.direct.loss < zero_cut);
     let bins = Bins::new(vec![0.0, 0.0025, 0.005]).expect("static edges");
     let items: Vec<(f64, f64)> = nonzero
         .iter()
@@ -396,7 +399,9 @@ mod tests {
         );
         // (2) higher-improvement overlays are more diverse than harmful
         // ones (the paper's correlation).
-        let hi = fig.diversity_cdf(1.25, f64::INFINITY).expect("has high band");
+        let hi = fig
+            .diversity_cdf(1.25, f64::INFINITY)
+            .expect("has high band");
         let lo = fig.diversity_cdf(0.0, 0.5).expect("has low band");
         assert!(
             hi.mean() > lo.mean(),
@@ -437,8 +442,7 @@ mod tests {
                 row.frac_improved
             );
         }
-        let high_median =
-            high.iter().map(|r| r.median_ratio).sum::<f64>() / high.len() as f64;
+        let high_median = high.iter().map(|r| r.median_ratio).sum::<f64>() / high.len() as f64;
         assert!(
             high_median > first.median_ratio,
             "no RTT trend: {high_median:.2} vs {:.2}",
@@ -497,7 +501,10 @@ mod tests {
         // §V-B: "96% of the overlay paths with throughput improved by
         // more than 25% have a longer hop count ... 45% have 1.5x".
         let (longer, much_longer) = hop_count_analysis(DEFAULT_SEED);
-        assert!(longer > 0.8, "only {longer:.2} of improved paths are longer");
+        assert!(
+            longer > 0.8,
+            "only {longer:.2} of improved paths are longer"
+        );
         assert!(much_longer > 0.2, "only {much_longer:.2} are 1.5x longer");
     }
 

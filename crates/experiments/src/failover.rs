@@ -42,13 +42,19 @@ impl Failover {
     /// seconds).
     #[must_use]
     pub fn mptcp_after_failure(&self) -> f64 {
-        Self::mean(&self.mptcp_series_bps[(self.fail_at_s as usize + 2).min(self.mptcp_series_bps.len())..])
+        Self::mean(
+            &self.mptcp_series_bps
+                [(self.fail_at_s as usize + 2).min(self.mptcp_series_bps.len())..],
+        )
     }
 
     /// Mean direct-TCP goodput after the failure.
     #[must_use]
     pub fn direct_after_failure(&self) -> f64 {
-        Self::mean(&self.direct_series_bps[(self.fail_at_s as usize + 2).min(self.direct_series_bps.len())..])
+        Self::mean(
+            &self.direct_series_bps
+                [(self.fail_at_s as usize + 2).min(self.direct_series_bps.len())..],
+        )
     }
 }
 
@@ -194,8 +200,7 @@ mod tests {
             r.mptcp_after_failure() / 1e6
         );
         // And it was alive before the failure.
-        let before: f64 =
-            r.direct_series_bps[2..8].iter().sum::<f64>() / 6.0;
+        let before: f64 = r.direct_series_bps[2..8].iter().sum::<f64>() / 6.0;
         assert!(before > 500_000.0, "direct was never alive: {before}");
     }
 

@@ -31,8 +31,8 @@ pub mod ablation;
 pub mod cost;
 pub mod export;
 pub mod extensions;
-pub mod failover;
 pub mod factors;
+pub mod failover;
 pub mod longitudinal;
 pub mod mptcp_exp;
 pub mod prevalence;

@@ -57,12 +57,7 @@ impl PathSeries {
     #[must_use]
     pub fn best_overlay_series(&self) -> Vec<f64> {
         (0..self.direct.len())
-            .map(|e| {
-                self.overlay
-                    .iter()
-                    .map(|node| node[e])
-                    .fold(0.0, f64::max)
-            })
+            .map(|e| self.overlay.iter().map(|node| node[e]).fold(0.0, f64::max))
             .collect()
     }
 
@@ -159,15 +154,18 @@ impl Longitudinal {
     /// Mean and median of the per-path average improvement factors.
     #[must_use]
     pub fn improvement_stats(&self) -> (f64, f64) {
-        let cdf = Cdf::new(self.paths.iter().map(PathSeries::improvement).collect())
-            .expect("non-empty");
+        let cdf =
+            Cdf::new(self.paths.iter().map(PathSeries::improvement).collect()).expect("non-empty");
         (cdf.mean(), cdf.median())
     }
 
     /// Fig. 7 series: min overlay nodes required per path.
     #[must_use]
     pub fn min_nodes(&self) -> Vec<usize> {
-        self.paths.iter().map(PathSeries::min_nodes_required).collect()
+        self.paths
+            .iter()
+            .map(PathSeries::min_nodes_required)
+            .collect()
     }
 
     /// Table I: `(k, mean improvement, median improvement)` for the best
@@ -282,12 +280,18 @@ pub fn longitudinal(seed: u64) -> Longitudinal {
                 .map_or(1.0, |&(_, _, r)| r)
         })
         .collect();
-    Longitudinal { paths, initial_ratio }
+    Longitudinal {
+        paths,
+        initial_ratio,
+    }
 }
 
 impl fmt::Display for Longitudinal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== Fig. 6: one-week persistence of the top-30 paths ===")?;
+        writeln!(
+            f,
+            "=== Fig. 6: one-week persistence of the top-30 paths ==="
+        )?;
         writeln!(
             f,
             "{:>4} {:>14} {:>12} {:>16} {:>12} {:>8}",
@@ -430,15 +434,18 @@ mod tests {
         }
     }
 
-
     #[test]
     #[ignore]
     fn probe_longitudinal() {
         let l = study();
         let mut imps: Vec<f64> = l.paths.iter().map(PathSeries::improvement).collect();
         imps.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        eprintln!("longitudinal improvements sorted: {:?}",
-            imps.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
+        eprintln!(
+            "longitudinal improvements sorted: {:?}",
+            imps.iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
         eprintln!("min_nodes: {:?}", l.min_nodes());
         eprintln!("table1: {:?}", l.table1());
     }

@@ -162,6 +162,7 @@ fn nine_scattered_servers(seed: u64) -> (World, Vec<RouterId>) {
 /// Runs the §VI validation with the given coupling.
 #[must_use]
 pub fn validate(config: &MptcpExpConfig, coupling: CouplingAlg) -> MptcpValidation {
+    let build_phase = obs::phase("build_world");
     let (mut world, vms) = nine_scattered_servers(config.seed);
     let params = *world.cronet.params();
 
@@ -214,11 +215,25 @@ pub fn validate(config: &MptcpExpConfig, coupling: CouplingAlg) -> MptcpValidati
     // pre-selection measurement).
     prepared.sort_by(|x, y| x.model_direct.partial_cmp(&y.model_direct).unwrap());
     prepared.truncate(config.n_pairs);
+    drop(build_phase);
 
+    let _des_phase = obs::phase("des_runs");
     let pairs = prepared
         .iter()
         .enumerate()
-        .map(|(i, p)| run_pair(&world, p.pair, &p.direct, &p.overlays, p.max_split_model, &params, config, coupling, i as u64))
+        .map(|(i, p)| {
+            run_pair(
+                &world,
+                p.pair,
+                &p.direct,
+                &p.overlays,
+                p.max_split_model,
+                &params,
+                config,
+                coupling,
+                i as u64,
+            )
+        })
         .collect();
     MptcpValidation { coupling, pairs }
 }
@@ -236,14 +251,19 @@ fn run_pair(
     index: u64,
 ) -> PairResult {
     let seed = config.seed ^ (index << 8);
-    let direct_bps =
-        single_path_des(&world.net, direct, params, config.duration, seed).goodput_bps;
+    let direct_bps = single_path_des(&world.net, direct, params, config.duration, seed).goodput_bps;
     let max_overlay_bps = overlays
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            single_path_des(&world.net, p, params, config.duration, seed ^ (i as u64 + 1))
-                .goodput_bps
+            single_path_des(
+                &world.net,
+                p,
+                params,
+                config.duration,
+                seed ^ (i as u64 + 1),
+            )
+            .goodput_bps
         })
         .fold(0.0, f64::max);
     let mut all_paths: Vec<&RouterPath> = vec![direct];
@@ -272,7 +292,10 @@ impl fmt::Display for MptcpValidation {
             CouplingAlg::Olia | CouplingAlg::Lia => "Fig. 12 (coupled)",
             CouplingAlg::Uncoupled => "Fig. 13 (uncoupled CUBIC)",
         };
-        writeln!(f, "=== {figure}: MPTCP vs direct/overlay/split (Mbit/s) ===")?;
+        writeln!(
+            f,
+            "=== {figure}: MPTCP vs direct/overlay/split (Mbit/s) ==="
+        )?;
         writeln!(
             f,
             "{:>4} {:>16} {:>16} {:>18} {:>12}",
@@ -333,7 +356,11 @@ mod tests {
             .iter()
             .filter(|p| p.max_overlay_bps > p.direct_bps)
             .count();
-        assert!(wins * 3 >= v.pairs.len() * 2, "{wins}/{} overlay wins", v.pairs.len());
+        assert!(
+            wins * 3 >= v.pairs.len() * 2,
+            "{wins}/{} overlay wins",
+            v.pairs.len()
+        );
     }
 
     #[test]

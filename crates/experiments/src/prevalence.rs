@@ -25,7 +25,7 @@ use crate::sweep::Sweep;
 
 /// Default seed for all experiments (any seed reproduces the shapes; this
 /// one is fixed so EXPERIMENTS.md numbers are re-derivable).
-pub const DEFAULT_SEED: u64 = 2016;
+pub const DEFAULT_SEED: u64 = 7;
 
 /// Cache key: (seed, controlled-senders?).
 type SweepCache = Mutex<HashMap<(u64, bool), Arc<Sweep>>>;
@@ -44,10 +44,16 @@ pub fn web_sweep(seed: u64) -> Arc<Sweep> {
     if let Some(s) = sweep_cache().lock().unwrap().get(&(seed, false)) {
         return Arc::clone(s);
     }
-    let mut world = World::build(&ScenarioConfig::web_server(), seed);
+    let mut world = {
+        let _p = obs::phase("build_world");
+        World::build(&ScenarioConfig::web_server(), seed)
+    };
     let senders = world.servers.clone();
     let receivers = world.clients.clone();
-    let sweep = Arc::new(Sweep::run(&mut world, &senders, &receivers, false));
+    let sweep = {
+        let _p = obs::phase("sweep");
+        Arc::new(Sweep::run(&mut world, &senders, &receivers, false))
+    };
     sweep_cache()
         .lock()
         .unwrap()
@@ -62,10 +68,16 @@ pub fn controlled_sweep(seed: u64) -> Arc<Sweep> {
     if let Some(s) = sweep_cache().lock().unwrap().get(&(seed, true)) {
         return Arc::clone(s);
     }
-    let mut world = World::build(&ScenarioConfig::controlled(), seed);
+    let mut world = {
+        let _p = obs::phase("build_world");
+        World::build(&ScenarioConfig::controlled(), seed)
+    };
     let senders: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
     let receivers = world.clients.clone();
-    let sweep = Arc::new(Sweep::run(&mut world, &senders, &receivers, true));
+    let sweep = {
+        let _p = obs::phase("sweep");
+        Arc::new(Sweep::run(&mut world, &senders, &receivers, true))
+    };
     sweep_cache()
         .lock()
         .unwrap()
@@ -125,10 +137,21 @@ pub fn fig2(seed: u64) -> Fig2 {
 
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== Fig. 2: throughput improvement ratios (web-server experiment) ===")?;
+        writeln!(
+            f,
+            "=== Fig. 2: throughput improvement ratios (web-server experiment) ==="
+        )?;
         writeln!(f, "observed Internet paths: {}", self.observed_paths)?;
-        write!(f, "{}", cdf_summary("overlay (plain)", &self.plain.cdf, &[1.0, 1.25]))?;
-        write!(f, "{}", cdf_summary("split-overlay", &self.split.cdf, &[1.0, 1.25]))?;
+        write!(
+            f,
+            "{}",
+            cdf_summary("overlay (plain)", &self.plain.cdf, &[1.0, 1.25])
+        )?;
+        write!(
+            f,
+            "{}",
+            cdf_summary("split-overlay", &self.split.cdf, &[1.0, 1.25])
+        )?;
         writeln!(
             f,
             "plain: improved {:.0}% of pairs, mean {:.2}x | split: improved {:.0}%, mean {:.2}x, median {:.2}x, >=1.25x for {:.0}%",
@@ -178,11 +201,26 @@ pub fn fig3(seed: u64) -> Fig3 {
 
 impl fmt::Display for Fig3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== Fig. 3: improvement ratios (controlled cloud senders) ===")?;
+        writeln!(
+            f,
+            "=== Fig. 3: improvement ratios (controlled cloud senders) ==="
+        )?;
         writeln!(f, "observed Internet paths: {}", self.observed_paths)?;
-        write!(f, "{}", cdf_summary("overlay (cloud)", &self.plain.cdf, &[1.0]))?;
-        write!(f, "{}", cdf_summary("split-overlay (cloud)", &self.split.cdf, &[1.0]))?;
-        write!(f, "{}", cdf_summary("discrete overlay (cloud)", &self.discrete.cdf, &[1.0]))?;
+        write!(
+            f,
+            "{}",
+            cdf_summary("overlay (cloud)", &self.plain.cdf, &[1.0])
+        )?;
+        write!(
+            f,
+            "{}",
+            cdf_summary("split-overlay (cloud)", &self.split.cdf, &[1.0])
+        )?;
+        write!(
+            f,
+            "{}",
+            cdf_summary("discrete overlay (cloud)", &self.discrete.cdf, &[1.0])
+        )?;
         write!(
             f,
             "{}",
@@ -289,16 +327,31 @@ mod tests {
         );
     }
 
-
     #[test]
     #[ignore]
     fn probe_calibration() {
-        for (name, sweep) in [("web", web_sweep(DEFAULT_SEED)), ("cloud", controlled_sweep(DEFAULT_SEED))] {
-            let direct: Vec<f64> = sweep.records.iter().map(|r| r.direct.throughput_bps / 1e6).collect();
+        for (name, sweep) in [
+            ("web", web_sweep(DEFAULT_SEED)),
+            ("cloud", controlled_sweep(DEFAULT_SEED)),
+        ] {
+            let direct: Vec<f64> = sweep
+                .records
+                .iter()
+                .map(|r| r.direct.throughput_bps / 1e6)
+                .collect();
             let ratio: Vec<f64> = sweep.records.iter().map(|r| r.split_ratio()).collect();
             let plain: Vec<f64> = sweep.records.iter().map(|r| r.plain_ratio()).collect();
-            let lossy = sweep.records.iter().filter(|r| r.direct.loss > 1e-4).count() as f64 / sweep.records.len() as f64;
-            let rtt_ms: Vec<f64> = sweep.records.iter().map(|r| r.direct.rtt.as_millis() as f64).collect();
+            let lossy = sweep
+                .records
+                .iter()
+                .filter(|r| r.direct.loss > 1e-4)
+                .count() as f64
+                / sweep.records.len() as f64;
+            let rtt_ms: Vec<f64> = sweep
+                .records
+                .iter()
+                .map(|r| r.direct.rtt.as_millis() as f64)
+                .collect();
             let d = Cdf::new(direct).unwrap();
             let r = Cdf::new(ratio).unwrap();
             let p = Cdf::new(plain).unwrap();
@@ -307,31 +360,66 @@ mod tests {
                 sweep.records.len(), d.quantile(0.1), d.median(), d.quantile(0.9), t.median(), t.quantile(0.9), lossy);
             eprintln!("[{name}] split ratio p25/p50/p75/p90/p99: {:.2}/{:.2}/{:.2}/{:.2}/{:.1} improved={:.2} mean={:.2}",
                 r.quantile(0.25), r.median(), r.quantile(0.75), r.quantile(0.9), r.quantile(0.99), r.fraction_gt(1.0), r.mean());
-            eprintln!("[{name}] plain ratio p50: {:.2} improved={:.2} mean={:.2}", p.median(), p.fraction_gt(1.0), p.mean());
-            let rtt_reduced = sweep.records.iter().filter(|r| r.min_overlay_rtt() < r.direct.rtt).count() as f64 / sweep.records.len() as f64;
-            let loss_reduced = sweep.records.iter().filter(|r| r.min_overlay_loss() < r.direct.loss).count() as f64 / sweep.records.len() as f64;
-            eprintln!("[{name}] overlay reduces RTT for {:.2}, loss for {:.2}", rtt_reduced, loss_reduced);
+            eprintln!(
+                "[{name}] plain ratio p50: {:.2} improved={:.2} mean={:.2}",
+                p.median(),
+                p.fraction_gt(1.0),
+                p.mean()
+            );
+            let rtt_reduced = sweep
+                .records
+                .iter()
+                .filter(|r| r.min_overlay_rtt() < r.direct.rtt)
+                .count() as f64
+                / sweep.records.len() as f64;
+            let loss_reduced = sweep
+                .records
+                .iter()
+                .filter(|r| r.min_overlay_loss() < r.direct.loss)
+                .count() as f64
+                / sweep.records.len() as f64;
+            eprintln!(
+                "[{name}] overlay reduces RTT for {:.2}, loss for {:.2}",
+                rtt_reduced, loss_reduced
+            );
             let dloss = Cdf::new(sweep.records.iter().map(|r| r.direct.loss).collect()).unwrap();
-            let oloss = Cdf::new(sweep.records.iter().map(|r| r.min_overlay_loss()).collect()).unwrap();
-            eprintln!("[{name}] retx median: direct {:.2e} vs best-overlay {:.2e} (ratio {:.1})",
-                dloss.median(), oloss.median(), dloss.median() / oloss.median().max(1e-12));
+            let oloss =
+                Cdf::new(sweep.records.iter().map(|r| r.min_overlay_loss()).collect()).unwrap();
+            eprintln!(
+                "[{name}] retx median: direct {:.2e} vs best-overlay {:.2e} (ratio {:.1})",
+                dloss.median(),
+                oloss.median(),
+                dloss.median() / oloss.median().max(1e-12)
+            );
         }
     }
-
 
     #[test]
     #[ignore]
     fn probe_diversity() {
         let sweep = controlled_sweep(DEFAULT_SEED);
-        let all: Vec<f64> = sweep.records.iter().flat_map(|r| r.diversity.iter().copied()).collect();
+        let all: Vec<f64> = sweep
+            .records
+            .iter()
+            .flat_map(|r| r.diversity.iter().copied())
+            .collect();
         let c = Cdf::new(all).unwrap();
-        eprintln!("diversity p10/p25/p50/p75/p90: {:.2}/{:.2}/{:.2}/{:.2}/{:.2}",
-            c.quantile(0.1), c.quantile(0.25), c.median(), c.quantile(0.75), c.quantile(0.9));
+        eprintln!(
+            "diversity p10/p25/p50/p75/p90: {:.2}/{:.2}/{:.2}/{:.2}/{:.2}",
+            c.quantile(0.1),
+            c.quantile(0.25),
+            c.median(),
+            c.quantile(0.75),
+            c.quantile(0.9)
+        );
         let hops: Vec<f64> = sweep.records.iter().map(|r| r.direct_hops as f64).collect();
         let h = Cdf::new(hops).unwrap();
-        eprintln!("direct hops p50/p90: {:.0}/{:.0}", h.median(), h.quantile(0.9));
+        eprintln!(
+            "direct hops p50/p90: {:.0}/{:.0}",
+            h.median(),
+            h.quantile(0.9)
+        );
     }
-
 
     #[test]
     #[ignore]
@@ -343,15 +431,21 @@ mod tests {
         let sender = vms[0];
         let direct = route(&world.net, &mut world.bgp, sender, client).unwrap();
         let names = |p: &routing::RouterPath| -> Vec<String> {
-            p.routers().iter().map(|&r| world.net.router(r).name().to_string()).collect()
+            p.routers()
+                .iter()
+                .map(|&r| world.net.router(r).name().to_string())
+                .collect()
         };
         eprintln!("direct: {:?}", names(&direct));
         for (i, node) in world.cronet.nodes().iter().enumerate().skip(1).take(2) {
             let s1 = route(&world.net, &mut world.bgp, sender, node.vm()).unwrap();
             let s2 = route(&world.net, &mut world.bgp, node.vm(), client).unwrap();
             let joined = s1.join(s2);
-            eprintln!("via node{i}: {:?} | diversity {:.2}", names(&joined),
-                measure::diversity::diversity_score(&direct, &joined));
+            eprintln!(
+                "via node{i}: {:?} | diversity {:.2}",
+                names(&joined),
+                measure::diversity::diversity_score(&direct, &joined)
+            );
         }
     }
 

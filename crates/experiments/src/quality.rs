@@ -48,8 +48,16 @@ pub fn fig4(seed: u64) -> Fig4 {
 impl fmt::Display for Fig4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== Fig. 4: TCP retransmission rates ===")?;
-        write!(f, "{}", cdf_summary("direct paths", &self.direct, &[1e-4, 1e-3]))?;
-        write!(f, "{}", cdf_summary("best overlay tunnel", &self.overlay, &[1e-4, 1e-3]))?;
+        write!(
+            f,
+            "{}",
+            cdf_summary("direct paths", &self.direct, &[1e-4, 1e-3])
+        )?;
+        write!(
+            f,
+            "{}",
+            cdf_summary("best overlay tunnel", &self.overlay, &[1e-4, 1e-3])
+        )?;
         writeln!(
             f,
             "median retransmission rate: direct {:.3e} vs overlay {:.3e} ({:.1}x reduction)",

@@ -126,9 +126,9 @@ impl World {
             net.ases()
                 .filter(|a| a.tier() == AsTier::Stub)
                 .filter(|a| {
-                    a.routers().first().is_some_and(|&r| {
-                        net.router(r).city().continent == cont
-                    })
+                    a.routers()
+                        .first()
+                        .is_some_and(|&r| net.router(r).city().continent == cont)
                 })
                 .map(|a| a.id())
                 .collect()
@@ -205,10 +205,7 @@ mod tests {
         let world = World::build(&ScenarioConfig::tiny(), 5);
         // First 3 clients Europe, next 3 North America (config order).
         for &c in &world.clients[..3] {
-            assert_eq!(
-                world.net.router(c).city().continent,
-                Continent::Europe
-            );
+            assert_eq!(world.net.router(c).city().continent, Continent::Europe);
         }
         for &c in &world.clients[3..] {
             assert_eq!(

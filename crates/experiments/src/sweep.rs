@@ -46,13 +46,19 @@ impl PairRecord {
     /// Best plain-overlay throughput.
     #[must_use]
     pub fn best_plain_bps(&self) -> f64 {
-        self.plain.iter().map(|m| m.throughput_bps).fold(0.0, f64::max)
+        self.plain
+            .iter()
+            .map(|m| m.throughput_bps)
+            .fold(0.0, f64::max)
     }
 
     /// Best split-overlay throughput.
     #[must_use]
     pub fn best_split_bps(&self) -> f64 {
-        self.split.iter().map(|m| m.throughput_bps).fold(0.0, f64::max)
+        self.split
+            .iter()
+            .map(|m| m.throughput_bps)
+            .fold(0.0, f64::max)
     }
 
     /// Best discrete-overlay throughput.
@@ -82,7 +88,10 @@ impl PairRecord {
     /// Lowest retransmission rate across overlay tunnels (Fig. 4).
     #[must_use]
     pub fn min_overlay_loss(&self) -> f64 {
-        self.plain.iter().map(|m| m.loss).fold(f64::INFINITY, f64::min)
+        self.plain
+            .iter()
+            .map(|m| m.loss)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Lowest average RTT across overlay tunnels (Fig. 5).
@@ -214,10 +223,8 @@ impl Sweep {
                     overlay_hops,
                     common_segments: [0; 3],
                 };
-                record.common_segments = common_router_segments(
-                    &direct_path,
-                    &overlay_paths[record.best_split_index()],
-                );
+                record.common_segments =
+                    common_router_segments(&direct_path, &overlay_paths[record.best_split_index()]);
                 records.push(record);
             }
         }

@@ -49,7 +49,10 @@ pub fn thresholds(seed: u64) -> Thresholds {
             // paths (loss ~ 1e-6) from exploding the ratio.
             let loss_red = 1.0 - m.loss / r.direct.loss.max(1e-6);
             let improved = m.throughput_bps > r.direct.throughput_bps;
-            data.push(vec![rtt_red.clamp(-3.0, 1.0), loss_red.clamp(-3.0, 1.0)], improved);
+            data.push(
+                vec![rtt_red.clamp(-3.0, 1.0), loss_red.clamp(-3.0, 1.0)],
+                improved,
+            );
         }
     }
     let n = data.len();
@@ -81,7 +84,11 @@ pub fn thresholds(seed: u64) -> Thresholds {
 impl fmt::Display for Thresholds {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== §V-B: C4.5 joint RTT/loss reduction thresholds ===")?;
-        writeln!(f, "observations: {}, training accuracy {:.2}", self.n, self.accuracy)?;
+        writeln!(
+            f,
+            "observations: {}, training accuracy {:.2}",
+            self.n, self.accuracy
+        )?;
         writeln!(f, "dominant positive rule: {}", self.rule_text)?;
         match (self.rtt_reduction, self.loss_reduction) {
             (Some(r), Some(l)) => writeln!(
@@ -105,7 +112,11 @@ mod tests {
         let t = thresholds(DEFAULT_SEED);
         assert!(t.n > 500, "only {} observations", t.n);
         assert!(t.accuracy > 0.80, "accuracy {:.2}", t.accuracy);
-        assert!(t.rule_confidence > 0.75, "confidence {:.2}", t.rule_confidence);
+        assert!(
+            t.rule_confidence > 0.75,
+            "confidence {:.2}",
+            t.rule_confidence
+        );
         assert!(t.rule_support > 50, "support {}", t.rule_support);
     }
 

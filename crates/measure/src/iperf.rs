@@ -75,12 +75,7 @@ pub fn iperf_des(
             let link = net.link(l);
             // Queue sized at ~100 ms of the link rate, floored to 64 KiB.
             let queue = (link.capacity_bps() / 8 / 10).max(64 << 10);
-            sim.add_link(
-                link.capacity_bps(),
-                link.latency(),
-                link.loss_prob(),
-                queue,
-            )
+            sim.add_link(link.capacity_bps(), link.latency(), link.loss_prob(), queue)
         })
         .collect();
     let cfg = TransferConfig {

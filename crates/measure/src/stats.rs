@@ -1,7 +1,5 @@
 //! Empirical statistics: CDFs, quantiles, MAD, binning.
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical cumulative distribution function over `f64` samples.
 ///
 /// Non-finite samples are rejected at construction so that every query is
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cdf.quantile(0.0), 1.0);
 /// assert_eq!(cdf.quantile(1.0), 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -100,8 +98,7 @@ impl Cdf {
             return 0.0;
         }
         let mean = self.mean();
-        let var =
-            self.sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let var = self.sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         var.sqrt()
     }
 
@@ -110,7 +107,9 @@ impl Cdf {
     pub fn mad(&self) -> f64 {
         let med = self.median();
         let devs: Vec<f64> = self.sorted.iter().map(|x| (x - med).abs()).collect();
-        Cdf::new(devs).expect("deviations of finite samples are finite").median()
+        Cdf::new(devs)
+            .expect("deviations of finite samples are finite")
+            .median()
     }
 
     /// `(x, F(x))` points for plotting/rendering, one per sample.
@@ -164,7 +163,7 @@ impl std::error::Error for CdfError {}
 /// assert_eq!(bins.index_of(300.0), Some(4));
 /// assert_eq!(bins.index_of(-1.0), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bins {
     edges: Vec<f64>,
 }
@@ -180,9 +179,7 @@ impl Bins {
         if edges.is_empty() {
             return Err(CdfError::Empty);
         }
-        if edges.iter().any(|e| !e.is_finite())
-            || edges.windows(2).any(|w| w[0] >= w[1])
-        {
+        if edges.iter().any(|e| !e.is_finite()) || edges.windows(2).any(|w| w[0] >= w[1]) {
             return Err(CdfError::NonFinite);
         }
         Ok(Bins { edges })
@@ -234,7 +231,36 @@ impl Bins {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Deterministic test-case generator (SplitMix64), replacing the
+    /// proptest strategies with a fixed reproducible stream.
+    struct Gen(u64);
+
+    impl Gen {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        fn f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[lo, hi)`.
+        fn range(&mut self, lo: f64, hi: f64) -> f64 {
+            lo + self.f64() * (hi - lo)
+        }
+
+        /// A vector of `len in lo..hi` samples from `[-bound, bound)`.
+        fn samples(&mut self, bound: f64, lo: usize, hi: usize) -> Vec<f64> {
+            let len = lo + (self.next_u64() % (hi - lo) as u64) as usize;
+            (0..len).map(|_| self.range(-bound, bound)).collect()
+        }
+    }
 
     #[test]
     fn cdf_rejects_bad_input() {
@@ -310,36 +336,40 @@ mod tests {
         assert!(Bins::new(vec![]).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn quantile_is_within_sample_range(
-            samples in proptest::collection::vec(-1e6f64..1e6, 1..200),
-            q in 0.0f64..1.0,
-        ) {
+    #[test]
+    fn quantile_is_within_sample_range() {
+        let mut g = Gen(0xC0FFEE);
+        for _ in 0..256 {
+            let samples = g.samples(1e6, 1, 200);
+            let q = g.f64();
             let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let cdf = Cdf::new(samples).unwrap();
             let v = cdf.quantile(q);
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi);
         }
+    }
 
-        #[test]
-        fn fraction_leq_is_monotone(
-            samples in proptest::collection::vec(-1e6f64..1e6, 1..100),
-            a in -2e6f64..2e6,
-            b in -2e6f64..2e6,
-        ) {
+    #[test]
+    fn fraction_leq_is_monotone() {
+        let mut g = Gen(0xBEEF);
+        for _ in 0..256 {
+            let samples = g.samples(1e6, 1, 100);
+            let a = g.range(-2e6, 2e6);
+            let b = g.range(-2e6, 2e6);
             let cdf = Cdf::new(samples).unwrap();
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(cdf.fraction_leq(lo) <= cdf.fraction_leq(hi));
+            assert!(cdf.fraction_leq(lo) <= cdf.fraction_leq(hi));
         }
+    }
 
-        #[test]
-        fn bin_index_matches_linear_scan(
-            x in -10.0f64..400.0,
-        ) {
-            let edges = vec![0.0, 70.0, 140.0, 210.0, 280.0];
-            let bins = Bins::new(edges.clone()).unwrap();
+    #[test]
+    fn bin_index_matches_linear_scan() {
+        let mut g = Gen(0xB145);
+        let edges = vec![0.0, 70.0, 140.0, 210.0, 280.0];
+        let bins = Bins::new(edges.clone()).unwrap();
+        for _ in 0..512 {
+            let x = g.range(-10.0, 400.0);
             let expect = if x < 0.0 {
                 None
             } else {
@@ -352,7 +382,7 @@ mod tests {
                 }
                 Some(idx)
             };
-            prop_assert_eq!(bins.index_of(x), expect);
+            assert_eq!(bins.index_of(x), expect, "x = {x}");
         }
     }
 }

@@ -10,13 +10,12 @@
 //! sweeps.
 
 use routing::RouterPath;
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use topology::Network;
 use transport::FlowStats;
 
 /// The two tstat-derived metrics for one transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TstatReport {
     /// Retransmitted segments / segments sent.
     pub retx_rate: f64,

@@ -1,9 +1,7 @@
 //! Labeled datasets of continuous features.
 
-use serde::{Deserialize, Serialize};
-
 /// A dataset of rows of continuous features with boolean labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     feature_names: Vec<String>,
     rows: Vec<Vec<f64>>,

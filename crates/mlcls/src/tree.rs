@@ -1,12 +1,10 @@
 //! The C4.5 tree: gain-ratio splits on continuous features, pessimistic
 //! pruning, rule extraction.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dataset::Dataset;
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
     /// Minimum rows in a leaf (C4.5's `-m`).
     pub min_leaf: usize,
@@ -28,7 +26,7 @@ impl Default for TreeConfig {
 }
 
 /// One comparison on a path from root to leaf.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Condition {
     /// Feature index.
     pub feature: usize,
@@ -40,7 +38,7 @@ pub struct Condition {
 
 /// A root-to-leaf rule: the conjunction of conditions, the predicted
 /// class, and how well the rule is supported by training data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rule {
     /// Conditions along the path.
     pub conditions: Vec<Condition>,
@@ -98,7 +96,7 @@ impl Rule {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         label: bool,
@@ -116,7 +114,7 @@ enum Node {
 }
 
 /// A trained C4.5 decision tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tree {
     root: Node,
     feature_names: Vec<String>,
@@ -194,7 +192,9 @@ impl Tree {
         }
         let correct = (0..data.len())
             .filter(|&i| {
-                let row: Vec<f64> = (0..data.feature_count()).map(|f| data.value(i, f)).collect();
+                let row: Vec<f64> = (0..data.feature_count())
+                    .map(|f| data.value(i, f))
+                    .collect();
                 self.predict(&row) == data.label(i)
             })
             .count();
@@ -262,14 +262,11 @@ impl Tree {
     /// this is the "RTT ↓ ≥ x AND loss ↓ ≥ y ⇒ improvement" statement.
     #[must_use]
     pub fn dominant_positive_rule(&self) -> Option<Rule> {
-        self.rules()
-            .into_iter()
-            .filter(|r| r.label)
-            .max_by(|a, b| {
-                let sa = a.confidence * a.support as f64;
-                let sb = b.confidence * b.support as f64;
-                sa.partial_cmp(&sb).unwrap()
-            })
+        self.rules().into_iter().filter(|r| r.label).max_by(|a, b| {
+            let sa = a.confidence * a.support as f64;
+            let sb = b.confidence * b.support as f64;
+            sa.partial_cmp(&sb).unwrap()
+        })
     }
 
     /// Formats a rule using the training feature names.
@@ -311,7 +308,11 @@ fn make_leaf(data: &Dataset, indices: &[usize]) -> Node {
     Node::Leaf {
         label,
         support: n,
-        confidence: if n == 0 { 0.0 } else { correct as f64 / n as f64 },
+        confidence: if n == 0 {
+            0.0
+        } else {
+            correct as f64 / n as f64
+        },
     }
 }
 
@@ -357,8 +358,7 @@ fn build(data: &Dataset, indices: &[usize], config: &TreeConfig, depth: usize) -
             let pos_gt = pos - pos_le;
             let w_le = n_le as f64 / sorted.len() as f64;
             let w_gt = 1.0 - w_le;
-            let gain =
-                base - w_le * entropy(pos_le, n_le) - w_gt * entropy(pos_gt, n_gt);
+            let gain = base - w_le * entropy(pos_le, n_le) - w_gt * entropy(pos_gt, n_gt);
             // Split info penalizes unbalanced splits (C4.5 gain ratio).
             let split_info = -(w_le * w_le.log2() + w_gt * w_gt.log2());
             if split_info <= 1e-12 || gain <= 1e-12 {
@@ -557,12 +557,36 @@ mod tests {
     fn rule_simplification_keeps_binding_thresholds() {
         let rule = Rule {
             conditions: vec![
-                Condition { feature: 0, threshold: -2.9, greater: true },
-                Condition { feature: 0, threshold: -1.2, greater: true },
-                Condition { feature: 1, threshold: 0.03, greater: true },
-                Condition { feature: 1, threshold: 0.32, greater: true },
-                Condition { feature: 0, threshold: 0.9, greater: false },
-                Condition { feature: 0, threshold: 0.5, greater: false },
+                Condition {
+                    feature: 0,
+                    threshold: -2.9,
+                    greater: true,
+                },
+                Condition {
+                    feature: 0,
+                    threshold: -1.2,
+                    greater: true,
+                },
+                Condition {
+                    feature: 1,
+                    threshold: 0.03,
+                    greater: true,
+                },
+                Condition {
+                    feature: 1,
+                    threshold: 0.32,
+                    greater: true,
+                },
+                Condition {
+                    feature: 0,
+                    threshold: 0.9,
+                    greater: false,
+                },
+                Condition {
+                    feature: 0,
+                    threshold: 0.5,
+                    greater: false,
+                },
             ],
             label: true,
             support: 10,

@@ -1,0 +1,103 @@
+//! Deterministic telemetry for the CRONets reproduction.
+//!
+//! Three pieces, all std-only:
+//!
+//! * a **metrics registry** ([`metrics`]) — counters, gauges and
+//!   fixed-bucket histograms keyed by name, mutated through pre-resolved
+//!   integer handles so the hot path is an array index;
+//! * a **flow tracer** ([`trace`]) — a bounded ring buffer of per-flow
+//!   records (segment sent/acked, retransmit, RTO backoff, cwnd change,
+//!   subflow switch);
+//! * **phase timers and run manifests** ([`manifest`]) — scoped
+//!   wall-clock timers plus a per-run manifest (seed, experiment, sim
+//!   duration, metric snapshot) exported as TSV and JSON lines.
+//!
+//! # Determinism contract
+//!
+//! Metric timestamps are **simulated** nanoseconds (the caller passes
+//! `SimTime::as_nanos()`); nothing in the snapshot reads the wall clock,
+//! so two runs with the same seed produce byte-identical snapshots.
+//! Wall-clock phase timings exist only in the manifest's `phase` records
+//! and on stderr — never in the metric snapshot.
+//!
+//! # Enablement and threading
+//!
+//! Collection is off by default and the disabled path is near-free: one
+//! `Cell<bool>` read for the simulation-side registry and one relaxed
+//! atomic load for the dataplane counters (verified by
+//! `crates/bench/benches/micro.rs`). The registry and tracer are
+//! **thread-local** — the DES engine and experiment drivers are
+//! single-threaded, and handles must not cross threads. The real-socket
+//! dataplane (forwarder/relay) runs on its own threads, so its counters
+//! are process-wide atomics in [`sync`] that [`metrics::snapshot`]
+//! merges in.
+
+pub mod manifest;
+pub mod metrics;
+pub mod sync;
+pub mod trace;
+
+pub use manifest::{phase, take_phases, PhaseTimer, RunManifest};
+pub use metrics::{
+    add, add_named, counter, gauge, histogram, histogram_quantile, inc, labeled, observe, set,
+    snapshot, CounterId, GaugeId, Histogram, HistogramId, SnapValue, Snapshot, CWND_EDGES,
+    GOODPUT_EDGES, QUEUE_DEPTH_EDGES,
+};
+pub use trace::{drain_trace, set_trace_filter, trace, TraceKind, TraceRecord};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Serializes unit tests that toggle the process-wide flag or read the
+/// shared dataplane counters (cargo runs tests concurrently).
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Process-wide flag for the multi-threaded dataplane counters.
+static SYNC_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns collection on for this thread (and the process-wide dataplane
+/// counters), resets all prior state, and pre-registers the metric
+/// catalogue so even experiments that never touch a layer still list
+/// its metrics (at zero) in the snapshot.
+pub fn enable() {
+    ENABLED.with(|e| e.set(true));
+    SYNC_ENABLED.store(true, Ordering::Relaxed);
+    metrics::reset();
+    sync::reset();
+    trace::reset();
+    manifest::reset_phases();
+    metrics::register_catalogue();
+}
+
+/// Turns collection off. Existing state is kept until the next
+/// [`enable`] so a final [`snapshot`] still works.
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+    SYNC_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether collection is on for this thread.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Whether the process-wide dataplane counters are on.
+#[inline]
+#[must_use]
+pub fn sync_enabled() -> bool {
+    SYNC_ENABLED.load(Ordering::Relaxed)
+}

@@ -1,0 +1,586 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Metrics are keyed by name plus an optional `{label}` suffix (see
+//! [`labeled`]). Hot paths resolve a name to an integer handle once
+//! (e.g. at `Netsim` construction) and then mutate through the handle —
+//! an array index behind a `RefCell`, no hashing per event.
+//!
+//! The registry is thread-local; handles are only valid on the thread
+//! that created them. [`snapshot`] merges in the process-wide dataplane
+//! counters from [`crate::sync`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::manifest::json_escape;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram: `edges` are the sorted bucket boundaries;
+/// bucket `i` counts values in `[edges[i-1], edges[i])`, with an
+/// underflow bucket below `edges[0]` and an overflow bucket at or above
+/// the last edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new(edges: Vec<f64>) -> Histogram {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]) && !edges.is_empty(),
+            "histogram edges must be sorted and non-empty"
+        );
+        let n = edges.len() + 1;
+        Histogram {
+            edges,
+            buckets: vec![0; n],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        let i = self.edges.partition_point(|&e| e <= v);
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all observations (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// within the containing bucket. Exact only up to bucket resolution:
+    /// the error is bounded by the width of that bucket (the unit tests
+    /// cross-check this bound against `measure::stats::Cdf`). Returns
+    /// 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in [1, count], matching an order-statistic CDF.
+        let rank = (q * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if (seen + b) as f64 >= rank {
+                // Bucket bounds, clipped to the observed range so the
+                // open-ended end buckets stay finite.
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    self.edges[i - 1].max(self.min)
+                };
+                let hi = if i == self.edges.len() {
+                    self.max
+                } else {
+                    self.edges[i].min(self.max)
+                };
+                if hi <= lo {
+                    return lo;
+                }
+                let frac = (rank - seen as f64) / b as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen += b;
+        }
+        self.max
+    }
+
+    /// The bucket boundary list.
+    #[must_use]
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts (underflow first, overflow last).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+    by_name: BTreeMap<String, (Kind, usize)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Formats a `name{label}` metric key, e.g. `labeled("mptcp.subflow.goodput_bps", "sf=0")`.
+#[must_use]
+pub fn labeled(name: &str, label: &str) -> String {
+    format!("{name}{{{label}}}")
+}
+
+/// Registers (or looks up) a counter and returns its handle. Safe to
+/// call whether or not collection is enabled; mutation is what gates.
+pub fn counter(name: &str) -> CounterId {
+    REGISTRY.with(|r| {
+        let mut r = r.borrow_mut();
+        if let Some(&(kind, i)) = r.by_name.get(name) {
+            assert!(kind == Kind::Counter, "{name} registered with another kind");
+            return CounterId(i);
+        }
+        let i = r.counters.len();
+        r.counters.push((name.to_string(), 0));
+        r.by_name.insert(name.to_string(), (Kind::Counter, i));
+        CounterId(i)
+    })
+}
+
+/// Registers (or looks up) a gauge and returns its handle.
+pub fn gauge(name: &str) -> GaugeId {
+    REGISTRY.with(|r| {
+        let mut r = r.borrow_mut();
+        if let Some(&(kind, i)) = r.by_name.get(name) {
+            assert!(kind == Kind::Gauge, "{name} registered with another kind");
+            return GaugeId(i);
+        }
+        let i = r.gauges.len();
+        r.gauges.push((name.to_string(), 0.0));
+        r.by_name.insert(name.to_string(), (Kind::Gauge, i));
+        GaugeId(i)
+    })
+}
+
+/// Registers (or looks up) a histogram with the given bucket edges.
+/// Edges are fixed at first registration; later calls ignore `edges`.
+pub fn histogram(name: &str, edges: &[f64]) -> HistogramId {
+    REGISTRY.with(|r| {
+        let mut r = r.borrow_mut();
+        if let Some(&(kind, i)) = r.by_name.get(name) {
+            assert!(
+                kind == Kind::Histogram,
+                "{name} registered with another kind"
+            );
+            return HistogramId(i);
+        }
+        let i = r.histograms.len();
+        r.histograms
+            .push((name.to_string(), Histogram::new(edges.to_vec())));
+        r.by_name.insert(name.to_string(), (Kind::Histogram, i));
+        HistogramId(i)
+    })
+}
+
+/// Adds `delta` to a counter. No-op while collection is disabled.
+#[inline]
+pub fn add(id: CounterId, delta: u64) {
+    if crate::enabled() {
+        REGISTRY.with(|r| r.borrow_mut().counters[id.0].1 += delta);
+    }
+}
+
+/// Increments a counter by one. No-op while collection is disabled.
+#[inline]
+pub fn inc(id: CounterId) {
+    add(id, 1);
+}
+
+/// Sets a gauge. No-op while collection is disabled.
+#[inline]
+pub fn set(id: GaugeId, value: f64) {
+    if crate::enabled() {
+        REGISTRY.with(|r| r.borrow_mut().gauges[id.0].1 = value);
+    }
+}
+
+/// Records a histogram observation. No-op while collection is disabled.
+#[inline]
+pub fn observe(id: HistogramId, value: f64) {
+    if crate::enabled() {
+        REGISTRY.with(|r| r.borrow_mut().histograms[id.0].1.record(value));
+    }
+}
+
+/// Reads a quantile estimate straight from a registered histogram
+/// (diagnostics and tests; accuracy bounds in [`Histogram::quantile`]).
+#[must_use]
+pub fn histogram_quantile(id: HistogramId, q: f64) -> f64 {
+    REGISTRY.with(|r| r.borrow().histograms[id.0].1.quantile(q))
+}
+
+/// Slow-path convenience: register-and-add in one call, for cold code
+/// where holding a handle isn't worth it.
+pub fn add_named(name: &str, delta: u64) {
+    if crate::enabled() {
+        let id = counter(name);
+        add(id, delta);
+    }
+}
+
+/// Clears every metric and registration (handles become invalid).
+pub fn reset() {
+    REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
+}
+
+/// Histogram edges for congestion-window trajectories (segments).
+pub const CWND_EDGES: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
+
+/// Histogram edges for link queue depth at enqueue (packets).
+pub const QUEUE_DEPTH_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Histogram edges for per-subflow goodput (bits per second).
+pub const GOODPUT_EDGES: &[f64] = &[1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9];
+
+/// The full metric catalogue, pre-registered by [`crate::enable`] so a
+/// snapshot always lists every layer's metrics even when an experiment
+/// exercises only one. The dataplane counters live in [`crate::sync`]
+/// and appear in snapshots automatically.
+pub(crate) fn register_catalogue() {
+    for name in [
+        "des.events_dispatched",
+        "des.segments_sent",
+        "des.bytes_wire",
+        "des.retransmits",
+        "des.rto_fired",
+        "des.flows_completed",
+        "des.link.queue_drops",
+        "des.link.random_drops",
+        "mptcp.subflows_opened",
+        "mptcp.subflow_switches",
+        "experiment.runs",
+        "experiment.phases",
+    ] {
+        counter(name);
+    }
+    gauge("des.sim_time_ns");
+    histogram("des.cc.cwnd_segs", CWND_EDGES);
+    histogram("des.link.queue_depth", QUEUE_DEPTH_EDGES);
+    histogram("mptcp.subflow.goodput_bps", GOODPUT_EDGES);
+}
+
+/// One metric's value in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Median estimate.
+        p50: f64,
+        /// 99th-percentile estimate.
+        p99: f64,
+    },
+}
+
+/// A deterministic, name-sorted view of every metric (thread-local
+/// registry plus process-wide dataplane counters).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub entries: Vec<(String, SnapValue)>,
+}
+
+/// Takes a snapshot. Works even after [`crate::disable`]; state is only
+/// cleared by the next [`crate::enable`].
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let mut map: BTreeMap<String, SnapValue> = BTreeMap::new();
+    REGISTRY.with(|r| {
+        let r = r.borrow();
+        for (name, v) in &r.counters {
+            map.insert(name.clone(), SnapValue::Counter(*v));
+        }
+        for (name, v) in &r.gauges {
+            map.insert(name.clone(), SnapValue::Gauge(*v));
+        }
+        for (name, h) in &r.histograms {
+            map.insert(
+                name.clone(),
+                SnapValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: h.quantile(0.5),
+                    p99: h.quantile(0.99),
+                },
+            );
+        }
+    });
+    for (name, v) in crate::sync::all_counters() {
+        map.insert(name.to_string(), SnapValue::Counter(v));
+    }
+    for (name, v) in crate::sync::all_gauges() {
+        map.insert(name.to_string(), SnapValue::Gauge(v));
+    }
+    Snapshot {
+        entries: map.into_iter().collect(),
+    }
+}
+
+impl Snapshot {
+    /// Number of metrics in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up one metric by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&SnapValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Renders as TSV: `name<TAB>kind<TAB>value[<TAB>extra]`.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            match v {
+                SnapValue::Counter(c) => {
+                    out.push_str(&format!("{name}\tcounter\t{c}\n"));
+                }
+                SnapValue::Gauge(g) => {
+                    out.push_str(&format!("{name}\tgauge\t{g}\n"));
+                }
+                SnapValue::Histogram {
+                    count,
+                    sum,
+                    p50,
+                    p99,
+                } => {
+                    out.push_str(&format!(
+                        "{name}\thistogram\tcount={count}\tsum={sum}\tp50={p50}\tp99={p99}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders as JSON lines, one metric per line.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            let name = json_escape(name);
+            match v {
+                SnapValue::Counter(c) => {
+                    out.push_str(&format!(
+                        "{{\"metric\":\"{name}\",\"kind\":\"counter\",\"value\":{c}}}\n"
+                    ));
+                }
+                SnapValue::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{{\"metric\":\"{name}\",\"kind\":\"gauge\",\"value\":{g}}}\n"
+                    ));
+                }
+                SnapValue::Histogram {
+                    count,
+                    sum,
+                    p50,
+                    p99,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"metric\":\"{name}\",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\"p50\":{p50},\"p99\":{p99}}}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metric snapshot ({} metrics)", self.len())?;
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &self.entries {
+            match v {
+                SnapValue::Counter(c) => writeln!(f, "  {name:width$}  {c}")?,
+                SnapValue::Gauge(g) => writeln!(f, "  {name:width$}  {g}")?,
+                SnapValue::Histogram {
+                    count,
+                    sum,
+                    p50,
+                    p99,
+                } => writeln!(
+                    f,
+                    "  {name:width$}  count={count} sum={sum} p50={p50} p99={p99}"
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_clean<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = crate::test_guard();
+        crate::enable();
+        let out = f();
+        crate::disable();
+        out
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        with_clean(|| {
+            let c = counter("t.count");
+            let g = gauge("t.gauge");
+            inc(c);
+            add(c, 4);
+            set(g, 2.5);
+            let snap = snapshot();
+            assert_eq!(snap.get("t.count"), Some(&SnapValue::Counter(5)));
+            assert_eq!(snap.get("t.gauge"), Some(&SnapValue::Gauge(2.5)));
+        });
+    }
+
+    #[test]
+    fn disabled_mutation_is_a_no_op() {
+        let _guard = crate::test_guard();
+        crate::enable();
+        let c = counter("t.off");
+        crate::disable();
+        add(c, 100);
+        assert_eq!(snapshot().get("t.off"), Some(&SnapValue::Counter(0)));
+    }
+
+    #[test]
+    fn catalogue_is_preregistered_and_spans_layers() {
+        with_clean(|| {
+            let snap = snapshot();
+            assert!(snap.len() >= 10, "only {} metrics", snap.len());
+            for prefix in ["des.", "mptcp.", "dataplane.", "experiment."] {
+                assert!(
+                    snap.entries.iter().any(|(n, _)| n.starts_with(prefix)),
+                    "no {prefix} metric in catalogue"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        with_clean(|| {
+            let h = histogram("t.h", &[10.0, 20.0, 30.0]);
+            for v in [5.0, 15.0, 15.0, 25.0, 100.0] {
+                observe(h, v);
+            }
+            REGISTRY.with(|r| {
+                let r = r.borrow();
+                let (_, hist) = &r.histograms[h.0];
+                assert_eq!(hist.buckets(), &[1, 2, 1, 1]);
+                assert_eq!(hist.count(), 5);
+                assert_eq!(hist.sum(), 160.0);
+                assert_eq!(hist.mean(), 32.0);
+            });
+        });
+    }
+
+    #[test]
+    fn quantiles_respect_observed_range() {
+        with_clean(|| {
+            let h = histogram("t.q", &[10.0, 20.0]);
+            for v in [12.0, 14.0, 16.0, 18.0] {
+                observe(h, v);
+            }
+            REGISTRY.with(|r| {
+                let r = r.borrow();
+                let (_, hist) = &r.histograms[h.0];
+                let p0 = hist.quantile(0.0);
+                let p100 = hist.quantile(1.0);
+                assert!((12.0..=18.0).contains(&p0));
+                assert!((12.0..=18.0).contains(&p100));
+                assert!(hist.quantile(0.5) >= p0 && hist.quantile(0.5) <= p100);
+            });
+        });
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_tsv_stable() {
+        with_clean(|| {
+            counter("z.last");
+            counter("a.first");
+            let snap = snapshot();
+            let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted);
+            assert_eq!(snapshot().to_tsv(), snap.to_tsv());
+        });
+    }
+
+    #[test]
+    fn labeled_formats_keys() {
+        assert_eq!(labeled("m.x", "sf=1"), "m.x{sf=1}");
+    }
+}

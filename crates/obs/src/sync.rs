@@ -1,0 +1,153 @@
+//! Process-wide counters for the real-socket dataplane.
+//!
+//! The forwarder and relay run on their own threads, where the
+//! thread-local registry in [`crate::metrics`] can't aggregate. These
+//! are plain relaxed atomics, gated on the process-wide enable flag so
+//! the disabled cost is one atomic load and a predictable branch.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A process-wide monotonically increasing counter.
+#[derive(Debug)]
+pub struct SyncCounter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl SyncCounter {
+    const fn new(name: &'static str) -> SyncCounter {
+        SyncCounter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `delta`; no-op while collection is disabled.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if crate::sync_enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one; no-op while collection is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A process-wide last-value gauge (e.g. current NAT occupancy).
+#[derive(Debug)]
+pub struct SyncGauge {
+    name: &'static str,
+    value: AtomicI64,
+}
+
+impl SyncGauge {
+    const fn new(name: &'static str) -> SyncGauge {
+        SyncGauge {
+            name,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge; no-op while collection is disabled.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if crate::sync_enabled() {
+            self.value.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Frames decoded and forwarded upstream by the UDP forwarder.
+pub static FRAMES_FORWARDED: SyncCounter = SyncCounter::new("dataplane.frames_forwarded");
+/// Return frames sent back to clients through the NAT mapping.
+pub static FRAMES_RETURNED: SyncCounter = SyncCounter::new("dataplane.frames_returned");
+/// Ingress datagrams dropped (malformed frame, bad address, pool full).
+pub static FRAMES_DROPPED: SyncCounter = SyncCounter::new("dataplane.frames_dropped");
+/// Encapsulation overhead bytes added by frame headers on the wire.
+pub static ENCAP_OVERHEAD_BYTES: SyncCounter = SyncCounter::new("dataplane.encap_overhead_bytes");
+/// New NAT translations allocated.
+pub static NAT_TRANSLATIONS: SyncCounter = SyncCounter::new("dataplane.nat.translations");
+/// Datagrams refused because the masquerade port pool was exhausted.
+pub static NAT_POOL_EXHAUSTED: SyncCounter = SyncCounter::new("dataplane.nat.pool_exhausted");
+/// Current NAT table occupancy.
+pub static NAT_ACTIVE: SyncGauge = SyncGauge::new("dataplane.nat.active");
+/// Connections accepted by the split-TCP relay.
+pub static RELAY_CONNECTIONS: SyncCounter = SyncCounter::new("dataplane.relay.connections");
+/// Bytes pumped through the relay (both directions).
+pub static RELAY_BYTES: SyncCounter = SyncCounter::new("dataplane.relay.bytes");
+
+const COUNTERS: [&SyncCounter; 8] = [
+    &FRAMES_FORWARDED,
+    &FRAMES_RETURNED,
+    &FRAMES_DROPPED,
+    &ENCAP_OVERHEAD_BYTES,
+    &NAT_TRANSLATIONS,
+    &NAT_POOL_EXHAUSTED,
+    &RELAY_CONNECTIONS,
+    &RELAY_BYTES,
+];
+
+const GAUGES: [&SyncGauge; 1] = [&NAT_ACTIVE];
+
+/// All dataplane counters as `(name, value)` pairs.
+#[must_use]
+pub fn all_counters() -> Vec<(&'static str, u64)> {
+    COUNTERS.iter().map(|c| (c.name, c.get())).collect()
+}
+
+/// All dataplane gauges as `(name, value)` pairs.
+#[must_use]
+pub fn all_gauges() -> Vec<(&'static str, f64)> {
+    GAUGES.iter().map(|g| (g.name, g.get() as f64)).collect()
+}
+
+/// Zeroes every dataplane counter and gauge.
+pub(crate) fn reset() {
+    for c in COUNTERS {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in GAUGES {
+        g.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gate_on_the_process_flag() {
+        let _guard = crate::test_guard();
+        crate::enable();
+        let before = RELAY_BYTES.get();
+        RELAY_BYTES.add(10);
+        assert_eq!(RELAY_BYTES.get(), before + 10);
+        crate::disable();
+        RELAY_BYTES.add(10);
+        assert_eq!(RELAY_BYTES.get(), before + 10, "disabled add must not land");
+    }
+
+    #[test]
+    fn all_counters_cover_the_dataplane_catalogue() {
+        let names: Vec<&str> = all_counters().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"dataplane.frames_forwarded"));
+        assert!(names.contains(&"dataplane.relay.connections"));
+        assert_eq!(all_gauges()[0].0, "dataplane.nat.active");
+    }
+}

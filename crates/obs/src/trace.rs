@@ -1,0 +1,221 @@
+//! Bounded per-flow event tracing.
+//!
+//! A fixed-capacity ring buffer of [`TraceRecord`]s, filtered to one
+//! flow id (set via [`set_trace_filter`]) so a packet-level run can be
+//! replayed segment by segment without unbounded memory. Timestamps are
+//! simulated nanoseconds, so traces are deterministic per seed.
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// Ring capacity: enough for several seconds of a single flow's
+/// segment-level activity without growing.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// What happened to the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A data segment was transmitted (`a` = sequence, `b` = bytes).
+    SegmentSent,
+    /// New data was acknowledged (`a` = cumulative ack, `b` = newly acked bytes).
+    SegmentAcked,
+    /// A segment was retransmitted (`a` = sequence, `b` = bytes).
+    Retransmit,
+    /// The RTO fired and backed off (`a` = new RTO in ns, `b` = consecutive timeouts).
+    RtoBackoff,
+    /// The congestion window changed (`a` = cwnd in segments, `b` = 1 if slow start).
+    CwndChange,
+    /// An MPTCP scheduler decision moved to another subflow (`a` = from, `b` = to).
+    SubflowSwitch,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::SegmentSent => "segment_sent",
+            TraceKind::SegmentAcked => "segment_acked",
+            TraceKind::Retransmit => "retransmit",
+            TraceKind::RtoBackoff => "rto_backoff",
+            TraceKind::CwndChange => "cwnd_change",
+            TraceKind::SubflowSwitch => "subflow_switch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time in nanoseconds.
+    pub t_ns: u64,
+    /// Flow (or subflow-owning flow) identifier.
+    pub flow: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// First kind-specific operand (see [`TraceKind`]).
+    pub a: u64,
+    /// Second kind-specific operand.
+    pub b: u64,
+}
+
+impl TraceRecord {
+    /// Renders as one TSV row: `t_ns  flow  kind  a  b`.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}",
+            self.t_ns, self.flow, self.kind, self.a, self.b
+        )
+    }
+}
+
+struct Ring {
+    filter: Option<u64>,
+    buf: Vec<TraceRecord>,
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    const fn new() -> Ring {
+        Ring {
+            filter: None,
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = const { RefCell::new(Ring::new()) };
+}
+
+/// Selects which flow id to trace (`None` disables tracing entirely).
+/// Clears any buffered records.
+pub fn set_trace_filter(flow: Option<u64>) {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        r.filter = flow;
+        r.buf.clear();
+        r.head = 0;
+        r.dropped = 0;
+    });
+}
+
+/// Records a flow event if collection is enabled and `flow` matches the
+/// filter. Overwrites the oldest record once the ring is full.
+#[inline]
+pub fn trace(t_ns: u64, flow: u64, kind: TraceKind, a: u64, b: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        if r.filter != Some(flow) {
+            return;
+        }
+        let rec = TraceRecord {
+            t_ns,
+            flow,
+            kind,
+            a,
+            b,
+        };
+        if r.buf.len() < TRACE_CAPACITY {
+            r.buf.push(rec);
+        } else {
+            let head = r.head;
+            r.buf[head] = rec;
+            r.head = (head + 1) % TRACE_CAPACITY;
+            r.dropped += 1;
+        }
+    });
+}
+
+/// Takes all buffered records in chronological order, leaving the ring
+/// empty (the filter stays set). Returns the records and how many older
+/// ones the ring overwrote.
+pub fn drain_trace() -> (Vec<TraceRecord>, u64) {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        let head = r.head;
+        let mut out = r.buf.split_off(0);
+        let pivot = head % out.len().max(1);
+        out.rotate_left(pivot);
+        let dropped = r.dropped;
+        r.head = 0;
+        r.dropped = 0;
+        (out, dropped)
+    })
+}
+
+/// Clears the ring and the filter.
+pub(crate) fn reset() {
+    set_trace_filter(None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_selects_one_flow() {
+        let _guard = crate::test_guard();
+        crate::enable();
+        set_trace_filter(Some(7));
+        trace(10, 7, TraceKind::SegmentSent, 0, 1448);
+        trace(20, 8, TraceKind::SegmentSent, 0, 1448);
+        trace(30, 7, TraceKind::SegmentAcked, 1448, 1448);
+        let (recs, dropped) = drain_trace();
+        crate::disable();
+        assert_eq!(dropped, 0);
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.flow == 7));
+        assert_eq!(recs[0].kind, TraceKind::SegmentSent);
+        assert_eq!(recs[1].t_ns, 30);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _guard = crate::test_guard();
+        crate::enable();
+        set_trace_filter(Some(1));
+        let n = TRACE_CAPACITY as u64 + 10;
+        for i in 0..n {
+            trace(i, 1, TraceKind::CwndChange, i, 0);
+        }
+        let (recs, dropped) = drain_trace();
+        crate::disable();
+        assert_eq!(recs.len(), TRACE_CAPACITY);
+        assert_eq!(dropped, 10);
+        assert_eq!(recs[0].t_ns, 10, "oldest surviving record");
+        assert_eq!(recs.last().unwrap().t_ns, n - 1);
+        assert!(recs.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn disabled_or_unfiltered_is_silent() {
+        let _guard = crate::test_guard();
+        crate::enable();
+        set_trace_filter(None);
+        trace(1, 1, TraceKind::SegmentSent, 0, 0);
+        assert!(drain_trace().0.is_empty());
+        set_trace_filter(Some(1));
+        crate::disable();
+        trace(2, 1, TraceKind::SegmentSent, 0, 0);
+        assert!(drain_trace().0.is_empty());
+    }
+
+    #[test]
+    fn tsv_row_shape() {
+        let r = TraceRecord {
+            t_ns: 5,
+            flow: 2,
+            kind: TraceKind::Retransmit,
+            a: 100,
+            b: 1448,
+        };
+        assert_eq!(r.to_tsv(), "5\t2\tretransmit\t100\t1448");
+    }
+}

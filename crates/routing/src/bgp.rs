@@ -422,8 +422,32 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
         use topology::AsTier;
+
+        /// Deterministic test-case generator (SplitMix64): each call
+        /// yields the next pseudo-random word of a fixed stream, so the
+        /// randomized cases below are reproducible run to run.
+        struct Gen(u64);
+
+        impl Gen {
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+
+            fn index(&mut self, n: usize) -> usize {
+                (self.next_u64() % n as u64) as usize
+            }
+
+            /// A vector of `len in lo..hi` elements drawn from `0..m`.
+            fn vec(&mut self, m: usize, lo: usize, hi: usize) -> Vec<usize> {
+                let len = lo + self.index(hi - lo);
+                (0..len).map(|_| self.index(m)).collect()
+            }
+        }
 
         /// A random miniature AS graph: `n` ASes; each non-root AS gets a
         /// random provider among lower-indexed ASes (a DAG, so the
@@ -433,7 +457,11 @@ mod tests {
             let mut net = Network::new();
             let ids: Vec<AsId> = (0..n)
                 .map(|i| {
-                    let tier = if i == 0 { AsTier::Tier1 } else { AsTier::Transit };
+                    let tier = if i == 0 {
+                        AsTier::Tier1
+                    } else {
+                        AsTier::Transit
+                    };
                     net.add_as(format!("as{i}"), tier, false)
                 })
                 .collect();
@@ -451,43 +479,47 @@ mod tests {
             net
         }
 
-        proptest! {
-            #[test]
-            fn computed_paths_are_always_valley_free(
-                providers in proptest::collection::vec(0usize..20, 1..20),
-                peers in proptest::collection::vec((0usize..20, 0usize..20), 0..10),
-            ) {
+        #[test]
+        fn computed_paths_are_always_valley_free() {
+            let mut g = Gen(0xB6F0);
+            for _ in 0..64 {
+                let providers = g.vec(20, 1, 20);
+                let peer_a = g.vec(20, 0, 10);
+                let peers: Vec<(usize, usize)> = peer_a.iter().map(|&a| (a, g.index(20))).collect();
                 let net = random_net(&providers, &peers);
                 let mut bgp = Bgp::new();
                 let ids: Vec<AsId> = net.ases().map(|a| a.id()).collect();
                 for &d in &ids {
                     for &s in &ids {
                         if let Some(path) = bgp.as_path(&net, s, d) {
-                            prop_assert!(
+                            assert!(
                                 is_valley_free(&net, &path),
                                 "valley in {path:?} ({s} -> {d})"
                             );
-                            prop_assert_eq!(path.first(), Some(&s));
-                            prop_assert_eq!(path.last(), Some(&d));
+                            assert_eq!(path.first(), Some(&s));
+                            assert_eq!(path.last(), Some(&d));
                             // Loop freedom.
                             let mut sorted = path.clone();
                             sorted.sort();
                             let len = sorted.len();
                             sorted.dedup();
-                            prop_assert_eq!(sorted.len(), len);
+                            assert_eq!(sorted.len(), len);
                         }
                     }
                 }
             }
+        }
 
-            #[test]
-            fn reachability_is_symmetric(
-                providers in proptest::collection::vec(0usize..20, 1..20),
-                peers in proptest::collection::vec((0usize..20, 0usize..20), 0..10),
-            ) {
-                // Gao-Rexford reachability under symmetric relationships
-                // is symmetric: if s can reach d, d can reach s (the
-                // reverse of a valley-free path is valley-free).
+        #[test]
+        fn reachability_is_symmetric() {
+            // Gao-Rexford reachability under symmetric relationships
+            // is symmetric: if s can reach d, d can reach s (the
+            // reverse of a valley-free path is valley-free).
+            let mut g = Gen(0x5EED);
+            for _ in 0..64 {
+                let providers = g.vec(20, 1, 20);
+                let peer_a = g.vec(20, 0, 10);
+                let peers: Vec<(usize, usize)> = peer_a.iter().map(|&a| (a, g.index(20))).collect();
                 let net = random_net(&providers, &peers);
                 let mut bgp = Bgp::new();
                 let ids: Vec<AsId> = net.ases().map(|a| a.id()).collect();
@@ -495,23 +527,25 @@ mod tests {
                     for &s in &ids {
                         let fwd = bgp.as_path(&net, s, d).is_some();
                         let rev = bgp.as_path(&net, d, s).is_some();
-                        prop_assert_eq!(fwd, rev, "asymmetric reachability {} <-> {}", s, d);
+                        assert_eq!(fwd, rev, "asymmetric reachability {s} <-> {d}");
                     }
                 }
             }
+        }
 
-            #[test]
-            fn everything_reaches_the_hierarchy_root(
-                providers in proptest::collection::vec(0usize..20, 1..20),
-            ) {
-                // With a single connected provider tree and no peers,
-                // every AS reaches every other (up to the root and down).
+        #[test]
+        fn everything_reaches_the_hierarchy_root() {
+            // With a single connected provider tree and no peers,
+            // every AS reaches every other (up to the root and down).
+            let mut g = Gen(0xACE5);
+            for _ in 0..64 {
+                let providers = g.vec(20, 1, 20);
                 let net = random_net(&providers, &[]);
                 let mut bgp = Bgp::new();
                 let ids: Vec<AsId> = net.ases().map(|a| a.id()).collect();
                 for &s in &ids {
                     for &d in &ids {
-                        prop_assert!(
+                        assert!(
                             bgp.as_path(&net, s, d).is_some(),
                             "tree routing failed {s} -> {d}"
                         );

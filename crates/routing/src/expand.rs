@@ -232,11 +232,7 @@ mod tests {
         let mut bgp = Bgp::new();
         let p = route(&net, &mut bgp, hosts[0], hosts[1]).unwrap();
         let expect = bgp
-            .as_path(
-                &net,
-                net.router(hosts[0]).asn(),
-                net.router(hosts[1]).asn(),
-            )
+            .as_path(&net, net.router(hosts[0]).asn(), net.router(hosts[1]).asn())
             .unwrap();
         assert_eq!(p.as_path(&net), expect);
         assert!(is_valley_free(&net, &p.as_path(&net)));

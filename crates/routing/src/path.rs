@@ -207,7 +207,8 @@ mod tests {
         let (mut net, path) = chain();
         // Zero out congestion for a deterministic check.
         for i in 0..net.link_count() {
-            net.link_mut(topology::LinkId::from_raw(i as u32)).set_level(0.0);
+            net.link_mut(topology::LinkId::from_raw(i as u32))
+                .set_level(0.0);
         }
         assert_eq!(path.one_way_delay(&net), SimDuration::from_millis(15));
         assert_eq!(path.rtt(&net), SimDuration::from_millis(30));
@@ -220,9 +221,14 @@ mod tests {
     fn loss_composes_multiplicatively() {
         let (mut net, path) = chain();
         for i in 0..net.link_count() {
-            net.link_mut(topology::LinkId::from_raw(i as u32)).set_level(1.0);
+            net.link_mut(topology::LinkId::from_raw(i as u32))
+                .set_level(1.0);
         }
-        let per_link: Vec<f64> = path.links().iter().map(|&l| net.link(l).loss_prob()).collect();
+        let per_link: Vec<f64> = path
+            .links()
+            .iter()
+            .map(|&l| net.link(l).loss_prob())
+            .collect();
         let expect = 1.0 - per_link.iter().map(|p| 1.0 - p).product::<f64>();
         assert!((path.loss_prob(&net) - expect).abs() < 1e-12);
         assert!(path.loss_prob(&net) > 0.0);
@@ -232,11 +238,13 @@ mod tests {
     fn rtt_rises_with_congestion() {
         let (mut net, path) = chain();
         for i in 0..net.link_count() {
-            net.link_mut(topology::LinkId::from_raw(i as u32)).set_level(0.0);
+            net.link_mut(topology::LinkId::from_raw(i as u32))
+                .set_level(0.0);
         }
         let idle = path.rtt(&net);
         for i in 0..net.link_count() {
-            net.link_mut(topology::LinkId::from_raw(i as u32)).set_level(1.0);
+            net.link_mut(topology::LinkId::from_raw(i as u32))
+                .set_level(1.0);
         }
         assert!(path.rtt(&net) > idle);
     }
@@ -283,6 +291,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "counts inconsistent")]
     fn mismatched_lengths_panic() {
-        let _ = RouterPath::new(vec![RouterId::from_raw(0)], vec![topology::LinkId::from_raw(0)]);
+        let _ = RouterPath::new(
+            vec![RouterId::from_raw(0)],
+            vec![topology::LinkId::from_raw(0)],
+        );
     }
 }

@@ -1,12 +1,11 @@
 //! Deterministic, forkable random number generation for simulations.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic random-number generator for simulation models.
 ///
-/// `SimRng` wraps a fast non-cryptographic PRNG seeded from a `u64`.
-/// Identical seeds produce identical streams on every platform, which is
+/// `SimRng` wraps a fast non-cryptographic PRNG (xoshiro256++, seeded
+/// through SplitMix64 — implemented here so the crate stays free of
+/// external dependencies and builds offline). Identical seeds produce
+/// identical streams on every platform, which is
 /// what makes every experiment in this repository exactly reproducible.
 ///
 /// Independent *substreams* are derived with [`SimRng::fork`]: forking
@@ -33,7 +32,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 /// SplitMix64 finalizer: decorrelates related seeds.
@@ -44,14 +43,29 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+#[inline]
+const fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        // Expand the (finalized) seed into four xoshiro256++ state words
+        // with a SplitMix64 stream, as the algorithm's authors recommend.
+        let mut z = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *word = splitmix64(z);
         }
+        // The all-zero state is a fixed point of xoshiro; SplitMix64 never
+        // produces four zero words in a row, but guard anyway.
+        if state == [0, 0, 0, 0] {
+            state[0] = 0x853C_49E6_748F_EA9B;
+        }
+        SimRng { seed, state }
     }
 
     /// Derives an independent substream labeled `stream`.
@@ -70,15 +84,24 @@ impl SimRng {
         self.seed
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        result
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
         // 53 random mantissa bits => uniform in [0,1) with full double precision.
-        (self.inner.gen::<u64>() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -87,7 +110,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid uniform range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid uniform range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.uniform_f64()
     }
 
@@ -98,7 +124,18 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's unbiased multiply-shift rejection method.
+        let n = n as u64;
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = u128::from(self.next_u64()) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
@@ -118,7 +155,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         let u = 1.0 - self.uniform_f64(); // in (0, 1]
         -mean * u.ln()
     }
@@ -142,7 +182,10 @@ impl SimRng {
     ///
     /// Panics if `std_dev` is negative or non-finite.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be non-negative");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be non-negative"
+        );
         mean + std_dev * self.standard_normal()
     }
 
@@ -159,7 +202,10 @@ impl SimRng {
     ///
     /// Panics if `x_m` or `alpha` is not positive.
     pub fn pareto(&mut self, x_m: f64, alpha: f64) -> f64 {
-        assert!(x_m > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_m > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         let u = 1.0 - self.uniform_f64(); // (0, 1]
         x_m / u.powf(1.0 / alpha)
     }
@@ -302,7 +348,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 100-element shuffle virtually never yields identity");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle virtually never yields identity"
+        );
     }
 
     #[test]

@@ -4,8 +4,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant in simulated time, measured in nanoseconds since the start
 /// of the simulation.
 ///
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_secs(2);
 /// assert_eq!(t.as_millis(), 2_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -97,7 +95,7 @@ impl fmt::Display for SimTime {
 /// let rtt = SimDuration::from_millis(80);
 /// assert_eq!(rtt * 2, SimDuration::from_millis(160));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -313,7 +311,10 @@ mod tests {
         let t = SimTime::from_nanos(1_500_000_000);
         assert_eq!(t.as_millis(), 1_500);
         assert_eq!(t.as_micros(), 1_500_000);
-        assert_eq!(t + SimDuration::from_millis(500), SimTime::from_nanos(2_000_000_000));
+        assert_eq!(
+            t + SimDuration::from_millis(500),
+            SimTime::from_nanos(2_000_000_000)
+        );
         assert_eq!(
             (t + SimDuration::from_secs(1)).duration_since(t),
             SimDuration::from_secs(1)
@@ -325,7 +326,10 @@ mod tests {
         let early = SimTime::from_nanos(10);
         let late = SimTime::from_nanos(20);
         assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
-        assert_eq!(late.saturating_duration_since(early), SimDuration::from_nanos(10));
+        assert_eq!(
+            late.saturating_duration_since(early),
+            SimDuration::from_nanos(10)
+        );
     }
 
     #[test]
@@ -338,7 +342,10 @@ mod tests {
     fn from_secs_f64_handles_degenerate_inputs() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO.max(SimDuration::ZERO));
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY),
+            SimDuration::ZERO.max(SimDuration::ZERO)
+        );
         assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1_500);
     }
 
@@ -349,12 +356,18 @@ mod tests {
         assert_eq!(d / 2, SimDuration::from_millis(5));
         assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(25));
         assert_eq!(d.max(SimDuration::from_millis(4)), d);
-        assert_eq!(d.min(SimDuration::from_millis(4)), SimDuration::from_millis(4));
+        assert_eq!(
+            d.min(SimDuration::from_millis(4)),
+            SimDuration::from_millis(4)
+        );
     }
 
     #[test]
     fn duration_sum_and_display() {
-        let total: SimDuration = [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
         assert_eq!(total, SimDuration::from_secs(6));
         assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
         assert_eq!(format!("{}", SimDuration::from_micros(3)), "3.0us");

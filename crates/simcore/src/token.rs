@@ -134,7 +134,10 @@ mod tests {
         }
         let rate = (n - 1) as f64 * 1_500.0 / now.as_secs_f64();
         let target = MBPS100 as f64;
-        assert!((rate - target).abs() / target < 0.01, "rate {rate} vs {target}");
+        assert!(
+            (rate - target).abs() / target < 0.01,
+            "rate {rate} vs {target}"
+        );
     }
 
     #[test]

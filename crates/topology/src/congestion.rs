@@ -6,7 +6,6 @@
 //! events"). We model per-link congestion as a bounded AR(1) process over
 //! measurement epochs, plus occasional heavy-tailed flash events.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimRng};
 
 /// Static congestion characteristics of a link.
@@ -17,7 +16,7 @@ use simcore::{SimDuration, SimRng};
 /// * `loss = base_loss + level² · (peak_loss − base_loss)` — quadratic, so
 ///   moderately loaded links lose little and saturated links lose a lot;
 /// * `queue_delay = level · queue_at_peak`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CongestionProfile {
     /// Loss probability when completely idle (transmission errors etc.).
     pub base_loss: f64,
@@ -86,7 +85,7 @@ impl CongestionProfile {
 /// `level' = mean + persistence · (level − mean) + volatility · ε`, clamped
 /// to `[0, 1]`, with probability `flash_prob` of a Pareto-tailed flash
 /// event pushing the level toward saturation for one epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CongestionDynamics {
     /// Long-run mean level.
     pub mean_level: f64,
@@ -212,7 +211,9 @@ mod tests {
     fn stationary_draw_is_bounded_and_centered() {
         let p = CongestionProfile::congested(0.35, 0.01);
         let mut rng = SimRng::seed_from(4);
-        let draws: Vec<f64> = (0..5_000).map(|_| p.dynamics.stationary_draw(&mut rng)).collect();
+        let draws: Vec<f64> = (0..5_000)
+            .map(|_| p.dynamics.stationary_draw(&mut rng))
+            .collect();
         assert!(draws.iter().all(|d| (0.0..=1.0).contains(d)));
         let mean = draws.iter().sum::<f64>() / draws.len() as f64;
         assert!((mean - 0.35).abs() < 0.03, "stationary mean {mean}");

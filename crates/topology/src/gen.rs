@@ -8,7 +8,6 @@
 //! which is where the paper — citing Akella et al. (2003) and Kang &
 //! Gligor (2014) — locates real Internet bottlenecks.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimRng};
 
 use crate::congestion::CongestionProfile;
@@ -27,7 +26,7 @@ const fn gbps(n: u64) -> u64 {
 /// The defaults ([`InternetConfig::paper_scale`]) produce a topology large
 /// enough to sample thousands of distinct end-to-end paths, matching the
 /// scale of the paper's 6,600-path experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InternetConfig {
     /// Number of Tier-1 backbone ASes (clique).
     pub n_tier1: usize,
@@ -249,7 +248,14 @@ impl Generator<'_> {
                 .location
                 .propagation_delay(net.router(b).city().location)
                 .mul_f64(gen.stretch());
-            net.add_link(a, b, LinkKind::IntraAs, capacity, delay, CongestionProfile::clean());
+            net.add_link(
+                a,
+                b,
+                LinkKind::IntraAs,
+                capacity,
+                delay,
+                CongestionProfile::clean(),
+            );
         };
         // Chain + ring closure.
         for w in 0..n - 1 {
@@ -619,8 +625,7 @@ mod tests {
             .links()
             .filter(|l| l.kind() == LinkKind::IntraAs)
             .collect();
-        let core_frac =
-            core.iter().filter(|l| is_congested(l)).count() as f64 / core.len() as f64;
+        let core_frac = core.iter().filter(|l| is_congested(l)).count() as f64 / core.len() as f64;
         let intra_frac =
             intra.iter().filter(|l| is_congested(l)).count() as f64 / intra.len() as f64;
         assert!(core_frac > 0.25, "core congested fraction {core_frac}");
@@ -653,11 +658,7 @@ mod tests {
     fn nearest_backbone_router_prefers_colocated() {
         let cfg = InternetConfig::small();
         let net = generate(&cfg, 9);
-        let tier1 = net
-            .ases()
-            .find(|a| a.tier() == AsTier::Tier1)
-            .unwrap()
-            .id();
+        let tier1 = net.ases().find(|a| a.tier() == AsTier::Tier1).unwrap().id();
         let some_city = net.router(net.as_node(tier1).routers()[0]).city();
         let nearest = nearest_backbone_router(&net, tier1, some_city);
         assert_eq!(net.router(nearest).city().name, some_city.name);

@@ -6,7 +6,6 @@
 //! same real-world geography so RTT distributions — and therefore the RTT
 //! bins of Fig. 9 — have realistic shapes.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// Mean earth radius in kilometers.
@@ -31,7 +30,7 @@ const PATH_STRETCH: f64 = 1.4;
 /// let d = nyc.distance_km(lon);
 /// assert!((5_500.0..5_700.0).contains(&d), "NYC-London ≈ 5,570 km, got {d}");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees, positive north.
     pub lat: f64,
@@ -49,7 +48,10 @@ impl GeoPoint {
     #[must_use]
     pub fn new(lat: f64, lon: f64) -> Self {
         assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
-        assert!((-180.0..=180.0).contains(&lon), "longitude {lon} out of range");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range"
+        );
         GeoPoint { lat, lon }
     }
 
@@ -77,7 +79,7 @@ impl GeoPoint {
 
 /// Continents, used to stratify client populations like the paper
 /// ("48 in Europe, 45 in America, 14 in Asia, and 3 in Australia").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Continent {
     /// North America.
     NorthAmerica,
@@ -93,7 +95,7 @@ pub enum Continent {
 
 /// A named city with coordinates; the unit of geographic placement for
 /// routers, data centers and end hosts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct City {
     /// Human-readable name.
     pub name: &'static str,
@@ -207,7 +209,10 @@ mod tests {
         let sj = city_by_name("San Jose").unwrap().location;
         let tk = city_by_name("Tokyo").unwrap().location;
         let d = sj.distance_km(tk);
-        assert!((8_000.0..9_000.0).contains(&d), "SJ-Tokyo ≈ 8,300 km, got {d}");
+        assert!(
+            (8_000.0..9_000.0).contains(&d),
+            "SJ-Tokyo ≈ 8,300 km, got {d}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::ids::{AsId, LinkId, RouterId};
 use crate::link::{Link, LinkKind};
 
 /// Position of an AS in the Internet hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AsTier {
     /// Settlement-free core: peers with all other Tier-1s, buys from nobody.
     Tier1,
@@ -21,7 +21,7 @@ pub enum AsTier {
 }
 
 /// Business relationship between two ASes, following the Gao–Rexford model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Relationship {
     /// The first AS sells transit to the second (provider → customer).
     ProviderOf,
@@ -30,7 +30,7 @@ pub enum Relationship {
 }
 
 /// What a router is used for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RouterKind {
     /// A PoP/backbone/border router of an AS.
     Backbone,
@@ -233,7 +233,11 @@ impl Network {
         self.adj[a.index()].push((b, id));
         self.adj[b.index()].push((a, id));
         if as_a != as_b {
-            let key = if as_a <= as_b { (as_a, as_b) } else { (as_b, as_a) };
+            let key = if as_a <= as_b {
+                (as_a, as_b)
+            } else {
+                (as_b, as_a)
+            };
             self.inter_as_links.entry(key).or_default().push(id);
         }
         id

@@ -1,6 +1,5 @@
 //! Links: the physical/virtual edges of the router-level graph.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimRng};
 
 use crate::congestion::CongestionProfile;
@@ -8,7 +7,7 @@ use crate::ids::{LinkId, RouterId};
 
 /// The role a link plays in the topology; determines default capacity and
 /// where congestion concentrates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkKind {
     /// Last-mile / host attachment link.
     Access,
@@ -37,7 +36,7 @@ impl LinkKind {
 /// through the overlay node (the NAT handles the return path), and
 /// modeling asymmetric link state would not change any of the reproduced
 /// results, which are driven by forward-path loss and round-trip delay.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     id: LinkId,
     a: RouterId,

@@ -17,7 +17,7 @@
 use simcore::{SimDuration, SimTime};
 
 /// Single-path congestion-control algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CongestionAlg {
     /// TCP NewReno: AIMD, ssthresh halving.
     Reno,
@@ -26,7 +26,7 @@ pub enum CongestionAlg {
 }
 
 /// How an MPTCP connection couples its subflows' windows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CouplingAlg {
     /// Linked Increases (RFC 6356).
     Lia,
@@ -185,8 +185,8 @@ impl CcState {
         // RFC 8312 §4.1: target is the cubic curve one RTT ahead.
         let target = cubic.w_max + CubicState::C * (t + rtt_s - cubic.k).powi(3);
         // TCP-friendly region (RFC 8312 §4.2).
-        cubic.w_tcp += 3.0 * (1.0 - CubicState::BETA) / (1.0 + CubicState::BETA)
-            * (acked_segs / self.cwnd);
+        cubic.w_tcp +=
+            3.0 * (1.0 - CubicState::BETA) / (1.0 + CubicState::BETA) * (acked_segs / self.cwnd);
         let target = target.max(cubic.w_tcp);
         if target > self.cwnd {
             // cwnd += (target - cwnd)/cwnd per acked segment.
@@ -266,13 +266,16 @@ pub fn olia_increase(siblings: &[SubflowView], me: usize) -> f64 {
         .map(|s| s.cwnd_segs / s.srtt_s.max(1e-6))
         .sum();
     let s_me = &siblings[me];
-    let first = (s_me.cwnd_segs / (s_me.srtt_s * s_me.srtt_s).max(1e-9))
-        / (sum_term * sum_term).max(1e-12);
+    let first =
+        (s_me.cwnd_segs / (s_me.srtt_s * s_me.srtt_s).max(1e-9)) / (sum_term * sum_term).max(1e-12);
 
     // Best paths by ℓ_p² / rtt_p (proxy for achievable rate).
     let quality = |s: &SubflowView| (s.interloss_segs * s.interloss_segs) / s.srtt_s.max(1e-6);
     let best_q = siblings.iter().map(quality).fold(0.0f64, f64::max);
-    let in_best: Vec<bool> = siblings.iter().map(|s| quality(s) >= best_q * 0.999).collect();
+    let in_best: Vec<bool> = siblings
+        .iter()
+        .map(|s| quality(s) >= best_q * 0.999)
+        .collect();
     let max_w = siblings.iter().map(|s| s.cwnd_segs).fold(0.0f64, f64::max);
     let in_max: Vec<bool> = siblings
         .iter()
@@ -363,7 +366,11 @@ mod tests {
             cc.on_ack_single(1.0, now, rtt);
         }
         // After 2 s, CUBIC should have recovered to ≥ w_max.
-        assert!(cc.cwnd_segs() >= 95.0, "cwnd only reached {}", cc.cwnd_segs());
+        assert!(
+            cc.cwnd_segs() >= 95.0,
+            "cwnd only reached {}",
+            cc.cwnd_segs()
+        );
     }
 
     #[test]

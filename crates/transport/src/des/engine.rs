@@ -120,7 +120,12 @@ enum Event {
     /// Data segment `seq` of `(flow, sub)` arrives at hop `hop` of its
     /// path (per-hop forwarding keeps every link's arrival stream in
     /// global time order, which the lazy droptail queue requires).
-    Hop { flow: u32, sub: u32, seq: u64, hop: u16 },
+    Hop {
+        flow: u32,
+        sub: u32,
+        seq: u64,
+        hop: u16,
+    },
     /// Data segment `seq` of `(flow, sub)` reaches the receiver.
     Deliver { flow: u32, sub: u32, seq: u64 },
     /// Cumulative ACK reaches the sender.
@@ -235,7 +240,11 @@ impl Subflow {
                 self.rttvar = sample / 2;
             }
             Some(srtt) => {
-                let diff = if srtt > sample { srtt - sample } else { sample - srtt };
+                let diff = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
                 self.rttvar = (self.rttvar * 3 + diff) / 4;
                 self.srtt = Some((srtt * 7 + sample) / 8);
             }
@@ -266,7 +275,9 @@ enum FlowKind {
     Normal,
     /// Split relay with a bounded relay buffer (in segments): subflow 0
     /// is A→relay, subflow 1 is relay→B.
-    Relay { buffer_segs: u64 },
+    Relay {
+        buffer_segs: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -280,6 +291,50 @@ struct Flow {
     sample_interval: Option<SimDuration>,
     /// Cumulative delivered segments at each sample tick.
     samples: Vec<u64>,
+    /// Subflow that carried the most recent transmission (telemetry:
+    /// scheduler-switch detection on multi-subflow flows).
+    last_tx_sub: Option<u32>,
+}
+
+/// Pre-resolved telemetry handles, captured once at [`Netsim::new`] when
+/// collection is enabled. With collection off this is `None`, so every
+/// hot-path instrumentation site costs one branch on an inline bool.
+#[derive(Debug, Clone, Copy)]
+struct ObsHandles {
+    events: obs::CounterId,
+    segments: obs::CounterId,
+    bytes_wire: obs::CounterId,
+    retransmits: obs::CounterId,
+    rto_fired: obs::CounterId,
+    flows_completed: obs::CounterId,
+    queue_drops: obs::CounterId,
+    random_drops: obs::CounterId,
+    subflow_switches: obs::CounterId,
+    sim_time: obs::GaugeId,
+    cwnd: obs::HistogramId,
+    queue_depth: obs::HistogramId,
+}
+
+impl ObsHandles {
+    fn capture() -> Option<ObsHandles> {
+        if !obs::enabled() {
+            return None;
+        }
+        Some(ObsHandles {
+            events: obs::counter("des.events_dispatched"),
+            segments: obs::counter("des.segments_sent"),
+            bytes_wire: obs::counter("des.bytes_wire"),
+            retransmits: obs::counter("des.retransmits"),
+            rto_fired: obs::counter("des.rto_fired"),
+            flows_completed: obs::counter("des.flows_completed"),
+            queue_drops: obs::counter("des.link.queue_drops"),
+            random_drops: obs::counter("des.link.random_drops"),
+            subflow_switches: obs::counter("mptcp.subflow_switches"),
+            sim_time: obs::gauge("des.sim_time_ns"),
+            cwnd: obs::histogram("des.cc.cwnd_segs", obs::CWND_EDGES),
+            queue_depth: obs::histogram("des.link.queue_depth", obs::QUEUE_DEPTH_EDGES),
+        })
+    }
 }
 
 /// The simulator: links, flows and the event loop.
@@ -291,10 +346,14 @@ pub struct Netsim {
     links: Vec<SimLink>,
     flows: Vec<Flow>,
     rng: SimRng,
+    /// Telemetry handles (`None` when collection is off at construction).
+    obs: Option<ObsHandles>,
 }
 
 impl Netsim {
-    /// Creates an empty simulation.
+    /// Creates an empty simulation. Telemetry collection is decided here:
+    /// if `obs::enabled()` at construction, the simulation resolves its
+    /// metric handles once and instruments the run.
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Netsim {
@@ -302,6 +361,7 @@ impl Netsim {
             links: Vec::new(),
             flows: Vec::new(),
             rng: SimRng::seed_from(seed),
+            obs: ObsHandles::capture(),
         }
     }
 
@@ -313,8 +373,12 @@ impl Netsim {
         loss_prob: f64,
         queue_cap_bytes: u64,
     ) -> usize {
-        self.links
-            .push(SimLink::new(rate_bps, prop_delay, loss_prob, queue_cap_bytes));
+        self.links.push(SimLink::new(
+            rate_bps,
+            prop_delay,
+            loss_prob,
+            queue_cap_bytes,
+        ));
         self.links.len() - 1
     }
 
@@ -358,6 +422,9 @@ impl Netsim {
             CouplingAlg::Uncoupled => cfg.transfer.cc,
             CouplingAlg::Lia | CouplingAlg::Olia => CongestionAlg::Reno,
         };
+        if self.obs.is_some() {
+            obs::add_named("mptcp.subflows_opened", paths.len() as u64);
+        }
         self.add_flow_inner(paths, &cfg.transfer, cfg.coupling, alg)
     }
 
@@ -372,11 +439,8 @@ impl Netsim {
         let subflows = paths
             .into_iter()
             .map(|p| {
-                let reverse: SimDuration = p
-                    .links()
-                    .iter()
-                    .map(|&l| self.links[l].prop_delay())
-                    .sum();
+                let reverse: SimDuration =
+                    p.links().iter().map(|&l| self.links[l].prop_delay()).sum();
                 Subflow::new(p.links().to_vec(), reverse, alg)
             })
             .collect();
@@ -389,6 +453,7 @@ impl Netsim {
             kind: FlowKind::Normal,
             sample_interval: cfg.sample_interval,
             samples: Vec::new(),
+            last_tx_sub: None,
         });
         self.flows.len() - 1
     }
@@ -436,17 +501,32 @@ impl Netsim {
                 self.try_send(f, s, SimTime::ZERO);
             }
         }
+        let mut last_now = SimTime::ZERO;
         while let Some((now, event)) = self.queue.pop() {
+            if let Some(h) = self.obs {
+                obs::inc(h.events);
+                last_now = now;
+            }
             match event {
-                Event::Hop { flow, sub, seq, hop } => {
+                Event::Hop {
+                    flow,
+                    sub,
+                    seq,
+                    hop,
+                } => {
                     self.forward_hop(flow as usize, sub as usize, seq, hop as usize, now);
                 }
-                Event::Deliver { flow, sub, seq } => self.on_deliver(flow as usize, sub as usize, seq, now),
+                Event::Deliver { flow, sub, seq } => {
+                    self.on_deliver(flow as usize, sub as usize, seq, now)
+                }
                 Event::Ack { flow, sub, cum } => self.on_ack(flow as usize, sub as usize, cum, now),
                 Event::Timeout { flow, sub, epoch } => {
                     self.on_timeout(flow as usize, sub as usize, epoch, now);
                 }
                 Event::Stop { flow } => {
+                    if let Some(h) = self.obs {
+                        obs::inc(h.flows_completed);
+                    }
                     let f = &mut self.flows[flow as usize];
                     f.stopped = true;
                     for sub in &mut f.subflows {
@@ -457,7 +537,7 @@ impl Netsim {
                     // precedes the equal-time Sample, which then no-ops).
                     if let Some(iv) = f.sample_interval {
                         let elapsed = f.stop_time.duration_since(SimTime::ZERO);
-                        if elapsed.as_nanos() % iv.as_nanos() == 0 {
+                        if elapsed.as_nanos().is_multiple_of(iv.as_nanos()) {
                             let delivered = Self::delivered_segs(f);
                             f.samples.push(delivered);
                         }
@@ -478,6 +558,13 @@ impl Netsim {
                     }
                 }
             }
+        }
+        if let Some(h) = self.obs {
+            obs::set(h.sim_time, last_now.as_nanos() as f64);
+            let queue_drops: u64 = self.links.iter().map(|l| l.queue_drops).sum();
+            let random_drops: u64 = self.links.iter().map(|l| l.random_drops).sum();
+            obs::add(h.queue_drops, queue_drops);
+            obs::add(h.random_drops, random_drops);
         }
         self.flows.iter().map(Self::stats_of).collect()
     }
@@ -566,7 +653,11 @@ impl Netsim {
             bytes_delivered: bytes,
             segments_sent: segs,
             retransmits: retx,
-            retx_rate: if segs > 0 { retx as f64 / segs as f64 } else { 0.0 },
+            retx_rate: if segs > 0 {
+                retx as f64 / segs as f64
+            } else {
+                0.0
+            },
             avg_rtt,
             min_rtt: if min_rtt == SimDuration::MAX {
                 SimDuration::ZERO
@@ -626,20 +717,42 @@ impl Netsim {
 
     fn on_ack(&mut self, f: usize, s: usize, cum: u64, now: SimTime) {
         {
+            let obs_h = self.obs;
             let sub = &mut self.flows[f].subflows[s];
             let tick = now.as_millis() / 100;
             if sub.trace.last().is_none_or(|&(t, _)| t < tick) {
                 let w = sub.cc.cwnd_segs();
                 sub.trace.push((tick, w));
+                if let Some(h) = obs_h {
+                    obs::observe(h.cwnd, w);
+                    obs::trace(
+                        now.as_nanos(),
+                        f as u64,
+                        obs::TraceKind::CwndChange,
+                        w as u64,
+                        u64::from(sub.cc.in_slow_start()),
+                    );
+                }
             }
         }
         let coupling = self.flows[f].coupling;
         let min_rto = self.flows[f].params.min_rto;
+        let mss = u64::from(self.flows[f].params.mss);
         let views = self.subflow_views(f);
+        let obs_on = self.obs.is_some();
         let sub = &mut self.flows[f].subflows[s];
 
         if cum > sub.snd_una {
             let newly = (cum - sub.snd_una) as f64;
+            if obs_on {
+                obs::trace(
+                    now.as_nanos(),
+                    f as u64,
+                    obs::TraceKind::SegmentAcked,
+                    cum,
+                    (cum - sub.snd_una) * mss,
+                );
+            }
             // RTT sample from the first non-retransmitted segment (Karn).
             let mut sample = None;
             for seq in sub.snd_una..cum {
@@ -727,6 +840,7 @@ impl Netsim {
         if self.flows[f].stopped {
             return;
         }
+        let obs_h = self.obs;
         let sub = &mut self.flows[f].subflows[s];
         if epoch != sub.timer_epoch || sub.flight_segs() == 0 {
             if epoch == sub.timer_epoch {
@@ -748,6 +862,16 @@ impl Netsim {
         sub.snd_nxt = sub.snd_una;
         // Exponential backoff.
         sub.rto = (sub.rto * 2).min(MAX_RTO);
+        if let Some(h) = obs_h {
+            obs::inc(h.rto_fired);
+            obs::trace(
+                now.as_nanos(),
+                f as u64,
+                obs::TraceKind::RtoBackoff,
+                sub.rto.as_nanos(),
+                sub.timeouts,
+            );
+        }
         self.try_send(f, s, now);
         self.rearm_timer(f, s, now);
     }
@@ -809,7 +933,11 @@ impl Netsim {
                 // Holes are retransmitted only inside a recovery episode:
                 // repairing them outside one would bypass the 3-dup-ack
                 // window reduction entirely (loss without consequence).
-                let hole = if sub.in_recovery { Self::next_hole(sub) } else { None };
+                let hole = if sub.in_recovery {
+                    Self::next_hole(sub)
+                } else {
+                    None
+                };
                 match hole {
                     Some(seq) => (seq, true),
                     None => {
@@ -859,6 +987,37 @@ impl Netsim {
     }
 
     fn send_segment(&mut self, f: usize, s: usize, seq: u64, is_retx: bool, now: SimTime) {
+        if let Some(h) = self.obs {
+            let wire = u64::from(self.flows[f].params.mss + HEADER_BYTES);
+            obs::inc(h.segments);
+            obs::add(h.bytes_wire, wire);
+            let kind = if is_retx {
+                obs::inc(h.retransmits);
+                obs::TraceKind::Retransmit
+            } else {
+                obs::TraceKind::SegmentSent
+            };
+            obs::trace(now.as_nanos(), f as u64, kind, seq, wire);
+            // A multi-subflow flow transmitting on a different subflow
+            // than last time is a scheduler switch (relay flows' two
+            // segments are independent TCP loops, not subflows).
+            if self.flows[f].subflows.len() > 1 && matches!(self.flows[f].kind, FlowKind::Normal) {
+                let prev = self.flows[f].last_tx_sub;
+                if let Some(p) = prev {
+                    if p != s as u32 {
+                        obs::inc(h.subflow_switches);
+                        obs::trace(
+                            now.as_nanos(),
+                            f as u64,
+                            obs::TraceKind::SubflowSwitch,
+                            u64::from(p),
+                            s as u64,
+                        );
+                    }
+                }
+                self.flows[f].last_tx_sub = Some(s as u32);
+            }
+        }
         let sub = &mut self.flows[f].subflows[s];
         sub.segs_sent += 1;
         if is_retx {
@@ -883,6 +1042,13 @@ impl Netsim {
     fn forward_hop(&mut self, f: usize, s: usize, seq: u64, hop: usize, now: SimTime) {
         let wire_bytes = self.flows[f].params.mss + HEADER_BYTES;
         let link = self.flows[f].subflows[s].path[hop];
+        if let Some(h) = self.obs {
+            // Backlog the segment sees on arrival, in packets of its own
+            // wire size (the lazy droptail queue tracks time, not bytes).
+            let l = &self.links[link];
+            let backlog_bytes = l.queue_delay(now).as_secs_f64() * l.rate_bps() as f64 / 8.0;
+            obs::observe(h.queue_depth, backlog_bytes / f64::from(wire_bytes));
+        }
         let Some(arrival) = self.links[link].transmit(now, wire_bytes, &mut self.rng) else {
             return; // dropped: loss recovery will notice
         };
@@ -921,13 +1087,7 @@ mod tests {
 
     const MBPS: f64 = 1e6;
 
-    fn one_link_sim(
-        seed: u64,
-        rate_mbps: u64,
-        one_way_ms: u64,
-        loss: f64,
-        secs: u64,
-    ) -> FlowStats {
+    fn one_link_sim(seed: u64, rate_mbps: u64, one_way_ms: u64, loss: f64, secs: u64) -> FlowStats {
         let mut sim = Netsim::new(seed);
         let l = sim.add_link(
             rate_mbps * 1_000_000,
@@ -1082,7 +1242,6 @@ mod tests {
         assert!(ratio < 2.0, "unfair split {g1} vs {g2}");
     }
 
-
     // ---------- failure injection ----------
 
     #[test]
@@ -1094,11 +1253,13 @@ mod tests {
         let backup = sim.add_link(50_000_000, SimDuration::from_millis(40), 1e-4, 1 << 20);
         sim.schedule_link_loss(good, SimTime::ZERO + SimDuration::from_secs(10), 1.0);
         let cfg = MptcpConfig {
-            transfer: TransferConfig::for_secs(30)
-                .sampled_every(SimDuration::from_secs(1)),
+            transfer: TransferConfig::for_secs(30).sampled_every(SimDuration::from_secs(1)),
             coupling: CouplingAlg::Olia,
         };
-        let f = sim.add_mptcp_flow(vec![DesPath::new(vec![good]), DesPath::new(vec![backup])], &cfg);
+        let f = sim.add_mptcp_flow(
+            vec![DesPath::new(vec![good]), DesPath::new(vec![backup])],
+            &cfg,
+        );
         let stats = sim.run().remove(f);
         // The connection survives: the tail of the series (well after the
         // failure + RTO backoff) still moves data on the backup path.
@@ -1112,7 +1273,10 @@ mod tests {
         // And the failure is visible: the first seconds ran faster than
         // the post-failure steady state on the (slower) backup path.
         let head: f64 = stats.interval_goodput_bps[2..9].iter().sum::<f64>() / 7.0;
-        assert!(head > tail, "failure had no effect: head {head} vs tail {tail}");
+        assert!(
+            head > tail,
+            "failure had no effect: head {head} vs tail {tail}"
+        );
     }
 
     #[test]
@@ -1125,7 +1289,10 @@ mod tests {
         let stats = sim.run().remove(f);
         let after: f64 = stats.interval_goodput_bps[8..].iter().sum();
         assert!(after < 1_000_000.0, "dead link still delivered {after}");
-        assert!(stats.interval_goodput_bps[1] > 1_000_000.0, "never ramped up");
+        assert!(
+            stats.interval_goodput_bps[1] > 1_000_000.0,
+            "never ramped up"
+        );
     }
 
     #[test]
@@ -1165,8 +1332,15 @@ mod tests {
         );
         // Slow start: the first second delivers less than the best second.
         let first = stats.interval_goodput_bps[0];
-        let best = stats.interval_goodput_bps.iter().cloned().fold(0.0, f64::max);
-        assert!(first < best, "no ramp-up visible: first {first}, best {best}");
+        let best = stats
+            .interval_goodput_bps
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        assert!(
+            first < best,
+            "no ramp-up visible: first {first}, best {best}"
+        );
     }
 
     #[test]
@@ -1251,7 +1425,11 @@ mod tests {
             "relay reported more than the slow segment: {}",
             stats.goodput_bps
         );
-        assert!(stats.goodput_bps > 7_000_000.0, "slow segment underused: {}", stats.goodput_bps);
+        assert!(
+            stats.goodput_bps > 7_000_000.0,
+            "slow segment underused: {}",
+            stats.goodput_bps
+        );
     }
 
     #[test]
@@ -1409,7 +1587,10 @@ mod tests {
             "failover goodput {}",
             stats.goodput_bps
         );
-        assert_eq!(stats.per_subflow_goodput[0], 0.0, "dead path delivered data?");
+        assert_eq!(
+            stats.per_subflow_goodput[0], 0.0,
+            "dead path delivered data?"
+        );
     }
 
     #[test]
@@ -1456,18 +1637,25 @@ mod debug_probe {
         }
     }
 
-
-
-
     #[test]
     #[ignore]
     fn probe_six_subflows() {
         let mut sim = Netsim::new(5);
         let shared = sim.add_link(100_000_000, SimDuration::from_millis(1), 0.0, 1 << 20);
         let links: Vec<usize> = (0..6)
-            .map(|i| sim.add_link(100_000_000, SimDuration::from_millis(20 + i * 10), 1e-4, 1 << 20))
+            .map(|i| {
+                sim.add_link(
+                    100_000_000,
+                    SimDuration::from_millis(20 + i * 10),
+                    1e-4,
+                    1 << 20,
+                )
+            })
             .collect();
-        let paths: Vec<DesPath> = links.iter().map(|&l| DesPath::new(vec![shared, l])).collect();
+        let paths: Vec<DesPath> = links
+            .iter()
+            .map(|&l| DesPath::new(vec![shared, l]))
+            .collect();
         let cfg = MptcpConfig {
             transfer: TransferConfig::for_secs(10),
             coupling: CouplingAlg::Olia,
@@ -1479,7 +1667,11 @@ mod debug_probe {
             let (rnxt, ooo, sent) = sim.debug_receiver_state(f, s);
             eprintln!("sub{s}: una={una} nxt={nxt} cwnd={cwnd:.1} rto={rto} recs={recs} tos={tos} rcv_nxt={rnxt} ooo={ooo} sent={sent}");
         }
-        eprintln!("total {:.2}M per={:?}", st.goodput_bps / 1e6, st.per_subflow_goodput);
+        eprintln!(
+            "total {:.2}M per={:?}",
+            st.goodput_bps / 1e6,
+            st.per_subflow_goodput
+        );
     }
 
     #[test]
@@ -1492,9 +1684,21 @@ mod debug_probe {
         let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(60));
         let st = sim.run().remove(f);
         let sub = &sim.flows[f].subflows[0];
-        eprintln!("reno: goodput={:.2}M segs={} retx={} recoveries={} timeouts={} cwnd_end={:.0}",
-            st.goodput_bps/1e6, st.segments_sent, st.retransmits, sub.recovery_entries, sub.timeouts, sub.cc.cwnd_segs());
-        let series: Vec<String> = sub.trace.iter().step_by(5).map(|(t, w)| format!("{}:{:.0}", *t as f64/10.0, w)).collect();
+        eprintln!(
+            "reno: goodput={:.2}M segs={} retx={} recoveries={} timeouts={} cwnd_end={:.0}",
+            st.goodput_bps / 1e6,
+            st.segments_sent,
+            st.retransmits,
+            sub.recovery_entries,
+            sub.timeouts,
+            sub.cc.cwnd_segs()
+        );
+        let series: Vec<String> = sub
+            .trace
+            .iter()
+            .step_by(5)
+            .map(|(t, w)| format!("{}:{:.0}", *t as f64 / 10.0, w))
+            .collect();
         eprintln!("cwnd trace: {}", series.join(" "));
     }
 
@@ -1515,7 +1719,6 @@ mod debug_probe {
         }
     }
 
-
     #[test]
     #[ignore]
     fn probe_solo_vs_olia_duration() {
@@ -1530,15 +1733,22 @@ mod debug_probe {
             let mut sim2 = Netsim::new(13);
             let a2 = sim2.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
             let b2 = sim2.add_link(100_000_000, SimDuration::from_millis(25), 5e-3, 1 << 20);
-            let cfg = MptcpConfig { transfer: TransferConfig::for_secs(secs), coupling: CouplingAlg::Olia };
+            let cfg = MptcpConfig {
+                transfer: TransferConfig::for_secs(secs),
+                coupling: CouplingAlg::Olia,
+            };
             let f = sim2.add_mptcp_flow(vec![DesPath::new(vec![a2]), DesPath::new(vec![b2])], &cfg);
             let st = sim2.run().remove(f);
-            eprintln!("t={secs}: solo={:.1}M retx={} | olia={:.1}M sub0_cwnd={:.0} retx={}",
-               solo.goodput_bps/1e6, solo.retransmits, st.goodput_bps/1e6,
-               sim2.flows[f].subflows[0].cc.cwnd_segs(), st.retransmits);
+            eprintln!(
+                "t={secs}: solo={:.1}M retx={} | olia={:.1}M sub0_cwnd={:.0} retx={}",
+                solo.goodput_bps / 1e6,
+                solo.retransmits,
+                st.goodput_bps / 1e6,
+                sim2.flows[f].subflows[0].cc.cwnd_segs(),
+                st.retransmits
+            );
         }
     }
-
 
     #[test]
     #[ignore]
@@ -1554,9 +1764,16 @@ mod debug_probe {
             let ft = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(secs));
             let stats = sim.run();
             let m = &sim.flows[fm];
-            eprintln!("t={secs}: mptcp={:.1}M (w0={:.0} w1={:.0} retx={}) tcp={:.1}M (w={:.0} retx={})",
-              stats[fm].goodput_bps/1e6, m.subflows[0].cc.cwnd_segs(), m.subflows[1].cc.cwnd_segs(), stats[fm].retransmits,
-              stats[ft].goodput_bps/1e6, sim.flows[ft].subflows[0].cc.cwnd_segs(), stats[ft].retransmits);
+            eprintln!(
+                "t={secs}: mptcp={:.1}M (w0={:.0} w1={:.0} retx={}) tcp={:.1}M (w={:.0} retx={})",
+                stats[fm].goodput_bps / 1e6,
+                m.subflows[0].cc.cwnd_segs(),
+                m.subflows[1].cc.cwnd_segs(),
+                stats[fm].retransmits,
+                stats[ft].goodput_bps / 1e6,
+                sim.flows[ft].subflows[0].cc.cwnd_segs(),
+                stats[ft].retransmits
+            );
         }
     }
 
@@ -1566,13 +1783,23 @@ mod debug_probe {
         let mut sim = Netsim::new(13);
         let a = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-4, 1 << 20);
         let b = sim.add_link(100_000_000, SimDuration::from_millis(25), 5e-3, 1 << 20);
-        let cfg = MptcpConfig { transfer: TransferConfig::for_secs(30), coupling: CouplingAlg::Olia };
+        let cfg = MptcpConfig {
+            transfer: TransferConfig::for_secs(30),
+            coupling: CouplingAlg::Olia,
+        };
         let f = sim.add_mptcp_flow(vec![DesPath::new(vec![a]), DesPath::new(vec![b])], &cfg);
         let st = sim.run().remove(f);
         for (i, s) in sim.flows[f].subflows.iter().enumerate() {
-            eprintln!("sub{}: goodput={:.1}Mbps cwnd={:.1} interloss={:.0} srtt={:?} retx={}",
-                i, st.per_subflow_goodput[i]/1e6, s.cc.cwnd_segs(), s.interloss_best(), s.srtt, s.retx);
+            eprintln!(
+                "sub{}: goodput={:.1}Mbps cwnd={:.1} interloss={:.0} srtt={:?} retx={}",
+                i,
+                st.per_subflow_goodput[i] / 1e6,
+                s.cc.cwnd_segs(),
+                s.interloss_best(),
+                s.srtt,
+                s.retx
+            );
         }
-        eprintln!("total={:.1}Mbps", st.goodput_bps/1e6);
+        eprintln!("total={:.1}Mbps", st.goodput_bps / 1e6);
     }
 }

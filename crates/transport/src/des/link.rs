@@ -37,8 +37,14 @@ impl SimLink {
         queue_cap_bytes: u64,
     ) -> Self {
         assert!(rate_bps > 0, "link rate must be positive");
-        assert!((0.0..=1.0).contains(&loss_prob), "loss must be a probability");
-        assert!(queue_cap_bytes >= 1_500, "queue must hold at least one packet");
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss must be a probability"
+        );
+        assert!(
+            queue_cap_bytes >= 1_500,
+            "queue must hold at least one packet"
+        );
         SimLink {
             rate_bps,
             prop_delay,
@@ -80,7 +86,11 @@ impl SimLink {
             return None;
         }
         let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps as f64);
-        let start = if now > self.busy_until { now } else { self.busy_until };
+        let start = if now > self.busy_until {
+            now
+        } else {
+            self.busy_until
+        };
         self.busy_until = start + tx;
         if rng.bernoulli(self.loss_prob) {
             self.random_drops += 1;
@@ -111,7 +121,10 @@ impl SimLink {
     /// Overwrites the random-loss probability (used by failure injection:
     /// a failed link drops everything).
     pub fn set_loss_prob(&mut self, loss_prob: f64) {
-        assert!((0.0..=1.0).contains(&loss_prob), "loss must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss must be a probability"
+        );
         self.loss_prob = loss_prob;
     }
 
@@ -206,7 +219,10 @@ mod tests {
             }
         }
         let rate = delivered as f64 * 8.0 / last.as_secs_f64();
-        assert!((rate - MBPS10 as f64).abs() / (MBPS10 as f64) < 0.02, "rate {rate}");
+        assert!(
+            (rate - MBPS10 as f64).abs() / (MBPS10 as f64) < 0.02,
+            "rate {rate}"
+        );
     }
 
     #[test]

@@ -13,11 +13,10 @@
 //! bottleneck-capacity limits. The composite is what the prevalence
 //! experiments use for every path segment.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// The quality of a network path as the transport layer sees it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PathQuality {
     /// Round-trip time including queueing.
     pub rtt: SimDuration,
@@ -48,7 +47,7 @@ impl PathQuality {
 /// on the measurement hosts (PlanetLab nodes were notoriously conservative);
 /// it is what makes large-RTT zero-loss paths window-limited, which in turn
 /// is why split-TCP helps them — the effect §V of the paper observes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpParams {
     /// Maximum segment size (payload bytes).
     pub mss: u32,
@@ -148,7 +147,8 @@ pub fn split_tcp_throughput(
     params: &TcpParams,
     relay_efficiency: f64,
 ) -> f64 {
-    tcp_throughput(first, params).min(tcp_throughput(second, params)) * relay_efficiency.clamp(0.0, 1.0)
+    tcp_throughput(first, params).min(tcp_throughput(second, params))
+        * relay_efficiency.clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -175,14 +175,20 @@ mod tests {
     fn mathis_scales_inverse_sqrt_loss() {
         let b1 = mathis_throughput(SimDuration::from_millis(50), 1e-4, 1448);
         let b2 = mathis_throughput(SimDuration::from_millis(50), 4e-4, 1448);
-        assert!((b1 / b2 - 2.0).abs() < 1e-9, "4x loss must halve throughput");
+        assert!(
+            (b1 / b2 - 2.0).abs() < 1e-9,
+            "4x loss must halve throughput"
+        );
     }
 
     #[test]
     fn mathis_scales_inverse_rtt() {
         let b1 = mathis_throughput(SimDuration::from_millis(50), 1e-4, 1448);
         let b2 = mathis_throughput(SimDuration::from_millis(100), 1e-4, 1448);
-        assert!((b1 / b2 - 2.0).abs() < 1e-9, "double RTT must halve throughput");
+        assert!(
+            (b1 / b2 - 2.0).abs() < 1e-9,
+            "double RTT must halve throughput"
+        );
     }
 
     #[test]
@@ -227,7 +233,10 @@ mod tests {
     fn composite_is_loss_limited_on_lossy_paths() {
         let params = TcpParams::default();
         let bw = tcp_throughput(&q(150, 5e-3, 1_000), &params);
-        assert!(bw < 10_000_000.0, "5e-3 loss at 150 ms must crush throughput, got {bw}");
+        assert!(
+            bw < 10_000_000.0,
+            "5e-3 loss at 150 ms must crush throughput, got {bw}"
+        );
     }
 
     #[test]
@@ -264,63 +273,101 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use simcore::SimRng;
 
-        fn arb_quality() -> impl Strategy<Value = PathQuality> {
-            (1u64..500, 0.0f64..0.02, 1u64..1_000).prop_map(|(rtt_ms, loss, mbps)| PathQuality {
-                rtt: SimDuration::from_millis(rtt_ms),
-                loss,
-                bottleneck_bps: mbps * 1_000_000,
-            })
+        fn arb_quality(rng: &mut SimRng) -> PathQuality {
+            PathQuality {
+                rtt: SimDuration::from_millis(1 + rng.index(499) as u64),
+                loss: rng.uniform_f64() * 0.02,
+                bottleneck_bps: (1 + rng.index(999) as u64) * 1_000_000,
+            }
         }
 
-        proptest! {
-            #[test]
-            fn throughput_is_positive_and_capacity_bounded(q in arb_quality()) {
+        const CASES: usize = 256;
+
+        #[test]
+        fn throughput_is_positive_and_capacity_bounded() {
+            let mut rng = SimRng::seed_from(1);
+            for _ in 0..CASES {
+                let q = arb_quality(&mut rng);
                 let bw = tcp_throughput(&q, &TcpParams::default());
-                prop_assert!(bw > 0.0);
-                prop_assert!(bw <= q.bottleneck_bps as f64);
+                assert!(bw > 0.0);
+                assert!(bw <= q.bottleneck_bps as f64);
             }
+        }
 
-            #[test]
-            fn more_loss_never_helps(q in arb_quality(), extra in 0.0f64..0.05) {
-                let p = TcpParams::default();
-                let worse = PathQuality { loss: q.loss + extra, ..q };
-                prop_assert!(tcp_throughput(&worse, &p) <= tcp_throughput(&q, &p) + 1.0);
+        #[test]
+        fn more_loss_never_helps() {
+            let mut rng = SimRng::seed_from(2);
+            let p = TcpParams::default();
+            for _ in 0..CASES {
+                let q = arb_quality(&mut rng);
+                let extra = rng.uniform_f64() * 0.05;
+                let worse = PathQuality {
+                    loss: q.loss + extra,
+                    ..q
+                };
+                assert!(tcp_throughput(&worse, &p) <= tcp_throughput(&q, &p) + 1.0);
             }
+        }
 
-            #[test]
-            fn more_rtt_never_helps(q in arb_quality(), extra_ms in 0u64..500) {
-                let p = TcpParams::default();
-                let worse = PathQuality { rtt: q.rtt + SimDuration::from_millis(extra_ms), ..q };
-                prop_assert!(tcp_throughput(&worse, &p) <= tcp_throughput(&q, &p) + 1.0);
+        #[test]
+        fn more_rtt_never_helps() {
+            let mut rng = SimRng::seed_from(3);
+            let p = TcpParams::default();
+            for _ in 0..CASES {
+                let q = arb_quality(&mut rng);
+                let extra_ms = rng.index(500) as u64;
+                let worse = PathQuality {
+                    rtt: q.rtt + SimDuration::from_millis(extra_ms),
+                    ..q
+                };
+                assert!(tcp_throughput(&worse, &p) <= tcp_throughput(&q, &p) + 1.0);
             }
+        }
 
-            #[test]
-            fn bigger_windows_never_hurt(q in arb_quality()) {
-                let small = TcpParams { max_window: 128 << 10, ..TcpParams::default() };
-                let large = TcpParams { max_window: 8 << 20, ..TcpParams::default() };
-                prop_assert!(
-                    tcp_throughput(&q, &large) + 1.0 >= tcp_throughput(&q, &small)
-                );
+        #[test]
+        fn bigger_windows_never_hurt() {
+            let mut rng = SimRng::seed_from(4);
+            let small = TcpParams {
+                max_window: 128 << 10,
+                ..TcpParams::default()
+            };
+            let large = TcpParams {
+                max_window: 8 << 20,
+                ..TcpParams::default()
+            };
+            for _ in 0..CASES {
+                let q = arb_quality(&mut rng);
+                assert!(tcp_throughput(&q, &large) + 1.0 >= tcp_throughput(&q, &small));
             }
+        }
 
-            #[test]
-            fn chaining_never_improves_quality(a in arb_quality(), b in arb_quality()) {
+        #[test]
+        fn chaining_never_improves_quality() {
+            let mut rng = SimRng::seed_from(5);
+            for _ in 0..CASES {
+                let a = arb_quality(&mut rng);
+                let b = arb_quality(&mut rng);
                 let c = a.chain(&b);
-                prop_assert!(c.rtt >= a.rtt && c.rtt >= b.rtt);
-                prop_assert!(c.loss + 1e-12 >= a.loss && c.loss + 1e-12 >= b.loss);
-                prop_assert!(c.bottleneck_bps <= a.bottleneck_bps.min(b.bottleneck_bps));
+                assert!(c.rtt >= a.rtt && c.rtt >= b.rtt);
+                assert!(c.loss + 1e-12 >= a.loss && c.loss + 1e-12 >= b.loss);
+                assert!(c.bottleneck_bps <= a.bottleneck_bps.min(b.bottleneck_bps));
             }
+        }
 
-            #[test]
-            fn split_always_at_least_plain(a in arb_quality(), b in arb_quality()) {
-                // Same relay efficiency for both modes: splitting two
-                // segments can only help a long TCP loop (Mathis).
-                let p = TcpParams::default();
+        #[test]
+        fn split_always_at_least_plain() {
+            // Same relay efficiency for both modes: splitting two
+            // segments can only help a long TCP loop (Mathis).
+            let mut rng = SimRng::seed_from(6);
+            let p = TcpParams::default();
+            for _ in 0..CASES {
+                let a = arb_quality(&mut rng);
+                let b = arb_quality(&mut rng);
                 let plain = tcp_throughput(&a.chain(&b), &p);
                 let split = split_tcp_throughput(&a, &b, &p, 1.0);
-                prop_assert!(split + 1.0 >= plain, "split {split} < plain {plain}");
+                assert!(split + 1.0 >= plain, "split {split} < plain {plain}");
             }
         }
     }

@@ -6,9 +6,7 @@
 //! cargo run --release --example branch_office
 //! ```
 
-use cronets_repro::cloud::pricing::{
-    cost_ratio_leased_over_overlay, PortSpeed, TrafficPlan,
-};
+use cronets_repro::cloud::pricing::{cost_ratio_leased_over_overlay, PortSpeed, TrafficPlan};
 use cronets_repro::cronets::select::probing::ProbingSelector;
 use cronets_repro::cronets::CronetBuilder;
 use cronets_repro::routing::Bgp;
@@ -40,7 +38,9 @@ fn main() {
     println!("epoch  direct Mbps   daily-probe Mbps   oracle Mbps");
     for epoch in 0..epochs {
         net.step_epoch(&mut rng, epoch);
-        let eval = cronet.evaluate(&net, &mut bgp, hq, branch).expect("connected");
+        let eval = cronet
+            .evaluate(&net, &mut bgp, hq, branch)
+            .expect("connected");
         let d = daily.step(&eval);
         let o = oracle.step(&eval);
         daily_sum += d;
@@ -57,7 +57,10 @@ fn main() {
     }
     let n = f64::from(epochs as u32);
     println!("\nweek averages:");
-    println!("  direct Internet path : {:6.2} Mbit/s", direct_sum / n / 1e6);
+    println!(
+        "  direct Internet path : {:6.2} Mbit/s",
+        direct_sum / n / 1e6
+    );
     println!(
         "  daily probing         : {:6.2} Mbit/s (stale between probes)",
         daily_sum / n / 1e6
@@ -72,8 +75,7 @@ fn main() {
     let a = net.router(hq).city();
     let b = net.router(branch).city();
     let km = a.location.distance_km(b.location);
-    let ratio =
-        cost_ratio_leased_over_overlay(2, PortSpeed::Mbps100, TrafficPlan::Gb10000, km);
+    let ratio = cost_ratio_leased_over_overlay(2, PortSpeed::Mbps100, TrafficPlan::Gb10000, km);
     println!(
         "\n{} -> {} ({km:.0} km): a leased 100 Mbps line costs {ratio:.1}x the 2-node overlay",
         a.name, b.name

@@ -10,7 +10,7 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, UdpSocket};
 use std::time::{Duration, Instant};
 
-use cronets_repro::cronets::dataplane::frame::{write_frame, Frame};
+use cronets_repro::cronets::dataplane::frame::{write_frame, Bytes, Frame};
 use cronets_repro::cronets::dataplane::{SplitRelay, UdpForwarder};
 
 fn main() -> std::io::Result<()> {
@@ -79,8 +79,8 @@ fn main() -> std::io::Result<()> {
         client.send_to(&f.encode(), forwarder.addr())?;
         let mut b = [0u8; 65536];
         let (n, _) = client.recv_from(&mut b)?;
-        let reply = Frame::decode(bytes::Bytes::copy_from_slice(&b[..n]))
-            .expect("well-formed return frame");
+        let reply =
+            Frame::decode(Bytes::copy_from_slice(&b[..n])).expect("well-formed return frame");
         println!(
             "sent {payload:?} -> echoed back {:?} from {}",
             String::from_utf8_lossy(&reply.payload),

@@ -19,7 +19,9 @@ fn main() {
     // Remote access usually means IPsec: split-TCP is impossible (the
     // proxy cannot read the headers), so the comparison is direct vs
     // plain encrypted tunnel — exactly the §II caveat.
-    let cronet = CronetBuilder::new().tunnel(TunnelKind::Ipsec).build(&mut net, seed);
+    let cronet = CronetBuilder::new()
+        .tunnel(TunnelKind::Ipsec)
+        .build(&mut net, seed);
 
     // HQ in North America, worker in Australia.
     let stub_on = |net: &cronets_repro::topology::Network, cont| {
@@ -39,7 +41,9 @@ fn main() {
     let user = net.attach_host("laptop", user_as, 100_000_000);
 
     let mut bgp = Bgp::new();
-    let eval = cronet.evaluate(&net, &mut bgp, hq, user).expect("connected");
+    let eval = cronet
+        .evaluate(&net, &mut bgp, hq, user)
+        .expect("connected");
 
     println!(
         "HQ ({}) -> remote user ({})",

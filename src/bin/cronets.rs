@@ -2,9 +2,19 @@
 //!
 //! ```text
 //! cronets list
-//! cronets fig2 [--seed N]
-//! cronets all  [--seed N]
+//! cronets fig2 [--seed N] [--metrics] [--trace FLOW]
+//! cronets all  [--seed N] [--metrics]
 //! ```
+//!
+//! `--metrics` turns on the deterministic telemetry layer: the run
+//! prints a metric snapshot (sim-time counters/gauges/histograms across
+//! the DES, dataplane and experiment layers) and writes a per-run
+//! manifest (`manifest_<name>.tsv` / `.jsonl`) into `./results/`.
+//! Wall-clock phase timings go to stderr and the manifest's `phase`
+//! records only, so stdout stays byte-identical across repeated runs.
+//!
+//! `--trace FLOW` additionally records the segment-level event trace of
+//! one DES flow id into `./results/trace_<name>.tsv`.
 
 use std::env;
 use std::process::ExitCode;
@@ -13,29 +23,61 @@ use cronets_repro::experiments as exp;
 use transport::des::CouplingAlg;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig2", "Fig. 2: improvement-ratio CDFs, web-server experiment"),
-    ("fig3", "Fig. 3: improvement-ratio CDFs, controlled cloud senders"),
+    (
+        "fig2",
+        "Fig. 2: improvement-ratio CDFs, web-server experiment",
+    ),
+    (
+        "fig3",
+        "Fig. 3: improvement-ratio CDFs, controlled cloud senders",
+    ),
     ("fig4", "Fig. 4: retransmission-rate CDFs"),
     ("fig5", "Fig. 5: RTT-ratio CDF"),
-    ("fig6", "Fig. 6 / Fig. 7 / Table I: one-week longitudinal study"),
+    (
+        "fig6",
+        "Fig. 6 / Fig. 7 / Table I: one-week longitudinal study",
+    ),
     ("fig8", "Fig. 8: path-diversity analysis"),
     ("fig9", "Fig. 9: improvement by RTT bin"),
     ("fig10", "Fig. 10: improvement by loss bin"),
     ("fig11", "Fig. 11: gain vs direct throughput + hop counts"),
     ("c45", "SV-B: C4.5 joint RTT/loss thresholds"),
-    ("fig12", "Fig. 12: MPTCP/OLIA validation (packet level, slow)"),
+    (
+        "fig12",
+        "Fig. 12: MPTCP/OLIA validation (packet level, slow)",
+    ),
     ("fig13", "Fig. 13: MPTCP/uncoupled-CUBIC validation (slow)"),
     ("cost", "SI/SVII-D: cost comparison"),
     ("multihop", "SVII-B extension: one- vs two-hop overlays"),
     ("ports", "SVII-C extension: port-speed sweep"),
     ("placement", "SVII-A extension: greedy node placement"),
-    ("ablation", "design-choice ablations (peering, windows, DES validation)"),
-    ("failover", "SVI-A: direct-path failure mid-transfer (packet level)"),
-    ("export", "write all analytic figure data as TSV into ./figures/"),
+    (
+        "ablation",
+        "design-choice ablations (peering, windows, DES validation)",
+    ),
+    (
+        "failover",
+        "SVI-A: direct-path failure mid-transfer (packet level)",
+    ),
+    (
+        "export",
+        "write all analytic figure data as TSV into ./results/",
+    ),
 ];
 
+/// Where experiment outputs (figure TSVs, manifests, traces) land.
+const RESULTS_DIR: &str = "results";
+
 fn usage() {
-    eprintln!("usage: cronets <experiment|list|all> [--seed N]");
+    eprintln!("usage: cronets <experiment|list|all> [--seed N] [--metrics] [--trace FLOW]");
+    eprintln!(
+        "  --seed N      PRNG seed (default {})",
+        exp::prevalence::DEFAULT_SEED
+    );
+    eprintln!("  --metrics     collect telemetry; print a metric snapshot and");
+    eprintln!("                write manifest_<name>.tsv/.jsonl into ./{RESULTS_DIR}/");
+    eprintln!("  --trace FLOW  with --metrics: trace DES flow FLOW's segment");
+    eprintln!("                events into ./{RESULTS_DIR}/trace_<name>.tsv");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<10} {desc}");
@@ -76,7 +118,7 @@ fn run(name: &str, seed: u64) -> bool {
         "placement" => println!("{}", exp::extensions::placement(seed, 4)),
         "failover" => println!("{}", exp::failover::failover(seed, 20, 60)),
         "export" => {
-            let dir = std::path::Path::new("figures");
+            let dir = std::path::Path::new(RESULTS_DIR);
             match exp::export::export_fast(dir, seed) {
                 Ok(files) => {
                     for f in &files {
@@ -96,9 +138,72 @@ fn run(name: &str, seed: u64) -> bool {
     true
 }
 
+#[derive(Debug, Clone, Copy, Default)]
+struct Opts {
+    metrics: bool,
+    trace_flow: Option<u64>,
+}
+
+/// Runs one experiment, wrapped in telemetry when `--metrics` is on:
+/// enables collection (resetting state, so each experiment of an `all`
+/// run gets its own manifest), times the experiment as a phase, prints
+/// the deterministic snapshot to stdout, reports wall-clock phase
+/// timings on stderr, and writes the run manifest (and optional flow
+/// trace) into `./results/`.
+fn run_instrumented(name: &str, seed: u64, opts: Opts) -> bool {
+    if !opts.metrics {
+        return run(name, seed);
+    }
+    obs::enable();
+    obs::set_trace_filter(opts.trace_flow);
+    obs::add_named("experiment.runs", 1);
+    let ok = {
+        let _p = obs::phase(name);
+        run(name, seed)
+    };
+    obs::disable();
+    if !ok {
+        return false;
+    }
+    let sim_ns = match obs::snapshot().get("des.sim_time_ns") {
+        Some(obs::SnapValue::Gauge(g)) => *g as u64,
+        _ => 0,
+    };
+    let manifest = obs::RunManifest::collect(name, seed, sim_ns);
+    // The snapshot is deterministic per seed: stdout stays byte-stable.
+    print!("{}", manifest.snapshot);
+    // Wall time is not: phase timings go to stderr and the manifest only.
+    for (phase, ns) in &manifest.phases {
+        eprintln!("phase {phase}: {:.3} ms", *ns as f64 / 1e6);
+    }
+    match manifest.write_to(RESULTS_DIR) {
+        Ok((tsv, jsonl)) => println!("wrote {} and {}", tsv.display(), jsonl.display()),
+        Err(e) => eprintln!("manifest write failed: {e}"),
+    }
+    if let Some(flow) = opts.trace_flow {
+        let (records, overwritten) = obs::drain_trace();
+        let path = std::path::Path::new(RESULTS_DIR).join(format!("trace_{name}.tsv"));
+        let mut body = String::from("t_ns\tflow\tevent\ta\tb\n");
+        for r in &records {
+            body.push_str(&r.to_tsv());
+            body.push('\n');
+        }
+        match std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&path, &body)) {
+            Ok(()) => println!(
+                "trace flow {flow}: {} records ({overwritten} overwritten) -> {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut seed = exp::prevalence::DEFAULT_SEED;
+    let mut opts = Opts::default();
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -110,12 +215,24 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics" => opts.metrics = true,
+            "--trace" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) => opts.trace_flow = Some(f),
+                None => {
+                    eprintln!("--trace needs a flow id");
+                    return ExitCode::FAILURE;
+                }
+            },
             "-h" | "--help" => {
                 usage();
                 return ExitCode::SUCCESS;
             }
             other => names.push(other.to_string()),
         }
+    }
+    if opts.trace_flow.is_some() && !opts.metrics {
+        eprintln!("--trace requires --metrics");
+        return ExitCode::FAILURE;
     }
     let Some(cmd) = names.first() else {
         usage();
@@ -129,12 +246,12 @@ fn main() -> ExitCode {
         "all" => {
             for (name, _) in EXPERIMENTS {
                 eprintln!("--- running {name} ---");
-                run(name, seed);
+                run_instrumented(name, seed, opts);
             }
             ExitCode::SUCCESS
         }
         name => {
-            if run(name, seed) {
+            if run_instrumented(name, seed, opts) {
                 ExitCode::SUCCESS
             } else {
                 eprintln!("unknown experiment {name:?}");

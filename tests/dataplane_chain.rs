@@ -5,8 +5,7 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
 
-use bytes::Bytes;
-use cronets_repro::cronets::dataplane::frame::{write_frame, Frame};
+use cronets_repro::cronets::dataplane::frame::{write_frame, Bytes, Frame};
 use cronets_repro::cronets::dataplane::SplitRelay;
 
 /// An origin server that echoes everything back, uppercased.
@@ -46,7 +45,11 @@ fn two_hop_relay_chain_delivers_end_to_end() {
     let relay1 = SplitRelay::spawn().unwrap();
 
     let mut conn = TcpStream::connect(relay1.addr()).unwrap();
-    write_frame(&mut conn, &Frame::new(relay2.addr().to_string(), Bytes::new())).unwrap();
+    write_frame(
+        &mut conn,
+        &Frame::new(relay2.addr().to_string(), Bytes::new()),
+    )
+    .unwrap();
     write_frame(&mut conn, &Frame::new(origin.to_string(), Bytes::new())).unwrap();
     conn.write_all(b"tunnelled twice").unwrap();
     conn.shutdown(Shutdown::Write).unwrap();
@@ -76,5 +79,8 @@ fn single_hop_relay_preserves_large_bidirectional_streams() {
     reader.read_to_end(&mut got).unwrap();
     writer.join().unwrap();
     assert_eq!(got.len(), payload.len());
-    assert!(got.iter().zip(&payload).all(|(g, p)| *g == p.to_ascii_uppercase()));
+    assert!(got
+        .iter()
+        .zip(&payload)
+        .all(|(g, p)| *g == p.to_ascii_uppercase()));
 }

@@ -1,6 +1,10 @@
-//! Reproducibility: every experiment is a pure function of its seed.
+//! Reproducibility: every experiment is a pure function of its seed —
+//! with or without the telemetry layer collecting alongside it.
 
 use cronets_repro::experiments::{prevalence, quality, thresholds};
+use measure::stats::Cdf;
+use simcore::SimDuration;
+use transport::des::{DesPath, Netsim, TransferConfig};
 
 #[test]
 fn prevalence_numbers_are_seed_deterministic() {
@@ -25,6 +29,113 @@ fn derived_figures_share_one_sweep() {
     let f4 = quality::fig4(103);
     let th = thresholds::thresholds(103);
     assert_eq!(f4.direct.len() * 4, th.n, "4 tunnels per pair");
+}
+
+/// One packet-level transfer over a lossy link; returns the fields that
+/// depend on every RNG draw of the run.
+fn lossy_des_run(seed: u64) -> (u64, u64, u64) {
+    let mut sim = Netsim::new(seed);
+    let l = sim.add_link(20_000_000, SimDuration::from_millis(15), 1e-3, 1 << 18);
+    let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(5));
+    let stats = sim.run().remove(f);
+    (
+        stats.bytes_delivered,
+        stats.segments_sent,
+        stats.retransmits,
+    )
+}
+
+/// One analytic sweep over a fresh world (bypasses prevalence's sweep
+/// cache so both runs really recompute), digested to a comparable string.
+fn analytic_sweep_digest(seed: u64) -> String {
+    use cronets_repro::experiments::scenario::{ScenarioConfig, World};
+    use cronets_repro::experiments::sweep::Sweep;
+    let mut world = World::build(&ScenarioConfig::tiny(), seed);
+    let senders = world.servers.clone();
+    let receivers = world.clients.clone();
+    let sweep = Sweep::run(&mut world, &senders, &receivers, false);
+    sweep
+        .records
+        .iter()
+        .map(|r| format!("{:.12e},{:.12e};", r.plain_ratio(), r.split_ratio()))
+        .collect()
+}
+
+#[test]
+fn analytic_experiment_is_unchanged_by_metrics_collection() {
+    // Same seed, collection off vs on: the experiment's computed numbers
+    // must be byte-identical (telemetry observes, never perturbs).
+    obs::disable();
+    let off = analytic_sweep_digest(104);
+    obs::enable();
+    let on = analytic_sweep_digest(104);
+    let snap1 = obs::snapshot().to_tsv();
+    obs::enable();
+    let on2 = analytic_sweep_digest(104);
+    let snap2 = obs::snapshot().to_tsv();
+    obs::disable();
+    assert_eq!(off, on, "telemetry perturbed the analytic sweep");
+    assert_eq!(on, on2);
+    assert_eq!(snap1, snap2, "snapshots differ across identical runs");
+}
+
+#[test]
+fn packet_level_run_is_unchanged_by_metrics_collection() {
+    obs::disable();
+    let off = lossy_des_run(42);
+    obs::enable();
+    let on = lossy_des_run(42);
+    let snap1 = obs::snapshot().to_tsv();
+    obs::enable();
+    let on2 = lossy_des_run(42);
+    let snap2 = obs::snapshot().to_tsv();
+    obs::disable();
+    assert_eq!(off, on, "telemetry perturbed the simulation");
+    assert_eq!(on, on2);
+    assert_eq!(snap1, snap2, "snapshots differ across identical runs");
+    assert!(snap1.contains("des.segments_sent\tcounter"));
+}
+
+#[test]
+fn traced_flow_replays_identically() {
+    obs::enable();
+    obs::set_trace_filter(Some(0));
+    let _ = lossy_des_run(9);
+    let (recs1, over1) = obs::drain_trace();
+    obs::enable();
+    obs::set_trace_filter(Some(0));
+    let _ = lossy_des_run(9);
+    let (recs2, over2) = obs::drain_trace();
+    obs::disable();
+    assert_eq!(over1, over2);
+    assert_eq!(recs1, recs2, "flow trace differs between identical runs");
+    assert!(!recs1.is_empty(), "a lossy 5s transfer must trace events");
+}
+
+#[test]
+fn histogram_quantiles_track_the_exact_cdf() {
+    // The obs histogram is a fixed-bucket sketch; its quantile estimate
+    // must stay within one bucket width of measure's exact CDF.
+    let edges: Vec<f64> = (0..=20).map(|i| f64::from(i) * 5.0).collect();
+    let mut rng = simcore::SimRng::seed_from(0xC0FFEE);
+    let samples: Vec<f64> = (0..4_000).map(|_| rng.uniform_range(0.0, 100.0)).collect();
+
+    obs::enable();
+    let h = obs::histogram("test.xcheck", &edges);
+    for &s in &samples {
+        obs::observe(h, s);
+    }
+    let exact = Cdf::new(samples).unwrap();
+    let bucket_width = 5.0;
+    for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let approx = obs::histogram_quantile(h, q);
+        let truth = exact.quantile(q);
+        assert!(
+            (approx - truth).abs() <= bucket_width,
+            "q={q}: histogram {approx} vs exact {truth}"
+        );
+    }
+    obs::disable();
 }
 
 #[test]

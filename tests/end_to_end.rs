@@ -63,8 +63,8 @@ fn des_and_model_agree_on_routed_paths() {
         &cronets_repro::cronets::eval::quality(&net, &path),
         cronet.params(),
     );
-    let des = single_path_des(&net, &path, cronet.params(), SimDuration::from_secs(20), 9)
-        .goodput_bps;
+    let des =
+        single_path_des(&net, &path, cronet.params(), SimDuration::from_secs(20), 9).goodput_bps;
     let ratio = des / model;
     assert!(
         (0.25..4.0).contains(&ratio),
@@ -110,7 +110,11 @@ fn mptcp_delivers_on_real_routed_paths() {
         SimDuration::from_secs(10),
         3,
     );
-    assert!(sel.throughput_bps > 100_000.0, "MPTCP stalled: {}", sel.throughput_bps);
+    assert!(
+        sel.throughput_bps > 100_000.0,
+        "MPTCP stalled: {}",
+        sel.throughput_bps
+    );
     assert_eq!(sel.per_path_bps.len(), paths.len());
 }
 
