@@ -10,6 +10,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use experiments::scenario::{ScenarioConfig, World};
+use experiments::sweep::Sweep;
 use simcore::{EventQueue, SimDuration, SimTime};
 use topology::gen::{generate, InternetConfig};
 use transport::des::{DesPath, Netsim, TransferConfig};
@@ -91,6 +93,37 @@ fn bench_c45() -> f64 {
     })
 }
 
+/// One memoized route lookup (hash probe + path clone): the cost the
+/// sweeps pay per overlay segment once the cache is warm, vs the full
+/// BGP walk + expansion of `route_expand_paper_scale`.
+fn bench_route_cache_hit() -> f64 {
+    let mut net = generate(&InternetConfig::paper_scale(), 7);
+    let stubs: Vec<topology::AsId> = net
+        .ases()
+        .filter(|a| a.tier() == topology::AsTier::Stub)
+        .map(|a| a.id())
+        .collect();
+    let a = net.attach_host("a", stubs[0], 100_000_000);
+    let b = net.attach_host("b", stubs[40], 100_000_000);
+    let mut cache = routing::RouteCache::build(&net);
+    cache.prefetch(&net, &[(a, b)]);
+    bench(10_000, 7, || cache.route(&net, a, b).map(|p| p.hop_count()))
+}
+
+/// A full sweep over the tiny controlled world: the end-to-end number
+/// the parallel execution layer (work units + route cache) moves. Runs
+/// at whatever `--threads`/default parallelism the machine offers.
+fn bench_parallel_sweep() -> f64 {
+    let world = World::build(&ScenarioConfig::tiny(), 13);
+    let senders = world.servers.clone();
+    let receivers = world.clients.clone();
+    bench(3, 5, || {
+        Sweep::run(&world, &senders, &receivers, false)
+            .records
+            .len()
+    })
+}
+
 /// The telemetry hot path with collection disabled: this is the cost
 /// every DES event pays in a plain (un-instrumented) run, and the
 /// number that backs the "near-free when disabled" claim.
@@ -117,6 +150,8 @@ fn main() {
         ("des_tcp_1s_100mbps", bench_des_tcp()),
         ("bgp_table_paper_scale", bench_bgp()),
         ("route_expand_paper_scale", bench_route_expansion()),
+        ("route_cache_hit", bench_route_cache_hit()),
+        ("parallel_sweep_tiny", bench_parallel_sweep()),
         ("c45_fit_2k_rows", bench_c45()),
         ("metrics_add_disabled", bench_metrics_disabled()),
         ("metrics_add_enabled", bench_metrics_enabled()),

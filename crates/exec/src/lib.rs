@@ -1,0 +1,221 @@
+//! Deterministic parallel execution over indexed work units.
+//!
+//! The sweep experiments are embarrassingly parallel: a list of
+//! independent work units (sender × receiver blocks, DES pair runs,
+//! placement candidates) whose outputs are merged in a fixed order.
+//! [`parallel_map`] runs those units on a scoped worker pool and returns
+//! results **in unit-index order**, so the caller's output is
+//! byte-identical to a serial run at any thread count.
+//!
+//! Determinism rules, in order of importance:
+//!
+//! * **No shared mutable state inside units.** A unit gets its index and
+//!   must derive everything else (RNG streams included) from it — the
+//!   experiments seed each unit's RNG from `(seed, unit_index)` via
+//!   `SimRng::fork`-style counter leap-frogging, never from a shared RNG.
+//! * **Ordered merge.** Workers pull indices from an atomic counter (so
+//!   scheduling is load-balanced and nondeterministic) but results are
+//!   sorted by unit index before anything observable happens.
+//! * **Telemetry sharding.** When `obs` collection is on, every unit runs
+//!   under [`obs::capture_unit`] — its own registry and trace ring — and
+//!   the shards are absorbed in unit order on the calling thread. The
+//!   capture path is used at *every* thread count, one included, so the
+//!   metric snapshot is a pure function of the seed, not of the schedule.
+//!
+//! The pool size comes from [`threads`]: the `--threads N` CLI flag (via
+//! [`set_threads`]) or `std::thread::available_parallelism` by default.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Configured worker count; 0 means "use available parallelism".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-pool size for subsequent [`parallel_map`] calls.
+/// `0` restores the default (available parallelism).
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker-pool size [`parallel_map`] will use: the value from
+/// [`set_threads`], or the machine's available parallelism (at least 1).
+#[must_use]
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Runs `f(0..n_units)` across the worker pool and returns the results
+/// in unit-index order. With one worker (or one unit) everything runs
+/// inline on the calling thread.
+///
+/// `f` must be a pure function of its index (plus shared read-only
+/// state); see the module docs for the determinism contract. Telemetry
+/// recorded by units is captured per unit and folded back in index
+/// order, including flow-trace records.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any unit.
+pub fn parallel_map<T, F>(n_units: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(n_units).max(1);
+    let sharded = obs::enabled();
+    if workers == 1 {
+        if sharded {
+            // Same capture/merge path as the parallel case, so the
+            // snapshot does not depend on the thread count.
+            let mut out = Vec::with_capacity(n_units);
+            let mut shards = Vec::with_capacity(n_units);
+            for i in 0..n_units {
+                let (v, shard) = obs::capture_unit(|| f(i));
+                out.push(v);
+                shards.push(shard);
+            }
+            for shard in shards {
+                obs::absorb_unit(shard);
+            }
+            return out;
+        }
+        return (0..n_units).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let trace_filter = obs::trace_filter();
+    let mut tagged: Vec<(usize, T, Option<obs::UnitShard>)> = Vec::with_capacity(n_units);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    if sharded {
+                        // Workers are fresh threads: propagate the trace
+                        // filter so units see the caller's selection.
+                        obs::set_trace_filter(trace_filter);
+                    }
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_units {
+                            break;
+                        }
+                        if sharded {
+                            let (v, shard) = obs::capture_unit(|| f(i));
+                            local.push((i, v, Some(shard)));
+                        } else {
+                            local.push((i, f(i), None));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => tagged.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, ..)| i);
+    let mut out = Vec::with_capacity(n_units);
+    for (_, v, shard) in tagged {
+        if let Some(shard) = shard {
+            obs::absorb_unit(shard);
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global thread count or obs state.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn results_come_back_in_unit_order() {
+        let _g = guard();
+        for n in [1, 2, 8] {
+            set_threads(n);
+            let out = parallel_map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn zero_units_is_fine() {
+        let _g = guard();
+        set_threads(4);
+        let out: Vec<u32> = parallel_map(0, |_| unreachable!());
+        assert!(out.is_empty());
+        set_threads(0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_metrics() {
+        let _g = guard();
+        let run = |threads: usize| {
+            set_threads(threads);
+            obs::enable();
+            obs::set_trace_filter(Some(3));
+            let out = parallel_map(16, |i| {
+                obs::add_named("exec.test.units", 1);
+                obs::add_named("exec.test.weight", i as u64);
+                obs::trace(i as u64, 3, obs::TraceKind::SegmentSent, i as u64, 0);
+                i
+            });
+            let snap = obs::snapshot().to_tsv();
+            let trace = obs::drain_trace();
+            obs::disable();
+            (out, snap, trace)
+        };
+        let serial = run(1);
+        let par = run(8);
+        set_threads(0);
+        assert_eq!(serial.0, par.0);
+        assert_eq!(serial.1, par.1, "metrics depend on the thread count");
+        assert_eq!(serial.2, par.2, "traces depend on the thread count");
+        assert!(serial.1.contains("exec.test.units\tcounter\t16"));
+        assert_eq!(serial.2 .0.len(), 16);
+    }
+
+    #[test]
+    fn works_with_collection_disabled() {
+        let _g = guard();
+        obs::disable();
+        set_threads(4);
+        let out = parallel_map(10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        set_threads(0);
+    }
+
+    #[test]
+    fn unit_panics_propagate() {
+        let _g = guard();
+        set_threads(2);
+        let res = std::panic::catch_unwind(|| {
+            parallel_map(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(res.is_err());
+        set_threads(0);
+    }
+}

@@ -50,10 +50,10 @@ fn controlled_sweep_with(provider: ProviderConfig, seed: u64) -> Sweep {
         provider,
         ..ScenarioConfig::controlled()
     };
-    let mut world = World::build(&config, seed);
+    let world = World::build(&config, seed);
     let senders: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
     let receivers = world.clients.clone();
-    Sweep::run(&mut world, &senders, &receivers, true)
+    Sweep::run(&world, &senders, &receivers, true)
 }
 
 /// Runs the peering ablation.
@@ -160,7 +160,7 @@ pub fn window(seed: u64) -> WindowAblation {
             }
             let senders: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
             let receivers = world.clients.clone();
-            let sweep = Sweep::run(&mut world, &senders, &receivers, true);
+            let sweep = Sweep::run(&world, &senders, &receivers, true);
             let ratios: Vec<f64> = sweep.records.iter().map(|r| r.split_ratio()).collect();
             let improved = ratios.iter().filter(|&&r| r > 1.0).count() as f64 / ratios.len() as f64;
             (w, Cdf::new(ratios).expect("non-empty").median(), improved)

@@ -124,9 +124,12 @@ pub struct PortSweep {
 /// Re-runs a reduced controlled sweep at each port speed (§VII-C).
 #[must_use]
 pub fn port_sweep(seed: u64) -> PortSweep {
-    let rows = [PortSpeed::Mbps100, PortSpeed::Gbps1, PortSpeed::Gbps10]
-        .into_iter()
-        .map(|port| {
+    // One work unit per port speed: each unit builds its own world from
+    // the same seed, so the units are independent and merge in port order.
+    let ports = [PortSpeed::Mbps100, PortSpeed::Gbps1, PortSpeed::Gbps10];
+    let rows = exec::parallel_map(ports.len(), |pi| {
+        let port = ports[pi];
+        {
             // A reduced controlled world, rebuilt per port speed.
             let mut net = topology::gen::generate(&ScenarioConfig::controlled().internet, seed);
             let cronet = CronetBuilder::new()
@@ -155,14 +158,14 @@ pub fn port_sweep(seed: u64) -> PortSweep {
             }
             let senders: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
             let receivers = world.clients.clone();
-            let sweep = Sweep::run(&mut world, &senders, &receivers, true);
+            let sweep = Sweep::run(&world, &senders, &receivers, true);
             let split = Cdf::new(sweep.records.iter().map(|r| r.best_split_bps()).collect())
                 .expect("non-empty");
             let ratio = Cdf::new(sweep.records.iter().map(|r| r.split_ratio()).collect())
                 .expect("non-empty");
             (port, split.median(), ratio.median())
-        })
-        .collect();
+        }
+    });
     PortSweep { rows }
 }
 
@@ -229,14 +232,14 @@ pub fn placement(seed: u64, k: usize) -> Placement {
             n_servers: 0,
             ..ScenarioConfig::controlled()
         };
-        let mut world = World::build(&config, seed);
+        let world = World::build(&config, seed);
         let senders: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
         let receivers = world.clients.clone();
         // With a single DC, excluding the sender's co-located node would
         // leave no overlay candidates at all; the controlled protocol
         // only applies from two nodes up.
         let exclude = senders.len() > 1;
-        let sweep = Sweep::run(&mut world, &senders, &receivers, exclude);
+        let sweep = Sweep::run(&world, &senders, &receivers, exclude);
         let ratios: Vec<f64> = sweep.records.iter().map(|r| r.split_ratio()).collect();
         if ratios.is_empty() {
             return 0.0;
@@ -247,17 +250,24 @@ pub fn placement(seed: u64, k: usize) -> Placement {
     let mut greedy: Vec<&'static str> = Vec::new();
     let mut greedy_scores = Vec::new();
     for _ in 0..k {
-        let mut best: Option<(&'static str, f64)> = None;
-        for &cand in &candidates {
-            if greedy.contains(&cand) {
-                continue;
-            }
+        // Score every remaining candidate in parallel (one world build
+        // per trial set), then pick the winner serially in catalog order
+        // so ties resolve exactly as the serial loop did.
+        let remaining: Vec<&'static str> = candidates
+            .iter()
+            .copied()
+            .filter(|c| !greedy.contains(c))
+            .collect();
+        // Scoring a single-DC deployment requires >= 2 senders for
+        // the controlled protocol; always score with the trial set
+        // plus implicit reuse of existing picks.
+        let scores = exec::parallel_map(remaining.len(), |ci| {
             let mut trial = greedy.clone();
-            trial.push(cand);
-            // Scoring a single-DC deployment requires >= 2 senders for
-            // the controlled protocol; always score with the trial set
-            // plus implicit reuse of existing picks.
-            let s = score(&trial);
+            trial.push(remaining[ci]);
+            score(&trial)
+        });
+        let mut best: Option<(&'static str, f64)> = None;
+        for (&cand, &s) in remaining.iter().zip(&scores) {
             if best.is_none_or(|(_, bs)| s > bs) {
                 best = Some((cand, s));
             }

@@ -117,26 +117,38 @@ pub fn failover(seed: u64, fail_at_s: u64, total_s: u64) -> Failover {
 
     let mut paths: Vec<&RouterPath> = vec![&direct];
     paths.extend(overlays.iter());
-    let (_, mptcp_series_bps) = mptcp_over_with_failures(
-        &world.net,
-        &paths,
-        CouplingAlg::Olia,
-        &params,
-        duration,
-        seed ^ 0xFA11,
-        &failures,
-        interval,
-    );
-    let (_, direct_series_bps) = mptcp_over_with_failures(
-        &world.net,
-        &[&direct],
-        CouplingAlg::Uncoupled,
-        &params,
-        duration,
-        seed ^ 0xFA12,
-        &failures,
-        interval,
-    );
+    // The two DES runs (MPTCP proxy pair vs plain direct TCP) share
+    // nothing but the read-only network, so they run as two work units.
+    let net = &world.net;
+    let mut series = exec::parallel_map(2, |i| {
+        if i == 0 {
+            mptcp_over_with_failures(
+                net,
+                &paths,
+                CouplingAlg::Olia,
+                &params,
+                duration,
+                seed ^ 0xFA11,
+                &failures,
+                interval,
+            )
+            .1
+        } else {
+            mptcp_over_with_failures(
+                net,
+                &[&direct],
+                CouplingAlg::Uncoupled,
+                &params,
+                duration,
+                seed ^ 0xFA12,
+                &failures,
+                interval,
+            )
+            .1
+        }
+    });
+    let direct_series_bps = series.pop().expect("two units");
+    let mptcp_series_bps = series.pop().expect("two units");
     Failover {
         mptcp_series_bps,
         direct_series_bps,

@@ -255,19 +255,33 @@ pub fn longitudinal(seed: u64) -> Longitudinal {
         })
         .collect();
 
+    // Epochs advance serially (congestion state evolves in place), but
+    // within an epoch every tracked path is an independent read-only
+    // sample: one work unit per prep, merged back in prep order.
     for epoch in 0..SAMPLES {
         world.step_epoch(epoch as u64 + 1);
-        for (prep, series) in preps.iter().zip(&mut paths) {
-            let q = quality(&world.net, &prep.direct);
-            series
-                .direct
-                .push(transport::model::tcp_throughput(&q, &params));
-            for (slot, (node_idx, s1, s2)) in prep.segments.iter().enumerate() {
-                let q1 = quality(&world.net, s1);
-                let q2 = quality(&world.net, s2);
-                let (_, split, _) =
-                    modes_from_segments(&q1, &q2, &nodes[*node_idx], tunnel, &params);
-                series.overlay[slot].push(split.throughput_bps);
+        let net = &world.net;
+        let samples: Vec<(f64, Vec<f64>)> = exec::parallel_map(preps.len(), |pi| {
+            let prep = &preps[pi];
+            let q = quality(net, &prep.direct);
+            let direct_bps = transport::model::tcp_throughput(&q, &params);
+            let overlay_bps = prep
+                .segments
+                .iter()
+                .map(|(node_idx, s1, s2)| {
+                    let q1 = quality(net, s1);
+                    let q2 = quality(net, s2);
+                    let (_, split, _) =
+                        modes_from_segments(&q1, &q2, &nodes[*node_idx], tunnel, &params);
+                    split.throughput_bps
+                })
+                .collect();
+            (direct_bps, overlay_bps)
+        });
+        for ((direct_bps, overlay_bps), series) in samples.into_iter().zip(&mut paths) {
+            series.direct.push(direct_bps);
+            for (slot, bps) in overlay_bps.into_iter().enumerate() {
+                series.overlay[slot].push(bps);
             }
         }
     }

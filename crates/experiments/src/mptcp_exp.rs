@@ -217,24 +217,25 @@ pub fn validate(config: &MptcpExpConfig, coupling: CouplingAlg) -> MptcpValidati
     prepared.truncate(config.n_pairs);
     drop(build_phase);
 
+    // One work unit per kept pair: each DES run already derives its seed
+    // from the pair index, so the units are independent and merge in
+    // index order identical to the serial loop.
     let _des_phase = obs::phase("des_runs");
-    let pairs = prepared
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            run_pair(
-                &world,
-                p.pair,
-                &p.direct,
-                &p.overlays,
-                p.max_split_model,
-                &params,
-                config,
-                coupling,
-                i as u64,
-            )
-        })
-        .collect();
+    let world = &world;
+    let pairs = exec::parallel_map(prepared.len(), |i| {
+        let p = &prepared[i];
+        run_pair(
+            world,
+            p.pair,
+            &p.direct,
+            &p.overlays,
+            p.max_split_model,
+            &params,
+            config,
+            coupling,
+            i as u64,
+        )
+    });
     MptcpValidation { coupling, pairs }
 }
 

@@ -44,7 +44,7 @@ pub fn web_sweep(seed: u64) -> Arc<Sweep> {
     if let Some(s) = sweep_cache().lock().unwrap().get(&(seed, false)) {
         return Arc::clone(s);
     }
-    let mut world = {
+    let world = {
         let _p = obs::phase("build_world");
         World::build(&ScenarioConfig::web_server(), seed)
     };
@@ -52,7 +52,7 @@ pub fn web_sweep(seed: u64) -> Arc<Sweep> {
     let receivers = world.clients.clone();
     let sweep = {
         let _p = obs::phase("sweep");
-        Arc::new(Sweep::run(&mut world, &senders, &receivers, false))
+        Arc::new(Sweep::run(&world, &senders, &receivers, false))
     };
     sweep_cache()
         .lock()
@@ -68,7 +68,7 @@ pub fn controlled_sweep(seed: u64) -> Arc<Sweep> {
     if let Some(s) = sweep_cache().lock().unwrap().get(&(seed, true)) {
         return Arc::clone(s);
     }
-    let mut world = {
+    let world = {
         let _p = obs::phase("build_world");
         World::build(&ScenarioConfig::controlled(), seed)
     };
@@ -76,7 +76,7 @@ pub fn controlled_sweep(seed: u64) -> Arc<Sweep> {
     let receivers = world.clients.clone();
     let sweep = {
         let _p = obs::phase("sweep");
-        Arc::new(Sweep::run(&mut world, &senders, &receivers, true))
+        Arc::new(Sweep::run(&world, &senders, &receivers, true))
     };
     sweep_cache()
         .lock()

@@ -2,14 +2,15 @@
 //! modes, with segment caching.
 //!
 //! A sweep over S senders × R receivers × N overlay nodes only needs
-//! `S·N + N·R` overlay segment routes plus `S·R` direct routes; caching
-//! segments keeps the 6,600-path experiment fast.
-
-use std::collections::HashMap;
+//! `S·N + N·R` overlay segment routes plus `S·R` direct routes. The
+//! segments are prefetched into a read-only [`RouteCache`] and the
+//! senders are then swept in parallel (`exec::parallel_map`), one work
+//! unit per sender, merged in sender order — output is byte-identical
+//! to a serial sweep at any thread count.
 
 use cronets::eval::{modes_from_segments, quality, Measurement};
 use measure::diversity::{common_router_segments, diversity_score};
-use routing::{route, RouterPath};
+use routing::{RouteCache, RouterPath};
 use simcore::SimDuration;
 use topology::RouterId;
 use transport::model::tcp_throughput;
@@ -144,33 +145,43 @@ impl Sweep {
     /// other four virtual servers act as overlay nodes").
     #[must_use]
     pub fn run(
-        world: &mut World,
+        world: &World,
         senders: &[RouterId],
         receivers: &[RouterId],
         exclude_sender_node: bool,
     ) -> Sweep {
         let net = &world.net;
-        let bgp = &mut world.bgp;
         let params = *world.cronet.params();
         let tunnel = world.cronet.tunnel();
         let nodes = world.cronet.nodes();
 
-        // Segment caches.
-        let mut to_node: HashMap<(RouterId, RouterId), Option<RouterPath>> = HashMap::new();
-        let mut from_node: HashMap<(RouterId, RouterId), Option<RouterPath>> = HashMap::new();
-
-        let mut records = Vec::with_capacity(senders.len() * receivers.len());
+        // Warm the BGP tables and prefetch every overlay segment the
+        // sweep will query: `S·N` sender→node plus `N·R` node→receiver
+        // pairs. After this the cache is read-only and shared across the
+        // sender work units. Direct sender→receiver paths are queried
+        // exactly once each, so they bypass the memo (uncached).
+        let mut cache = RouteCache::build(net);
+        let mut keys: Vec<(RouterId, RouterId)> =
+            Vec::with_capacity((senders.len() + receivers.len()) * nodes.len());
         for &sender in senders {
-            for node in nodes {
-                to_node
-                    .entry((sender, node.vm()))
-                    .or_insert_with(|| route(net, bgp, sender, node.vm()));
-            }
+            keys.extend(nodes.iter().map(|n| (sender, n.vm())));
+        }
+        for node in nodes {
+            keys.extend(receivers.iter().map(|&r| (node.vm(), r)));
+        }
+        cache.prefetch(net, &keys);
+        let cache = &cache;
+
+        // One work unit per sender, merged in sender order: identical
+        // records to the serial sender-outer/receiver-inner loop.
+        let per_sender: Vec<Vec<PairRecord>> = exec::parallel_map(senders.len(), |si| {
+            let sender = senders[si];
+            let mut unit_records = Vec::with_capacity(receivers.len());
             for &receiver in receivers {
                 if sender == receiver {
                     continue;
                 }
-                let Some(direct_path) = route(net, bgp, sender, receiver) else {
+                let Some(direct_path) = cache.route_uncached(net, sender, receiver) else {
                     continue;
                 };
                 let q_direct = quality(net, &direct_path);
@@ -190,13 +201,12 @@ impl Sweep {
                     if exclude_sender_node && node.vm() == sender {
                         continue;
                     }
-                    let Some(seg1) = to_node[&(sender, node.vm())].clone() else {
+                    let Some(seg1) = cache.route(net, sender, node.vm()) else {
                         continue;
                     };
-                    let seg2 = from_node
-                        .entry((node.vm(), receiver))
-                        .or_insert_with(|| route(net, bgp, node.vm(), receiver));
-                    let Some(seg2) = seg2.clone() else { continue };
+                    let Some(seg2) = cache.route(net, node.vm(), receiver) else {
+                        continue;
+                    };
                     let q_a = quality(net, &seg1);
                     let q_b = quality(net, &seg2);
                     let (p, s, d) = modes_from_segments(&q_a, &q_b, node, tunnel, &params);
@@ -225,9 +235,12 @@ impl Sweep {
                 };
                 record.common_segments =
                     common_router_segments(&direct_path, &overlay_paths[record.best_split_index()]);
-                records.push(record);
+                unit_records.push(record);
             }
-        }
+            unit_records
+        });
+        cache.publish();
+        let records: Vec<PairRecord> = per_sender.into_iter().flatten().collect();
         Sweep { records }
     }
 
@@ -246,10 +259,10 @@ mod tests {
     use crate::scenario::ScenarioConfig;
 
     fn tiny_sweep() -> Sweep {
-        let mut world = World::build(&ScenarioConfig::tiny(), 13);
+        let world = World::build(&ScenarioConfig::tiny(), 13);
         let senders = world.servers.clone();
         let receivers = world.clients.clone();
-        Sweep::run(&mut world, &senders, &receivers, false)
+        Sweep::run(&world, &senders, &receivers, false)
     }
 
     #[test]
@@ -274,11 +287,11 @@ mod tests {
 
     #[test]
     fn excluding_sender_node_reduces_candidates() {
-        let mut world = World::build(&ScenarioConfig::tiny(), 13);
+        let world = World::build(&ScenarioConfig::tiny(), 13);
         let vms: Vec<RouterId> = world.cronet.nodes().iter().map(|n| n.vm()).collect();
         let receivers = world.clients.clone();
-        let with = Sweep::run(&mut world, &vms[..1], &receivers, false);
-        let without = Sweep::run(&mut world, &vms[..1], &receivers, true);
+        let with = Sweep::run(&world, &vms[..1], &receivers, false);
+        let without = Sweep::run(&world, &vms[..1], &receivers, true);
         assert_eq!(with.records[0].plain.len(), 5);
         assert_eq!(without.records[0].plain.len(), 4);
     }

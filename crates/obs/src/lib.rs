@@ -26,11 +26,17 @@
 //! `Cell<bool>` read for the simulation-side registry and one relaxed
 //! atomic load for the dataplane counters (verified by
 //! `crates/bench/benches/micro.rs`). The registry and tracer are
-//! **thread-local** — the DES engine and experiment drivers are
-//! single-threaded, and handles must not cross threads. The real-socket
+//! **thread-local** — handles must not cross threads. The real-socket
 //! dataplane (forwarder/relay) runs on its own threads, so its counters
 //! are process-wide atomics in [`sync`] that [`metrics::snapshot`]
 //! merges in.
+//!
+//! Parallel sweeps (`crates/exec`) keep determinism by running each work
+//! unit under [`capture_unit`] — a fresh per-unit registry and trace
+//! ring — and folding the resulting [`UnitShard`]s back into the
+//! caller's registry with [`absorb_unit`] **in unit-index order**. The
+//! same capture path runs at every thread count (including one), so the
+//! snapshot is a pure function of the seed, never of the schedule.
 
 pub mod manifest;
 pub mod metrics;
@@ -43,7 +49,7 @@ pub use metrics::{
     snapshot, CounterId, GaugeId, Histogram, HistogramId, SnapValue, Snapshot, CWND_EDGES,
     GOODPUT_EDGES, QUEUE_DEPTH_EDGES,
 };
-pub use trace::{drain_trace, set_trace_filter, trace, TraceKind, TraceRecord};
+pub use trace::{drain_trace, set_trace_filter, trace, trace_filter, TraceKind, TraceRecord};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -100,4 +106,114 @@ pub fn enabled() -> bool {
 #[must_use]
 pub fn sync_enabled() -> bool {
     SYNC_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Everything one parallel work unit recorded: its metric shard plus the
+/// unit's filtered trace records. Plain owned data — safe to send from a
+/// worker thread back to the merging thread.
+#[derive(Debug)]
+pub struct UnitShard {
+    metrics: metrics::Shard,
+    trace: Vec<TraceRecord>,
+    trace_dropped: u64,
+}
+
+/// Runs `f` against a fresh, empty per-unit registry and trace ring
+/// (with collection forced on for the duration) and returns the unit's
+/// output together with everything it recorded. The calling thread's
+/// own registry and ring are saved and restored around the unit; the
+/// trace filter stays in effect inside it. Fold the shard back with
+/// [`absorb_unit`], strictly in unit-index order.
+pub fn capture_unit<T>(f: impl FnOnce() -> T) -> (T, UnitShard) {
+    let saved_metrics = metrics::begin_unit();
+    let saved_trace = trace::begin_unit();
+    let was_enabled = enabled();
+    ENABLED.with(|e| e.set(true));
+    let out = f();
+    ENABLED.with(|e| e.set(was_enabled));
+    let shard = metrics::end_unit(saved_metrics);
+    let (records, trace_dropped) = trace::end_unit(saved_trace);
+    (
+        out,
+        UnitShard {
+            metrics: shard,
+            trace: records,
+            trace_dropped,
+        },
+    )
+}
+
+/// Folds one unit's recordings into this thread's registry and trace
+/// ring: counters and histogram buckets add, gauges keep last-write-wins
+/// in absorb order, trace records replay with ring-overwrite semantics.
+/// Absorbing shards in unit-index order reproduces the serial run's
+/// snapshot and trace exactly.
+pub fn absorb_unit(shard: UnitShard) {
+    metrics::merge_shard(shard.metrics);
+    trace::replay(&shard.trace, shard.trace_dropped);
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+
+    /// What one "work unit" records: a counter, a gauge (last write must
+    /// win), a histogram, and a couple of trace records on flow 1.
+    fn unit_work(i: u64) {
+        let c = counter("t.shard.count");
+        add(c, i + 1);
+        let g = gauge("t.shard.gauge");
+        set(g, i as f64);
+        let h = histogram("t.shard.hist", &[10.0, 20.0]);
+        observe(h, 5.0 * i as f64);
+        trace(100 * i, 1, TraceKind::SegmentSent, i, 1448);
+        trace(100 * i + 1, 2, TraceKind::SegmentSent, i, 1448);
+    }
+
+    #[test]
+    fn captured_units_reproduce_the_serial_run() {
+        let _guard = test_guard();
+        // Serial reference: units run inline against the main registry.
+        enable();
+        set_trace_filter(Some(1));
+        for i in 0..4 {
+            unit_work(i);
+        }
+        let serial_snap = snapshot().to_tsv();
+        let serial_trace = drain_trace();
+        // Captured: each unit records into its own shard; shards absorb
+        // in unit order.
+        enable();
+        set_trace_filter(Some(1));
+        let shards: Vec<UnitShard> = (0..4).map(|i| capture_unit(|| unit_work(i)).1).collect();
+        for s in shards {
+            absorb_unit(s);
+        }
+        let merged_snap = snapshot().to_tsv();
+        let merged_trace = drain_trace();
+        disable();
+        assert_eq!(serial_snap, merged_snap, "shard merge diverged from serial");
+        assert_eq!(serial_trace, merged_trace, "trace replay diverged");
+        assert!(serial_snap.contains("t.shard.count\tcounter\t10"));
+        assert!(serial_snap.contains("t.shard.gauge\tgauge\t3"));
+    }
+
+    #[test]
+    fn capture_leaves_the_callers_registry_untouched() {
+        let _guard = test_guard();
+        enable();
+        let c = counter("t.keep");
+        add(c, 7);
+        let ((), shard) = capture_unit(|| {
+            let inner = counter("t.inner");
+            add(inner, 1);
+        });
+        // Outer registry: untouched by the unit until absorbed.
+        assert_eq!(snapshot().get("t.inner"), None);
+        assert_eq!(snapshot().get("t.keep"), Some(&SnapValue::Counter(7)));
+        absorb_unit(shard);
+        assert_eq!(snapshot().get("t.inner"), Some(&SnapValue::Counter(1)));
+        assert_eq!(snapshot().get("t.keep"), Some(&SnapValue::Counter(7)));
+        disable();
+    }
 }

@@ -142,14 +142,75 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// Adds another histogram's observations into this one. Bucket counts
+    /// and totals add exactly; `sum` regroups floating-point additions, so
+    /// it is exact for integer-valued observations and may differ in the
+    /// last ULPs otherwise. Quantiles read only buckets/min/max/count and
+    /// are unaffected.
+    fn absorb(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "histogram edges diverged between shards"
+        );
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
+/// A gauge value plus whether any `set` touched it; merging shards must
+/// distinguish "worker left the gauge at zero" from "worker set it to
+/// zero" to reproduce the serial last-write-wins semantics.
 #[derive(Default)]
-struct Registry {
+pub(crate) struct Registry {
     counters: Vec<(String, u64)>,
-    gauges: Vec<(String, f64)>,
+    gauges: Vec<(String, f64, bool)>,
     histograms: Vec<(String, Histogram)>,
     by_name: BTreeMap<String, (Kind, usize)>,
+}
+
+impl Registry {
+    fn intern_counter(&mut self, name: &str) -> usize {
+        if let Some(&(kind, i)) = self.by_name.get(name) {
+            assert!(kind == Kind::Counter, "{name} registered with another kind");
+            return i;
+        }
+        let i = self.counters.len();
+        self.counters.push((name.to_string(), 0));
+        self.by_name.insert(name.to_string(), (Kind::Counter, i));
+        i
+    }
+
+    fn intern_gauge(&mut self, name: &str) -> usize {
+        if let Some(&(kind, i)) = self.by_name.get(name) {
+            assert!(kind == Kind::Gauge, "{name} registered with another kind");
+            return i;
+        }
+        let i = self.gauges.len();
+        self.gauges.push((name.to_string(), 0.0, false));
+        self.by_name.insert(name.to_string(), (Kind::Gauge, i));
+        i
+    }
+
+    fn intern_histogram(&mut self, name: &str, edges: &[f64]) -> usize {
+        if let Some(&(kind, i)) = self.by_name.get(name) {
+            assert!(
+                kind == Kind::Histogram,
+                "{name} registered with another kind"
+            );
+            return i;
+        }
+        let i = self.histograms.len();
+        self.histograms
+            .push((name.to_string(), Histogram::new(edges.to_vec())));
+        self.by_name.insert(name.to_string(), (Kind::Histogram, i));
+        i
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -172,52 +233,18 @@ pub fn labeled(name: &str, label: &str) -> String {
 /// Registers (or looks up) a counter and returns its handle. Safe to
 /// call whether or not collection is enabled; mutation is what gates.
 pub fn counter(name: &str) -> CounterId {
-    REGISTRY.with(|r| {
-        let mut r = r.borrow_mut();
-        if let Some(&(kind, i)) = r.by_name.get(name) {
-            assert!(kind == Kind::Counter, "{name} registered with another kind");
-            return CounterId(i);
-        }
-        let i = r.counters.len();
-        r.counters.push((name.to_string(), 0));
-        r.by_name.insert(name.to_string(), (Kind::Counter, i));
-        CounterId(i)
-    })
+    REGISTRY.with(|r| CounterId(r.borrow_mut().intern_counter(name)))
 }
 
 /// Registers (or looks up) a gauge and returns its handle.
 pub fn gauge(name: &str) -> GaugeId {
-    REGISTRY.with(|r| {
-        let mut r = r.borrow_mut();
-        if let Some(&(kind, i)) = r.by_name.get(name) {
-            assert!(kind == Kind::Gauge, "{name} registered with another kind");
-            return GaugeId(i);
-        }
-        let i = r.gauges.len();
-        r.gauges.push((name.to_string(), 0.0));
-        r.by_name.insert(name.to_string(), (Kind::Gauge, i));
-        GaugeId(i)
-    })
+    REGISTRY.with(|r| GaugeId(r.borrow_mut().intern_gauge(name)))
 }
 
 /// Registers (or looks up) a histogram with the given bucket edges.
 /// Edges are fixed at first registration; later calls ignore `edges`.
 pub fn histogram(name: &str, edges: &[f64]) -> HistogramId {
-    REGISTRY.with(|r| {
-        let mut r = r.borrow_mut();
-        if let Some(&(kind, i)) = r.by_name.get(name) {
-            assert!(
-                kind == Kind::Histogram,
-                "{name} registered with another kind"
-            );
-            return HistogramId(i);
-        }
-        let i = r.histograms.len();
-        r.histograms
-            .push((name.to_string(), Histogram::new(edges.to_vec())));
-        r.by_name.insert(name.to_string(), (Kind::Histogram, i));
-        HistogramId(i)
-    })
+    REGISTRY.with(|r| HistogramId(r.borrow_mut().intern_histogram(name, edges)))
 }
 
 /// Adds `delta` to a counter. No-op while collection is disabled.
@@ -238,7 +265,12 @@ pub fn inc(id: CounterId) {
 #[inline]
 pub fn set(id: GaugeId, value: f64) {
     if crate::enabled() {
-        REGISTRY.with(|r| r.borrow_mut().gauges[id.0].1 = value);
+        REGISTRY.with(|r| {
+            let mut r = r.borrow_mut();
+            let g = &mut r.gauges[id.0];
+            g.1 = value;
+            g.2 = true;
+        });
     }
 }
 
@@ -269,6 +301,60 @@ pub fn add_named(name: &str, delta: u64) {
 /// Clears every metric and registration (handles become invalid).
 pub fn reset() {
     REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
+}
+
+/// One parallel work unit's detached metric state (see
+/// [`crate::capture_unit`]). Plain owned data, safe to send between
+/// threads.
+#[derive(Debug, Default)]
+pub struct Shard {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64, bool)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// Swaps this thread's registry for a fresh one, returning the previous
+/// registry so [`end_unit`] can restore it.
+pub(crate) fn begin_unit() -> Registry {
+    REGISTRY.with(|r| std::mem::take(&mut *r.borrow_mut()))
+}
+
+/// Restores the registry saved by [`begin_unit`] and exports whatever
+/// the unit recorded in the interim.
+pub(crate) fn end_unit(saved: Registry) -> Shard {
+    REGISTRY.with(|r| {
+        let unit = std::mem::replace(&mut *r.borrow_mut(), saved);
+        Shard {
+            counters: unit.counters,
+            gauges: unit.gauges,
+            histograms: unit.histograms,
+        }
+    })
+}
+
+/// Folds one unit's shard into this thread's registry. Counters and
+/// histogram buckets add; gauges keep serial last-write-wins semantics
+/// (a unit's value lands only if the unit actually set the gauge), so
+/// absorbing shards in unit-index order reproduces the serial snapshot.
+pub(crate) fn merge_shard(shard: Shard) {
+    REGISTRY.with(|r| {
+        let mut r = r.borrow_mut();
+        for (name, v) in shard.counters {
+            let i = r.intern_counter(&name);
+            r.counters[i].1 += v;
+        }
+        for (name, v, touched) in shard.gauges {
+            let i = r.intern_gauge(&name);
+            if touched {
+                r.gauges[i].1 = v;
+                r.gauges[i].2 = true;
+            }
+        }
+        for (name, h) in shard.histograms {
+            let i = r.intern_histogram(&name, h.edges());
+            r.histograms[i].1.absorb(&h);
+        }
+    });
 }
 
 /// Histogram edges for congestion-window trajectories (segments).
@@ -347,7 +433,7 @@ pub fn snapshot() -> Snapshot {
         for (name, v) in &r.counters {
             map.insert(name.clone(), SnapValue::Counter(*v));
         }
-        for (name, v) in &r.gauges {
+        for (name, v, _) in &r.gauges {
             map.insert(name.clone(), SnapValue::Gauge(*v));
         }
         for (name, h) in &r.histograms {

@@ -103,6 +103,12 @@ pub fn set_trace_filter(flow: Option<u64>) {
     });
 }
 
+/// The currently selected trace filter, if any.
+#[must_use]
+pub fn trace_filter() -> Option<u64> {
+    RING.with(|r| r.borrow().filter)
+}
+
 /// Records a flow event if collection is enabled and `flow` matches the
 /// filter. Overwrites the oldest record once the ring is full.
 #[inline]
@@ -153,6 +159,63 @@ pub fn drain_trace() -> (Vec<TraceRecord>, u64) {
 /// Clears the ring and the filter.
 pub(crate) fn reset() {
     set_trace_filter(None);
+}
+
+/// Saved ring contents from [`begin_unit`]; restored by [`end_unit`].
+pub(crate) struct SavedRing {
+    buf: Vec<TraceRecord>,
+    head: usize,
+    dropped: u64,
+}
+
+/// Empties this thread's ring (keeping the filter in place) and returns
+/// the previous contents for later restoration.
+pub(crate) fn begin_unit() -> SavedRing {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        SavedRing {
+            buf: std::mem::take(&mut r.buf),
+            head: std::mem::replace(&mut r.head, 0),
+            dropped: std::mem::replace(&mut r.dropped, 0),
+        }
+    })
+}
+
+/// Restores the ring saved by [`begin_unit`] and returns whatever the
+/// unit traced in the interim, in chronological order, plus its
+/// overwrite count.
+pub(crate) fn end_unit(saved: SavedRing) -> (Vec<TraceRecord>, u64) {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        let mut buf = std::mem::replace(&mut r.buf, saved.buf);
+        let head = std::mem::replace(&mut r.head, saved.head);
+        let dropped = std::mem::replace(&mut r.dropped, saved.dropped);
+        if !buf.is_empty() {
+            let pivot = head % buf.len();
+            buf.rotate_left(pivot);
+        }
+        (buf, dropped)
+    })
+}
+
+/// Replays unit-captured records into this thread's ring with the same
+/// overwrite-oldest semantics the serial path would have applied, so a
+/// parallel run's drained trace is byte-identical to the serial one.
+pub(crate) fn replay(records: &[TraceRecord], dropped: u64) {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        r.dropped += dropped;
+        for &rec in records {
+            if r.buf.len() < TRACE_CAPACITY {
+                r.buf.push(rec);
+            } else {
+                let head = r.head;
+                r.buf[head] = rec;
+                r.head = (head + 1) % TRACE_CAPACITY;
+                r.dropped += 1;
+            }
+        }
+    });
 }
 
 #[cfg(test)]

@@ -100,8 +100,10 @@ impl Bgp {
     }
 }
 
-/// Computes the selected route of every AS toward `dest`.
-fn compute_table(net: &Network, dest: AsId) -> Vec<Option<AsRoute>> {
+/// Computes the selected route of every AS toward `dest`. Pure function
+/// of the network, shared by the lazy [`Bgp`] cache and the eagerly
+/// warmed [`crate::RouteCache`].
+pub(crate) fn compute_table(net: &Network, dest: AsId) -> Vec<Option<AsRoute>> {
     let n = net.as_count();
 
     // Phase 1 — customer routes: BFS from dest along "provider-of" edges.

@@ -10,6 +10,7 @@
 //!   traffic entered — the "hot potato" policy the paper names as one of
 //!   the reasons routing bottlenecks exist.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -17,6 +18,96 @@ use topology::{AsId, LinkId, Network, RouterId};
 
 use crate::bgp::Bgp;
 use crate::path::RouterPath;
+
+/// Reusable Dijkstra state. Both expansion call sites used to rebuild the
+/// distance/predecessor vectors and the heap on every query; with tens of
+/// thousands of queries per sweep that allocation churn dominated the
+/// expansion cost. The scratch is generation-stamped: bumping `stamp`
+/// invalidates every entry in O(1), so no per-query clearing either.
+struct Scratch {
+    stamp: u64,
+    stamps: Vec<u64>,
+    dist: Vec<u64>,
+    prev: Vec<Option<(RouterId, LinkId)>>,
+    heap: BinaryHeap<Reverse<(u64, RouterId)>>,
+}
+
+impl Scratch {
+    const fn new() -> Scratch {
+        Scratch {
+            stamp: 0,
+            stamps: Vec::new(),
+            dist: Vec::new(),
+            prev: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn dist(&self, r: RouterId) -> u64 {
+        if self.stamps[r.index()] == self.stamp {
+            self.dist[r.index()]
+        } else {
+            u64::MAX
+        }
+    }
+
+    #[inline]
+    fn prev(&self, r: RouterId) -> Option<(RouterId, LinkId)> {
+        if self.stamps[r.index()] == self.stamp {
+            self.prev[r.index()]
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn relax(&mut self, r: RouterId, d: u64, from: Option<(RouterId, LinkId)>) {
+        let i = r.index();
+        self.stamps[i] = self.stamp;
+        self.dist[i] = d;
+        self.prev[i] = from;
+    }
+
+    /// Dijkstra over the intra-AS subgraph of `from`'s AS, weighted by
+    /// link propagation delay. Stops early once `to` is settled (pass
+    /// `None` to compute distances to every reachable router of the AS).
+    fn dijkstra(&mut self, net: &Network, from: RouterId, to: Option<RouterId>) {
+        let n = net.router_count();
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+            self.dist.resize(n, u64::MAX);
+            self.prev.resize(n, None);
+        }
+        self.stamp += 1;
+        self.heap.clear();
+        let asn = net.router(from).asn();
+        self.relax(from, 0, None);
+        self.heap.push(Reverse((0, from)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist(u) {
+                continue;
+            }
+            if Some(u) == to {
+                break;
+            }
+            for &(v, l) in net.neighbors(u) {
+                if net.router(v).asn() != asn {
+                    continue;
+                }
+                let nd = d + net.link(l).prop_delay().as_nanos().max(1);
+                if nd < self.dist(v) {
+                    self.relax(v, nd, Some((u, l)));
+                    self.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const { RefCell::new(Scratch::new()) };
+}
 
 /// Shortest intra-AS route between two routers of the same AS, weighted
 /// by link propagation delay (nanoseconds). Returns `None` if the AS's
@@ -36,75 +127,25 @@ pub fn intra_as_path(net: &Network, from: RouterId, to: RouterId) -> Option<Rout
     if from == to {
         return Some(RouterPath::trivial(from));
     }
-
-    // Dijkstra restricted to links whose both endpoints are in `asn`.
-    let n = net.router_count();
-    let mut dist: Vec<u64> = vec![u64::MAX; n];
-    let mut prev: Vec<Option<(RouterId, LinkId)>> = vec![None; n];
-    let mut heap: BinaryHeap<Reverse<(u64, RouterId)>> = BinaryHeap::new();
-    dist[from.index()] = 0;
-    heap.push(Reverse((0, from)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if d > dist[u.index()] {
-            continue;
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.dijkstra(net, from, Some(to));
+        if s.dist(to) == u64::MAX {
+            return None;
         }
-        if u == to {
-            break;
+        // Reconstruct.
+        let mut routers = vec![to];
+        let mut links = Vec::new();
+        let mut cur = to;
+        while let Some((p, l)) = s.prev(cur) {
+            routers.push(p);
+            links.push(l);
+            cur = p;
         }
-        for &(v, l) in net.neighbors(u) {
-            if net.router(v).asn() != asn {
-                continue;
-            }
-            let nd = d + net.link(l).prop_delay().as_nanos().max(1);
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                prev[v.index()] = Some((u, l));
-                heap.push(Reverse((nd, v)));
-            }
-        }
-    }
-    if dist[to.index()] == u64::MAX {
-        return None;
-    }
-    // Reconstruct.
-    let mut routers = vec![to];
-    let mut links = Vec::new();
-    let mut cur = to;
-    while let Some((p, l)) = prev[cur.index()] {
-        routers.push(p);
-        links.push(l);
-        cur = p;
-    }
-    routers.reverse();
-    links.reverse();
-    Some(RouterPath::new(routers, links))
-}
-
-/// IGP distance (propagation nanoseconds) from `from` to every router of
-/// the same AS; `u64::MAX` marks unreachable routers.
-fn igp_distances(net: &Network, from: RouterId) -> Vec<u64> {
-    let asn = net.router(from).asn();
-    let n = net.router_count();
-    let mut dist: Vec<u64> = vec![u64::MAX; n];
-    let mut heap: BinaryHeap<Reverse<(u64, RouterId)>> = BinaryHeap::new();
-    dist[from.index()] = 0;
-    heap.push(Reverse((0, from)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if d > dist[u.index()] {
-            continue;
-        }
-        for &(v, l) in net.neighbors(u) {
-            if net.router(v).asn() != asn {
-                continue;
-            }
-            let nd = d + net.link(l).prop_delay().as_nanos().max(1);
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                heap.push(Reverse((nd, v)));
-            }
-        }
-    }
-    dist
+        routers.reverse();
+        links.reverse();
+        Some(RouterPath::new(routers, links))
+    })
 }
 
 /// Computes the default (BGP-selected) router-level path from `src` to
@@ -156,24 +197,28 @@ pub fn expand_as_path(
         if candidates.is_empty() {
             return None;
         }
-        let dist = igp_distances(net, ingress);
-        let mut best: Option<(u64, LinkId, RouterId, RouterId)> = None;
-        for &l in candidates {
-            let link = net.link(l);
-            let (near, far) = if net.router(link.a()).asn() == cur_as {
-                (link.a(), link.b())
-            } else {
-                (link.b(), link.a())
-            };
-            let d = dist[near.index()];
-            if d == u64::MAX {
-                continue;
+        let best = SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.dijkstra(net, ingress, None);
+            let mut best: Option<(u64, LinkId, RouterId, RouterId)> = None;
+            for &l in candidates {
+                let link = net.link(l);
+                let (near, far) = if net.router(link.a()).asn() == cur_as {
+                    (link.a(), link.b())
+                } else {
+                    (link.b(), link.a())
+                };
+                let d = s.dist(near);
+                if d == u64::MAX {
+                    continue;
+                }
+                let cand = (d, l, near, far);
+                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    best = Some(cand);
+                }
             }
-            let cand = (d, l, near, far);
-            if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
-                best = Some(cand);
-            }
-        }
+            best
+        });
         let (_, l, near, far) = best?;
         let to_border = intra_as_path(net, ingress, near)?;
         path = path.join(to_border);

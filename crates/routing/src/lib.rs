@@ -12,6 +12,9 @@
 //!   paths can be bad and overlays can win.
 //! * [`expand`] — router-level expansion of AS paths with hot-potato
 //!   (early-exit) egress selection and intra-AS shortest-delay routing.
+//! * [`cache`] — a read-only [`RouteCache`] for parallel sweeps: warmed
+//!   per-destination tables plus prefetched path memoization with
+//!   deterministic hit/miss counters.
 //! * [`path`] — the resulting [`RouterPath`] with the aggregate metrics
 //!   the transport models consume (RTT, loss, bottleneck capacity).
 //! * [`traceroute`] — per-hop output like the tool the paper ran from its
@@ -41,11 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod bgp;
+pub mod cache;
 pub mod expand;
 pub mod path;
 pub mod traceroute;
 
 pub use bgp::{AsRoute, Bgp, RouteClass};
+pub use cache::RouteCache;
 pub use expand::{expand_as_path, intra_as_path, route};
 pub use path::RouterPath;
 pub use traceroute::{traceroute, Hop};

@@ -1,7 +1,12 @@
 //! Time-ordered event queue with stable tie-breaking and lazy cancellation.
-
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
+//!
+//! Implemented as a 4-ary implicit min-heap over small `Copy` entries plus
+//! a slot pool holding the payloads. A 4-ary heap halves the tree depth of
+//! a binary heap and keeps the children of a node in one or two cache
+//! lines, which matters on the DES hot path where every packet hop is a
+//! push/pop pair. Payload slots are recycled through a free list, so a
+//! steady-state simulation stops allocating once the queue reaches its
+//! high-water mark.
 
 use crate::SimTime;
 
@@ -9,39 +14,45 @@ use crate::SimTime;
 ///
 /// Handles are unique per [`EventQueue`] for the lifetime of the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    slot: u32,
+    seq: u64,
+}
 
-#[derive(Debug)]
-struct Entry<E> {
+/// Heap entry: the ordering key plus the index of the payload slot.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Payload storage. `seq` disambiguates recycled slots so stale handles
+/// can never cancel an unrelated event; `payload` is `None` once the
+/// event fired or was cancelled (lazy cancellation leaves the heap entry
+/// in place until it reaches the head).
+#[derive(Debug)]
+struct Slot<E> {
+    seq: u64,
+    payload: Option<E>,
 }
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
+
+const ARITY: usize = 4;
 
 /// A discrete-event queue: events are delivered in nondecreasing time
 /// order, and events scheduled for the same instant are delivered in the
 /// order they were scheduled (FIFO).
 ///
-/// Cancellation is *lazy*: [`EventQueue::cancel`] marks the handle and the
-/// entry is discarded when it reaches the head of the heap, giving O(log n)
-/// amortized cost for all operations.
+/// Cancellation is *lazy*: [`EventQueue::cancel`] empties the payload slot
+/// and the heap entry is discarded when it reaches the head, giving
+/// O(log n) amortized cost for all operations.
 ///
 /// # Example
 ///
@@ -57,11 +68,12 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Seqs scheduled and neither fired nor cancelled yet.
-    pending: HashSet<u64>,
-    /// Seqs cancelled but not yet discarded from the heap.
-    cancelled: HashSet<u64>,
+    heap: Vec<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    /// Slot indices whose heap entry has been discarded, free for reuse.
+    free: Vec<u32>,
+    /// Number of scheduled-but-neither-fired-nor-cancelled events.
+    live: usize,
     next_seq: u64,
     /// Time of the last popped event; pops are monotone.
     now: SimTime,
@@ -78,9 +90,10 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -109,46 +122,66 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, payload }));
-        self.pending.insert(seq);
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                s.seq = seq;
+                s.payload = Some(payload);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("event queue slot overflow");
+                self.slots.push(Slot {
+                    seq,
+                    payload: Some(payload),
+                });
+                i
+            }
+        };
+        self.heap.push(HeapEntry { time, seq, slot });
+        self.sift_up(self.heap.len() - 1);
+        self.live += 1;
+        EventHandle { slot, seq }
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event
     /// was still pending, `false` if it had already fired or been
     /// cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if self.pending.remove(&handle.0) {
-            self.cancelled.insert(handle.0);
-            true
-        } else {
-            false
+        match self.slots.get_mut(handle.slot as usize) {
+            Some(slot) if slot.seq == handle.seq && slot.payload.is_some() => {
+                slot.payload = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        loop {
+            let head = *self.heap.first()?;
+            self.remove_head();
+            let payload = self.slots[head.slot as usize].payload.take();
+            self.free.push(head.slot);
+            if let Some(p) = payload {
+                self.live -= 1;
+                self.now = head.time;
+                return Some((head.time, p));
             }
-            self.pending.remove(&entry.seq);
-            self.now = entry.time;
-            return Some((entry.time, entry.payload));
+            // Cancelled entry: recycle the slot and keep looking.
         }
-        None
     }
 
     /// The time of the earliest pending event, if any, without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+        while let Some(&head) = self.heap.first() {
+            if self.slots[head.slot as usize].payload.is_some() {
+                return Some(head.time);
             }
-            return Some(entry.time);
+            self.remove_head();
+            self.free.push(head.slot);
         }
         None
     }
@@ -156,13 +189,59 @@ impl<E> EventQueue<E> {
     /// `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     /// Number of live (scheduled, not fired, not cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
+    }
+
+    /// Discards the heap root, moving the last entry into its place.
+    fn remove_head(&mut self) {
+        let last = self.heap.pop().expect("remove_head on empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key() <= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let entry = self.heap[i];
+        loop {
+            let first = i * ARITY + 1;
+            if first >= len {
+                break;
+            }
+            let last = (first + ARITY).min(len);
+            let mut min = first;
+            for c in first + 1..last {
+                if self.heap[c].key() < self.heap[min].key() {
+                    min = c;
+                }
+            }
+            if self.heap[min].key() >= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[min];
+            i = min;
+        }
+        self.heap[i] = entry;
     }
 }
 
@@ -205,8 +284,22 @@ mod tests {
 
     #[test]
     fn cancel_unknown_handle_is_false() {
+        let mut other = EventQueue::new();
+        let foreign = other.schedule(SimTime::from_nanos(1), ());
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventHandle(42)));
+        assert!(!q.cancel(foreign));
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_a_recycled_slot() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_nanos(1), "first");
+        q.pop();
+        // The slot is recycled for a new event; the old handle must not
+        // reach it.
+        q.schedule(SimTime::from_nanos(2), "second");
+        assert!(!q.cancel(h));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(2), "second")));
     }
 
     #[test]
@@ -237,5 +330,56 @@ mod tests {
         q.schedule(SimTime::from_nanos(10), ());
         q.pop();
         q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_cancel_matches_reference() {
+        // Drive the pooled heap against a straightforward reference model.
+        let mut q = EventQueue::new();
+        let mut rng = crate::SimRng::seed_from(0x5EED);
+        let mut reference: Vec<(u64, u64, u64)> = Vec::new(); // (t, id, seq)
+        let mut handles = Vec::new();
+        let mut next_id = 0u64;
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        let mut now = 0u64;
+        for step in 0..2_000u64 {
+            match rng.index(10) {
+                0..=5 => {
+                    let t = now + rng.index(50) as u64;
+                    let h = q.schedule(SimTime::from_nanos(t), next_id);
+                    handles.push((h, next_id));
+                    reference.push((t, next_id, step));
+                    next_id += 1;
+                }
+                6..=7 => {
+                    if let Some((t, id)) = q.pop() {
+                        popped.push(id);
+                        now = t.as_nanos();
+                        let (pos, _) = reference
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, r)| (r.0, r.2))
+                            .map(|(i, r)| (i, *r))
+                            .unwrap();
+                        expected.push(reference.remove(pos).1);
+                    }
+                }
+                _ => {
+                    if !handles.is_empty() {
+                        let i = rng.index(handles.len());
+                        let (h, id) = handles.swap_remove(i);
+                        let in_ref = reference.iter().position(|r| r.1 == id);
+                        let cancelled = q.cancel(h);
+                        assert_eq!(cancelled, in_ref.is_some());
+                        if let Some(pos) = in_ref {
+                            reference.remove(pos);
+                        }
+                    }
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        assert_eq!(popped, expected);
     }
 }

@@ -738,7 +738,13 @@ impl Netsim {
         let coupling = self.flows[f].coupling;
         let min_rto = self.flows[f].params.min_rto;
         let mss = u64::from(self.flows[f].params.mss);
-        let views = self.subflow_views(f);
+        // Uncoupled flows never read the sibling views; skip the
+        // per-ACK Vec (hot: one allocation per ACK otherwise).
+        let views = if coupling == CouplingAlg::Uncoupled {
+            Vec::new()
+        } else {
+            self.subflow_views(f)
+        };
         let obs_on = self.obs.is_some();
         let sub = &mut self.flows[f].subflows[s];
 

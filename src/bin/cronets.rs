@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! cronets list
-//! cronets fig2 [--seed N] [--metrics] [--trace FLOW]
-//! cronets all  [--seed N] [--metrics]
+//! cronets fig2 [--seed N] [--threads N] [--metrics] [--trace FLOW]
+//! cronets all  [--seed N] [--threads N] [--metrics]
 //! ```
+//!
+//! `--threads N` sets the worker-pool size for the parallel sweep and
+//! DES stages (default: the machine's available parallelism). Output is
+//! byte-identical at every thread count: work is split into indexed
+//! units, seeded from `(seed, unit index)`, and merged in unit order.
 //!
 //! `--metrics` turns on the deterministic telemetry layer: the run
 //! prints a metric snapshot (sim-time counters/gauges/histograms across
@@ -69,11 +74,15 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 const RESULTS_DIR: &str = "results";
 
 fn usage() {
-    eprintln!("usage: cronets <experiment|list|all> [--seed N] [--metrics] [--trace FLOW]");
+    eprintln!(
+        "usage: cronets <experiment|list|all> [--seed N] [--threads N] [--metrics] [--trace FLOW]"
+    );
     eprintln!(
         "  --seed N      PRNG seed (default {})",
         exp::prevalence::DEFAULT_SEED
     );
+    eprintln!("  --threads N   worker threads (default: available parallelism);");
+    eprintln!("                output is byte-identical at any thread count");
     eprintln!("  --metrics     collect telemetry; print a metric snapshot and");
     eprintln!("                write manifest_<name>.tsv/.jsonl into ./{RESULTS_DIR}/");
     eprintln!("  --trace FLOW  with --metrics: trace DES flow FLOW's segment");
@@ -212,6 +221,13 @@ fn main() -> ExitCode {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => exec::set_threads(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
                     return ExitCode::FAILURE;
                 }
             },

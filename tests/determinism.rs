@@ -50,10 +50,10 @@ fn lossy_des_run(seed: u64) -> (u64, u64, u64) {
 fn analytic_sweep_digest(seed: u64) -> String {
     use cronets_repro::experiments::scenario::{ScenarioConfig, World};
     use cronets_repro::experiments::sweep::Sweep;
-    let mut world = World::build(&ScenarioConfig::tiny(), seed);
+    let world = World::build(&ScenarioConfig::tiny(), seed);
     let senders = world.servers.clone();
     let receivers = world.clients.clone();
-    let sweep = Sweep::run(&mut world, &senders, &receivers, false);
+    let sweep = Sweep::run(&world, &senders, &receivers, false);
     sweep
         .records
         .iter()

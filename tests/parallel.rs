@@ -1,0 +1,108 @@
+//! Thread-count invariance: the `--threads N` worker pool must not
+//! change a single output byte. Work is split into indexed units seeded
+//! from `(seed, unit index)` and merged in unit order, so the binary's
+//! stdout, its metric snapshot, its flow traces, and every results file
+//! must be byte-identical at any thread count.
+//!
+//! These tests drive the real `cronets` binary as a subprocess (it
+//! writes into `./results/` relative to its working directory, so each
+//! run gets a scratch directory) and cover one analytic experiment
+//! (`fig2`, the sweep + route cache path) and one packet-level
+//! experiment (`failover`, two concurrent DES runs).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs `cronets <args>` in a fresh scratch directory; returns the
+/// stdout plus the contents of every file the run wrote under
+/// `./results/`, keyed by file name.
+fn run_in_scratch(tag: &str, args: &[&str]) -> (String, BTreeMap<String, Vec<u8>>) {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_cronets"))
+        .args(args)
+        .current_dir(&dir)
+        .output()
+        .expect("cronets runs");
+    assert!(
+        out.status.success(),
+        "cronets {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut files = BTreeMap::new();
+    let results = dir.join("results");
+    if results.is_dir() {
+        for entry in fs::read_dir(&results).expect("results dir") {
+            let p = entry.expect("entry").path();
+            files.insert(
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                fs::read(&p).expect("results file"),
+            );
+        }
+    }
+    (String::from_utf8(out.stdout).expect("utf8 stdout"), files)
+}
+
+/// Strips the manifest records that legitimately vary run-to-run: wall
+/// clock phase timings (`phase` rows / objects). Everything else in a
+/// manifest is a pure function of the seed.
+fn strip_wall_clock(name: &str, body: &[u8]) -> Vec<u8> {
+    if !name.starts_with("manifest_") {
+        return body.to_vec();
+    }
+    let text = String::from_utf8_lossy(body);
+    text.lines()
+        .filter(|l| !l.starts_with("phase\t") && !l.contains("\"phase\""))
+        .flat_map(|l| l.bytes().chain(std::iter::once(b'\n')))
+        .collect()
+}
+
+fn assert_thread_invariant(experiment: &str, extra: &[&str]) {
+    let mut base = vec![experiment, "--seed", "424242"];
+    base.extend_from_slice(extra);
+    let (out1, files1) = run_in_scratch(
+        &format!("{experiment}_t1"),
+        &[&base[..], &["--threads", "1"]].concat(),
+    );
+    let (out8, files8) = run_in_scratch(
+        &format!("{experiment}_t8"),
+        &[&base[..], &["--threads", "8"]].concat(),
+    );
+    assert_eq!(out1, out8, "{experiment}: stdout differs across threads");
+    let names1: Vec<&String> = files1.keys().collect();
+    let names8: Vec<&String> = files8.keys().collect();
+    assert_eq!(names1, names8, "{experiment}: results file sets differ");
+    for (name, body1) in &files1 {
+        assert_eq!(
+            strip_wall_clock(name, body1),
+            strip_wall_clock(name, &files8[name]),
+            "{experiment}: results/{name} differs across threads"
+        );
+    }
+}
+
+#[test]
+fn analytic_sweep_is_thread_invariant() {
+    // fig2 exercises the route cache and the parallel sender sweep, with
+    // the metric snapshot (counters, histograms, route-cache hit/miss)
+    // on stdout and a manifest in results/.
+    assert_thread_invariant("fig2", &["--metrics"]);
+}
+
+#[test]
+fn packet_level_des_is_thread_invariant() {
+    // failover runs two full DES simulations as parallel work units and
+    // records a segment-level flow trace.
+    assert_thread_invariant("failover", &["--metrics", "--trace", "0"]);
+}
+
+#[test]
+fn export_files_are_thread_invariant() {
+    let (_, f1) = run_in_scratch("export_t1", &["export", "--threads", "1"]);
+    let (_, f8) = run_in_scratch("export_t8", &["export", "--threads", "8"]);
+    assert!(!f1.is_empty(), "export wrote nothing");
+    assert_eq!(f1, f8, "exported figure data differs across threads");
+}
