@@ -1,5 +1,6 @@
 //! Micro-benchmarks of the substrates: event queue, packet simulation
-//! rate, policy routing, C4.5 training, and the telemetry hot path.
+//! rate, policy routing, C4.5 training, the telemetry hot path, and the
+//! control plane (per-flow broker decision, smoke-sized service run).
 //!
 //! Self-contained harness (no external bench framework): each bench is
 //! timed over enough iterations to smooth scheduler noise, the median of
@@ -10,7 +11,10 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use control::{Broker, BrokerConfig};
+use cronets::eval::{Measurement, OverlayEval, PairEval};
 use experiments::scenario::{ScenarioConfig, World};
+use experiments::service::{service, ServiceConfig};
 use experiments::sweep::Sweep;
 use simcore::{EventQueue, SimDuration, SimTime};
 use topology::gen::{generate, InternetConfig};
@@ -144,6 +148,54 @@ fn bench_metrics_enabled() -> f64 {
     ns
 }
 
+/// One broker admission decision against a fresh cached probe (hash
+/// probe + filtered overlay argmax + counter bump): the per-flow cost
+/// of the control plane's hot path.
+fn bench_broker_decision() -> f64 {
+    let path = routing::RouterPath::trivial(topology::RouterId::from_raw(0));
+    let meas = |bps: f64| Measurement {
+        throughput_bps: bps,
+        rtt: SimDuration::from_millis(60),
+        loss: 0.01,
+    };
+    let eval = PairEval {
+        direct: meas(20e6),
+        direct_path: path.clone(),
+        overlays: (0..5)
+            .map(|i| OverlayEval {
+                node: i,
+                plain: meas(30e6 + i as f64 * 5e6),
+                split: meas(40e6 + i as f64 * 5e6),
+                discrete_bps: 40e6 + i as f64 * 5e6,
+                path: path.clone(),
+            })
+            .collect(),
+    };
+    let mut broker = Broker::new(BrokerConfig {
+        max_probe_age: SimDuration::from_secs(600),
+        min_accept_bps: 1e6,
+        overlay_margin: 1.05,
+    });
+    let (s, d) = (
+        topology::RouterId::from_raw(1),
+        topology::RouterId::from_raw(2),
+    );
+    broker.observe(s, d, SimTime::ZERO, eval);
+    let mut i = 0u64;
+    bench(100_000, 7, || {
+        i += 1;
+        broker.decide(s, d, SimTime::ZERO, |n| (n as u64 + i).is_multiple_of(2))
+    })
+}
+
+/// The whole smoke-sized online service (workload generation, probing,
+/// broker, DES-style completion queue, autoscaler, SLO ledger): the
+/// end-to-end number `cronets service --smoke` pays.
+fn bench_service_smoke() -> f64 {
+    let cfg = ServiceConfig::smoke();
+    bench(1, 3, || service(&cfg, 7).completed)
+}
+
 fn main() {
     let results: Vec<(&str, f64)> = vec![
         ("event_queue_push_pop_10k", bench_event_queue()),
@@ -155,6 +207,8 @@ fn main() {
         ("c45_fit_2k_rows", bench_c45()),
         ("metrics_add_disabled", bench_metrics_disabled()),
         ("metrics_add_enabled", bench_metrics_enabled()),
+        ("broker_decision", bench_broker_decision()),
+        ("service_smoke", bench_service_smoke()),
     ];
 
     for (name, ns) in &results {

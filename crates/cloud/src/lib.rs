@@ -37,6 +37,8 @@ pub mod pricing;
 pub mod provider;
 pub mod vnic;
 
-pub use pricing::{leased_line_monthly_usd, overlay_monthly_usd, PortSpeed, TrafficPlan};
+pub use pricing::{
+    leased_line_monthly_usd, overlay_monthly_usd, overlay_node_hourly_usd, PortSpeed, TrafficPlan,
+};
 pub use provider::{attach_provider, CloudProvider, Datacenter, ProviderConfig};
 pub use vnic::provision_vm;

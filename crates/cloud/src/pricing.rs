@@ -101,6 +101,26 @@ pub fn overlay_monthly_usd(n_nodes: usize, port: PortSpeed, plan: TrafficPlan) -
         * (BASE_VM_MONTHLY_USD + port.monthly_surcharge_usd() + plan.monthly_surcharge_usd())
 }
 
+/// Billing-month length used to convert monthly list prices into hourly
+/// accrual rates (the control plane's autoscaler bills rented relays by
+/// the simulated hour).
+pub const HOURS_PER_MONTH: f64 = 730.0;
+
+/// Hourly accrual rate of one overlay node with the given port speed and
+/// traffic plan — the monthly list price prorated over [`HOURS_PER_MONTH`].
+///
+/// # Example
+///
+/// ```
+/// use cloud::pricing::{overlay_node_hourly_usd, PortSpeed, TrafficPlan};
+/// let rate = overlay_node_hourly_usd(PortSpeed::Mbps100, TrafficPlan::Gb5000);
+/// assert!((0.05..0.15).contains(&rate), "basic node is cents per hour");
+/// ```
+#[must_use]
+pub fn overlay_node_hourly_usd(port: PortSpeed, plan: TrafficPlan) -> f64 {
+    overlay_monthly_usd(1, port, plan) / HOURS_PER_MONTH
+}
+
 /// Monthly cost of a point-to-point private leased line (MPLS-style) of
 /// the given capacity over the given distance.
 ///
@@ -140,6 +160,13 @@ mod tests {
             (18.0..30.0).contains(&one),
             "paper says ≈$20/month, got {one}"
         );
+    }
+
+    #[test]
+    fn hourly_rate_prorates_the_monthly_price() {
+        let monthly = overlay_monthly_usd(1, PortSpeed::Gbps1, TrafficPlan::Gb10000);
+        let hourly = overlay_node_hourly_usd(PortSpeed::Gbps1, TrafficPlan::Gb10000);
+        assert!((hourly * HOURS_PER_MONTH - monthly).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Online admission and path selection from a staleness-bounded probe
+//! cache.
+//!
+//! The paper's service model (§VI) assumes the provider cannot probe
+//! every client pair at every instant: path measurements arrive on a
+//! probing schedule and decisions in between run against cached — and
+//! possibly stale — state. [`Broker`] captures exactly that: probes are
+//! [`cronets::eval::PairEval`]s stamped with their measurement time, a
+//! decision consults the freshest probe for the pair, and when the probe
+//! has aged past [`BrokerConfig::max_probe_age`] the broker falls back to
+//! the direct path rather than steering onto an overlay it can no longer
+//! vouch for.
+
+use std::collections::HashMap;
+
+use cronets::eval::PairEval;
+use cronets::select::{achieved, best_choice_filtered, PathChoice};
+use simcore::{SimDuration, SimTime};
+use topology::RouterId;
+
+/// Broker policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerConfig {
+    /// Probes older than this are treated as stale: the broker stops
+    /// trusting overlay measurements and falls back to direct.
+    pub max_probe_age: SimDuration,
+    /// Flows whose expected throughput falls below this (bits/second)
+    /// are denied admission outright.
+    pub min_accept_bps: f64,
+    /// An overlay path is only chosen when its expected throughput beats
+    /// the direct path by at least this factor (hysteresis against
+    /// steering flows through relays for negligible gain).
+    pub overlay_margin: f64,
+}
+
+/// A cached path measurement for one endpoint pair.
+#[derive(Debug, Clone)]
+struct Probe {
+    at: SimTime,
+    eval: PairEval,
+}
+
+/// Per-decision counters, kept locally so the broker is testable without
+/// the `obs` registry; [`Broker::publish`] exports them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Flows admitted (overlay + direct).
+    pub admitted: u64,
+    /// Flows denied admission (below the throughput floor).
+    pub denied: u64,
+    /// Admissions steered through an overlay relay.
+    pub overlay: u64,
+    /// Admissions sent down the direct path with a fresh probe.
+    pub direct: u64,
+    /// Admissions that fell back to direct because the probe was stale
+    /// or missing.
+    pub stale_fallback: u64,
+}
+
+/// The broker's verdict for one flow request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Steer through overlay node `node`; `bps` is the expected
+    /// (probe-time) throughput.
+    Overlay {
+        /// Overlay node index in `Cronet::nodes` order.
+        node: usize,
+        /// Expected split-mode throughput, bits/second.
+        bps: f64,
+    },
+    /// Use the default Internet path; `bps` is the expected throughput
+    /// (zero when no probe was ever taken for the pair).
+    Direct {
+        /// Expected direct-path throughput, bits/second.
+        bps: f64,
+    },
+    /// Refuse the flow (expected throughput below the admission floor).
+    Deny,
+}
+
+/// Online admission + path-selection engine (see module docs).
+#[derive(Debug)]
+pub struct Broker {
+    cfg: BrokerConfig,
+    probes: HashMap<(RouterId, RouterId), Probe>,
+    stats: BrokerStats,
+}
+
+impl Broker {
+    /// Creates a broker with an empty probe cache.
+    #[must_use]
+    pub fn new(cfg: BrokerConfig) -> Broker {
+        Broker {
+            cfg,
+            probes: HashMap::new(),
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// Installs (or refreshes) the probe for `(src, dst)`, measured at
+    /// `at`.
+    pub fn observe(&mut self, src: RouterId, dst: RouterId, at: SimTime, eval: PairEval) {
+        self.probes.insert((src, dst), Probe { at, eval });
+    }
+
+    /// Number of pairs with a cached probe (fresh or stale).
+    #[must_use]
+    pub fn probed_pairs(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Decides admission and path for a flow request at `now`.
+    /// `relay_free(node)` reports whether overlay node `node` currently
+    /// has spare concurrent-flow capacity — relays at capacity are
+    /// excluded from selection, not queued on.
+    pub fn decide(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+        now: SimTime,
+        relay_free: impl Fn(usize) -> bool,
+    ) -> Decision {
+        let probe = self.probes.get(&(src, dst));
+        let fresh = probe
+            .map(|p| now.saturating_duration_since(p.at) <= self.cfg.max_probe_age)
+            .unwrap_or(false);
+        if !fresh {
+            // Stale or missing probe: never steer onto an overlay blind.
+            // The direct path is the Internet default and needs no state;
+            // admit at the last-known direct rate (0 when never probed).
+            self.stats.stale_fallback += 1;
+            self.stats.admitted += 1;
+            let bps = probe.map_or(0.0, |p| p.eval.direct.throughput_bps);
+            return Decision::Direct { bps };
+        }
+        let eval = &self.probes[&(src, dst)].eval;
+        let direct_bps = eval.direct.throughput_bps;
+        let mut choice = best_choice_filtered(eval, relay_free);
+        if let PathChoice::Overlay(_) = choice {
+            // Hysteresis: marginal overlay wins are not worth a relay slot.
+            if achieved(eval, choice) < self.cfg.overlay_margin * direct_bps {
+                choice = PathChoice::Direct;
+            }
+        }
+        let bps = achieved(eval, choice);
+        if bps < self.cfg.min_accept_bps {
+            self.stats.denied += 1;
+            return Decision::Deny;
+        }
+        self.stats.admitted += 1;
+        match choice {
+            PathChoice::Overlay(node) => {
+                self.stats.overlay += 1;
+                Decision::Overlay { node, bps }
+            }
+            PathChoice::Direct => {
+                self.stats.direct += 1;
+                Decision::Direct { bps }
+            }
+        }
+    }
+
+    /// The decision counters so far.
+    #[must_use]
+    pub fn stats(&self) -> BrokerStats {
+        self.stats
+    }
+
+    /// Exports the decision counters through `obs` (no-op while
+    /// collection is disabled).
+    pub fn publish(&self) {
+        obs::add_named("control.broker.admitted", self.stats.admitted);
+        obs::add_named("control.broker.denied", self.stats.denied);
+        obs::add_named("control.broker.overlay", self.stats.overlay);
+        obs::add_named("control.broker.direct", self.stats.direct);
+        obs::add_named("control.broker.stale_fallback", self.stats.stale_fallback);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cronets::eval::{Measurement, OverlayEval};
+    use routing::RouterPath;
+
+    fn meas(bps: f64) -> Measurement {
+        Measurement {
+            throughput_bps: bps,
+            rtt: SimDuration::from_millis(50),
+            loss: 0.01,
+        }
+    }
+
+    fn eval(direct: f64, overlays: &[f64]) -> PairEval {
+        let path = RouterPath::trivial(RouterId::from_raw(0));
+        PairEval {
+            direct: meas(direct),
+            direct_path: path.clone(),
+            overlays: overlays
+                .iter()
+                .enumerate()
+                .map(|(i, &bps)| OverlayEval {
+                    node: i,
+                    plain: meas(0.8 * bps),
+                    split: meas(bps),
+                    discrete_bps: bps,
+                    path: path.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn cfg() -> BrokerConfig {
+        BrokerConfig {
+            max_probe_age: SimDuration::from_secs(100),
+            min_accept_bps: 1_000_000.0,
+            overlay_margin: 1.05,
+        }
+    }
+
+    fn pair() -> (RouterId, RouterId) {
+        (RouterId::from_raw(1), RouterId::from_raw(2))
+    }
+
+    #[test]
+    fn fresh_probe_steers_to_the_best_free_overlay() {
+        let mut b = Broker::new(cfg());
+        let (s, d) = pair();
+        b.observe(s, d, SimTime::ZERO, eval(10e6, &[30e6, 50e6]));
+        let got = b.decide(s, d, SimTime::ZERO + SimDuration::from_secs(10), |_| true);
+        assert_eq!(got, Decision::Overlay { node: 1, bps: 50e6 });
+        assert_eq!(b.stats().overlay, 1);
+        assert_eq!(b.stats().admitted, 1);
+    }
+
+    #[test]
+    fn busy_relays_are_excluded() {
+        let mut b = Broker::new(cfg());
+        let (s, d) = pair();
+        b.observe(s, d, SimTime::ZERO, eval(10e6, &[30e6, 50e6]));
+        let got = b.decide(s, d, SimTime::ZERO, |n| n != 1);
+        assert_eq!(got, Decision::Overlay { node: 0, bps: 30e6 });
+        let got = b.decide(s, d, SimTime::ZERO, |_| false);
+        assert_eq!(got, Decision::Direct { bps: 10e6 });
+        assert_eq!(b.stats().direct, 1);
+        assert_eq!(
+            b.stats().stale_fallback,
+            0,
+            "direct-by-capacity is not a stale fallback"
+        );
+    }
+
+    #[test]
+    fn stale_probe_falls_back_to_direct() {
+        let mut b = Broker::new(cfg());
+        let (s, d) = pair();
+        b.observe(s, d, SimTime::ZERO, eval(10e6, &[50e6]));
+        let fresh_at = SimTime::ZERO + SimDuration::from_secs(100);
+        assert_eq!(
+            b.decide(s, d, fresh_at, |_| true),
+            Decision::Overlay { node: 0, bps: 50e6 },
+            "age == max_probe_age is still fresh"
+        );
+        let stale_at = SimTime::ZERO + SimDuration::from_secs(101);
+        assert_eq!(
+            b.decide(s, d, stale_at, |_| true),
+            Decision::Direct { bps: 10e6 }
+        );
+        assert_eq!(b.stats().stale_fallback, 1);
+        assert_eq!(b.stats().admitted, 2);
+    }
+
+    #[test]
+    fn unprobed_pair_admits_direct_at_zero_rate() {
+        let mut b = Broker::new(cfg());
+        let (s, d) = pair();
+        assert_eq!(
+            b.decide(s, d, SimTime::ZERO, |_| true),
+            Decision::Direct { bps: 0.0 }
+        );
+        assert_eq!(b.stats().stale_fallback, 1);
+        assert_eq!(b.probed_pairs(), 0);
+    }
+
+    #[test]
+    fn refreshing_a_probe_restores_overlay_service() {
+        let mut b = Broker::new(cfg());
+        let (s, d) = pair();
+        b.observe(s, d, SimTime::ZERO, eval(10e6, &[50e6]));
+        let later = SimTime::ZERO + SimDuration::from_secs(500);
+        assert_eq!(
+            b.decide(s, d, later, |_| true),
+            Decision::Direct { bps: 10e6 }
+        );
+        b.observe(s, d, later, eval(12e6, &[60e6]));
+        assert_eq!(
+            b.decide(s, d, later, |_| true),
+            Decision::Overlay { node: 0, bps: 60e6 }
+        );
+    }
+
+    #[test]
+    fn marginal_overlay_wins_demote_to_direct() {
+        let mut b = Broker::new(cfg());
+        let (s, d) = pair();
+        // Overlay beats direct by 2% < 5% margin.
+        b.observe(s, d, SimTime::ZERO, eval(100e6, &[102e6]));
+        assert_eq!(
+            b.decide(s, d, SimTime::ZERO, |_| true),
+            Decision::Direct { bps: 100e6 }
+        );
+        assert_eq!(b.stats().direct, 1);
+        assert_eq!(b.stats().overlay, 0);
+    }
+
+    #[test]
+    fn floors_deny_admission() {
+        let mut b = Broker::new(cfg());
+        let (s, d) = pair();
+        b.observe(s, d, SimTime::ZERO, eval(0.5e6, &[0.9e6]));
+        assert_eq!(b.decide(s, d, SimTime::ZERO, |_| true), Decision::Deny);
+        assert_eq!(b.stats().denied, 1);
+        assert_eq!(b.stats().admitted, 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Relay-fleet autoscaling under a cloud budget.
+//!
+//! The paper's cost analysis (§VII) prices an overlay as rented cloud
+//! VMs; an online service does not keep the whole fleet up through the
+//! diurnal trough. [`Fleet`] tracks each potential relay (one slot per
+//! overlay node) through a three-state lifecycle:
+//!
+//! ```text
+//! Released ── rent ──▶ Active ── drain ──▶ Draining ── last flow done ──▶ Released
+//!                        ▲                     │
+//!                        └──── reactivate ─────┘
+//! ```
+//!
+//! Draining relays accept no new flows but keep carrying the ones they
+//! already hold — a relay is only released (and stops billing) once its
+//! last flow completes, so no flow is ever cut mid-transfer. Renting
+//! checks the remaining budget against the worst-case spend of keeping
+//! the enlarged fleet up for the rest of the run.
+
+use cloud::{overlay_node_hourly_usd, PortSpeed, TrafficPlan};
+use simcore::SimDuration;
+
+/// Autoscaler policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Total relay slots (one per overlay node in the scenario).
+    pub relays: usize,
+    /// Concurrent flows one relay can carry.
+    pub capacity_per_relay: u32,
+    /// Relays kept active even through the trough.
+    pub min_active: usize,
+    /// Port speed each rented VM is provisioned with.
+    pub port: PortSpeed,
+    /// Traffic plan each rented VM is provisioned with.
+    pub plan: TrafficPlan,
+    /// Hard spend ceiling for the whole run, USD.
+    pub budget_usd: f64,
+    /// Scale up when utilization of the active relays exceeds this.
+    pub scale_up_util: f64,
+    /// Start draining a relay when utilization falls below this.
+    pub scale_down_util: f64,
+}
+
+/// Lifecycle state of one relay slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelayState {
+    /// Not rented; bills nothing and accepts nothing.
+    Released,
+    /// Rented and accepting flows.
+    Active,
+    /// Rented, finishing its existing flows, accepting none.
+    Draining,
+}
+
+/// Scaling-event counters; [`Fleet::publish`] exports them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Relays rented or reactivated.
+    pub scale_ups: u64,
+    /// Relays put into draining.
+    pub drains: u64,
+    /// Relays fully released (drain completed).
+    pub releases: u64,
+}
+
+/// Relay-fleet autoscaler (see module docs).
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    state: Vec<RelayState>,
+    flows: Vec<u32>,
+    hourly_usd: f64,
+    spend_usd: f64,
+    stats: FleetStats,
+}
+
+impl Fleet {
+    /// Creates a fleet with the first [`FleetConfig::min_active`] relays
+    /// already rented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`min_active` larger
+    /// than the slot count, no slots, or zero per-relay capacity).
+    #[must_use]
+    pub fn new(cfg: FleetConfig) -> Fleet {
+        assert!(cfg.relays > 0, "fleet needs at least one relay slot");
+        assert!(cfg.min_active <= cfg.relays, "min_active exceeds slots");
+        assert!(
+            cfg.capacity_per_relay > 0,
+            "relay capacity must be positive"
+        );
+        let mut state = vec![RelayState::Released; cfg.relays];
+        for s in state.iter_mut().take(cfg.min_active) {
+            *s = RelayState::Active;
+        }
+        Fleet {
+            hourly_usd: overlay_node_hourly_usd(cfg.port, cfg.plan),
+            state,
+            flows: vec![0; cfg.relays],
+            spend_usd: 0.0,
+            stats: FleetStats::default(),
+            cfg,
+        }
+    }
+
+    /// Whether relay `i` is active with spare capacity (the broker's
+    /// candidate filter).
+    #[must_use]
+    pub fn is_free(&self, i: usize) -> bool {
+        self.state[i] == RelayState::Active && self.flows[i] < self.cfg.capacity_per_relay
+    }
+
+    /// Registers a flow starting on relay `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not currently free — the broker must only steer
+    /// onto relays its capacity filter accepted.
+    pub fn flow_started(&mut self, i: usize) {
+        assert!(self.is_free(i), "flow steered onto unavailable relay {i}");
+        self.flows[i] += 1;
+    }
+
+    /// Registers a flow finishing on relay `i`. A draining relay whose
+    /// last flow just finished is released (drain-before-release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if relay `i` has no flows in progress.
+    pub fn flow_finished(&mut self, i: usize) {
+        assert!(self.flows[i] > 0, "flow finished on idle relay {i}");
+        self.flows[i] -= 1;
+        if self.state[i] == RelayState::Draining && self.flows[i] == 0 {
+            self.state[i] = RelayState::Released;
+            self.stats.releases += 1;
+        }
+    }
+
+    /// Number of relays accepting flows.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s == RelayState::Active)
+            .count()
+    }
+
+    /// Number of relays draining out.
+    #[must_use]
+    pub fn draining(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s == RelayState::Draining)
+            .count()
+    }
+
+    /// Number of relays currently billed (active + draining).
+    #[must_use]
+    pub fn in_service(&self) -> usize {
+        self.active() + self.draining()
+    }
+
+    /// Flows in progress on active relays, as a fraction of active
+    /// capacity (1.0 when no relay is active — so an all-released fleet
+    /// under load reads as saturated and triggers a scale-up).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let active_cap: u64 = self
+            .state
+            .iter()
+            .filter(|s| **s == RelayState::Active)
+            .count() as u64
+            * u64::from(self.cfg.capacity_per_relay);
+        if active_cap == 0 {
+            return 1.0;
+        }
+        let used: u64 = self
+            .state
+            .iter()
+            .zip(&self.flows)
+            .filter(|(s, _)| **s == RelayState::Active)
+            .map(|(_, f)| u64::from(*f))
+            .sum();
+        used as f64 / active_cap as f64
+    }
+
+    /// Accrues rent for every in-service relay over `dt`.
+    pub fn accrue(&mut self, dt: SimDuration) {
+        let hours = dt.as_secs_f64() / 3600.0;
+        self.spend_usd += self.in_service() as f64 * self.hourly_usd * hours;
+    }
+
+    /// Cumulative spend so far, USD.
+    #[must_use]
+    pub fn spend_usd(&self) -> f64 {
+        self.spend_usd
+    }
+
+    /// The per-relay hourly rate the fleet is renting at, USD.
+    #[must_use]
+    pub fn hourly_usd(&self) -> f64 {
+        self.hourly_usd
+    }
+
+    /// One autoscaling step, run at each epoch boundary. `remaining` is
+    /// the simulated time left in the run; renting a *new* relay is only
+    /// allowed when the worst case — every in-service relay plus the new
+    /// one billing until the end — stays within budget. Reactivating a
+    /// draining relay is always allowed (it is already billing).
+    pub fn rebalance(&mut self, remaining: SimDuration) {
+        let util = self.utilization();
+        if util > self.cfg.scale_up_util {
+            // Cheapest capacity first: a draining relay is already paid
+            // for, so reactivate before renting a released slot.
+            if let Some(i) = self.state.iter().position(|s| *s == RelayState::Draining) {
+                self.state[i] = RelayState::Active;
+                self.stats.scale_ups += 1;
+            } else if let Some(i) = self.state.iter().position(|s| *s == RelayState::Released) {
+                let hours_left = remaining.as_secs_f64() / 3600.0;
+                let worst_case =
+                    self.spend_usd + (self.in_service() + 1) as f64 * self.hourly_usd * hours_left;
+                if worst_case <= self.cfg.budget_usd {
+                    self.state[i] = RelayState::Active;
+                    self.stats.scale_ups += 1;
+                }
+            }
+        } else if util < self.cfg.scale_down_util && self.active() > self.cfg.min_active {
+            // Drain the least-loaded active relay (ties: highest index,
+            // so the long-lived low slots stay up).
+            let victim = self
+                .state
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == RelayState::Active)
+                .map(|(i, _)| i)
+                .min_by_key(|&i| (self.flows[i], std::cmp::Reverse(i)));
+            if let Some(i) = victim {
+                self.stats.drains += 1;
+                if self.flows[i] == 0 {
+                    self.state[i] = RelayState::Released;
+                    self.stats.releases += 1;
+                } else {
+                    self.state[i] = RelayState::Draining;
+                }
+            }
+        }
+    }
+
+    /// The scaling-event counters so far.
+    #[must_use]
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// State of relay `i`.
+    #[must_use]
+    pub fn relay_state(&self, i: usize) -> RelayState {
+        self.state[i]
+    }
+
+    /// Flows in progress on relay `i`.
+    #[must_use]
+    pub fn flows_on(&self, i: usize) -> u32 {
+        self.flows[i]
+    }
+
+    /// Exports counters and gauges through `obs` (no-op while collection
+    /// is disabled).
+    pub fn publish(&self) {
+        obs::add_named("control.fleet.scale_ups", self.stats.scale_ups);
+        obs::add_named("control.fleet.drains", self.stats.drains);
+        obs::add_named("control.fleet.releases", self.stats.releases);
+        obs::set(obs::gauge("control.fleet.active"), self.active() as f64);
+        obs::set(obs::gauge("control.fleet.draining"), self.draining() as f64);
+        obs::set(obs::gauge("control.fleet.spend_usd"), self.spend_usd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud::pricing::HOURS_PER_MONTH;
+
+    fn cfg() -> FleetConfig {
+        FleetConfig {
+            relays: 4,
+            capacity_per_relay: 2,
+            min_active: 1,
+            port: PortSpeed::Mbps100,
+            plan: TrafficPlan::Gb5000,
+            budget_usd: 10.0,
+            scale_up_util: 0.75,
+            scale_down_util: 0.25,
+        }
+    }
+
+    #[test]
+    fn starts_with_min_active_rented() {
+        let f = Fleet::new(cfg());
+        assert_eq!(f.active(), 1);
+        assert_eq!(f.relay_state(0), RelayState::Active);
+        assert_eq!(f.relay_state(1), RelayState::Released);
+        assert!(f.is_free(0));
+        assert!(!f.is_free(1));
+    }
+
+    #[test]
+    fn saturation_scales_up_within_budget() {
+        let mut f = Fleet::new(cfg());
+        f.flow_started(0);
+        f.flow_started(0);
+        assert!(!f.is_free(0));
+        assert!((f.utilization() - 1.0).abs() < 1e-12);
+        f.rebalance(SimDuration::from_secs(3600));
+        assert_eq!(f.active(), 2);
+        assert_eq!(f.stats().scale_ups, 1);
+    }
+
+    #[test]
+    fn budget_ceiling_blocks_renting() {
+        let mut f = Fleet::new(FleetConfig {
+            budget_usd: 0.05,
+            ..cfg()
+        });
+        f.flow_started(0);
+        f.flow_started(0);
+        // Two relays for an hour (~$0.17) would blow the nickel budget.
+        f.rebalance(SimDuration::from_secs(3600));
+        assert_eq!(f.active(), 1, "rent denied over budget");
+        assert_eq!(f.stats().scale_ups, 0);
+    }
+
+    #[test]
+    fn never_drains_below_min_active() {
+        let mut f = Fleet::new(cfg());
+        f.rebalance(SimDuration::from_secs(3600)); // util 0, already at min
+        assert_eq!(f.active(), 1);
+        assert_eq!(f.stats().drains, 0);
+    }
+
+    #[test]
+    fn scale_down_picks_the_least_loaded_relay() {
+        let mut f = Fleet::new(FleetConfig {
+            scale_down_util: 0.3,
+            ..cfg()
+        });
+        f.flow_started(0);
+        f.flow_started(0);
+        f.rebalance(SimDuration::from_secs(3600)); // saturated → rent relay 1
+        assert_eq!(f.active(), 2);
+        f.flow_started(1);
+        f.flow_finished(0);
+        f.flow_finished(0);
+        // Relay 0 idle, relay 1 carries a flow; util = 1/4 < 0.3 → drain
+        // the idle relay 0, which releases instantly.
+        f.rebalance(SimDuration::from_secs(3600));
+        assert_eq!(f.relay_state(0), RelayState::Released);
+        assert_eq!(f.relay_state(1), RelayState::Active);
+        assert_eq!(f.stats().drains, 1);
+        assert_eq!(f.stats().releases, 1);
+    }
+
+    #[test]
+    fn draining_relay_refuses_new_flows_then_releases() {
+        let mut f = Fleet::new(FleetConfig {
+            scale_down_util: 0.6,
+            min_active: 0,
+            ..cfg()
+        });
+        // min_active 0 starts all-released; an empty fleet reads as
+        // saturated, so the first rebalance rents relay 0.
+        f.rebalance(SimDuration::from_secs(7200));
+        assert_eq!(f.relay_state(0), RelayState::Active);
+        f.flow_started(0);
+        // util = 0.5 < 0.6 and active(1) > min_active(0) → drain relay 0,
+        // which still carries a flow.
+        f.rebalance(SimDuration::from_secs(3600));
+        assert_eq!(f.relay_state(0), RelayState::Draining);
+        assert_eq!(f.stats().drains, 1);
+        assert_eq!(f.stats().releases, 0, "release must wait for the flow");
+        assert!(!f.is_free(0), "draining relay accepts no new flows");
+        assert_eq!(f.in_service(), 1, "draining relay still bills");
+        f.flow_finished(0);
+        assert_eq!(f.relay_state(0), RelayState::Released);
+        assert_eq!(f.stats().releases, 1);
+        assert_eq!(f.in_service(), 0);
+    }
+
+    #[test]
+    fn reactivating_a_draining_relay_beats_renting() {
+        let mut f = Fleet::new(FleetConfig {
+            scale_down_util: 0.6,
+            min_active: 0,
+            ..cfg()
+        });
+        f.rebalance(SimDuration::from_secs(7200)); // rent relay 0
+        f.flow_started(0);
+        f.rebalance(SimDuration::from_secs(3600));
+        assert_eq!(f.relay_state(0), RelayState::Draining);
+        // Load spikes: utilization of zero active relays reads saturated.
+        f.rebalance(SimDuration::from_secs(3600));
+        assert_eq!(
+            f.relay_state(0),
+            RelayState::Active,
+            "reactivated, not re-rented"
+        );
+        assert_eq!(f.active(), 1);
+        assert_eq!(f.stats().scale_ups, 2, "initial rent + reactivation");
+    }
+
+    #[test]
+    fn accrual_prices_active_and_draining_time() {
+        let mut f = Fleet::new(cfg());
+        let rate = f.hourly_usd();
+        assert!((rate - 62.0 / HOURS_PER_MONTH).abs() < 1e-12);
+        f.accrue(SimDuration::from_secs(7200));
+        assert!((f.spend_usd() - 2.0 * rate).abs() < 1e-9);
+        // A second in-service relay doubles the burn rate.
+        f.flow_started(0);
+        f.flow_started(0);
+        f.rebalance(SimDuration::from_secs(36_000));
+        f.accrue(SimDuration::from_secs(3600));
+        assert!((f.spend_usd() - 4.0 * rate).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unavailable relay")]
+    fn steering_onto_a_full_relay_panics() {
+        let mut f = Fleet::new(cfg());
+        f.flow_started(0);
+        f.flow_started(0);
+        f.flow_started(0);
+    }
+}

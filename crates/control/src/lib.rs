@@ -1,0 +1,37 @@
+//! # control — the online overlay-service control plane
+//!
+//! Every other experiment in this repository is an offline batch sweep
+//! over a frozen path set. The paper's endgame (§VI–§VII), however, is
+//! CRONets as a *service*: users continuously arrive, the provider picks
+//! overlay paths without fresh probing, and relays are rented and
+//! released against a cloud budget. This crate supplies the four pieces
+//! that turn the existing DES + routing + cloud models into that
+//! simulated online service:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`workload`] | deterministic open-loop arrival generator (Poisson counts, diurnal rate, lognormal flow sizes) |
+//! | [`broker`] | online admission + path selection from a staleness-bounded probe cache |
+//! | [`fleet`] | relay autoscaler renting/releasing overlay nodes under a budget, draining before release |
+//! | [`slo`] | per-tenant SLO accounting (throughput-ratio and completion-latency targets) |
+//!
+//! Determinism contract: every component is a pure function of its
+//! inputs. The workload derives each epoch's arrivals from
+//! `(seed, epoch)` alone, so epochs can be generated in parallel via
+//! `exec::parallel_map` and merged in epoch order; the broker, fleet and
+//! SLO ledger are serial state machines driven by the (deterministic)
+//! event order; telemetry goes through `obs`, whose per-unit shards fold
+//! in unit order at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod fleet;
+pub mod slo;
+pub mod workload;
+
+pub use broker::{Broker, BrokerConfig, BrokerStats, Decision};
+pub use fleet::{Fleet, FleetConfig, FleetStats, RelayState};
+pub use slo::{SloAccount, SloTarget, TenantAccount};
+pub use workload::{FlowRequest, WorkloadConfig};

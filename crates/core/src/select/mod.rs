@@ -16,4 +16,4 @@ pub mod mptcp;
 pub mod probing;
 
 pub use mptcp::{mptcp_over, single_path_des, split_path_des, MptcpSelection};
-pub use probing::{PathChoice, ProbingSelector};
+pub use probing::{achieved, best_choice, best_choice_filtered, PathChoice, ProbingSelector};

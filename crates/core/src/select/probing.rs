@@ -76,9 +76,18 @@ impl ProbingSelector {
 /// The best current choice by split-overlay/direct throughput.
 #[must_use]
 pub fn best_choice(eval: &PairEval) -> PathChoice {
+    best_choice_filtered(eval, |_| true)
+}
+
+/// Like [`best_choice`], but only overlay nodes accepted by `allowed`
+/// may be chosen; the direct path is always a candidate. This is how an
+/// online broker respects per-relay concurrent-flow capacity: a full
+/// relay simply drops out of the candidate set.
+#[must_use]
+pub fn best_choice_filtered(eval: &PairEval, allowed: impl Fn(usize) -> bool) -> PathChoice {
     let mut best = (eval.direct.throughput_bps, PathChoice::Direct);
     for o in &eval.overlays {
-        if o.split.throughput_bps > best.0 {
+        if o.split.throughput_bps > best.0 && allowed(o.node) {
             best = (o.split.throughput_bps, PathChoice::Overlay(o.node));
         }
     }
@@ -169,6 +178,22 @@ mod tests {
         assert_eq!(s.step(&e2), 2.0); // stale epoch
         assert_eq!(s.step(&e2), 80.0); // probe epoch: switches to direct
         assert_eq!(s.choice(), Some(PathChoice::Direct));
+    }
+
+    #[test]
+    fn filtered_choice_skips_disallowed_relays() {
+        let e = eval(10.0, &[5.0, 30.0, 20.0]);
+        assert_eq!(best_choice_filtered(&e, |_| true), PathChoice::Overlay(1));
+        assert_eq!(
+            best_choice_filtered(&e, |n| n != 1),
+            PathChoice::Overlay(2),
+            "second-best relay wins when the best is full"
+        );
+        assert_eq!(
+            best_choice_filtered(&e, |_| false),
+            PathChoice::Direct,
+            "direct is always a candidate"
+        );
     }
 
     #[test]

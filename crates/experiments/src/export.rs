@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 
 use measure::stats::Cdf;
 
-use crate::{factors, longitudinal, prevalence, quality};
+use crate::{factors, longitudinal, prevalence, quality, service};
 
 /// Writes a CDF as `value<TAB>fraction` rows.
 ///
@@ -186,6 +186,12 @@ pub fn export_fast(dir: &Path, seed: u64) -> io::Result<Vec<PathBuf>> {
             .map(|(k, mean, median)| format!("{k}\t{mean:.4}\t{median:.4}")),
         &mut written,
     )?;
+
+    // The online-service epoch table (smoke-sized so export stays fast).
+    let svc = service::service(&service::ServiceConfig::smoke(), seed);
+    let svc_path = dir.join("service_smoke.tsv");
+    fs::write(&svc_path, svc.to_tsv())?;
+    written.push(svc_path);
 
     Ok(written)
 }

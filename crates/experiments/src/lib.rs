@@ -17,6 +17,7 @@
 //! | [`ablation`] | design-choice ablations: IXP peering, endpoint windows, analytic-vs-DES validation |
 //! | [`export`] | TSV export of all figure data for external plotting |
 //! | [`failover`] | §VI-A: direct-path failure mid-transfer, MPTCP vs plain TCP |
+//! | [`service`] | §VI–§VII: CRONets as an online service (workload, broker, autoscaler, SLOs) |
 //!
 //! Every experiment is deterministic in its seed, returns a typed result,
 //! and knows how to render itself as the rows/series of the original
@@ -39,6 +40,7 @@ pub mod prevalence;
 pub mod quality;
 pub mod report;
 pub mod scenario;
+pub mod service;
 pub mod sweep;
 pub mod thresholds;
 

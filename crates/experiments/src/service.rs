@@ -1,0 +1,670 @@
+//! The online overlay service: workload → broker → flow DES → SLO/spend.
+//!
+//! Closes the loop the paper sketches in §VI–§VII: CRONets run *as a
+//! service*. An open-loop workload ([`control::workload`]) issues flow
+//! requests against server/client pairs; an admission broker
+//! ([`control::broker`]) steers each flow onto the direct path or a
+//! one-hop overlay using a staleness-bounded probe cache; admitted flows
+//! run as discrete events on [`simcore::EventQueue`] and occupy relay
+//! capacity until they complete; a fleet autoscaler ([`control::fleet`])
+//! rents and drains relays against a cloud budget at every epoch
+//! boundary; and an SLO ledger ([`control::slo`]) charges per-tenant
+//! violations.
+//!
+//! # Determinism
+//!
+//! The run is a pure function of `(config, seed)` at any `--threads N`:
+//!
+//! * per-epoch arrivals come from `(seed, epoch)` substreams, generated
+//!   by `exec::parallel_map` work units and merged in epoch order;
+//! * per-epoch path truth is evaluated with one work unit per pair over
+//!   a read-only [`RouteCache`], merged in pair order;
+//! * the event loop itself is serial, and [`simcore::EventQueue`] breaks
+//!   time ties FIFO, so the decision sequence is schedule-independent;
+//! * telemetry flows through `obs` unit shards absorbed in unit order.
+
+use std::fmt;
+
+use cloud::{PortSpeed, TrafficPlan};
+use control::{
+    Broker, BrokerConfig, Decision, Fleet, FleetConfig, SloAccount, SloTarget, WorkloadConfig,
+};
+use cronets::eval::{modes_from_segments, quality, Measurement, OverlayEval, PairEval};
+use cronets::select::{achieved, PathChoice};
+use routing::RouteCache;
+use simcore::{EventQueue, SimDuration, SimTime};
+use topology::RouterId;
+use transport::model::tcp_throughput;
+
+use crate::scenario::{ScenarioConfig, World};
+
+/// Full configuration of a service run.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The world to build (topology, cloud footprint, endpoints).
+    pub scenario: ScenarioConfig,
+    /// The open-loop arrival process.
+    pub workload: WorkloadConfig,
+    /// Admission / path-selection policy.
+    pub broker: BrokerConfig,
+    /// Relay autoscaling policy. `fleet.relays` must match the
+    /// scenario's overlay node count.
+    pub fleet: FleetConfig,
+    /// Per-tenant SLO targets; `workload.tenants` must equal
+    /// `slo.len()`.
+    pub slo: Vec<SloTarget>,
+    /// Probe cadence: the broker's path cache is refreshed every
+    /// `probe_every` epochs (1 = every epoch, i.e. an always-fresh
+    /// oracle).
+    pub probe_every: u32,
+}
+
+impl ServiceConfig {
+    /// CI-sized configuration: a tiny world under a ~115k-arrival day.
+    /// Tuned so a smoke run still exercises every control-plane path —
+    /// overlay admissions, stale fallbacks, at least one scale-up and
+    /// one drain/release — in a few seconds.
+    #[must_use]
+    pub fn smoke() -> ServiceConfig {
+        let epoch = SimDuration::from_secs(150);
+        let epochs = 48;
+        ServiceConfig {
+            scenario: ScenarioConfig::tiny(),
+            workload: WorkloadConfig {
+                clients: 50_000,
+                tenants: 4,
+                epochs,
+                epoch,
+                mean_rate_per_sec: 16.0,
+                diurnal_amplitude: 0.7,
+                diurnal_period: epoch * u64::from(epochs),
+                median_flow_bytes: 6e6,
+                flow_sigma: 1.2,
+                min_flow_bytes: 64 * 1024,
+                max_flow_bytes: 64 * 1024 * 1024,
+            },
+            broker: BrokerConfig {
+                // 1.5 epochs: with probe_every = 2 the second half of
+                // every unprobed epoch runs on stale state and falls
+                // back to direct.
+                max_probe_age: epoch.mul_f64(1.5),
+                min_accept_bps: 200_000.0,
+                overlay_margin: 1.05,
+            },
+            fleet: FleetConfig {
+                relays: 5,
+                capacity_per_relay: 2,
+                min_active: 1,
+                port: PortSpeed::Mbps100,
+                plan: TrafficPlan::Gb5000,
+                budget_usd: 0.60,
+                scale_up_util: 0.75,
+                scale_down_util: 0.30,
+            },
+            slo: vec![
+                SloTarget {
+                    min_throughput_ratio: 0.95,
+                    max_completion: SimDuration::from_secs(30),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.90,
+                    max_completion: SimDuration::from_secs(60),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.75,
+                    max_completion: SimDuration::from_secs(120),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.50,
+                    max_completion: SimDuration::from_secs(300),
+                },
+            ],
+            probe_every: 2,
+        }
+    }
+
+    /// Paper-scale configuration: the §II-A web-server world under a
+    /// ~1M-arrival day (one diurnal cycle over 24 simulated hours).
+    #[must_use]
+    pub fn paper() -> ServiceConfig {
+        let epoch = SimDuration::from_secs(900);
+        let epochs = 96;
+        ServiceConfig {
+            scenario: ScenarioConfig::web_server(),
+            workload: WorkloadConfig {
+                clients: 1_000_000,
+                tenants: 8,
+                epochs,
+                epoch,
+                mean_rate_per_sec: 11.6,
+                diurnal_amplitude: 0.7,
+                diurnal_period: epoch * u64::from(epochs),
+                median_flow_bytes: 1.5e6,
+                flow_sigma: 1.2,
+                min_flow_bytes: 64 * 1024,
+                max_flow_bytes: 64 * 1024 * 1024,
+            },
+            broker: BrokerConfig {
+                max_probe_age: epoch.mul_f64(1.5),
+                min_accept_bps: 200_000.0,
+                overlay_margin: 1.05,
+            },
+            fleet: FleetConfig {
+                relays: 5,
+                capacity_per_relay: 8,
+                min_active: 1,
+                port: PortSpeed::Gbps1,
+                plan: TrafficPlan::Gb20000,
+                budget_usd: 30.0,
+                scale_up_util: 0.75,
+                scale_down_util: 0.30,
+            },
+            slo: vec![
+                SloTarget {
+                    min_throughput_ratio: 0.95,
+                    max_completion: SimDuration::from_secs(30),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.95,
+                    max_completion: SimDuration::from_secs(60),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.90,
+                    max_completion: SimDuration::from_secs(60),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.90,
+                    max_completion: SimDuration::from_secs(120),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.75,
+                    max_completion: SimDuration::from_secs(120),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.75,
+                    max_completion: SimDuration::from_secs(300),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.50,
+                    max_completion: SimDuration::from_secs(300),
+                },
+                SloTarget {
+                    min_throughput_ratio: 0.50,
+                    max_completion: SimDuration::from_secs(600),
+                },
+            ],
+            probe_every: 2,
+        }
+    }
+}
+
+/// One epoch's aggregate activity (a row of `results/service.tsv`).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochRow {
+    /// Epoch index.
+    pub epoch: u32,
+    /// Flow requests issued this epoch.
+    pub arrivals: u64,
+    /// Admissions steered through an overlay relay.
+    pub overlay: u64,
+    /// Admissions on the direct path (fresh probe).
+    pub direct: u64,
+    /// Admissions denied.
+    pub denied: u64,
+    /// Stale-probe fallbacks to direct.
+    pub stale: u64,
+    /// Flows that completed during this epoch.
+    pub completed: u64,
+    /// SLO violations charged during this epoch.
+    pub violations: u64,
+    /// Active relays at epoch end (after rebalance).
+    pub active: usize,
+    /// Draining relays at epoch end.
+    pub draining: usize,
+    /// Active-relay utilization at epoch end.
+    pub util: f64,
+    /// Cumulative cloud spend at epoch end, USD.
+    pub spend_usd: f64,
+}
+
+/// The completed service run.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// One row per epoch.
+    pub rows: Vec<EpochRow>,
+    /// Decision counters.
+    pub broker: control::BrokerStats,
+    /// Scaling-event counters.
+    pub fleet: control::FleetStats,
+    /// The per-tenant SLO ledger.
+    pub slo: SloAccount,
+    /// Total flow arrivals.
+    pub arrivals: u64,
+    /// Total completions (includes flows finishing after the horizon).
+    pub completed: u64,
+    /// Final cloud spend, USD.
+    pub spend_usd: f64,
+    /// The configured budget, USD.
+    pub budget_usd: f64,
+}
+
+impl ServiceReport {
+    /// The epoch table as TSV (with a `#`-prefixed header).
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "# epoch\tarrivals\toverlay\tdirect\tdenied\tstale\tcompleted\tviolations\tactive\tdraining\tutil\tspend_usd\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.6}\n",
+                r.epoch,
+                r.arrivals,
+                r.overlay,
+                r.direct,
+                r.denied,
+                r.stale,
+                r.completed,
+                r.violations,
+                r.active,
+                r.draining,
+                r.util,
+                r.spend_usd,
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "service: {} arrivals over {} epochs, {} completed, {} denied",
+            self.arrivals,
+            self.rows.len(),
+            self.completed,
+            self.broker.denied,
+        )?;
+        writeln!(
+            f,
+            "broker: {} overlay admissions, {} direct, {} stale fallbacks",
+            self.broker.overlay, self.broker.direct, self.broker.stale_fallback,
+        )?;
+        writeln!(
+            f,
+            "fleet: {} scale-ups, {} drains, {} releases; spend ${:.4} of ${:.4} budget",
+            self.fleet.scale_ups,
+            self.fleet.drains,
+            self.fleet.releases,
+            self.spend_usd,
+            self.budget_usd,
+        )?;
+        writeln!(f, "slo: {} violations", self.slo.violations())?;
+        for (i, (t, acct)) in self
+            .slo
+            .targets()
+            .iter()
+            .zip(self.slo.tenants())
+            .enumerate()
+        {
+            writeln!(
+                f,
+                "  tenant {i} (ratio>={:.2}, t<={}): {} completed, mean ratio {:.2}, {} violations",
+                t.min_throughput_ratio,
+                t.max_completion,
+                acct.completed,
+                acct.mean_ratio(),
+                acct.violations(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A flow-level discrete event.
+enum Ev {
+    /// Arrival `idx` of `epoch` reaches the broker.
+    Arrive { epoch: u32, idx: u32 },
+    /// An admitted flow finishes.
+    Complete {
+        tenant: u32,
+        /// The relay slot the flow holds, if steered through an overlay.
+        relay: Option<usize>,
+        /// Achieved/direct throughput ratio (ground truth at admission).
+        ratio: f64,
+        issued: SimTime,
+    },
+}
+
+/// Ground-truth path evaluation for every pair under the current
+/// congestion state, over the read-only cache. One work unit per pair,
+/// merged in pair order.
+fn epoch_truth(world: &World, cache: &RouteCache, pairs: &[(RouterId, RouterId)]) -> Vec<PairEval> {
+    let net = &world.net;
+    let params = *world.cronet.params();
+    let tunnel = world.cronet.tunnel();
+    let nodes = world.cronet.nodes();
+    exec::parallel_map(pairs.len(), |pi| {
+        let (server, client) = pairs[pi];
+        let direct_path = cache
+            .route(net, server, client)
+            .expect("pairs are pre-filtered to routable");
+        let q_direct = quality(net, &direct_path);
+        let direct = Measurement {
+            throughput_bps: tcp_throughput(&q_direct, &params),
+            rtt: q_direct.rtt,
+            loss: q_direct.loss,
+        };
+        let mut overlays = Vec::with_capacity(nodes.len());
+        for (ni, node) in nodes.iter().enumerate() {
+            let Some(seg1) = cache.route(net, server, node.vm()) else {
+                continue;
+            };
+            let Some(seg2) = cache.route(net, node.vm(), client) else {
+                continue;
+            };
+            let q_a = quality(net, &seg1);
+            let q_b = quality(net, &seg2);
+            let (plain, split, discrete_bps) =
+                modes_from_segments(&q_a, &q_b, node, tunnel, &params);
+            overlays.push(OverlayEval {
+                node: ni,
+                plain,
+                split,
+                discrete_bps,
+                path: seg1.join(seg2),
+            });
+        }
+        PairEval {
+            direct,
+            direct_path,
+            overlays,
+        }
+    })
+}
+
+/// Completion latency of a flow: one path RTT of setup plus the
+/// transfer at the achieved rate.
+fn completion_time(bytes: u64, bps: f64, rtt: SimDuration) -> SimDuration {
+    rtt + SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps.max(1.0))
+}
+
+/// Maps a virtual workload client onto the pair catalogue. Mixes the
+/// client id first (SplitMix64 finalizer) so the pair is decorrelated
+/// from `client % tenants` — otherwise each tenant would own a fixed
+/// subset of pairs whenever the tenant count divides the pair count.
+fn pair_of(client: u64, n_pairs: usize) -> usize {
+    let mut z = client.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % n_pairs as u64) as usize
+}
+
+/// Runs the online service loop. Deterministic in `(cfg, seed)` at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (tenant counts differ,
+/// fleet slots don't match the overlay, zero probe cadence, or no
+/// routable server/client pair).
+#[must_use]
+pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
+    assert!(cfg.probe_every >= 1, "probe_every must be at least 1");
+    assert_eq!(
+        cfg.workload.tenants as usize,
+        cfg.slo.len(),
+        "one SLO target per tenant"
+    );
+    let mut world = World::build(&cfg.scenario, seed);
+    assert_eq!(
+        cfg.fleet.relays,
+        world.cronet.nodes().len(),
+        "fleet slots must match the scenario's overlay nodes"
+    );
+
+    // The service's pair catalogue: every routable (server, client)
+    // combination; virtual workload clients map onto it round-robin.
+    let mut cache = RouteCache::build(&world.net);
+    let mut keys: Vec<(RouterId, RouterId)> = Vec::new();
+    for &s in &world.servers {
+        keys.extend(world.clients.iter().map(|&c| (s, c)));
+        keys.extend(world.cronet.nodes().iter().map(|n| (s, n.vm())));
+    }
+    for n in world.cronet.nodes() {
+        keys.extend(world.clients.iter().map(|&c| (n.vm(), c)));
+    }
+    cache.prefetch(&world.net, &keys);
+    let pairs: Vec<(RouterId, RouterId)> = world
+        .servers
+        .iter()
+        .flat_map(|&s| world.clients.iter().map(move |&c| (s, c)))
+        .filter(|&(s, c)| cache.route(&world.net, s, c).is_some())
+        .collect();
+    assert!(!pairs.is_empty(), "no routable server/client pair");
+
+    // All arrivals up front: one work unit per epoch, pure in
+    // (seed, epoch), merged in epoch order.
+    let epochs = cfg.workload.epochs;
+    let arrivals_by_epoch = exec::parallel_map(epochs as usize, |e| {
+        cfg.workload.epoch_arrivals(seed, e as u32)
+    });
+    let total_arrivals: u64 = arrivals_by_epoch.iter().map(|a| a.len() as u64).sum();
+
+    let mut broker = Broker::new(cfg.broker);
+    let mut fleet = Fleet::new(cfg.fleet);
+    let mut slo = SloAccount::new(cfg.slo.clone());
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut rows = Vec::with_capacity(epochs as usize);
+    // Exact billing: accrue rent up to `billed_to` before every fleet
+    // state change, so mid-epoch releases stop the meter mid-epoch.
+    let mut billed_to = SimTime::ZERO;
+    let horizon = SimTime::ZERO + cfg.workload.horizon();
+    let mut completed_total: u64 = 0;
+
+    for e in 0..epochs {
+        if e > 0 {
+            world.step_epoch(u64::from(e));
+        }
+        let epoch_start = SimTime::ZERO + cfg.workload.epoch * u64::from(e);
+        let epoch_end = epoch_start + cfg.workload.epoch;
+        let truth = epoch_truth(&world, &cache, &pairs);
+        if e % cfg.probe_every == 0 {
+            for (pi, &(s, c)) in pairs.iter().enumerate() {
+                broker.observe(s, c, epoch_start, truth[pi].clone());
+            }
+        }
+        for (i, req) in arrivals_by_epoch[e as usize].iter().enumerate() {
+            queue.schedule(
+                req.at,
+                Ev::Arrive {
+                    epoch: e,
+                    idx: i as u32,
+                },
+            );
+        }
+
+        let b0 = broker.stats();
+        let (done0, viol0) = (slo.completed(), slo.violations());
+
+        while queue.peek_time().is_some_and(|t| t < epoch_end) {
+            let (now, ev) = queue.pop().expect("peeked");
+            match ev {
+                Ev::Arrive { epoch, idx } => {
+                    let req = &arrivals_by_epoch[epoch as usize][idx as usize];
+                    let pi = pair_of(req.client, pairs.len());
+                    let (s, c) = pairs[pi];
+                    let decision = broker.decide(s, c, now, |n| fleet.is_free(n));
+                    let tr = &truth[pi];
+                    let direct_true = tr.direct.throughput_bps;
+                    match decision {
+                        Decision::Deny => slo.record_denial(req.tenant),
+                        Decision::Direct { .. } => {
+                            let done = now + completion_time(req.bytes, direct_true, tr.direct.rtt);
+                            queue.schedule(
+                                done,
+                                Ev::Complete {
+                                    tenant: req.tenant,
+                                    relay: None,
+                                    ratio: 1.0,
+                                    issued: now,
+                                },
+                            );
+                        }
+                        Decision::Overlay { node, .. } => {
+                            fleet.flow_started(node);
+                            // Ground truth, not the (possibly stale)
+                            // probe: a stale steer earns a stale rate.
+                            let bps_true = achieved(tr, PathChoice::Overlay(node));
+                            let rtt = tr
+                                .overlays
+                                .iter()
+                                .find(|o| o.node == node)
+                                .map_or(tr.direct.rtt, |o| o.split.rtt);
+                            let done = now + completion_time(req.bytes, bps_true, rtt);
+                            queue.schedule(
+                                done,
+                                Ev::Complete {
+                                    tenant: req.tenant,
+                                    relay: Some(node),
+                                    ratio: bps_true / direct_true.max(1.0),
+                                    issued: now,
+                                },
+                            );
+                        }
+                    }
+                }
+                Ev::Complete {
+                    tenant,
+                    relay,
+                    ratio,
+                    issued,
+                } => {
+                    if let Some(r) = relay {
+                        // A completed drain stops this relay's meter now.
+                        fleet.accrue(now.min(horizon).saturating_duration_since(billed_to));
+                        billed_to = now.min(horizon).max(billed_to);
+                        fleet.flow_finished(r);
+                    }
+                    slo.record_completion(tenant, ratio, now - issued);
+                    completed_total += 1;
+                }
+            }
+        }
+
+        fleet.accrue(epoch_end.saturating_duration_since(billed_to));
+        billed_to = epoch_end;
+        fleet.rebalance(horizon - epoch_end);
+
+        let b1 = broker.stats();
+        rows.push(EpochRow {
+            epoch: e,
+            arrivals: arrivals_by_epoch[e as usize].len() as u64,
+            overlay: b1.overlay - b0.overlay,
+            direct: b1.direct - b0.direct,
+            denied: b1.denied - b0.denied,
+            stale: b1.stale_fallback - b0.stale_fallback,
+            completed: slo.completed() - done0,
+            violations: slo.violations() - viol0,
+            active: fleet.active(),
+            draining: fleet.draining(),
+            util: fleet.utilization(),
+            spend_usd: fleet.spend_usd(),
+        });
+    }
+
+    // Tail: flows admitted near the horizon finish after it. They still
+    // count for the SLO ledger but accrue no rent past the horizon (the
+    // run's billing window is the configured day).
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Arrive { .. } => unreachable!("arrivals all lie inside the horizon"),
+            Ev::Complete {
+                tenant,
+                relay,
+                ratio,
+                issued,
+            } => {
+                if let Some(r) = relay {
+                    fleet.flow_finished(r);
+                }
+                slo.record_completion(tenant, ratio, now - issued);
+                completed_total += 1;
+            }
+        }
+    }
+
+    broker.publish();
+    fleet.publish();
+    slo.publish();
+    cache.publish();
+
+    ServiceReport {
+        rows,
+        broker: broker.stats(),
+        fleet: fleet.stats(),
+        arrivals: total_arrivals,
+        completed: completed_total,
+        spend_usd: fleet.spend_usd(),
+        budget_usd: cfg.fleet.budget_usd,
+        slo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ServiceConfig {
+        let mut cfg = ServiceConfig::smoke();
+        // Shrink the smoke day to keep unit tests fast.
+        cfg.workload.epochs = 8;
+        cfg.workload.mean_rate_per_sec = 4.0;
+        cfg.workload.diurnal_period = cfg.workload.epoch * 8;
+        cfg
+    }
+
+    #[test]
+    fn service_runs_and_balances_its_ledgers() {
+        let r = service(&tiny_cfg(), 11);
+        assert_eq!(r.rows.len(), 8);
+        let admitted = r.broker.overlay + r.broker.direct + r.broker.stale_fallback;
+        assert_eq!(r.broker.admitted, admitted);
+        assert_eq!(r.arrivals, r.broker.admitted + r.broker.denied);
+        assert_eq!(
+            r.completed, r.broker.admitted,
+            "every admitted flow completes"
+        );
+        assert_eq!(r.completed, r.slo.completed());
+        assert!(r.spend_usd <= r.budget_usd + 1e-9, "spend over budget");
+        assert!(r.broker.overlay > 0, "no overlay admissions");
+        assert!(r.broker.stale_fallback > 0, "staleness never bit");
+    }
+
+    #[test]
+    fn service_is_deterministic() {
+        let a = service(&tiny_cfg(), 5);
+        let b = service(&tiny_cfg(), 5);
+        assert_eq!(a.to_tsv(), b.to_tsv());
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn seeds_change_the_run() {
+        let a = service(&tiny_cfg(), 5);
+        let b = service(&tiny_cfg(), 6);
+        assert_ne!(a.to_tsv(), b.to_tsv());
+    }
+
+    #[test]
+    fn epoch_rows_sum_to_totals() {
+        let r = service(&tiny_cfg(), 11);
+        let arrivals: u64 = r.rows.iter().map(|x| x.arrivals).sum();
+        assert_eq!(arrivals, r.arrivals);
+        let overlay: u64 = r.rows.iter().map(|x| x.overlay).sum();
+        assert_eq!(overlay, r.broker.overlay);
+        let stale: u64 = r.rows.iter().map(|x| x.stale).sum();
+        assert_eq!(stale, r.broker.stale_fallback);
+    }
+}

@@ -386,10 +386,24 @@ pub(crate) fn register_catalogue() {
         "mptcp.subflow_switches",
         "experiment.runs",
         "experiment.phases",
+        "control.workload.arrivals",
+        "control.broker.admitted",
+        "control.broker.denied",
+        "control.broker.overlay",
+        "control.broker.direct",
+        "control.broker.stale_fallback",
+        "control.fleet.scale_ups",
+        "control.fleet.drains",
+        "control.fleet.releases",
+        "control.slo.completed",
+        "control.slo.violations",
     ] {
         counter(name);
     }
     gauge("des.sim_time_ns");
+    gauge("control.fleet.active");
+    gauge("control.fleet.draining");
+    gauge("control.fleet.spend_usd");
     histogram("des.cc.cwnd_segs", CWND_EDGES);
     histogram("des.link.queue_depth", QUEUE_DEPTH_EDGES);
     histogram("mptcp.subflow.goodput_bps", GOODPUT_EDGES);
@@ -605,7 +619,7 @@ mod tests {
         with_clean(|| {
             let snap = snapshot();
             assert!(snap.len() >= 10, "only {} metrics", snap.len());
-            for prefix in ["des.", "mptcp.", "dataplane.", "experiment."] {
+            for prefix in ["des.", "mptcp.", "dataplane.", "experiment.", "control."] {
                 assert!(
                     snap.entries.iter().any(|(n, _)| n.starts_with(prefix)),
                     "no {prefix} metric in catalogue"

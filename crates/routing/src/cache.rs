@@ -161,11 +161,13 @@ impl RouteCache {
     }
 
     /// Adds the current totals to the `obs` counters
-    /// `routing.route_cache.hits` / `routing.route_cache.misses`.
-    /// No-op while collection is disabled.
+    /// `routing.route_cache.hits` / `routing.route_cache.misses` and sets
+    /// the `routing.route_cache.hit_rate` gauge. No-op while collection
+    /// is disabled.
     pub fn publish(&self) {
         obs::add_named("routing.route_cache.hits", self.hits());
         obs::add_named("routing.route_cache.misses", self.misses());
+        obs::set(obs::gauge("routing.route_cache.hit_rate"), self.hit_rate());
     }
 }
 

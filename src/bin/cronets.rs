@@ -65,6 +65,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "SVI-A: direct-path failure mid-transfer (packet level)",
     ),
     (
+        "service",
+        "SVI-VII: online overlay service (broker, autoscaler, SLO accounting)",
+    ),
+    (
         "export",
         "write all analytic figure data as TSV into ./results/",
     ),
@@ -75,7 +79,7 @@ const RESULTS_DIR: &str = "results";
 
 fn usage() {
     eprintln!(
-        "usage: cronets <experiment|list|all> [--seed N] [--threads N] [--metrics] [--trace FLOW]"
+        "usage: cronets <experiment|list|all> [--seed N] [--threads N] [--smoke] [--metrics] [--trace FLOW]"
     );
     eprintln!(
         "  --seed N      PRNG seed (default {})",
@@ -83,6 +87,7 @@ fn usage() {
     );
     eprintln!("  --threads N   worker threads (default: available parallelism);");
     eprintln!("                output is byte-identical at any thread count");
+    eprintln!("  --smoke       CI-sized run (service experiment only)");
     eprintln!("  --metrics     collect telemetry; print a metric snapshot and");
     eprintln!("                write manifest_<name>.tsv/.jsonl into ./{RESULTS_DIR}/");
     eprintln!("  --trace FLOW  with --metrics: trace DES flow FLOW's segment");
@@ -93,7 +98,7 @@ fn usage() {
     }
 }
 
-fn run(name: &str, seed: u64) -> bool {
+fn run(name: &str, seed: u64, opts: Opts) -> bool {
     match name {
         "fig2" => println!("{}", exp::prevalence::fig2(seed)),
         "fig3" => println!("{}", exp::prevalence::fig3(seed)),
@@ -126,6 +131,22 @@ fn run(name: &str, seed: u64) -> bool {
         "ports" => println!("{}", exp::extensions::port_sweep(seed)),
         "placement" => println!("{}", exp::extensions::placement(seed, 4)),
         "failover" => println!("{}", exp::failover::failover(seed, 20, 60)),
+        "service" => {
+            let cfg = if opts.smoke {
+                exp::service::ServiceConfig::smoke()
+            } else {
+                exp::service::ServiceConfig::paper()
+            };
+            let report = exp::service::service(&cfg, seed);
+            print!("{report}");
+            let path = std::path::Path::new(RESULTS_DIR).join("service.tsv");
+            match std::fs::create_dir_all(RESULTS_DIR)
+                .and_then(|()| std::fs::write(&path, report.to_tsv()))
+            {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("service TSV write failed: {e}"),
+            }
+        }
         "export" => {
             let dir = std::path::Path::new(RESULTS_DIR);
             match exp::export::export_fast(dir, seed) {
@@ -150,6 +171,7 @@ fn run(name: &str, seed: u64) -> bool {
 #[derive(Debug, Clone, Copy, Default)]
 struct Opts {
     metrics: bool,
+    smoke: bool,
     trace_flow: Option<u64>,
 }
 
@@ -161,14 +183,14 @@ struct Opts {
 /// trace) into `./results/`.
 fn run_instrumented(name: &str, seed: u64, opts: Opts) -> bool {
     if !opts.metrics {
-        return run(name, seed);
+        return run(name, seed, opts);
     }
     obs::enable();
     obs::set_trace_filter(opts.trace_flow);
     obs::add_named("experiment.runs", 1);
     let ok = {
         let _p = obs::phase(name);
-        run(name, seed)
+        run(name, seed, opts)
     };
     obs::disable();
     if !ok {
@@ -232,6 +254,7 @@ fn main() -> ExitCode {
                 }
             },
             "--metrics" => opts.metrics = true,
+            "--smoke" => opts.smoke = true,
             "--trace" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(f) => opts.trace_flow = Some(f),
                 None => {
@@ -243,6 +266,11 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::SUCCESS;
             }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown option {flag:?}");
+                usage();
+                return ExitCode::FAILURE;
+            }
             other => names.push(other.to_string()),
         }
     }
@@ -250,7 +278,11 @@ fn main() -> ExitCode {
         eprintln!("--trace requires --metrics");
         return ExitCode::FAILURE;
     }
-    let Some(cmd) = names.first() else {
+    let [cmd] = names.as_slice() else {
+        match names.as_slice() {
+            [] => eprintln!("missing experiment name"),
+            extra => eprintln!("expected one experiment, got {extra:?}"),
+        }
         usage();
         return ExitCode::FAILURE;
     };
@@ -260,11 +292,19 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "all" => {
+            let mut failed = Vec::new();
             for (name, _) in EXPERIMENTS {
                 eprintln!("--- running {name} ---");
-                run_instrumented(name, seed, opts);
+                if !run_instrumented(name, seed, opts) {
+                    failed.push(*name);
+                }
             }
-            ExitCode::SUCCESS
+            if failed.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("failed experiments: {failed:?}");
+                ExitCode::FAILURE
+            }
         }
         name => {
             if run_instrumented(name, seed, opts) {

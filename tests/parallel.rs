@@ -100,6 +100,15 @@ fn packet_level_des_is_thread_invariant() {
 }
 
 #[test]
+fn online_service_is_thread_invariant() {
+    // service runs the control plane's closed loop (workload generation,
+    // broker decisions, DES completions, autoscaling, SLO accounting);
+    // its epoch table lands in results/service.tsv and the metric
+    // snapshot covers the control.* counter families.
+    assert_thread_invariant("service", &["--smoke", "--metrics"]);
+}
+
+#[test]
 fn export_files_are_thread_invariant() {
     let (_, f1) = run_in_scratch("export_t1", &["export", "--threads", "1"]);
     let (_, f8) = run_in_scratch("export_t8", &["export", "--threads", "8"]);
