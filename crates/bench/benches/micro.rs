@@ -13,9 +13,11 @@ use std::time::Instant;
 
 use control::{Broker, BrokerConfig};
 use cronets::eval::{Measurement, OverlayEval, PairEval};
+use experiments::chaos::{chaos, ChaosConfig};
 use experiments::scenario::{ScenarioConfig, World};
 use experiments::service::{service, ServiceConfig};
 use experiments::sweep::Sweep;
+use faults::FaultSchedule;
 use simcore::{EventQueue, SimDuration, SimTime};
 use topology::gen::{generate, InternetConfig};
 use transport::des::{DesPath, Netsim, TransferConfig};
@@ -196,6 +198,25 @@ fn bench_service_smoke() -> f64 {
     bench(1, 3, || service(&cfg, 7).completed)
 }
 
+/// Fault-schedule generation for the smoke chaos run: the pure
+/// `(config, seed) → events` cost the nemesis adds before a run starts.
+fn bench_fault_inject() -> f64 {
+    let cfg = ChaosConfig::smoke().faults;
+    let mut seed = 0u64;
+    bench(200, 7, || {
+        seed += 1;
+        FaultSchedule::generate(&cfg, seed).len()
+    })
+}
+
+/// The whole smoke-sized chaos run (the service loop plus fault
+/// injection, flow kills/retries and the invariant checker): the
+/// end-to-end number `cronets chaos --smoke` pays.
+fn bench_chaos_smoke() -> f64 {
+    let cfg = ChaosConfig::smoke();
+    bench(1, 3, || chaos(&cfg, 7).completed)
+}
+
 fn main() {
     let results: Vec<(&str, f64)> = vec![
         ("event_queue_push_pop_10k", bench_event_queue()),
@@ -209,6 +230,8 @@ fn main() {
         ("metrics_add_enabled", bench_metrics_enabled()),
         ("broker_decision", bench_broker_decision()),
         ("service_smoke", bench_service_smoke()),
+        ("fault_inject", bench_fault_inject()),
+        ("chaos_smoke", bench_chaos_smoke()),
     ];
 
     for (name, ns) in &results {

@@ -109,6 +109,17 @@ impl Broker {
         self.probes.len()
     }
 
+    /// Ages every cached probe by `by`, as if it had been measured that
+    /// much earlier. This is the fault layer's cache-poisoning injection:
+    /// probes pushed past [`BrokerConfig::max_probe_age`] stop steering
+    /// flows onto overlays and the broker degrades to direct-path
+    /// admission until the next refresh.
+    pub fn age_probes(&mut self, by: SimDuration) {
+        for p in self.probes.values_mut() {
+            p.at = SimTime::ZERO + p.at.saturating_duration_since(SimTime::ZERO + by);
+        }
+    }
+
     /// Decides admission and path for a flow request at `now`.
     /// `relay_free(node)` reports whether overlay node `node` currently
     /// has spare concurrent-flow capacity — relays at capacity are
@@ -296,6 +307,33 @@ mod tests {
         assert_eq!(
             b.decide(s, d, later, |_| true),
             Decision::Overlay { node: 0, bps: 60e6 }
+        );
+    }
+
+    #[test]
+    fn poisoned_cache_degrades_to_direct_until_refreshed() {
+        let mut b = Broker::new(cfg());
+        let (s, d) = pair();
+        let t0 = SimTime::ZERO + SimDuration::from_secs(1000);
+        b.observe(s, d, t0, eval(10e6, &[50e6]));
+        let now = t0 + SimDuration::from_secs(10);
+        assert_eq!(
+            b.decide(s, d, now, |_| true),
+            Decision::Overlay { node: 0, bps: 50e6 }
+        );
+        // Poison: the probe now reads as measured 200 s ago (> 100 s
+        // staleness bound) and the broker stops vouching for overlays.
+        b.age_probes(SimDuration::from_secs(200));
+        assert_eq!(
+            b.decide(s, d, now, |_| true),
+            Decision::Direct { bps: 10e6 }
+        );
+        assert_eq!(b.stats().stale_fallback, 1);
+        // A refresh heals the cache.
+        b.observe(s, d, now, eval(10e6, &[50e6]));
+        assert_eq!(
+            b.decide(s, d, now, |_| true),
+            Decision::Overlay { node: 0, bps: 50e6 }
         );
     }
 

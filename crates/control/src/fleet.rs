@@ -16,6 +16,12 @@
 //! last flow completes, so no flow is ever cut mid-transfer. Renting
 //! checks the remaining budget against the worst-case spend of keeping
 //! the enlarged fleet up for the rest of the run.
+//!
+//! The fault layer (`crates/faults`) adds one more state: any rented or
+//! released slot can [`Fleet::crash`] into `Failed` — its flows are
+//! killed, billing stops, and the slot is unusable until
+//! [`Fleet::restore`] returns it to `Released` (from where a rebalance
+//! may rent a replacement VM under the usual budget check).
 
 use cloud::{overlay_node_hourly_usd, PortSpeed, TrafficPlan};
 use simcore::SimDuration;
@@ -50,6 +56,9 @@ pub enum RelayState {
     Active,
     /// Rented, finishing its existing flows, accepting none.
     Draining,
+    /// The VM crashed: bills nothing, accepts nothing, and cannot be
+    /// rented again until the fault layer restores the slot.
+    Failed,
 }
 
 /// Scaling-event counters; [`Fleet::publish`] exports them.
@@ -61,6 +70,10 @@ pub struct FleetStats {
     pub drains: u64,
     /// Relays fully released (drain completed).
     pub releases: u64,
+    /// Relay VMs crashed under fault injection.
+    pub crashes: u64,
+    /// Crashed relay slots restored to rentable.
+    pub restores: u64,
 }
 
 /// Relay-fleet autoscaler (see module docs).
@@ -135,6 +148,55 @@ impl Fleet {
             self.state[i] = RelayState::Released;
             self.stats.releases += 1;
         }
+    }
+
+    /// Crashes relay `i`: the VM is gone, every flow it carried is
+    /// killed, and the slot stops billing immediately (the provider does
+    /// not pay for a dead VM). Returns the number of flows killed; the
+    /// caller owns re-admitting them. The caller must accrue rent up to
+    /// the crash instant *before* calling this, or the dead relay's last
+    /// partial epoch goes unbilled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if relay `i` is already failed — the fault schedule must
+    /// not overlap crash windows on one relay.
+    pub fn crash(&mut self, i: usize) -> u32 {
+        assert!(
+            self.state[i] != RelayState::Failed,
+            "crash on already-failed relay {i}"
+        );
+        let killed = self.flows[i];
+        self.flows[i] = 0;
+        self.state[i] = RelayState::Failed;
+        self.stats.crashes += 1;
+        killed
+    }
+
+    /// Restores a crashed relay slot to `Released`: the provider may rent
+    /// a replacement VM into it at the next rebalance (subject to the
+    /// budget check, like any other rent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if relay `i` is not failed — restore events must pair with
+    /// a preceding crash.
+    pub fn restore(&mut self, i: usize) {
+        assert!(
+            self.state[i] == RelayState::Failed,
+            "restore on non-failed relay {i}"
+        );
+        self.state[i] = RelayState::Released;
+        self.stats.restores += 1;
+    }
+
+    /// Number of relays currently failed.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s == RelayState::Failed)
+            .count()
     }
 
     /// Number of relays accepting flows.
@@ -271,8 +333,11 @@ impl Fleet {
         obs::add_named("control.fleet.scale_ups", self.stats.scale_ups);
         obs::add_named("control.fleet.drains", self.stats.drains);
         obs::add_named("control.fleet.releases", self.stats.releases);
+        obs::add_named("control.fleet.crashes", self.stats.crashes);
+        obs::add_named("control.fleet.restores", self.stats.restores);
         obs::set(obs::gauge("control.fleet.active"), self.active() as f64);
         obs::set(obs::gauge("control.fleet.draining"), self.draining() as f64);
+        obs::set(obs::gauge("control.fleet.failed"), self.failed() as f64);
         obs::set(obs::gauge("control.fleet.spend_usd"), self.spend_usd);
     }
 }
@@ -422,6 +487,54 @@ mod tests {
         f.rebalance(SimDuration::from_secs(36_000));
         f.accrue(SimDuration::from_secs(3600));
         assert!((f.spend_usd() - 4.0 * rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_kills_flows_stops_billing_and_blocks_renting() {
+        let mut f = Fleet::new(cfg());
+        f.flow_started(0);
+        f.flow_started(0);
+        assert_eq!(f.crash(0), 2, "both in-flight flows are killed");
+        assert_eq!(f.relay_state(0), RelayState::Failed);
+        assert_eq!(f.flows_on(0), 0);
+        assert_eq!(f.failed(), 1);
+        assert!(!f.is_free(0));
+        assert_eq!(f.in_service(), 0, "a dead VM bills nothing");
+        // A saturated fleet must rent a *different* slot, never the
+        // failed one.
+        f.rebalance(SimDuration::from_secs(3600));
+        assert_eq!(f.relay_state(0), RelayState::Failed);
+        assert_eq!(f.relay_state(1), RelayState::Active);
+        assert_eq!(f.stats().crashes, 1);
+    }
+
+    #[test]
+    fn restore_returns_the_slot_to_the_rentable_pool() {
+        let mut f = Fleet::new(cfg());
+        f.flow_started(0);
+        f.crash(0);
+        f.restore(0);
+        assert_eq!(f.relay_state(0), RelayState::Released);
+        assert_eq!(f.stats().restores, 1);
+        // All-released under load reads saturated: the replacement rent
+        // picks the lowest released slot — the restored one.
+        f.rebalance(SimDuration::from_secs(3600));
+        assert_eq!(f.relay_state(0), RelayState::Active);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-failed relay")]
+    fn double_crash_panics() {
+        let mut f = Fleet::new(cfg());
+        f.crash(0);
+        f.crash(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-failed relay")]
+    fn restore_without_crash_panics() {
+        let mut f = Fleet::new(cfg());
+        f.restore(1);
     }
 
     #[test]

@@ -84,20 +84,23 @@ impl UdpForwarder {
                 if let std::collections::hash_map::Entry::Vacant(e) = flows.entry(key) {
                     // New flow: allocate a masqueraded port and bind the
                     // upstream socket to it. When the pool is full, drop
-                    // the datagram instead of panicking the forwarder —
+                    // the datagram instead of killing the forwarder —
                     // flow expiry is left to the embedding application
                     // (the kernel's masquerade uses idle timers here).
                     let port = {
                         let mut nat = nat2.lock().unwrap();
-                        if nat.active() >= nat.capacity() {
-                            NAT_POOL_EXHAUSTED.inc();
-                            FRAMES_DROPPED.inc();
-                            continue;
+                        match nat.translate(key) {
+                            Ok(port) => {
+                                NAT_TRANSLATIONS.inc();
+                                NAT_ACTIVE.set(nat.active() as i64);
+                                port
+                            }
+                            Err(crate::nat::NatError::PortRangeExhausted { .. }) => {
+                                NAT_POOL_EXHAUSTED.inc();
+                                FRAMES_DROPPED.inc();
+                                continue;
+                            }
                         }
-                        let port = nat.translate(key);
-                        NAT_TRANSLATIONS.inc();
-                        NAT_ACTIVE.set(nat.active() as i64);
-                        port
                     };
                     let Ok(upstream) = UdpSocket::bind(("127.0.0.1", port)) else {
                         let mut nat = nat2.lock().unwrap();

@@ -18,6 +18,46 @@ use obs::sync::{RELAY_BYTES, RELAY_CONNECTIONS};
 
 use crate::dataplane::frame::read_frame;
 
+/// Why a relay connection attempt failed before any byte was relayed.
+///
+/// Errors past this point (mid-pump resets) are stream terminations, not
+/// connection failures: the pumps half-close and the peers observe EOF.
+#[derive(Debug)]
+pub enum RelayError {
+    /// The client's hello frame was missing or malformed.
+    Hello(io::Error),
+    /// The relay could not reach the destination the hello asked for.
+    Connect {
+        /// The requested destination address.
+        addr: String,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+    /// Duplicating the sockets for the two pump directions failed.
+    Split(io::Error),
+}
+
+impl std::fmt::Display for RelayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelayError::Hello(e) => write!(f, "relay hello failed: {e}"),
+            RelayError::Connect { addr, source } => {
+                write!(f, "relay could not connect to {addr}: {source}")
+            }
+            RelayError::Split(e) => write!(f, "relay socket split failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelayError::Hello(e) | RelayError::Split(e) => Some(e),
+            RelayError::Connect { source, .. } => Some(source),
+        }
+    }
+}
+
 /// A running split-TCP relay bound to a local address.
 ///
 /// Dropping the handle requests shutdown and joins the accept thread
@@ -28,6 +68,7 @@ pub struct SplitRelay {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     relayed: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -44,15 +85,20 @@ impl SplitRelay {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let relayed = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
         let shutdown2 = Arc::clone(&shutdown);
         let relayed2 = Arc::clone(&relayed);
+        let failed2 = Arc::clone(&failed);
         let accept_thread = std::thread::spawn(move || {
             while !shutdown2.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let relayed = Arc::clone(&relayed2);
+                        let failed = Arc::clone(&failed2);
                         std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &relayed);
+                            if handle_connection(stream, &relayed).is_err() {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -66,6 +112,7 @@ impl SplitRelay {
             addr,
             shutdown,
             relayed,
+            failed,
             accept_thread: Some(accept_thread),
         })
     }
@@ -81,6 +128,13 @@ impl SplitRelay {
     pub fn bytes_relayed(&self) -> u64 {
         self.relayed.load(Ordering::Relaxed)
     }
+
+    /// Connections that failed before relaying (bad hello, unreachable
+    /// destination, or socket split failure — see [`RelayError`]).
+    #[must_use]
+    pub fn failed_connections(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for SplitRelay {
@@ -92,15 +146,18 @@ impl Drop for SplitRelay {
     }
 }
 
-fn handle_connection(client: TcpStream, relayed: &Arc<AtomicU64>) -> io::Result<()> {
+fn handle_connection(client: TcpStream, relayed: &Arc<AtomicU64>) -> Result<(), RelayError> {
     RELAY_CONNECTIONS.inc();
     client.set_nodelay(true).ok();
-    let hello = read_frame(&client)?;
-    let upstream = TcpStream::connect(&hello.addr)?;
+    let hello = read_frame(&client).map_err(RelayError::Hello)?;
+    let upstream = TcpStream::connect(&hello.addr).map_err(|source| RelayError::Connect {
+        addr: hello.addr.clone(),
+        source,
+    })?;
     upstream.set_nodelay(true).ok();
 
-    let c2 = client.try_clone()?;
-    let u2 = upstream.try_clone()?;
+    let c2 = client.try_clone().map_err(RelayError::Split)?;
+    let u2 = upstream.try_clone().map_err(RelayError::Split)?;
     let r1 = Arc::clone(relayed);
     let r2 = Arc::clone(relayed);
     let t1 = std::thread::spawn(move || pump(client, u2, &r1));
@@ -225,8 +282,21 @@ mod tests {
         }
     }
 
+    /// Polls until the relay records `n` failed connections (the accept
+    /// loop counts on its own threads) or a generous deadline passes.
+    fn wait_for_failures(relay: &SplitRelay, n: u64) -> u64 {
+        for _ in 0..400 {
+            let got = relay.failed_connections();
+            if got >= n {
+                return got;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        relay.failed_connections()
+    }
+
     #[test]
-    fn unreachable_target_closes_the_client_connection() {
+    fn unreachable_target_is_a_counted_connect_error() {
         let relay = SplitRelay::spawn().unwrap();
         // Port 1 on localhost is almost certainly closed.
         let mut conn = connect_through(&relay, "127.0.0.1:1".parse().unwrap()).unwrap();
@@ -237,6 +307,41 @@ mod tests {
             Ok(0) | Err(_) => {}
             Ok(n) => panic!("received {n} bytes from nowhere"),
         }
+        assert_eq!(
+            wait_for_failures(&relay, 1),
+            1,
+            "RelayError::Connect must be counted"
+        );
+    }
+
+    #[test]
+    fn malformed_hello_is_a_counted_hello_error() {
+        let relay = SplitRelay::spawn().unwrap();
+        {
+            let mut conn = TcpStream::connect(relay.addr()).unwrap();
+            // An address-length prefix far over the frame limit.
+            conn.write_all(&[0xFF, 0xFF, 0xFF, 0x7F]).unwrap();
+        }
+        assert_eq!(
+            wait_for_failures(&relay, 1),
+            1,
+            "RelayError::Hello must be counted"
+        );
+    }
+
+    #[test]
+    fn relay_error_display_names_the_failure() {
+        let hello = RelayError::Hello(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(hello.to_string().contains("hello"));
+        let connect = RelayError::Connect {
+            addr: "198.51.100.1:80".into(),
+            source: io::Error::new(io::ErrorKind::ConnectionRefused, "refused"),
+        };
+        assert!(connect.to_string().contains("198.51.100.1:80"));
+        let split = RelayError::Split(io::Error::other("dup"));
+        assert!(split.to_string().contains("split"));
+        use std::error::Error;
+        assert!(connect.source().is_some());
     }
 
     #[test]

@@ -20,6 +20,32 @@ pub enum Proto {
     Udp,
 }
 
+/// Typed failure of a NAT translation. Port exhaustion is a legitimate
+/// runtime condition under load (or fault injection), not a programming
+/// error: callers decide whether to drop the flow, shed load, or expire
+/// idle translations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NatError {
+    /// Every outside port in the masquerade range is already mapped for
+    /// this destination; no translation can be allocated.
+    PortRangeExhausted {
+        /// Size of the configured port pool.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for NatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NatError::PortRangeExhausted { capacity } => {
+                write!(f, "masquerade port range exhausted ({capacity} ports)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NatError {}
+
 /// The key identifying an inside flow: protocol, inside source, and the
 /// outside destination it talks to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,7 +72,7 @@ pub struct FlowKey {
 ///     inside_src: "10.0.0.7:5555".parse().unwrap(),
 ///     dst: "93.184.216.34:80".parse().unwrap(),
 /// };
-/// let port = nat.translate(key);
+/// let port = nat.translate(key).expect("pool has free ports");
 /// assert_eq!(nat.reverse(Proto::Tcp, port, key.dst), Some(key.inside_src));
 /// ```
 #[derive(Debug)]
@@ -89,21 +115,22 @@ impl Masquerade {
     /// Translates an inside flow to its outside source port, allocating
     /// one on first use (idempotent afterwards).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the port range is exhausted.
-    pub fn translate(&mut self, key: FlowKey) -> u16 {
+    /// Returns [`NatError::PortRangeExhausted`] when no outside port is
+    /// free for this destination.
+    pub fn translate(&mut self, key: FlowKey) -> Result<u16, NatError> {
         if let Some(&port) = self.forward.get(&key) {
-            return port;
+            return Ok(port);
         }
-        let port = self.allocate(key);
+        let port = self.allocate(key)?;
         self.forward.insert(key, port);
         self.reverse
             .insert((key.proto, port, key.dst), key.inside_src);
-        port
+        Ok(port)
     }
 
-    fn allocate(&mut self, key: FlowKey) -> u16 {
+    fn allocate(&mut self, key: FlowKey) -> Result<u16, NatError> {
         let span = self.range.len() as u16;
         for _ in 0..span {
             let candidate = self.next;
@@ -113,10 +140,12 @@ impl Masquerade {
                 self.next + 1
             };
             if !self.reverse.contains_key(&(key.proto, candidate, key.dst)) {
-                return candidate;
+                return Ok(candidate);
             }
         }
-        panic!("masquerade port range exhausted");
+        Err(NatError::PortRangeExhausted {
+            capacity: self.capacity(),
+        })
     }
 
     /// Resolves return traffic: which inside source does `(proto,
@@ -159,8 +188,8 @@ mod tests {
     fn translation_is_idempotent() {
         let mut nat = Masquerade::new(1000..1010);
         let k = key(5000, 80);
-        let p1 = nat.translate(k);
-        let p2 = nat.translate(k);
+        let p1 = nat.translate(k).unwrap();
+        let p2 = nat.translate(k).unwrap();
         assert_eq!(p1, p2);
         assert_eq!(nat.active(), 1);
     }
@@ -168,8 +197,8 @@ mod tests {
     #[test]
     fn distinct_flows_get_distinct_ports() {
         let mut nat = Masquerade::new(1000..1010);
-        let p1 = nat.translate(key(5000, 80));
-        let p2 = nat.translate(key(5001, 80));
+        let p1 = nat.translate(key(5000, 80)).unwrap();
+        let p2 = nat.translate(key(5001, 80)).unwrap();
         assert_ne!(p1, p2);
     }
 
@@ -177,7 +206,7 @@ mod tests {
     fn reverse_maps_return_traffic() {
         let mut nat = Masquerade::new(1000..1010);
         let k = key(5000, 80);
-        let p = nat.translate(k);
+        let p = nat.translate(k).unwrap();
         assert_eq!(nat.reverse(Proto::Udp, p, k.dst), Some(k.inside_src));
         assert_eq!(nat.reverse(Proto::Udp, p, key(5000, 81).dst), None);
         assert_eq!(
@@ -194,8 +223,8 @@ mod tests {
         let mut nat = Masquerade::new(1000..1001);
         let k1 = key(5000, 80);
         let k2 = key(5001, 81);
-        assert_eq!(nat.translate(k1), 1000);
-        assert_eq!(nat.translate(k2), 1000);
+        assert_eq!(nat.translate(k1), Ok(1000));
+        assert_eq!(nat.translate(k2), Ok(1000));
         assert_eq!(nat.reverse(Proto::Udp, 1000, k1.dst), Some(k1.inside_src));
         assert_eq!(nat.reverse(Proto::Udp, 1000, k2.dst), Some(k2.inside_src));
     }
@@ -204,20 +233,26 @@ mod tests {
     fn removal_frees_the_port() {
         let mut nat = Masquerade::new(1000..1001);
         let k1 = key(5000, 80);
-        nat.translate(k1);
+        nat.translate(k1).unwrap();
         assert!(nat.remove(k1));
         assert!(!nat.remove(k1));
         // Port is reusable for another flow to the same destination now.
         let k2 = key(6000, 80);
-        assert_eq!(nat.translate(k2), 1000);
+        assert_eq!(nat.translate(k2), Ok(1000));
     }
 
     #[test]
-    #[should_panic(expected = "exhausted")]
-    fn exhaustion_panics() {
+    fn exhaustion_is_a_typed_error_and_recoverable() {
         let mut nat = Masquerade::new(1000..1002);
-        nat.translate(key(1, 80));
-        nat.translate(key(2, 80));
-        nat.translate(key(3, 80));
+        nat.translate(key(1, 80)).unwrap();
+        nat.translate(key(2, 80)).unwrap();
+        let err = nat.translate(key(3, 80)).unwrap_err();
+        assert_eq!(err, NatError::PortRangeExhausted { capacity: 2 });
+        assert!(err.to_string().contains("exhausted"));
+        // Existing translations are untouched and the pool recovers once
+        // a flow expires — exhaustion is backpressure, not corruption.
+        assert_eq!(nat.active(), 2);
+        assert!(nat.remove(key(1, 80)));
+        assert!(nat.translate(key(3, 80)).is_ok());
     }
 }

@@ -1,0 +1,888 @@
+//! Chaos: the online service under a deterministic fault schedule.
+//!
+//! Extends the §VI-A failover story from one scripted link failure to a
+//! whole-run nemesis: a seed-deterministic [`faults::FaultSchedule`]
+//! crashes relay VMs (exponential MTBF/MTTR, plus DC-wide grouped
+//! outages), degrades inter-AS links, blackholes probe refreshes, and
+//! poisons the broker's probe cache — while the service keeps admitting
+//! flows. The run measures what the paper claims qualitatively: the
+//! overlay *degrades* instead of failing (broker falls back to direct,
+//! the autoscaler replaces dead relays under the same budget, killed
+//! flows fail over and finish).
+//!
+//! Every fault event rides the same [`simcore::EventQueue`] as flow
+//! arrivals and completions, so the interleaving — and therefore the
+//! whole run — is a pure function of `(config, seed)` at any
+//! `--threads N`.
+//!
+//! A [`faults::Invariants`] checker watches the full run and the report
+//! carries its verdict: no double billing, no flows on unavailable
+//! relays, byte conservation across kill/retry segments, and bounded
+//! recovery.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use control::{Broker, Decision, Fleet, RelayState, SloAccount};
+use cronets::select::{achieved, PathChoice};
+use faults::{FaultConfig, FaultKind, FaultSchedule, InvariantViolation, Invariants};
+use routing::RouteCache;
+use simcore::{EventHandle, EventQueue, SimDuration, SimTime};
+use topology::{LinkId, RouterId};
+
+use crate::scenario::World;
+use crate::service::{completion_time, epoch_truth, pair_of, ServiceConfig};
+
+/// Full configuration of a chaos run: the service plus its nemesis.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The service under test.
+    pub service: ServiceConfig,
+    /// The fault processes. `faults.relays` and `faults.horizon` must
+    /// match the service scenario and workload.
+    pub faults: FaultConfig,
+    /// Application-layer failure detection delay: a killed flow re-enters
+    /// the broker this long after its relay crashed (the paper's §VI-A
+    /// failover works at MPTCP timescales; a plain-TCP app needs a
+    /// timeout).
+    pub detect_after: SimDuration,
+}
+
+impl ChaosConfig {
+    /// CI-sized chaos run: the service smoke world under a fault mix
+    /// aggressive enough that every fault family fires — relay crashes
+    /// and restores, a DC outage, link degradations, probe blackholes,
+    /// and cache poisonings — in a few seconds of wall clock.
+    #[must_use]
+    pub fn smoke() -> ChaosConfig {
+        let service = ServiceConfig::smoke();
+        let horizon = service.workload.horizon();
+        ChaosConfig {
+            faults: FaultConfig {
+                relays: service.fleet.relays,
+                horizon,
+                relay_mtbf: SimDuration::from_secs(900),
+                relay_mttr: SimDuration::from_secs(200),
+                mttr_cap: SimDuration::from_secs(450),
+                dc_outage_per_hour: 0.5,
+                dc_group: 2,
+                link_flap_per_hour: 2.0,
+                link_flap_mean: SimDuration::from_secs(300),
+                link_severity: 0.95,
+                blackhole_per_hour: 1.0,
+                blackhole_mean: SimDuration::from_secs(300),
+                poison_per_hour: 1.5,
+                poison_age: service.broker.max_probe_age,
+            },
+            service,
+            detect_after: SimDuration::from_secs(3),
+        }
+    }
+
+    /// Paper-scale chaos run: the §II-A web-server day under a gentler,
+    /// production-like fault mix (VM MTBF of hours, not minutes).
+    #[must_use]
+    pub fn paper() -> ChaosConfig {
+        let service = ServiceConfig::paper();
+        let horizon = service.workload.horizon();
+        ChaosConfig {
+            faults: FaultConfig {
+                relays: service.fleet.relays,
+                horizon,
+                relay_mtbf: SimDuration::from_secs(6 * 3600),
+                relay_mttr: SimDuration::from_secs(600),
+                mttr_cap: SimDuration::from_secs(1800),
+                dc_outage_per_hour: 0.05,
+                dc_group: 2,
+                link_flap_per_hour: 0.5,
+                link_flap_mean: SimDuration::from_secs(900),
+                link_severity: 0.95,
+                blackhole_per_hour: 0.2,
+                blackhole_mean: SimDuration::from_secs(900),
+                poison_per_hour: 0.2,
+                poison_age: service.broker.max_probe_age,
+            },
+            service,
+            detect_after: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// One epoch's aggregate activity (a row of `results/chaos.tsv`).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosRow {
+    /// Epoch index.
+    pub epoch: u32,
+    /// Flow requests issued this epoch.
+    pub arrivals: u64,
+    /// Failover re-admissions attempted this epoch.
+    pub retries: u64,
+    /// Admissions steered through an overlay relay.
+    pub overlay: u64,
+    /// Admissions on the direct path (fresh probe).
+    pub direct: u64,
+    /// Admissions denied.
+    pub denied: u64,
+    /// Stale-probe fallbacks to direct.
+    pub stale: u64,
+    /// Flows that completed during this epoch.
+    pub completed: u64,
+    /// Flows killed by relay crashes this epoch.
+    pub killed: u64,
+    /// SLO violations charged during this epoch.
+    pub violations: u64,
+    /// Active relays at epoch end (after rebalance).
+    pub active: usize,
+    /// Crashed (failed) relays at epoch end.
+    pub failed: usize,
+    /// Fraction of relay-time the schedule left up this epoch.
+    pub availability: f64,
+    /// Mean crash-to-readmission latency of retries admitted this
+    /// epoch, milliseconds (0 when none).
+    pub failover_ms: f64,
+    /// Mean achieved/direct throughput ratio of this epoch's
+    /// completions (1 when none completed) — goodput during faults.
+    pub goodput_ratio: f64,
+    /// Cumulative cloud spend at epoch end, USD.
+    pub spend_usd: f64,
+}
+
+/// The completed chaos run.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// One row per epoch.
+    pub rows: Vec<ChaosRow>,
+    /// Decision counters.
+    pub broker: control::BrokerStats,
+    /// Scaling and crash counters.
+    pub fleet: control::FleetStats,
+    /// The per-tenant SLO ledger.
+    pub slo: SloAccount,
+    /// What the schedule injected.
+    pub faults: faults::FaultCounts,
+    /// Total flow arrivals.
+    pub arrivals: u64,
+    /// Flows killed mid-transfer by relay crashes.
+    pub killed: u64,
+    /// Failover re-admission attempts.
+    pub retries: u64,
+    /// Total completions (includes flows finishing after the horizon).
+    pub completed: u64,
+    /// Final cloud spend, USD.
+    pub spend_usd: f64,
+    /// The configured budget, USD.
+    pub budget_usd: f64,
+    /// Invariant violations detected by the [`faults::Invariants`]
+    /// checker (empty on a correct run).
+    pub invariant_violations: Vec<InvariantViolation>,
+}
+
+impl ChaosReport {
+    /// The epoch table as TSV (with a `#`-prefixed header).
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "# epoch\tarrivals\tretries\toverlay\tdirect\tdenied\tstale\tcompleted\tkilled\tviolations\tactive\tfailed\tavailability\tfailover_ms\tgoodput_ratio\tspend_usd\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.3}\t{:.4}\t{:.6}\n",
+                r.epoch,
+                r.arrivals,
+                r.retries,
+                r.overlay,
+                r.direct,
+                r.denied,
+                r.stale,
+                r.completed,
+                r.killed,
+                r.violations,
+                r.active,
+                r.failed,
+                r.availability,
+                r.failover_ms,
+                r.goodput_ratio,
+                r.spend_usd,
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos: {} arrivals over {} epochs, {} completed, {} denied",
+            self.arrivals,
+            self.rows.len(),
+            self.completed,
+            self.broker.denied,
+        )?;
+        writeln!(
+            f,
+            "faults: {} relay crashes ({} DC outages), {} link degradations, {} probe blackholes, {} cache poisonings",
+            self.faults.crashes,
+            self.faults.outages,
+            self.faults.degradations,
+            self.faults.blackholes,
+            self.faults.poisons,
+        )?;
+        writeln!(
+            f,
+            "failover: {} flows killed, {} retries; broker {} overlay, {} direct, {} stale fallbacks",
+            self.killed,
+            self.retries,
+            self.broker.overlay,
+            self.broker.direct,
+            self.broker.stale_fallback,
+        )?;
+        writeln!(
+            f,
+            "fleet: {} crashes, {} restores, {} scale-ups, {} drains; spend ${:.4} of ${:.4} budget",
+            self.fleet.crashes,
+            self.fleet.restores,
+            self.fleet.scale_ups,
+            self.fleet.drains,
+            self.spend_usd,
+            self.budget_usd,
+        )?;
+        writeln!(
+            f,
+            "slo: {} violations; invariants: {}",
+            self.slo.violations(),
+            if self.invariant_violations.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} VIOLATION(S)", self.invariant_violations.len())
+            },
+        )?;
+        for v in &self.invariant_violations {
+            writeln!(f, "  !! {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A flow-level or fault discrete event.
+enum Ev {
+    /// Arrival `idx` of `epoch` reaches the broker.
+    Arrive { epoch: u32, idx: u32 },
+    /// A killed flow's failure detection fires; it re-enters the broker.
+    Retry { flow: u64 },
+    /// An admitted flow segment finishes.
+    Complete { flow: u64 },
+    /// Scheduled fault `idx` of the [`FaultSchedule`] injects.
+    Fault { idx: u32 },
+}
+
+/// An admitted, in-flight flow segment (cancellable on relay crash).
+struct InFlight {
+    tenant: u32,
+    relay: Option<usize>,
+    /// Achieved/direct ratio of this segment (ground truth at admission).
+    ratio: f64,
+    /// Original request time: SLO completion latency spans kills and
+    /// retries.
+    issued: SimTime,
+    /// When this segment was admitted.
+    started: SimTime,
+    /// Bytes this segment carries.
+    bytes: u64,
+    /// Scheduled completion instant.
+    done_at: SimTime,
+    handle: EventHandle,
+}
+
+/// A killed flow waiting for its failure detection to fire.
+struct PendingRetry {
+    tenant: u32,
+    pair: usize,
+    bytes_left: u64,
+    issued: SimTime,
+    crashed_at: SimTime,
+}
+
+/// Per-epoch relay availability from the schedule's crash windows:
+/// `1 - downtime / (relays × epoch)`.
+fn availability_by_epoch(schedule: &FaultSchedule, cfg: &ChaosConfig) -> Vec<f64> {
+    let epochs = cfg.service.workload.epochs as usize;
+    let epoch = cfg.service.workload.epoch.as_secs_f64();
+    let relays = cfg.faults.relays.max(1) as f64;
+    let mut down = vec![0.0f64; epochs];
+    let mut open: HashMap<usize, f64> = HashMap::new();
+    for e in schedule.events() {
+        match e.kind {
+            FaultKind::RelayCrash { relay } => {
+                open.insert(relay, e.at.as_secs_f64());
+            }
+            FaultKind::RelayRestore { relay } => {
+                let start = open.remove(&relay).expect("restore pairs with crash");
+                let end = e.at.as_secs_f64();
+                // Spread the window over the epochs it intersects.
+                let first = (start / epoch) as usize;
+                let last = ((end / epoch) as usize).min(epochs.saturating_sub(1));
+                for (ei, slot) in down.iter_mut().enumerate().take(last + 1).skip(first) {
+                    let lo = start.max(ei as f64 * epoch);
+                    let hi = end.min((ei + 1) as f64 * epoch);
+                    *slot += (hi - lo).max(0.0);
+                }
+            }
+            _ => {}
+        }
+    }
+    down.iter().map(|d| 1.0 - d / (relays * epoch)).collect()
+}
+
+/// Mirrors the fleet's slot states into the invariant checker so
+/// admission checks see exactly what the fleet sees.
+fn sync_states(inv: &mut Invariants, fleet: &Fleet, relays: usize) {
+    for i in 0..relays {
+        inv.set_relay_state(i, fleet.relay_state(i));
+    }
+}
+
+/// Runs the chaos loop. Deterministic in `(cfg, seed)` at any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (fault schedule sized to
+/// a different fleet or horizon than the service; see also
+/// [`crate::service::service`]'s requirements).
+#[must_use]
+pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
+    let svc = &cfg.service;
+    assert!(svc.probe_every >= 1, "probe_every must be at least 1");
+    assert_eq!(
+        svc.workload.tenants as usize,
+        svc.slo.len(),
+        "one SLO target per tenant"
+    );
+    assert_eq!(
+        cfg.faults.relays, svc.fleet.relays,
+        "fault schedule must cover exactly the fleet's slots"
+    );
+    assert_eq!(
+        cfg.faults.horizon,
+        svc.workload.horizon(),
+        "fault schedule horizon must match the workload day"
+    );
+    let mut world = World::build(&svc.scenario, seed);
+    assert_eq!(
+        svc.fleet.relays,
+        world.cronet.nodes().len(),
+        "fleet slots must match the scenario's overlay nodes"
+    );
+    let relays = svc.fleet.relays;
+
+    let mut cache = RouteCache::build(&world.net);
+    let mut keys: Vec<(RouterId, RouterId)> = Vec::new();
+    for &s in &world.servers {
+        keys.extend(world.clients.iter().map(|&c| (s, c)));
+        keys.extend(world.cronet.nodes().iter().map(|n| (s, n.vm())));
+    }
+    for n in world.cronet.nodes() {
+        keys.extend(world.clients.iter().map(|&c| (n.vm(), c)));
+    }
+    cache.prefetch(&world.net, &keys);
+    let pairs: Vec<(RouterId, RouterId)> = world
+        .servers
+        .iter()
+        .flat_map(|&s| world.clients.iter().map(move |&c| (s, c)))
+        .filter(|&(s, c)| cache.route(&world.net, s, c).is_some())
+        .collect();
+    assert!(!pairs.is_empty(), "no routable server/client pair");
+
+    // Candidate victims for link degradation: every inter-AS link, in
+    // id order (deterministic; the schedule's salt picks modulo this).
+    let flap_victims: Vec<LinkId> = world
+        .net
+        .links()
+        .filter(|l| l.kind().is_inter_as())
+        .map(|l| l.id())
+        .collect();
+
+    let epochs = svc.workload.epochs;
+    let arrivals_by_epoch = exec::parallel_map(epochs as usize, |e| {
+        svc.workload.epoch_arrivals(seed, e as u32)
+    });
+    let total_arrivals: u64 = arrivals_by_epoch.iter().map(|a| a.len() as u64).sum();
+
+    // The nemesis: generated up front, pure in (cfg.faults, seed), and
+    // scheduled before any flow so queue order is fully deterministic.
+    let schedule = FaultSchedule::generate(&cfg.faults, seed);
+    let availability = availability_by_epoch(&schedule, cfg);
+
+    let mut broker = Broker::new(svc.broker);
+    let mut fleet = Fleet::new(svc.fleet);
+    let mut slo = SloAccount::new(svc.slo.clone());
+    let mut inv = Invariants::new(relays, schedule.mttr_cap());
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for (i, ev) in schedule.events().iter().enumerate() {
+        queue.schedule(ev.at, Ev::Fault { idx: i as u32 });
+    }
+
+    let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
+    // Flows currently riding each relay, ascending id: crash kill order
+    // is deterministic.
+    let mut relay_flows: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); relays];
+    let mut pending_retry: HashMap<u64, PendingRetry> = HashMap::new();
+    // Open link-degradation windows: salt → (victim, severity floor).
+    let mut degraded: BTreeMap<u64, (LinkId, f64)> = BTreeMap::new();
+    let mut blackhole_depth: u32 = 0;
+
+    let mut rows = Vec::with_capacity(epochs as usize);
+    let mut billed_to = SimTime::ZERO;
+    let horizon = SimTime::ZERO + svc.workload.horizon();
+    let mut completed_total: u64 = 0;
+    let mut killed_total: u64 = 0;
+    let mut retries_total: u64 = 0;
+
+    // Per-epoch accumulators (reset each epoch).
+    let mut ep_killed: u64 = 0;
+    let mut ep_retries: u64 = 0;
+    let mut ep_failover_ns: u128 = 0;
+    let mut ep_failover_n: u64 = 0;
+    let mut ep_ratio_sum: f64 = 0.0;
+    let mut ep_ratio_n: u64 = 0;
+
+    let mut truth = Vec::new();
+    for e in 0..epochs {
+        if e > 0 {
+            world.step_epoch(u64::from(e));
+        }
+        // Re-impose open degradation windows after the epoch's
+        // congestion step: the nemesis holds its floor.
+        for &(link, severity) in degraded.values() {
+            let l = world.net.link_mut(link);
+            l.set_level(l.level().max(severity));
+        }
+        let epoch_start = SimTime::ZERO + svc.workload.epoch * u64::from(e);
+        let epoch_end = epoch_start + svc.workload.epoch;
+        truth = epoch_truth(&world, &cache, &pairs);
+        // Probe refresh — unless the refresh traffic is blackholed.
+        if e % svc.probe_every == 0 && blackhole_depth == 0 {
+            for (pi, &(s, c)) in pairs.iter().enumerate() {
+                broker.observe(s, c, epoch_start, truth[pi].clone());
+            }
+        }
+        for (i, req) in arrivals_by_epoch[e as usize].iter().enumerate() {
+            queue.schedule(
+                req.at,
+                Ev::Arrive {
+                    epoch: e,
+                    idx: i as u32,
+                },
+            );
+        }
+
+        let b0 = broker.stats();
+        let (done0, viol0) = (slo.completed(), slo.violations());
+
+        while let Some((now, ev)) = queue.pop_before(epoch_end) {
+            match ev {
+                Ev::Arrive { epoch, idx } => {
+                    let req = &arrivals_by_epoch[epoch as usize][idx as usize];
+                    let pi = pair_of(req.client, pairs.len());
+                    inv.flow_requested(req.id, req.bytes);
+                    admit(
+                        req.id,
+                        req.tenant,
+                        pi,
+                        req.bytes,
+                        now,
+                        now,
+                        &pairs,
+                        &truth,
+                        &mut broker,
+                        &mut fleet,
+                        &mut slo,
+                        &mut inv,
+                        &mut queue,
+                        &mut in_flight,
+                        &mut relay_flows,
+                    );
+                }
+                Ev::Retry { flow } => {
+                    let p = pending_retry.remove(&flow).expect("retry without kill");
+                    ep_retries += 1;
+                    retries_total += 1;
+                    ep_failover_ns += u128::from((now - p.crashed_at).as_nanos());
+                    ep_failover_n += 1;
+                    admit(
+                        flow,
+                        p.tenant,
+                        p.pair,
+                        p.bytes_left,
+                        p.issued,
+                        now,
+                        &pairs,
+                        &truth,
+                        &mut broker,
+                        &mut fleet,
+                        &mut slo,
+                        &mut inv,
+                        &mut queue,
+                        &mut in_flight,
+                        &mut relay_flows,
+                    );
+                }
+                Ev::Complete { flow } => {
+                    let fl = in_flight
+                        .remove(&flow)
+                        .expect("completion without admission");
+                    if let Some(r) = fl.relay {
+                        fleet.accrue(now.min(horizon).saturating_duration_since(billed_to));
+                        billed_to = now.min(horizon).max(billed_to);
+                        fleet.flow_finished(r);
+                        relay_flows[r].remove(&flow);
+                    }
+                    slo.record_completion(fl.tenant, fl.ratio, now - fl.issued);
+                    inv.flow_completed(flow, fl.bytes);
+                    completed_total += 1;
+                    ep_ratio_sum += fl.ratio;
+                    ep_ratio_n += 1;
+                }
+                Ev::Fault { idx } => {
+                    let fault = schedule.events()[idx as usize];
+                    obs::trace(
+                        now.as_nanos(),
+                        0,
+                        obs::TraceKind::FaultInjected,
+                        fault.kind.discriminant(),
+                        fault.kind.target(),
+                    );
+                    match fault.kind {
+                        FaultKind::RelayCrash { relay } => {
+                            // Rent accrues up to the crash; a dead VM
+                            // bills nothing from here on.
+                            fleet.accrue(now.saturating_duration_since(billed_to));
+                            billed_to = now.max(billed_to);
+                            let killed_flows = fleet.crash(relay);
+                            inv.relay_crashed(relay, now);
+                            let victims: Vec<u64> = relay_flows[relay].iter().copied().collect();
+                            debug_assert_eq!(killed_flows as usize, victims.len());
+                            relay_flows[relay].clear();
+                            for flow in victims {
+                                let fl = in_flight.remove(&flow).expect("tracked flow");
+                                assert!(queue.cancel(fl.handle), "completion already fired");
+                                // Bytes already on the wire when the VM
+                                // died: pro-rata over the segment.
+                                let total = (fl.done_at - fl.started).as_nanos().max(1);
+                                let elapsed = (now - fl.started).as_nanos();
+                                let delivered = ((u128::from(fl.bytes) * u128::from(elapsed))
+                                    / u128::from(total))
+                                    as u64;
+                                inv.flow_killed(flow, delivered);
+                                killed_total += 1;
+                                ep_killed += 1;
+                                pending_retry.insert(
+                                    flow,
+                                    PendingRetry {
+                                        tenant: fl.tenant,
+                                        pair: pair_for_retry(flow, &arrivals_by_epoch, &pairs),
+                                        bytes_left: fl.bytes - delivered,
+                                        issued: fl.issued,
+                                        crashed_at: now,
+                                    },
+                                );
+                                queue.schedule(now + cfg.detect_after, Ev::Retry { flow });
+                            }
+                        }
+                        FaultKind::RelayRestore { relay } => {
+                            fleet.restore(relay);
+                            inv.relay_restored(relay, now);
+                        }
+                        FaultKind::LinkDegrade { salt, severity } => {
+                            if !flap_victims.is_empty() {
+                                let link =
+                                    flap_victims[(salt % flap_victims.len() as u64) as usize];
+                                degraded.insert(salt, (link, severity));
+                                let l = world.net.link_mut(link);
+                                l.set_level(l.level().max(severity));
+                            }
+                        }
+                        FaultKind::LinkClear { salt } => {
+                            degraded.remove(&salt);
+                        }
+                        FaultKind::ProbeBlackholeStart => blackhole_depth += 1,
+                        FaultKind::ProbeBlackholeEnd => blackhole_depth -= 1,
+                        FaultKind::CachePoison { age } => broker.age_probes(age),
+                    }
+                }
+            }
+        }
+
+        fleet.accrue(epoch_end.saturating_duration_since(billed_to));
+        billed_to = epoch_end;
+        sync_states(&mut inv, &fleet, relays);
+        fleet.rebalance(horizon - epoch_end);
+
+        let b1 = broker.stats();
+        rows.push(ChaosRow {
+            epoch: e,
+            arrivals: arrivals_by_epoch[e as usize].len() as u64,
+            retries: ep_retries,
+            overlay: b1.overlay - b0.overlay,
+            direct: b1.direct - b0.direct,
+            denied: b1.denied - b0.denied,
+            stale: b1.stale_fallback - b0.stale_fallback,
+            completed: slo.completed() - done0,
+            killed: ep_killed,
+            violations: slo.violations() - viol0,
+            active: fleet.active(),
+            failed: fleet.failed(),
+            availability: availability[e as usize],
+            failover_ms: if ep_failover_n == 0 {
+                0.0
+            } else {
+                ep_failover_ns as f64 / ep_failover_n as f64 / 1e6
+            },
+            goodput_ratio: if ep_ratio_n == 0 {
+                1.0
+            } else {
+                ep_ratio_sum / ep_ratio_n as f64
+            },
+            spend_usd: fleet.spend_usd(),
+        });
+        ep_killed = 0;
+        ep_retries = 0;
+        ep_failover_ns = 0;
+        ep_failover_n = 0;
+        ep_ratio_sum = 0.0;
+        ep_ratio_n = 0;
+    }
+
+    // Tail: completions and late retries after the horizon. All faults
+    // lie strictly inside the horizon, so only flow events remain.
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Arrive { .. } => unreachable!("arrivals all lie inside the horizon"),
+            Ev::Fault { .. } => unreachable!("fault schedules end before the horizon"),
+            Ev::Retry { flow } => {
+                let p = pending_retry.remove(&flow).expect("retry without kill");
+                retries_total += 1;
+                admit(
+                    flow,
+                    p.tenant,
+                    p.pair,
+                    p.bytes_left,
+                    p.issued,
+                    now,
+                    &pairs,
+                    &truth,
+                    &mut broker,
+                    &mut fleet,
+                    &mut slo,
+                    &mut inv,
+                    &mut queue,
+                    &mut in_flight,
+                    &mut relay_flows,
+                );
+            }
+            Ev::Complete { flow } => {
+                let fl = in_flight
+                    .remove(&flow)
+                    .expect("completion without admission");
+                if let Some(r) = fl.relay {
+                    fleet.flow_finished(r);
+                    relay_flows[r].remove(&flow);
+                }
+                slo.record_completion(fl.tenant, fl.ratio, now - fl.issued);
+                inv.flow_completed(flow, fl.bytes);
+                completed_total += 1;
+            }
+        }
+    }
+    inv.finish();
+
+    broker.publish();
+    fleet.publish();
+    slo.publish();
+    cache.publish();
+    let counts = schedule.counts();
+    obs::add_named("faults.injected", schedule.len() as u64);
+    obs::add_named("faults.relay_crashes", counts.crashes);
+    obs::add_named("faults.relay_restores", counts.restores);
+    obs::add_named("faults.link_degradations", counts.degradations);
+    obs::add_named("faults.probe_blackholes", counts.blackholes);
+    obs::add_named("faults.cache_poisonings", counts.poisons);
+    obs::add_named("faults.flows_killed", killed_total);
+    obs::add_named("faults.retries", retries_total);
+
+    ChaosReport {
+        rows,
+        broker: broker.stats(),
+        fleet: fleet.stats(),
+        faults: counts,
+        arrivals: total_arrivals,
+        killed: killed_total,
+        retries: retries_total,
+        completed: completed_total,
+        spend_usd: fleet.spend_usd(),
+        budget_usd: svc.fleet.budget_usd,
+        invariant_violations: inv.violations().to_vec(),
+        slo,
+    }
+}
+
+/// Re-derives the pair a flow id maps to (its originating request's
+/// client, through the same hash the arrival path used).
+fn pair_for_retry(
+    flow: u64,
+    arrivals_by_epoch: &[Vec<control::FlowRequest>],
+    pairs: &[(RouterId, RouterId)],
+) -> usize {
+    let epoch = (flow >> 32) as usize;
+    let idx = (flow & 0xFFFF_FFFF) as usize;
+    pair_of(arrivals_by_epoch[epoch][idx].client, pairs.len())
+}
+
+/// One admission (first attempt or failover retry) through the broker,
+/// shared between `Arrive` and `Retry`.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    flow: u64,
+    tenant: u32,
+    pi: usize,
+    bytes: u64,
+    issued: SimTime,
+    now: SimTime,
+    pairs: &[(RouterId, RouterId)],
+    truth: &[cronets::eval::PairEval],
+    broker: &mut Broker,
+    fleet: &mut Fleet,
+    slo: &mut SloAccount,
+    inv: &mut Invariants,
+    queue: &mut EventQueue<Ev>,
+    in_flight: &mut HashMap<u64, InFlight>,
+    relay_flows: &mut [BTreeSet<u64>],
+) {
+    let (s, c) = pairs[pi];
+    let decision = broker.decide(s, c, now, |n| fleet.is_free(n));
+    let tr = &truth[pi];
+    let direct_true = tr.direct.throughput_bps;
+    match decision {
+        Decision::Deny => {
+            slo.record_denial(tenant);
+            inv.flow_denied(flow);
+        }
+        Decision::Direct { .. } => {
+            inv.flow_admitted(flow, None);
+            let done = now + completion_time(bytes, direct_true, tr.direct.rtt);
+            let handle = queue.schedule(done, Ev::Complete { flow });
+            in_flight.insert(
+                flow,
+                InFlight {
+                    tenant,
+                    relay: None,
+                    ratio: 1.0,
+                    issued,
+                    started: now,
+                    bytes,
+                    done_at: done,
+                    handle,
+                },
+            );
+        }
+        Decision::Overlay { node, .. } => {
+            fleet.flow_started(node);
+            debug_assert_eq!(fleet.relay_state(node), RelayState::Active);
+            inv.set_relay_state(node, fleet.relay_state(node));
+            inv.flow_admitted(flow, Some(node));
+            let bps_true = achieved(tr, PathChoice::Overlay(node));
+            let rtt = tr
+                .overlays
+                .iter()
+                .find(|o| o.node == node)
+                .map_or(tr.direct.rtt, |o| o.split.rtt);
+            let done = now + completion_time(bytes, bps_true, rtt);
+            let handle = queue.schedule(done, Ev::Complete { flow });
+            relay_flows[node].insert(flow);
+            in_flight.insert(
+                flow,
+                InFlight {
+                    tenant,
+                    relay: Some(node),
+                    ratio: bps_true / direct_true.max(1.0),
+                    issued,
+                    started: now,
+                    bytes,
+                    done_at: done,
+                    handle,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ChaosConfig {
+        let mut cfg = ChaosConfig::smoke();
+        cfg.service.workload.epochs = 10;
+        cfg.service.workload.mean_rate_per_sec = 4.0;
+        cfg.service.workload.diurnal_period = cfg.service.workload.epoch * 10;
+        cfg.faults.horizon = cfg.service.workload.horizon();
+        // Tight MTBF so even ten epochs see several crashes.
+        cfg.faults.relay_mtbf = SimDuration::from_secs(500);
+        cfg.faults.relay_mttr = SimDuration::from_secs(120);
+        cfg.faults.mttr_cap = SimDuration::from_secs(300);
+        cfg
+    }
+
+    #[test]
+    fn chaos_injects_and_the_service_survives() {
+        let r = chaos(&tiny_cfg(), 7);
+        assert_eq!(r.rows.len(), 10);
+        assert!(r.faults.crashes > 0, "no crashes injected");
+        assert!(r.killed > 0, "no flow ever rode a crashing relay");
+        assert!(r.completed > 0);
+        assert!(r.spend_usd <= r.budget_usd + 1e-9, "spend over budget");
+        assert!(
+            r.invariant_violations.is_empty(),
+            "{:?}",
+            r.invariant_violations
+        );
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let a = chaos(&tiny_cfg(), 5);
+        let b = chaos(&tiny_cfg(), 5);
+        assert_eq!(a.to_tsv(), b.to_tsv());
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn seeds_change_the_run() {
+        let a = chaos(&tiny_cfg(), 5);
+        let b = chaos(&tiny_cfg(), 6);
+        assert_ne!(a.to_tsv(), b.to_tsv());
+    }
+
+    #[test]
+    fn every_kill_is_retried_and_bytes_are_conserved() {
+        let r = chaos(&tiny_cfg(), 11);
+        assert_eq!(
+            r.killed, r.retries,
+            "every killed flow re-enters once per kill"
+        );
+        // Byte conservation is the checker's job; a clean run proves it
+        // held for every kill/retry chain.
+        assert!(r.invariant_violations.is_empty());
+    }
+
+    #[test]
+    fn availability_dips_when_relays_crash() {
+        let r = chaos(&tiny_cfg(), 7);
+        assert!(r.rows.iter().any(|row| row.availability < 1.0));
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| (0.0..=1.0).contains(&row.availability)));
+    }
+}

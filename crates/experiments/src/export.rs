@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 
 use measure::stats::Cdf;
 
-use crate::{factors, longitudinal, prevalence, quality, service};
+use crate::{chaos, factors, longitudinal, prevalence, quality, service};
 
 /// Writes a CDF as `value<TAB>fraction` rows.
 ///
@@ -193,6 +193,12 @@ pub fn export_fast(dir: &Path, seed: u64) -> io::Result<Vec<PathBuf>> {
     fs::write(&svc_path, svc.to_tsv())?;
     written.push(svc_path);
 
+    // The same service under the smoke fault schedule.
+    let cha = chaos::chaos(&chaos::ChaosConfig::smoke(), seed);
+    let cha_path = dir.join("chaos_smoke.tsv");
+    fs::write(&cha_path, cha.to_tsv())?;
+    written.push(cha_path);
+
     Ok(written)
 }
 
@@ -225,7 +231,11 @@ mod tests {
     fn export_fast_writes_all_figures() {
         let dir = std::env::temp_dir().join(format!("cronets-export-{}", std::process::id()));
         let written = export_fast(&dir, DEFAULT_SEED).unwrap();
-        assert!(written.len() >= 13, "only {} files", written.len());
+        assert!(written.len() >= 14, "only {} files", written.len());
+        assert!(
+            written.iter().any(|p| p.ends_with("chaos_smoke.tsv")),
+            "chaos table missing from the export set"
+        );
         for path in &written {
             let meta = std::fs::metadata(path).unwrap();
             assert!(meta.len() > 10, "{path:?} is empty");

@@ -18,6 +18,7 @@
 //! | [`export`] | TSV export of all figure data for external plotting |
 //! | [`failover`] | §VI-A: direct-path failure mid-transfer, MPTCP vs plain TCP |
 //! | [`service`] | §VI–§VII: CRONets as an online service (workload, broker, autoscaler, SLOs) |
+//! | [`chaos`] | §VI-A generalized: the service under a deterministic fault schedule (crashes, outages, flaps, poisoned probes) |
 //!
 //! Every experiment is deterministic in its seed, returns a typed result,
 //! and knows how to render itself as the rows/series of the original
@@ -29,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod cost;
 pub mod export;
 pub mod extensions;

@@ -340,7 +340,11 @@ enum Ev {
 /// Ground-truth path evaluation for every pair under the current
 /// congestion state, over the read-only cache. One work unit per pair,
 /// merged in pair order.
-fn epoch_truth(world: &World, cache: &RouteCache, pairs: &[(RouterId, RouterId)]) -> Vec<PairEval> {
+pub(crate) fn epoch_truth(
+    world: &World,
+    cache: &RouteCache,
+    pairs: &[(RouterId, RouterId)],
+) -> Vec<PairEval> {
     let net = &world.net;
     let params = *world.cronet.params();
     let tunnel = world.cronet.tunnel();
@@ -386,7 +390,7 @@ fn epoch_truth(world: &World, cache: &RouteCache, pairs: &[(RouterId, RouterId)]
 
 /// Completion latency of a flow: one path RTT of setup plus the
 /// transfer at the achieved rate.
-fn completion_time(bytes: u64, bps: f64, rtt: SimDuration) -> SimDuration {
+pub(crate) fn completion_time(bytes: u64, bps: f64, rtt: SimDuration) -> SimDuration {
     rtt + SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps.max(1.0))
 }
 
@@ -394,7 +398,7 @@ fn completion_time(bytes: u64, bps: f64, rtt: SimDuration) -> SimDuration {
 /// client id first (SplitMix64 finalizer) so the pair is decorrelated
 /// from `client % tenants` — otherwise each tenant would own a fixed
 /// subset of pairs whenever the tenant count divides the pair count.
-fn pair_of(client: u64, n_pairs: usize) -> usize {
+pub(crate) fn pair_of(client: u64, n_pairs: usize) -> usize {
     let mut z = client.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -488,8 +492,7 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
         let b0 = broker.stats();
         let (done0, viol0) = (slo.completed(), slo.violations());
 
-        while queue.peek_time().is_some_and(|t| t < epoch_end) {
-            let (now, ev) = queue.pop().expect("peeked");
+        while let Some((now, ev)) = queue.pop_before(epoch_end) {
             match ev {
                 Ev::Arrive { epoch, idx } => {
                     let req = &arrivals_by_epoch[epoch as usize][idx as usize];

@@ -1,0 +1,440 @@
+//! System-wide invariant checker for fault-injected runs.
+//!
+//! [`Invariants`] is a passive observer: the experiment reports every
+//! relevant transition (flow lifecycle, relay crashes/restores, fleet
+//! state changes) and the checker records any violation of the
+//! properties the system must keep *under arbitrary fault schedules*:
+//!
+//! 1. **No double billing** — a flow reaches a terminal state
+//!    (completed or denied) exactly once.
+//! 2. **No flows on unavailable relays** — a flow is never admitted to
+//!    a relay that is draining, crashed, or released; in particular the
+//!    broker never routes via a crashed relay once its probe is stale.
+//! 3. **Conservation of bytes** — across kills and retries, the bytes
+//!    delivered by every segment of a flow sum exactly to the bytes
+//!    requested, NAT and relay hops included.
+//! 4. **Bounded recovery** — every crashed relay is restored within the
+//!    schedule's MTTR cap, and no crash is left open at the end.
+//!
+//! Violations accumulate rather than panic, so one run can report all
+//! of them; [`Invariants::assert_clean`] converts them into a panic for
+//! use in tests (including `#[should_panic]` negative tests that prove
+//! the checker actually fires).
+
+use std::collections::HashMap;
+
+use control::RelayState;
+use simcore::{SimDuration, SimTime};
+
+/// One detected violation of a system invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// A flow reached a terminal state twice.
+    DoubleBilling {
+        /// The flow id.
+        flow: u64,
+    },
+    /// A flow was admitted to a relay that cannot accept work.
+    FlowOnUnavailableRelay {
+        /// The flow id.
+        flow: u64,
+        /// The relay slot.
+        relay: usize,
+        /// The slot's state at admission time.
+        state: RelayState,
+    },
+    /// A flow's delivered segments do not sum to its requested bytes.
+    BytesNotConserved {
+        /// The flow id.
+        flow: u64,
+        /// Bytes the flow requested.
+        expected: u64,
+        /// Bytes accounted across all segments.
+        accounted: u64,
+    },
+    /// A relay stayed down longer than the schedule's MTTR cap.
+    RecoveryExceededMttr {
+        /// The relay slot.
+        relay: usize,
+        /// How long it was down.
+        down_for: SimDuration,
+        /// The bound it had to meet.
+        cap: SimDuration,
+    },
+    /// A relay crashed and was never restored by the end of the run.
+    CrashNeverRecovered {
+        /// The relay slot.
+        relay: usize,
+    },
+    /// A lifecycle report arrived for a flow the checker never saw
+    /// requested — the experiment's bookkeeping itself is broken.
+    UnknownFlow {
+        /// The flow id.
+        flow: u64,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::DoubleBilling { flow } => {
+                write!(f, "flow {flow} was billed to a terminal state twice")
+            }
+            InvariantViolation::FlowOnUnavailableRelay { flow, relay, state } => {
+                write!(
+                    f,
+                    "flow {flow} admitted to relay {relay} in state {state:?}"
+                )
+            }
+            InvariantViolation::BytesNotConserved {
+                flow,
+                expected,
+                accounted,
+            } => write!(
+                f,
+                "flow {flow} requested {expected} B but segments account for {accounted} B"
+            ),
+            InvariantViolation::RecoveryExceededMttr {
+                relay,
+                down_for,
+                cap,
+            } => write!(
+                f,
+                "relay {relay} down for {down_for:?}, past the {cap:?} MTTR cap"
+            ),
+            InvariantViolation::CrashNeverRecovered { relay } => {
+                write!(f, "relay {relay} crashed and never recovered")
+            }
+            InvariantViolation::UnknownFlow { flow } => {
+                write!(f, "lifecycle report for unknown flow {flow}")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlowTrack {
+    requested: u64,
+    accounted: u64,
+    terminal: bool,
+}
+
+/// Accumulating invariant checker. See the module docs for the
+/// properties it enforces.
+#[derive(Debug)]
+pub struct Invariants {
+    relay_state: Vec<RelayState>,
+    down_since: Vec<Option<SimTime>>,
+    mttr_cap: SimDuration,
+    flows: HashMap<u64, FlowTrack>,
+    violations: Vec<InvariantViolation>,
+}
+
+impl Invariants {
+    /// Creates a checker for `relays` fleet slots and the schedule's
+    /// recovery bound. All slots start [`RelayState::Released`],
+    /// mirroring a fresh [`control::Fleet`].
+    #[must_use]
+    pub fn new(relays: usize, mttr_cap: SimDuration) -> Invariants {
+        Invariants {
+            relay_state: vec![RelayState::Released; relays],
+            down_since: vec![None; relays],
+            mttr_cap,
+            flows: HashMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Mirrors a fleet state transition (rent, drain, release) so
+    /// admission checks see what the fleet sees. Crashes and restores
+    /// go through [`Invariants::relay_crashed`] / [`Invariants::relay_restored`]
+    /// instead, which also track the recovery bound.
+    pub fn set_relay_state(&mut self, relay: usize, state: RelayState) {
+        self.relay_state[relay] = state;
+    }
+
+    /// A new flow asked for `bytes` bytes of transfer.
+    pub fn flow_requested(&mut self, flow: u64, bytes: u64) {
+        self.flows.insert(
+            flow,
+            FlowTrack {
+                requested: bytes,
+                accounted: 0,
+                terminal: false,
+            },
+        );
+    }
+
+    /// The flow was admitted; `relay` is `Some(slot)` for overlay
+    /// routing, `None` for the direct path. Admission to anything but
+    /// an `Active` slot is a violation — drained, crashed, and released
+    /// slots must receive no new flows.
+    pub fn flow_admitted(&mut self, flow: u64, relay: Option<usize>) {
+        if !self.flows.contains_key(&flow) {
+            self.violations
+                .push(InvariantViolation::UnknownFlow { flow });
+            return;
+        }
+        if let Some(r) = relay {
+            let state = self.relay_state[r];
+            if state != RelayState::Active {
+                self.violations
+                    .push(InvariantViolation::FlowOnUnavailableRelay {
+                        flow,
+                        relay: r,
+                        state,
+                    });
+            }
+        }
+    }
+
+    /// A fault killed the flow mid-transfer after `delivered` bytes; a
+    /// retry segment is expected to carry the rest.
+    pub fn flow_killed(&mut self, flow: u64, delivered: u64) {
+        match self.flows.get_mut(&flow) {
+            Some(t) => t.accounted += delivered,
+            None => self
+                .violations
+                .push(InvariantViolation::UnknownFlow { flow }),
+        }
+    }
+
+    /// The flow's final segment finished, delivering `segment` bytes.
+    /// Checks terminal-once (double billing) and byte conservation.
+    pub fn flow_completed(&mut self, flow: u64, segment: u64) {
+        let Some(t) = self.flows.get_mut(&flow) else {
+            self.violations
+                .push(InvariantViolation::UnknownFlow { flow });
+            return;
+        };
+        if t.terminal {
+            self.violations
+                .push(InvariantViolation::DoubleBilling { flow });
+            return;
+        }
+        t.terminal = true;
+        t.accounted += segment;
+        if t.accounted != t.requested {
+            let (expected, accounted) = (t.requested, t.accounted);
+            self.violations.push(InvariantViolation::BytesNotConserved {
+                flow,
+                expected,
+                accounted,
+            });
+        }
+    }
+
+    /// The flow was denied admission (terminal, no bytes move).
+    pub fn flow_denied(&mut self, flow: u64) {
+        let Some(t) = self.flows.get_mut(&flow) else {
+            self.violations
+                .push(InvariantViolation::UnknownFlow { flow });
+            return;
+        };
+        if t.terminal {
+            self.violations
+                .push(InvariantViolation::DoubleBilling { flow });
+        }
+        t.terminal = true;
+    }
+
+    /// Relay `relay` crashed at `at`.
+    pub fn relay_crashed(&mut self, relay: usize, at: SimTime) {
+        self.relay_state[relay] = RelayState::Failed;
+        self.down_since[relay] = Some(at);
+    }
+
+    /// Relay `relay` was restored at `at`; checks the recovery bound.
+    pub fn relay_restored(&mut self, relay: usize, at: SimTime) {
+        self.relay_state[relay] = RelayState::Released;
+        if let Some(since) = self.down_since[relay].take() {
+            let down_for = at - since;
+            if down_for > self.mttr_cap {
+                self.violations
+                    .push(InvariantViolation::RecoveryExceededMttr {
+                        relay,
+                        down_for,
+                        cap: self.mttr_cap,
+                    });
+            }
+        }
+    }
+
+    /// End-of-run checks: every crash window must have closed.
+    pub fn finish(&mut self) {
+        for (relay, since) in self.down_since.iter().enumerate() {
+            if since.is_some() {
+                self.violations
+                    .push(InvariantViolation::CrashNeverRecovered { relay });
+            }
+        }
+    }
+
+    /// All violations recorded so far, in detection order.
+    #[must_use]
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Panics with the full violation list if any invariant was broken.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`Invariants::violations`] is non-empty.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "{} invariant violation(s):\n{}",
+            self.violations.len(),
+            self.violations
+                .iter()
+                .map(|v| format!("  - {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn clean_lifecycle_records_nothing() {
+        let mut inv = Invariants::new(2, SimDuration::from_secs(60));
+        inv.set_relay_state(0, RelayState::Active);
+        inv.flow_requested(1, 1000);
+        inv.flow_admitted(1, Some(0));
+        inv.flow_completed(1, 1000);
+        inv.flow_requested(2, 500);
+        inv.flow_admitted(2, None);
+        inv.flow_killed(2, 200);
+        inv.flow_completed(2, 300);
+        inv.relay_crashed(0, t(10));
+        inv.relay_restored(0, t(40));
+        inv.finish();
+        assert!(inv.violations().is_empty(), "{:?}", inv.violations());
+        inv.assert_clean();
+    }
+
+    #[test]
+    fn double_completion_is_double_billing() {
+        let mut inv = Invariants::new(1, SimDuration::from_secs(60));
+        inv.flow_requested(7, 10);
+        inv.flow_completed(7, 10);
+        inv.flow_completed(7, 10);
+        assert_eq!(
+            inv.violations(),
+            &[InvariantViolation::DoubleBilling { flow: 7 }]
+        );
+    }
+
+    #[test]
+    fn admission_to_failed_or_draining_relay_is_flagged() {
+        let mut inv = Invariants::new(2, SimDuration::from_secs(60));
+        inv.relay_crashed(0, t(1));
+        inv.set_relay_state(1, RelayState::Draining);
+        inv.flow_requested(1, 10);
+        inv.flow_admitted(1, Some(0));
+        inv.flow_requested(2, 10);
+        inv.flow_admitted(2, Some(1));
+        assert_eq!(
+            inv.violations(),
+            &[
+                InvariantViolation::FlowOnUnavailableRelay {
+                    flow: 1,
+                    relay: 0,
+                    state: RelayState::Failed,
+                },
+                InvariantViolation::FlowOnUnavailableRelay {
+                    flow: 2,
+                    relay: 1,
+                    state: RelayState::Draining,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn lost_bytes_break_conservation() {
+        let mut inv = Invariants::new(1, SimDuration::from_secs(60));
+        inv.flow_requested(3, 1000);
+        inv.flow_killed(3, 400);
+        inv.flow_completed(3, 500);
+        assert_eq!(
+            inv.violations(),
+            &[InvariantViolation::BytesNotConserved {
+                flow: 3,
+                expected: 1000,
+                accounted: 900,
+            }]
+        );
+    }
+
+    #[test]
+    fn slow_recovery_breaks_the_mttr_bound() {
+        let mut inv = Invariants::new(1, SimDuration::from_secs(30));
+        inv.relay_crashed(0, t(0));
+        inv.relay_restored(0, t(31));
+        assert_eq!(
+            inv.violations(),
+            &[InvariantViolation::RecoveryExceededMttr {
+                relay: 0,
+                down_for: SimDuration::from_secs(31),
+                cap: SimDuration::from_secs(30),
+            }]
+        );
+    }
+
+    #[test]
+    fn open_crash_window_is_caught_at_finish() {
+        let mut inv = Invariants::new(2, SimDuration::from_secs(30));
+        inv.relay_crashed(1, t(5));
+        inv.finish();
+        assert_eq!(
+            inv.violations(),
+            &[InvariantViolation::CrashNeverRecovered { relay: 1 }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation")]
+    fn assert_clean_panics_on_violations() {
+        let mut inv = Invariants::new(1, SimDuration::from_secs(30));
+        inv.flow_requested(1, 10);
+        inv.flow_completed(1, 10);
+        inv.flow_completed(1, 10);
+        inv.assert_clean();
+    }
+
+    #[test]
+    fn every_violation_displays_meaningfully() {
+        let samples = [
+            InvariantViolation::DoubleBilling { flow: 1 },
+            InvariantViolation::FlowOnUnavailableRelay {
+                flow: 1,
+                relay: 0,
+                state: RelayState::Failed,
+            },
+            InvariantViolation::BytesNotConserved {
+                flow: 1,
+                expected: 2,
+                accounted: 1,
+            },
+            InvariantViolation::RecoveryExceededMttr {
+                relay: 0,
+                down_for: SimDuration::from_secs(2),
+                cap: SimDuration::from_secs(1),
+            },
+            InvariantViolation::CrashNeverRecovered { relay: 0 },
+            InvariantViolation::UnknownFlow { flow: 9 },
+        ];
+        for v in samples {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # faults — deterministic fault injection for the overlay service
+//!
+//! The paper's robustness claim (§VI-A: "if the default Internet path
+//! fails, the two proxies can still continue their connections through
+//! the overlay paths") deserves more than one scripted link failure.
+//! This crate turns failure into a first-class, *seed-deterministic*
+//! input: a [`schedule::FaultSchedule`] is a pure function of
+//! `(FaultConfig, seed)` that scripts relay VM crashes and restores
+//! (exponential MTBF/MTTR with a hard recovery cap), DC-wide outages
+//! (grouped crashes), inter-AS link flaps/degradations, probe
+//! blackholes, and broker cache poisoning — in the style of RON's
+//! continuous failure model and Jepsen's scheduled nemeses.
+//!
+//! The schedule injects into three layers:
+//!
+//! * the DES substrate — fault events ride the same
+//!   [`simcore::EventQueue`] as flow arrivals and completions, so the
+//!   interleaving is deterministic at any thread count;
+//! * the control plane — [`control::Fleet::crash`]/[`control::Fleet::restore`]
+//!   kill flows and gate re-renting, [`control::Broker::age_probes`]
+//!   poisons the probe cache, blackhole windows suppress refreshes;
+//! * the dataplane model — degraded links raise loss/queueing on every
+//!   path that crosses them at the next epoch's truth evaluation.
+//!
+//! The headline deliverable is the test layer this enables:
+//! [`check::Invariants`] is a reusable checker that watches the whole
+//! run and proves system-wide properties under randomized fault
+//! schedules — no flow is ever double-billed, drained or dead relays
+//! receive no new flows, bytes are conserved across kill/retry
+//! segments, and every crash recovers within the schedule's MTTR bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod schedule;
+
+pub use check::{InvariantViolation, Invariants};
+pub use schedule::{FaultConfig, FaultCounts, FaultEvent, FaultKind, FaultSchedule};

@@ -1,0 +1,471 @@
+//! Seed-deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] is generated once, up front, as a pure function
+//! of `(FaultConfig, seed)`: the experiment replays it by scheduling
+//! every [`FaultEvent`] into its event queue before the run starts.
+//! Nothing about the schedule depends on the run's state, so the same
+//! `(config, seed)` always injects the same faults at the same instants
+//! — byte-identical output at any thread count, and a failing run can
+//! be replayed exactly from its seed.
+//!
+//! Relay crash windows never overlap on one relay (the per-relay
+//! renewal process and the DC-outage process negotiate: an outage skips
+//! members already inside a crash window), and every window's duration
+//! is capped at [`FaultConfig::mttr_cap`] *by construction* — which is
+//! what lets the invariant checker assert "recovery always completes
+//! within the schedule's MTTR bound" as a property of the system rather
+//! than of luck.
+
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// RNG stream labels, one per fault family, so adding draws to one
+/// family never perturbs another.
+const STREAM_RELAY: u64 = 0xFA17;
+const STREAM_OUTAGE: u64 = 0xDC00;
+const STREAM_LINK: u64 = 0x11F0;
+const STREAM_BLACKHOLE: u64 = 0xB1AC;
+const STREAM_POISON: u64 = 0x9015;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Relay VM `relay` crashes: its flows are killed, billing stops,
+    /// and the slot is unusable until the paired restore.
+    RelayCrash {
+        /// Fleet slot index.
+        relay: usize,
+    },
+    /// Relay slot `relay` is restored to the rentable pool.
+    RelayRestore {
+        /// Fleet slot index.
+        relay: usize,
+    },
+    /// An inter-AS link is degraded for a window: `salt` picks the
+    /// victim modulo the world's candidate-link count (the schedule is
+    /// topology-agnostic), `severity` is the congestion-level floor
+    /// (added latency and loss) imposed while the window is open.
+    LinkDegrade {
+        /// Victim selector, resolved modulo the candidate count.
+        salt: u64,
+        /// Congestion-level floor in `[0, 1]`.
+        severity: f64,
+    },
+    /// The degradation window keyed by `salt` ends.
+    LinkClear {
+        /// Selector of the window being closed.
+        salt: u64,
+    },
+    /// Probe refreshes are blackholed: the broker's cache receives no
+    /// new observations until the window closes, so probes age toward
+    /// the staleness bound.
+    ProbeBlackholeStart,
+    /// The probe blackhole window ends.
+    ProbeBlackholeEnd,
+    /// Broker cache poisoning: every cached probe instantly ages by
+    /// `age`, as if it had been measured that much earlier.
+    CachePoison {
+        /// Extra age applied to every cached probe.
+        age: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// Stable discriminant for trace records (`obs::TraceKind::FaultInjected`).
+    #[must_use]
+    pub fn discriminant(&self) -> u64 {
+        match self {
+            FaultKind::RelayCrash { .. } => 0,
+            FaultKind::RelayRestore { .. } => 1,
+            FaultKind::LinkDegrade { .. } => 2,
+            FaultKind::LinkClear { .. } => 3,
+            FaultKind::ProbeBlackholeStart => 4,
+            FaultKind::ProbeBlackholeEnd => 5,
+            FaultKind::CachePoison { .. } => 6,
+        }
+    }
+
+    /// The target index the fault names, for trace records (relay slot,
+    /// link salt, or 0 for global faults).
+    #[must_use]
+    pub fn target(&self) -> u64 {
+        match self {
+            FaultKind::RelayCrash { relay } | FaultKind::RelayRestore { relay } => *relay as u64,
+            FaultKind::LinkDegrade { salt, .. } | FaultKind::LinkClear { salt } => *salt,
+            _ => 0,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Injection instant.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Fault-process parameters. Rates are means of exponential/Poisson
+/// processes; every duration draw is capped so the schedule stays
+/// within its contractual recovery bound.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Relay slots the schedule may crash (the scenario's overlay node
+    /// count).
+    pub relays: usize,
+    /// Schedule horizon: no event is emitted at or past it, and every
+    /// window closes strictly before it.
+    pub horizon: SimDuration,
+    /// Mean time between failures of one relay VM (exponential).
+    pub relay_mtbf: SimDuration,
+    /// Mean time to recovery of a crashed relay (exponential, capped).
+    pub relay_mttr: SimDuration,
+    /// Hard cap on every crash window (relay and DC outage alike): the
+    /// recovery-bound invariant the checker enforces.
+    pub mttr_cap: SimDuration,
+    /// DC-wide outages per hour (each crashes `dc_group` adjacent
+    /// relays at once).
+    pub dc_outage_per_hour: f64,
+    /// Relays taken down together by one DC outage.
+    pub dc_group: usize,
+    /// Link degradation windows per hour.
+    pub link_flap_per_hour: f64,
+    /// Mean degradation window length (exponential, capped at
+    /// `mttr_cap`).
+    pub link_flap_mean: SimDuration,
+    /// Congestion-level floor imposed on a degraded link.
+    pub link_severity: f64,
+    /// Probe-blackhole windows per hour.
+    pub blackhole_per_hour: f64,
+    /// Mean blackhole window length (exponential, capped at `mttr_cap`).
+    pub blackhole_mean: SimDuration,
+    /// Cache-poisoning events per hour.
+    pub poison_per_hour: f64,
+    /// Age applied to every cached probe by one poisoning.
+    pub poison_age: SimDuration,
+}
+
+/// Per-kind event counts of a generated schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Relay crashes (individual and DC-outage members).
+    pub crashes: u64,
+    /// Relay restores (always equals `crashes`).
+    pub restores: u64,
+    /// DC outages (each contributes ≥ 1 crash).
+    pub outages: u64,
+    /// Link degradation windows.
+    pub degradations: u64,
+    /// Probe blackhole windows.
+    pub blackholes: u64,
+    /// Cache poisonings.
+    pub poisons: u64,
+}
+
+/// A generated, time-sorted fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    counts: FaultCounts,
+    mttr_cap: SimDuration,
+}
+
+impl FaultSchedule {
+    /// Generates the schedule for `(cfg, seed)`. Pure: the same inputs
+    /// always produce the same events in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero horizon or a
+    /// zero MTTR cap while any fault family is enabled).
+    #[must_use]
+    pub fn generate(cfg: &FaultConfig, seed: u64) -> FaultSchedule {
+        assert!(!cfg.horizon.is_zero(), "fault horizon must be positive");
+        assert!(!cfg.mttr_cap.is_zero(), "mttr_cap must be positive");
+        let horizon_s = cfg.horizon.as_secs_f64();
+        let hours = horizon_s / 3600.0;
+        let root = SimRng::seed_from(seed);
+        let mut counts = FaultCounts::default();
+        // (at, generation-sequence, kind): the sequence breaks time ties
+        // deterministically, independent of sort stability.
+        let mut raw: Vec<(SimTime, u64, FaultKind)> = Vec::new();
+        let mut seq = 0u64;
+        // Per-relay closed crash windows, for overlap checks.
+        let mut windows: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cfg.relays];
+        let free = |windows: &[Vec<(f64, f64)>], r: usize, s: f64, e: f64| {
+            windows[r].iter().all(|&(ws, we)| e <= ws || s >= we)
+        };
+        let cap_s = cfg.mttr_cap.as_secs_f64();
+
+        // Per-relay renewal process: up after exp(MTBF), down for
+        // exp(MTTR) capped, repeat while the whole window fits.
+        if cfg.relay_mtbf > SimDuration::ZERO {
+            for (r, relay_windows) in windows.iter_mut().enumerate() {
+                let mut rng = root.fork(STREAM_RELAY).fork(r as u64);
+                let mut t = 0.0f64;
+                loop {
+                    t += rng.exponential(cfg.relay_mtbf.as_secs_f64());
+                    let down = rng.exponential(cfg.relay_mttr.as_secs_f64()).min(cap_s);
+                    if t + down >= horizon_s {
+                        break;
+                    }
+                    relay_windows.push((t, t + down));
+                    raw.push((at(t), seq, FaultKind::RelayCrash { relay: r }));
+                    raw.push((at(t + down), seq + 1, FaultKind::RelayRestore { relay: r }));
+                    seq += 2;
+                    counts.crashes += 1;
+                    counts.restores += 1;
+                    t += down;
+                }
+            }
+        }
+
+        // DC outages: `dc_group` adjacent slots crash together. Members
+        // already inside (or overlapping) a crash window are skipped so
+        // no relay ever double-crashes.
+        let mut rng = root.fork(STREAM_OUTAGE);
+        for _ in 0..rng.poisson(cfg.dc_outage_per_hour * hours) {
+            let start = rng.uniform_f64() * horizon_s;
+            let down = rng.exponential(cfg.relay_mttr.as_secs_f64()).min(cap_s);
+            let first = rng.index(cfg.relays.max(1));
+            if start + down >= horizon_s {
+                continue;
+            }
+            let mut hit = false;
+            for k in 0..cfg.dc_group.min(cfg.relays) {
+                let r = (first + k) % cfg.relays;
+                if !free(&windows, r, start, start + down) {
+                    continue;
+                }
+                windows[r].push((start, start + down));
+                raw.push((at(start), seq, FaultKind::RelayCrash { relay: r }));
+                raw.push((
+                    at(start + down),
+                    seq + 1,
+                    FaultKind::RelayRestore { relay: r },
+                ));
+                seq += 2;
+                counts.crashes += 1;
+                counts.restores += 1;
+                hit = true;
+            }
+            if hit {
+                counts.outages += 1;
+            }
+        }
+
+        // Link degradation windows.
+        let mut rng = root.fork(STREAM_LINK);
+        for _ in 0..rng.poisson(cfg.link_flap_per_hour * hours) {
+            let start = rng.uniform_f64() * horizon_s;
+            let len = rng.exponential(cfg.link_flap_mean.as_secs_f64()).min(cap_s);
+            let salt = rng.next_u64();
+            if start + len >= horizon_s {
+                continue;
+            }
+            raw.push((
+                at(start),
+                seq,
+                FaultKind::LinkDegrade {
+                    salt,
+                    severity: cfg.link_severity,
+                },
+            ));
+            raw.push((at(start + len), seq + 1, FaultKind::LinkClear { salt }));
+            seq += 2;
+            counts.degradations += 1;
+        }
+
+        // Probe blackhole windows (may overlap; consumers keep a depth).
+        let mut rng = root.fork(STREAM_BLACKHOLE);
+        for _ in 0..rng.poisson(cfg.blackhole_per_hour * hours) {
+            let start = rng.uniform_f64() * horizon_s;
+            let len = rng.exponential(cfg.blackhole_mean.as_secs_f64()).min(cap_s);
+            if start + len >= horizon_s {
+                continue;
+            }
+            raw.push((at(start), seq, FaultKind::ProbeBlackholeStart));
+            raw.push((at(start + len), seq + 1, FaultKind::ProbeBlackholeEnd));
+            seq += 2;
+            counts.blackholes += 1;
+        }
+
+        // Cache poisonings: instantaneous.
+        let mut rng = root.fork(STREAM_POISON);
+        for _ in 0..rng.poisson(cfg.poison_per_hour * hours) {
+            let start = rng.uniform_f64() * horizon_s;
+            raw.push((
+                at(start),
+                seq,
+                FaultKind::CachePoison {
+                    age: cfg.poison_age,
+                },
+            ));
+            seq += 1;
+            counts.poisons += 1;
+        }
+
+        raw.sort_by_key(|x| (x.0, x.1));
+        FaultSchedule {
+            events: raw
+                .into_iter()
+                .map(|(at, _, kind)| FaultEvent { at, kind })
+                .collect(),
+            counts,
+            mttr_cap: cfg.mttr_cap,
+        }
+    }
+
+    /// The events, sorted by injection time.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Per-kind event counts.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// The recovery bound every crash window honours by construction.
+    #[must_use]
+    pub fn mttr_cap(&self) -> SimDuration {
+        self.mttr_cap
+    }
+
+    /// Total scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the schedule injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Seconds-offset helper: schedules live on the simulation timeline.
+fn at(secs: f64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs_f64(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultConfig {
+        FaultConfig {
+            relays: 5,
+            horizon: SimDuration::from_secs(7200),
+            relay_mtbf: SimDuration::from_secs(1800),
+            relay_mttr: SimDuration::from_secs(200),
+            mttr_cap: SimDuration::from_secs(400),
+            dc_outage_per_hour: 0.5,
+            dc_group: 2,
+            link_flap_per_hour: 2.0,
+            link_flap_mean: SimDuration::from_secs(300),
+            link_severity: 0.9,
+            blackhole_per_hour: 1.0,
+            blackhole_mean: SimDuration::from_secs(300),
+            poison_per_hour: 1.0,
+            poison_age: SimDuration::from_secs(600),
+        }
+    }
+
+    #[test]
+    fn generation_is_pure_and_seed_sensitive() {
+        let a = FaultSchedule::generate(&cfg(), 7);
+        let b = FaultSchedule::generate(&cfg(), 7);
+        assert_eq!(a.events(), b.events());
+        let c = FaultSchedule::generate(&cfg(), 8);
+        assert_ne!(a.events(), c.events(), "seed must matter");
+        assert!(!a.is_empty(), "this config injects plenty");
+    }
+
+    #[test]
+    fn events_are_sorted_and_inside_the_horizon() {
+        let s = FaultSchedule::generate(&cfg(), 11);
+        let horizon = SimTime::ZERO + cfg().horizon;
+        for w in s.events().windows(2) {
+            assert!(w[0].at <= w[1].at, "schedule out of order");
+        }
+        for e in s.events() {
+            assert!(e.at < horizon, "event at/past the horizon");
+        }
+    }
+
+    #[test]
+    fn crash_windows_never_overlap_and_honour_the_cap() {
+        for seed in 0..20 {
+            let c = cfg();
+            let s = FaultSchedule::generate(&c, seed);
+            let mut down_since: Vec<Option<SimTime>> = vec![None; c.relays];
+            let mut crashes = 0u64;
+            for e in s.events() {
+                match e.kind {
+                    FaultKind::RelayCrash { relay } => {
+                        assert!(
+                            down_since[relay].is_none(),
+                            "seed {seed}: relay {relay} crashed twice"
+                        );
+                        down_since[relay] = Some(e.at);
+                        crashes += 1;
+                    }
+                    FaultKind::RelayRestore { relay } => {
+                        let since = down_since[relay].take().expect("restore without a crash");
+                        assert!(
+                            e.at - since <= c.mttr_cap,
+                            "seed {seed}: relay {relay} down past the cap"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                down_since.iter().all(Option::is_none),
+                "seed {seed}: a crash window never closed"
+            );
+            assert_eq!(crashes, s.counts().crashes);
+            assert_eq!(s.counts().crashes, s.counts().restores);
+        }
+    }
+
+    #[test]
+    fn windows_pair_start_and_end_for_every_family() {
+        let s = FaultSchedule::generate(&cfg(), 13);
+        let mut blackhole_depth = 0i64;
+        let mut open_links = std::collections::HashSet::new();
+        for e in s.events() {
+            match e.kind {
+                FaultKind::ProbeBlackholeStart => blackhole_depth += 1,
+                FaultKind::ProbeBlackholeEnd => {
+                    blackhole_depth -= 1;
+                    assert!(blackhole_depth >= 0, "end before start");
+                }
+                FaultKind::LinkDegrade { salt, .. } => {
+                    assert!(open_links.insert(salt), "salt reused while open");
+                }
+                FaultKind::LinkClear { salt } => {
+                    assert!(open_links.remove(&salt), "clear without degrade");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(blackhole_depth, 0);
+        assert!(open_links.is_empty());
+    }
+
+    #[test]
+    fn disabling_a_family_removes_only_that_family() {
+        let mut c = cfg();
+        c.link_flap_per_hour = 0.0;
+        c.poison_per_hour = 0.0;
+        let s = FaultSchedule::generate(&c, 7);
+        assert_eq!(s.counts().degradations, 0);
+        assert_eq!(s.counts().poisons, 0);
+        assert!(s.counts().crashes > 0, "relay process unaffected");
+    }
+}

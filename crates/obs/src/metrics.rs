@@ -395,14 +395,25 @@ pub(crate) fn register_catalogue() {
         "control.fleet.scale_ups",
         "control.fleet.drains",
         "control.fleet.releases",
+        "control.fleet.crashes",
+        "control.fleet.restores",
         "control.slo.completed",
         "control.slo.violations",
+        "faults.injected",
+        "faults.relay_crashes",
+        "faults.relay_restores",
+        "faults.link_degradations",
+        "faults.probe_blackholes",
+        "faults.cache_poisonings",
+        "faults.flows_killed",
+        "faults.retries",
     ] {
         counter(name);
     }
     gauge("des.sim_time_ns");
     gauge("control.fleet.active");
     gauge("control.fleet.draining");
+    gauge("control.fleet.failed");
     gauge("control.fleet.spend_usd");
     histogram("des.cc.cwnd_segs", CWND_EDGES);
     histogram("des.link.queue_depth", QUEUE_DEPTH_EDGES);

@@ -27,6 +27,10 @@ pub enum TraceKind {
     CwndChange,
     /// An MPTCP scheduler decision moved to another subflow (`a` = from, `b` = to).
     SubflowSwitch,
+    /// A fault was injected (`a` = fault-kind discriminant, `b` = target index).
+    FaultInjected,
+    /// A fault window ended (`a` = fault-kind discriminant, `b` = target index).
+    FaultCleared,
 }
 
 impl fmt::Display for TraceKind {
@@ -38,6 +42,8 @@ impl fmt::Display for TraceKind {
             TraceKind::RtoBackoff => "rto_backoff",
             TraceKind::CwndChange => "cwnd_change",
             TraceKind::SubflowSwitch => "subflow_switch",
+            TraceKind::FaultInjected => "fault_injected",
+            TraceKind::FaultCleared => "fault_cleared",
         };
         f.write_str(s)
     }

@@ -174,6 +174,28 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Removes and returns the earliest pending event strictly before
+    /// `t`, or `None` if the queue is empty or its head is at or past
+    /// `t`. The idiom behind every epoch-bounded event loop:
+    ///
+    /// ```
+    /// use simcore::{EventQueue, SimTime, SimDuration};
+    /// let mut q = EventQueue::new();
+    /// q.schedule(SimTime::ZERO + SimDuration::from_secs(1), "in-epoch");
+    /// q.schedule(SimTime::ZERO + SimDuration::from_secs(9), "later");
+    /// let end = SimTime::ZERO + SimDuration::from_secs(5);
+    /// assert_eq!(q.pop_before(end).map(|(_, e)| e), Some("in-epoch"));
+    /// assert_eq!(q.pop_before(end), None, "the epoch boundary holds");
+    /// assert_eq!(q.len(), 1, "later events stay queued");
+    /// ```
+    pub fn pop_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? < t {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
     /// The time of the earliest pending event, if any, without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(&head) = self.heap.first() {

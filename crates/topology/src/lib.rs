@@ -42,4 +42,4 @@ pub use congestion::{CongestionDynamics, CongestionProfile};
 pub use geo::{City, Continent, GeoPoint};
 pub use graph::{AsNode, AsTier, Network, Relationship, Router, RouterKind};
 pub use ids::{AsId, LinkId, RouterId};
-pub use link::{Link, LinkKind};
+pub use link::{EndpointMismatch, Link, LinkKind};

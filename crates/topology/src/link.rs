@@ -29,6 +29,25 @@ impl LinkKind {
     }
 }
 
+/// Error returned when a router is not an endpoint of the link it was
+/// asked about — under fault injection a traversal can legitimately hold
+/// a stale link id, so the mismatch is a typed error, not a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointMismatch {
+    /// The link consulted.
+    pub link: LinkId,
+    /// The router that is not one of its endpoints.
+    pub router: RouterId,
+}
+
+impl std::fmt::Display for EndpointMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} is not an endpoint of {}", self.router, self.link)
+    }
+}
+
+impl std::error::Error for EndpointMismatch {}
+
 /// A bidirectional router-to-router link with capacity, propagation delay
 /// and a (dynamic) congestion state.
 ///
@@ -99,17 +118,20 @@ impl Link {
 
     /// Given one endpoint, returns the other.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `from` is not an endpoint of this link.
-    #[must_use]
-    pub fn other_end(&self, from: RouterId) -> RouterId {
+    /// Returns [`EndpointMismatch`] if `from` is not an endpoint of this
+    /// link.
+    pub fn other_end(&self, from: RouterId) -> Result<RouterId, EndpointMismatch> {
         if from == self.a {
-            self.b
+            Ok(self.b)
         } else if from == self.b {
-            self.a
+            Ok(self.a)
         } else {
-            panic!("{from} is not an endpoint of {}", self.id)
+            Err(EndpointMismatch {
+                link: self.id,
+                router: from,
+            })
         }
     }
 
@@ -197,15 +219,28 @@ mod tests {
     #[test]
     fn other_end_flips_endpoints() {
         let l = test_link(LinkKind::Transit);
-        assert_eq!(l.other_end(RouterId::from_raw(1)), RouterId::from_raw(2));
-        assert_eq!(l.other_end(RouterId::from_raw(2)), RouterId::from_raw(1));
+        assert_eq!(
+            l.other_end(RouterId::from_raw(1)),
+            Ok(RouterId::from_raw(2))
+        );
+        assert_eq!(
+            l.other_end(RouterId::from_raw(2)),
+            Ok(RouterId::from_raw(1))
+        );
     }
 
     #[test]
-    #[should_panic(expected = "not an endpoint")]
-    fn other_end_rejects_foreign_router() {
+    fn other_end_rejects_foreign_router_with_a_typed_error() {
         let l = test_link(LinkKind::Transit);
-        let _ = l.other_end(RouterId::from_raw(9));
+        let err = l.other_end(RouterId::from_raw(9)).unwrap_err();
+        assert_eq!(
+            err,
+            EndpointMismatch {
+                link: LinkId::from_raw(0),
+                router: RouterId::from_raw(9),
+            }
+        );
+        assert!(err.to_string().contains("not an endpoint"));
     }
 
     #[test]

@@ -69,6 +69,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "SVI-VII: online overlay service (broker, autoscaler, SLO accounting)",
     ),
     (
+        "chaos",
+        "SVI-A generalized: the service under a deterministic fault schedule",
+    ),
+    (
         "export",
         "write all analytic figure data as TSV into ./results/",
     ),
@@ -87,7 +91,7 @@ fn usage() {
     );
     eprintln!("  --threads N   worker threads (default: available parallelism);");
     eprintln!("                output is byte-identical at any thread count");
-    eprintln!("  --smoke       CI-sized run (service experiment only)");
+    eprintln!("  --smoke       CI-sized run (service and chaos experiments only)");
     eprintln!("  --metrics     collect telemetry; print a metric snapshot and");
     eprintln!("                write manifest_<name>.tsv/.jsonl into ./{RESULTS_DIR}/");
     eprintln!("  --trace FLOW  with --metrics: trace DES flow FLOW's segment");
@@ -145,6 +149,22 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
             {
                 Ok(()) => println!("wrote {}", path.display()),
                 Err(e) => eprintln!("service TSV write failed: {e}"),
+            }
+        }
+        "chaos" => {
+            let cfg = if opts.smoke {
+                exp::chaos::ChaosConfig::smoke()
+            } else {
+                exp::chaos::ChaosConfig::paper()
+            };
+            let report = exp::chaos::chaos(&cfg, seed);
+            print!("{report}");
+            let path = std::path::Path::new(RESULTS_DIR).join("chaos.tsv");
+            match std::fs::create_dir_all(RESULTS_DIR)
+                .and_then(|()| std::fs::write(&path, report.to_tsv()))
+            {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("chaos TSV write failed: {e}"),
             }
         }
         "export" => {

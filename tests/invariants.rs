@@ -1,0 +1,176 @@
+//! Property layer: system-wide invariants under randomized fault
+//! schedules.
+//!
+//! Each case drives a micro chaos run (tiny world, a few epochs) under
+//! a fault configuration *derived from the case index* — MTBF, MTTR,
+//! outage/flap/blackhole/poison rates all vary — and requires the
+//! [`faults::Invariants`] verdict to be clean: no double billing, no
+//! flows on unavailable relays, byte conservation across kill/retry
+//! chains, recovery within the schedule's MTTR cap. Three base seeds ×
+//! 36 cases = 108 distinct randomized schedules per CI run.
+//!
+//! The negative tests prove the checker has teeth: deliberately broken
+//! event streams (a double completion, a flow steered to a crashed
+//! relay, lost bytes) must be caught, and `assert_clean` must panic.
+
+use control::RelayState;
+use experiments::chaos::{chaos, ChaosConfig};
+use faults::{FaultConfig, FaultSchedule, InvariantViolation, Invariants};
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// A chaos run small enough to execute in a few milliseconds.
+fn micro_cfg() -> ChaosConfig {
+    let mut cfg = ChaosConfig::smoke();
+    cfg.service.workload.epochs = 6;
+    cfg.service.workload.mean_rate_per_sec = 2.0;
+    cfg.service.workload.diurnal_period = cfg.service.workload.epoch * 6;
+    cfg.faults.horizon = cfg.service.workload.horizon();
+    cfg
+}
+
+/// Derives a randomized fault mix for `case` from an RNG substream, so
+/// every case explores a different corner of the schedule space.
+fn randomize(cfg: &mut FaultConfig, seed: u64, case: u64) {
+    let mut rng = SimRng::seed_from(seed).fork(0x1417).fork(case);
+    cfg.relay_mtbf = SimDuration::from_secs_f64(rng.uniform_range(120.0, 1200.0));
+    cfg.relay_mttr = SimDuration::from_secs_f64(rng.uniform_range(30.0, 240.0));
+    cfg.mttr_cap = cfg.relay_mttr.mul_f64(rng.uniform_range(1.5, 3.0));
+    cfg.dc_outage_per_hour = rng.uniform_range(0.0, 2.0);
+    cfg.dc_group = 1 + rng.index(3);
+    cfg.link_flap_per_hour = rng.uniform_range(0.0, 4.0);
+    cfg.link_flap_mean = SimDuration::from_secs_f64(rng.uniform_range(30.0, 400.0));
+    cfg.link_severity = rng.uniform_range(0.5, 1.0);
+    cfg.blackhole_per_hour = rng.uniform_range(0.0, 2.0);
+    cfg.blackhole_mean = SimDuration::from_secs_f64(rng.uniform_range(60.0, 400.0));
+    cfg.poison_per_hour = rng.uniform_range(0.0, 3.0);
+}
+
+/// Runs `cases` randomized chaos runs for one base seed and asserts a
+/// clean invariant verdict on every one.
+fn sweep(seed: u64, cases: u64) {
+    for case in 0..cases {
+        let mut cfg = micro_cfg();
+        randomize(&mut cfg.faults, seed, case);
+        let run_seed = seed.wrapping_mul(1_000_003).wrapping_add(case);
+        let r = chaos(&cfg, run_seed);
+        assert!(
+            r.invariant_violations.is_empty(),
+            "seed {seed} case {case} (run seed {run_seed}): {:?}",
+            r.invariant_violations
+        );
+        // Cross-ledger sanity alongside the checker's verdict.
+        assert_eq!(r.killed, r.retries, "every kill re-enters exactly once");
+        assert!(
+            r.spend_usd <= r.budget_usd + 1e-9,
+            "seed {seed} case {case}: spend over budget"
+        );
+    }
+}
+
+#[test]
+fn invariants_hold_across_randomized_schedules_seed_7() {
+    sweep(7, 36);
+}
+
+#[test]
+fn invariants_hold_across_randomized_schedules_seed_11() {
+    sweep(11, 36);
+}
+
+#[test]
+fn invariants_hold_across_randomized_schedules_seed_13() {
+    sweep(13, 36);
+}
+
+#[test]
+fn schedules_themselves_respect_their_contract() {
+    // Independently of the service, every generated schedule keeps its
+    // structural promises across the same randomized space.
+    for case in 0..50u64 {
+        let mut cfg = micro_cfg().faults;
+        randomize(&mut cfg, 99, case);
+        let s = FaultSchedule::generate(&cfg, case);
+        let horizon = SimTime::ZERO + cfg.horizon;
+        let mut down: Vec<Option<SimTime>> = vec![None; cfg.relays];
+        let mut last = SimTime::ZERO;
+        for e in s.events() {
+            assert!(e.at >= last, "case {case}: schedule out of order");
+            assert!(e.at < horizon, "case {case}: event past the horizon");
+            last = e.at;
+            match e.kind {
+                faults::FaultKind::RelayCrash { relay } => {
+                    assert!(down[relay].is_none(), "case {case}: double crash");
+                    down[relay] = Some(e.at);
+                }
+                faults::FaultKind::RelayRestore { relay } => {
+                    let since = down[relay].take().expect("restore without crash");
+                    assert!(
+                        e.at - since <= s.mttr_cap(),
+                        "case {case}: window exceeds the cap"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(down.iter().all(Option::is_none), "case {case}: open window");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative path: the checker must catch deliberately broken histories.
+// ---------------------------------------------------------------------
+
+#[test]
+fn checker_catches_a_double_billed_flow() {
+    let mut inv = Invariants::new(2, SimDuration::from_secs(60));
+    inv.flow_requested(42, 1000);
+    inv.flow_completed(42, 1000);
+    inv.flow_completed(42, 1000); // the bug: billed twice
+    assert_eq!(
+        inv.violations(),
+        &[InvariantViolation::DoubleBilling { flow: 42 }]
+    );
+}
+
+#[test]
+fn checker_catches_routing_to_a_dead_relay() {
+    // A broker that ignored the fleet filter would do exactly this.
+    let mut inv = Invariants::new(2, SimDuration::from_secs(60));
+    inv.relay_crashed(1, SimTime::ZERO + SimDuration::from_secs(5));
+    inv.flow_requested(7, 1000);
+    inv.flow_admitted(7, Some(1));
+    assert_eq!(
+        inv.violations(),
+        &[InvariantViolation::FlowOnUnavailableRelay {
+            flow: 7,
+            relay: 1,
+            state: RelayState::Failed,
+        }]
+    );
+}
+
+#[test]
+fn checker_catches_bytes_lost_in_a_failover() {
+    // A retry that forgot the partially-delivered prefix.
+    let mut inv = Invariants::new(1, SimDuration::from_secs(60));
+    inv.flow_requested(3, 10_000);
+    inv.flow_killed(3, 4_000);
+    inv.flow_completed(3, 5_000); // 1000 bytes vanished
+    assert_eq!(
+        inv.violations(),
+        &[InvariantViolation::BytesNotConserved {
+            flow: 3,
+            expected: 10_000,
+            accounted: 9_000,
+        }]
+    );
+}
+
+#[test]
+#[should_panic(expected = "invariant violation")]
+fn assert_clean_panics_on_a_broken_run() {
+    let mut inv = Invariants::new(1, SimDuration::from_secs(30));
+    inv.relay_crashed(0, SimTime::ZERO);
+    inv.finish(); // crash never recovered
+    inv.assert_clean();
+}

@@ -109,6 +109,15 @@ fn online_service_is_thread_invariant() {
 }
 
 #[test]
+fn chaos_run_is_thread_invariant() {
+    // chaos layers a deterministic fault schedule (relay crashes, DC
+    // outages, link flaps, probe blackholes, cache poisoning) over the
+    // service loop; kills, retries and the invariant verdict must all be
+    // byte-identical at any thread count, as must results/chaos.tsv.
+    assert_thread_invariant("chaos", &["--smoke", "--metrics"]);
+}
+
+#[test]
 fn export_files_are_thread_invariant() {
     let (_, f1) = run_in_scratch("export_t1", &["export", "--threads", "1"]);
     let (_, f8) = run_in_scratch("export_t8", &["export", "--threads", "8"]);
