@@ -150,6 +150,58 @@ fn bench_metrics_enabled() -> f64 {
     ns
 }
 
+/// The span hot path with recording off: the cost every span site pays
+/// in a plain run — must stay in the same class as
+/// `metrics_add_disabled` (one thread-local flag read).
+fn bench_span_emit_disabled() -> f64 {
+    obs::set_span_recording(false);
+    obs::reset_spans();
+    bench(1_000_000, 7, || {
+        obs::span(black_box(1), 0, obs::SpanKind::Admit, 1, 1, 0)
+    })
+}
+
+/// The same path with recording on (ring write + id bump; the ring
+/// overwrites its oldest slot when full, so the cost stays flat).
+fn bench_span_emit_enabled() -> f64 {
+    obs::reset_spans();
+    obs::set_span_recording(true);
+    let ns = bench(1_000_000, 7, || {
+        obs::span(black_box(1), 0, obs::SpanKind::Admit, 1, 1, 0)
+    });
+    obs::set_span_recording(false);
+    obs::reset_spans();
+    ns
+}
+
+/// `cronets report` over a real smoke-chaos artifact set: parse the
+/// manifest, attribution table and span stream, then render the text
+/// and OpenMetrics outputs.
+fn bench_report_smoke() -> f64 {
+    let dir = std::env::temp_dir().join("cronets_bench_report");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    obs::enable();
+    let report = chaos(&ChaosConfig::smoke(), 7);
+    let manifest = obs::RunManifest::collect("chaos", 7, 0);
+    obs::disable();
+    manifest.write_to(&dir).expect("manifest");
+    std::fs::write(dir.join("attribution.tsv"), report.attribution.to_tsv()).expect("attribution");
+    obs::write_tsv(
+        &dir,
+        "spans_chaos.tsv",
+        "t_ns\tid\tparent\tkind\tsubject\ta\tb",
+        report.spans.iter().map(obs::SpanRecord::to_tsv),
+    )
+    .expect("spans");
+    let ns = bench(3, 5, || {
+        let r = experiments::run_report::assemble(&dir).expect("assemble");
+        (r.to_string().len(), r.to_openmetrics().len())
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    ns
+}
+
 /// One broker admission decision against a fresh cached probe (hash
 /// probe + filtered overlay argmax + counter bump): the per-flow cost
 /// of the control plane's hot path.
@@ -228,10 +280,13 @@ fn main() {
         ("c45_fit_2k_rows", bench_c45()),
         ("metrics_add_disabled", bench_metrics_disabled()),
         ("metrics_add_enabled", bench_metrics_enabled()),
+        ("span_emit_disabled", bench_span_emit_disabled()),
+        ("span_emit_enabled", bench_span_emit_enabled()),
         ("broker_decision", bench_broker_decision()),
         ("service_smoke", bench_service_smoke()),
         ("fault_inject", bench_fault_inject()),
         ("chaos_smoke", bench_chaos_smoke()),
+        ("report_smoke", bench_report_smoke()),
     ];
 
     for (name, ns) in &results {

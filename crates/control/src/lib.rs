@@ -33,5 +33,5 @@ pub mod workload;
 
 pub use broker::{Broker, BrokerConfig, BrokerStats, Decision};
 pub use fleet::{Fleet, FleetConfig, FleetStats, RelayState};
-pub use slo::{SloAccount, SloTarget, TenantAccount};
+pub use slo::{Breach, SloAccount, SloTarget, TenantAccount};
 pub use workload::{FlowRequest, WorkloadConfig};

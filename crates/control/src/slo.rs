@@ -10,6 +10,31 @@
 
 use simcore::SimDuration;
 
+/// Which objectives one completion breached, as reported by
+/// [`SloAccount::record_completion`]. Callers that only want the ledger
+/// totals can ignore it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breach {
+    /// The achieved/direct throughput ratio fell below target.
+    pub ratio: bool,
+    /// The completion latency exceeded the ceiling.
+    pub latency: bool,
+}
+
+impl Breach {
+    /// Whether anything was breached.
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.ratio || self.latency
+    }
+
+    /// Bit mask for span operands: 1 = ratio, 2 = latency, 3 = both.
+    #[must_use]
+    pub fn mask(self) -> u64 {
+        u64::from(self.ratio) | (u64::from(self.latency) << 1)
+    }
+}
+
 /// One tenant's contract.
 #[derive(Debug, Clone, Copy)]
 pub struct SloTarget {
@@ -89,19 +114,26 @@ impl SloAccount {
 
     /// Records a completed flow for `tenant`: `ratio` is achieved/direct
     /// throughput, `latency` the flow completion time. Violations are
-    /// charged against the tenant's target.
-    pub fn record_completion(&mut self, tenant: u32, ratio: f64, latency: SimDuration) {
+    /// charged against the tenant's target; the returned [`Breach`] says
+    /// which objectives this completion broke (so callers can emit a
+    /// breach span without re-deriving the comparison).
+    pub fn record_completion(&mut self, tenant: u32, ratio: f64, latency: SimDuration) -> Breach {
         let t = self.targets[tenant as usize];
         let a = &mut self.tenants[tenant as usize];
         a.completed += 1;
         a.sum_ratio += ratio;
         a.sum_latency += latency;
-        if ratio < t.min_throughput_ratio {
+        let breach = Breach {
+            ratio: ratio < t.min_throughput_ratio,
+            latency: latency > t.max_completion,
+        };
+        if breach.ratio {
             a.ratio_violations += 1;
         }
-        if latency > t.max_completion {
+        if breach.latency {
             a.latency_violations += 1;
         }
+        breach
     }
 
     /// Records a denied admission for `tenant`.
@@ -209,6 +241,27 @@ mod tests {
         assert_eq!(s.tenants()[1].violations(), 0);
         assert_eq!(s.completed(), 4);
         assert_eq!(s.violations(), 3);
+    }
+
+    #[test]
+    fn breach_report_matches_the_ledger() {
+        let mut s = ledger();
+        let clean = s.record_completion(0, 1.2, SimDuration::from_secs(10));
+        assert!(!clean.any());
+        assert_eq!(clean.mask(), 0);
+        let ratio = s.record_completion(0, 0.8, SimDuration::from_secs(10));
+        assert_eq!(
+            ratio,
+            Breach {
+                ratio: true,
+                latency: false
+            }
+        );
+        assert_eq!(ratio.mask(), 1);
+        let both = s.record_completion(0, 0.8, SimDuration::from_secs(60));
+        assert_eq!(both.mask(), 3);
+        assert_eq!(s.tenants()[0].ratio_violations, 2);
+        assert_eq!(s.tenants()[0].latency_violations, 1);
     }
 
     #[test]

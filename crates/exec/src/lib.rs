@@ -16,11 +16,14 @@
 //! * **Ordered merge.** Workers pull indices from an atomic counter (so
 //!   scheduling is load-balanced and nondeterministic) but results are
 //!   sorted by unit index before anything observable happens.
-//! * **Telemetry sharding.** When `obs` collection is on, every unit runs
-//!   under [`obs::capture_unit`] — its own registry and trace ring — and
-//!   the shards are absorbed in unit order on the calling thread. The
-//!   capture path is used at *every* thread count, one included, so the
-//!   metric snapshot is a pure function of the seed, not of the schedule.
+//! * **Telemetry sharding.** When `obs` collection or span recording is
+//!   on, every unit runs under [`obs::capture_unit`] — its own registry,
+//!   trace ring, and span ring — and the shards are absorbed in unit
+//!   order on the calling thread (span ids re-base onto the caller's
+//!   counter). The capture path is used at *every* thread count, one
+//!   included, so the snapshot and span stream are pure functions of the
+//!   seed, not of the schedule. Sim-time profile charges are additive,
+//!   so worker profiles merge commutatively after join.
 //!
 //! The pool size comes from [`threads`]: the `--threads N` CLI flag (via
 //! [`set_threads`]) or `std::thread::available_parallelism` by default.
@@ -65,7 +68,10 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let workers = threads().min(n_units).max(1);
-    let sharded = obs::enabled();
+    // Span recording is independent of metrics collection (plain runs
+    // still attribute faults), so either flag selects the capture path.
+    let sharded = obs::enabled() || obs::span_recording();
+    let profiling = simcore::profile::enabled();
     if workers == 1 {
         if sharded {
             // Same capture/merge path as the parallel case, so the
@@ -87,6 +93,7 @@ where
 
     let next = AtomicUsize::new(0);
     let trace_filter = obs::trace_filter();
+    let span_recording = obs::span_recording();
     let mut tagged: Vec<(usize, T, Option<obs::UnitShard>)> = Vec::with_capacity(n_units);
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -96,9 +103,14 @@ where
                 scope.spawn(move || {
                     if sharded {
                         // Workers are fresh threads: propagate the trace
-                        // filter so units see the caller's selection.
+                        // filter and span flag so units see the caller's
+                        // selection.
                         obs::set_trace_filter(trace_filter);
+                        obs::set_span_recording(span_recording);
                     }
+                    // Profile charges are additive sim-ns, merged after
+                    // join — commutative, so no ordered capture needed.
+                    simcore::profile::set_enabled(profiling);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -112,13 +124,19 @@ where
                             local.push((i, f(i), None));
                         }
                     }
-                    local
+                    let prof = profiling.then(simcore::profile::take_shard);
+                    (local, prof)
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(part) => tagged.extend(part),
+                Ok((part, prof)) => {
+                    tagged.extend(part);
+                    if let Some(prof) = prof {
+                        simcore::profile::merge_shard(&prof);
+                    }
+                }
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
@@ -193,6 +211,45 @@ mod tests {
         assert_eq!(serial.2, par.2, "traces depend on the thread count");
         assert!(serial.1.contains("exec.test.units\tcounter\t16"));
         assert_eq!(serial.2 .0.len(), 16);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_spans_or_profile() {
+        let _g = guard();
+        let run = |threads: usize| {
+            set_threads(threads);
+            obs::disable();
+            obs::reset_spans();
+            obs::set_span_recording(true);
+            simcore::profile::reset();
+            simcore::profile::set_enabled(true);
+            let out = parallel_map(16, |i| {
+                let root = obs::span(i as u64, 0, obs::SpanKind::FlowArrive, i as u64, 0, 100);
+                obs::span(i as u64 + 1, root, obs::SpanKind::Admit, i as u64, 1, 0);
+                simcore::profile::leaf(&["exec", "unit"], 10 + i as u64);
+                i
+            });
+            let spans = obs::drain_spans();
+            let prof = simcore::profile::folded();
+            obs::set_span_recording(false);
+            simcore::profile::set_enabled(false);
+            simcore::profile::reset();
+            (out, spans, prof)
+        };
+        let serial = run(1);
+        let par = run(8);
+        set_threads(0);
+        assert_eq!(serial.0, par.0);
+        assert_eq!(serial.1, par.1, "spans depend on the thread count");
+        assert_eq!(serial.2, par.2, "profile depends on the thread count");
+        assert_eq!(serial.1 .0.len(), 32);
+        // Ids re-base into one contiguous serial-equivalent stream.
+        let ids: Vec<u64> = serial.1 .0.iter().map(|s| s.id).collect();
+        assert_eq!(ids, (1..=32).collect::<Vec<u64>>());
+        assert_eq!(
+            serial.2,
+            format!("exec;unit {}", 16 * 10 + (0..16).sum::<usize>())
+        );
     }
 
     #[test]

@@ -30,6 +30,9 @@ use routing::RouteCache;
 use simcore::{EventHandle, EventQueue, SimDuration, SimTime};
 use topology::{LinkId, RouterId};
 
+use obs::SpanKind;
+
+use crate::attribution::Attribution;
 use crate::scenario::World;
 use crate::service::{completion_time, epoch_truth, pair_of, ServiceConfig};
 
@@ -175,6 +178,14 @@ pub struct ChaosReport {
     /// Invariant violations detected by the [`faults::Invariants`]
     /// checker (empty on a correct run).
     pub invariant_violations: Vec<InvariantViolation>,
+    /// The run's causal span stream, in emission order.
+    pub spans: Vec<obs::SpanRecord>,
+    /// Spans the bounded ring overwrote before a drain (0 on healthy
+    /// configurations; nonzero means attribution chains may be broken).
+    pub span_dropped: u64,
+    /// Kills, lost bytes, and SLO breaches charged to fault events by
+    /// walking span causality.
+    pub attribution: Attribution,
 }
 
 impl ChaosReport {
@@ -249,6 +260,15 @@ impl fmt::Display for ChaosReport {
         )?;
         writeln!(
             f,
+            "attribution: {} of {} breaches and {} of {} kills charged to fault events ({} spans)",
+            self.attribution.attributed_breaches(),
+            self.slo.violations(),
+            self.attribution.attributed_killed(),
+            self.killed,
+            self.spans.len(),
+        )?;
+        writeln!(
+            f,
             "slo: {} violations; invariants: {}",
             self.slo.violations(),
             if self.invariant_violations.is_empty() {
@@ -276,6 +296,18 @@ enum Ev {
     Fault { idx: u32 },
 }
 
+impl Ev {
+    /// Static handler-kind label for the sim-time profiler.
+    fn label(&self) -> &'static str {
+        match self {
+            Ev::Arrive { .. } => "arrive",
+            Ev::Retry { .. } => "retry",
+            Ev::Complete { .. } => "complete",
+            Ev::Fault { .. } => "fault",
+        }
+    }
+}
+
 /// An admitted, in-flight flow segment (cancellable on relay crash).
 struct InFlight {
     tenant: u32,
@@ -292,6 +324,8 @@ struct InFlight {
     /// Scheduled completion instant.
     done_at: SimTime,
     handle: EventHandle,
+    /// The admit span of this segment (completion spans hang off it).
+    span: u64,
 }
 
 /// A killed flow waiting for its failure detection to fire.
@@ -301,6 +335,9 @@ struct PendingRetry {
     bytes_left: u64,
     issued: SimTime,
     crashed_at: SimTime,
+    /// The kill span (the retry span hangs off it, keeping the chain
+    /// back to the causing fault intact).
+    kill_span: u64,
 }
 
 /// Per-epoch relay availability from the schedule's crash windows:
@@ -352,6 +389,17 @@ fn sync_states(inv: &mut Invariants, fleet: &Fleet, relays: usize) {
 /// [`crate::service::service`]'s requirements).
 #[must_use]
 pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
+    // Span recording is always on for a chaos run — fault attribution
+    // needs the causal stream even in plain runs without `--metrics`.
+    // The caller's flag is restored before returning.
+    let was_recording = obs::span_recording();
+    obs::reset_spans();
+    obs::set_span_recording(true);
+    let mut spans: Vec<obs::SpanRecord> = Vec::new();
+    let mut span_dropped: u64 = 0;
+    let profiling = simcore::profile::enabled();
+    let mut prof_last = SimTime::ZERO;
+
     let svc = &cfg.service;
     assert!(svc.probe_every >= 1, "probe_every must be at least 1");
     assert_eq!(
@@ -481,11 +529,23 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
         let (done0, viol0) = (slo.completed(), slo.violations());
 
         while let Some((now, ev)) = queue.pop_before(epoch_end) {
+            if profiling {
+                simcore::profile::leaf(&["chaos", ev.label()], (now - prof_last).as_nanos());
+                prof_last = now;
+            }
             match ev {
                 Ev::Arrive { epoch, idx } => {
                     let req = &arrivals_by_epoch[epoch as usize][idx as usize];
                     let pi = pair_of(req.client, pairs.len());
                     inv.flow_requested(req.id, req.bytes);
+                    let arrive = obs::span(
+                        now.as_nanos(),
+                        0,
+                        SpanKind::FlowArrive,
+                        req.id,
+                        u64::from(req.tenant),
+                        req.bytes,
+                    );
                     admit(
                         req.id,
                         req.tenant,
@@ -493,6 +553,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         req.bytes,
                         now,
                         now,
+                        arrive,
                         &pairs,
                         &truth,
                         &mut broker,
@@ -510,6 +571,14 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                     retries_total += 1;
                     ep_failover_ns += u128::from((now - p.crashed_at).as_nanos());
                     ep_failover_n += 1;
+                    let retry = obs::span(
+                        now.as_nanos(),
+                        p.kill_span,
+                        SpanKind::FlowRetry,
+                        flow,
+                        p.bytes_left,
+                        0,
+                    );
                     admit(
                         flow,
                         p.tenant,
@@ -517,6 +586,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         p.bytes_left,
                         p.issued,
                         now,
+                        retry,
                         &pairs,
                         &truth,
                         &mut broker,
@@ -538,7 +608,25 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         fleet.flow_finished(r);
                         relay_flows[r].remove(&flow);
                     }
-                    slo.record_completion(fl.tenant, fl.ratio, now - fl.issued);
+                    let done = obs::span(
+                        now.as_nanos(),
+                        fl.span,
+                        SpanKind::FlowComplete,
+                        flow,
+                        (now - fl.issued).as_nanos(),
+                        fl.bytes,
+                    );
+                    let breach = slo.record_completion(fl.tenant, fl.ratio, now - fl.issued);
+                    if breach.any() {
+                        obs::span(
+                            now.as_nanos(),
+                            done,
+                            SpanKind::SloBreach,
+                            flow,
+                            u64::from(fl.tenant),
+                            breach.mask(),
+                        );
+                    }
                     inv.flow_completed(flow, fl.bytes);
                     completed_total += 1;
                     ep_ratio_sum += fl.ratio;
@@ -550,6 +638,14 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         now.as_nanos(),
                         0,
                         obs::TraceKind::FaultInjected,
+                        fault.kind.discriminant(),
+                        fault.kind.target(),
+                    );
+                    let fault_span = obs::span(
+                        now.as_nanos(),
+                        0,
+                        SpanKind::FaultInject,
+                        u64::from(idx),
                         fault.kind.discriminant(),
                         fault.kind.target(),
                     );
@@ -575,6 +671,14 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                                     / u128::from(total))
                                     as u64;
                                 inv.flow_killed(flow, delivered);
+                                let kill = obs::span(
+                                    now.as_nanos(),
+                                    fault_span,
+                                    SpanKind::FlowKill,
+                                    flow,
+                                    fl.bytes - delivered,
+                                    relay as u64,
+                                );
                                 killed_total += 1;
                                 ep_killed += 1;
                                 pending_retry.insert(
@@ -585,6 +689,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                                         bytes_left: fl.bytes - delivered,
                                         issued: fl.issued,
                                         crashed_at: now,
+                                        kill_span: kill,
                                     },
                                 );
                                 queue.schedule(now + cfg.detect_after, Ev::Retry { flow });
@@ -617,7 +722,19 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
         fleet.accrue(epoch_end.saturating_duration_since(billed_to));
         billed_to = epoch_end;
         sync_states(&mut inv, &fleet, relays);
+        let fs0 = fleet.stats();
         fleet.rebalance(horizon - epoch_end);
+        let fs1 = fleet.stats();
+        if fs1.scale_ups != fs0.scale_ups || fs1.drains != fs0.drains {
+            obs::span(
+                epoch_end.as_nanos(),
+                0,
+                SpanKind::FleetScale,
+                u64::from(e),
+                fs1.scale_ups - fs0.scale_ups,
+                fs1.drains - fs0.drains,
+            );
+        }
 
         let b1 = broker.stats();
         rows.push(ChaosRow {
@@ -652,17 +769,35 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
         ep_failover_n = 0;
         ep_ratio_sum = 0.0;
         ep_ratio_n = 0;
+
+        // Drain the bounded ring every epoch so a full day's spans never
+        // overwrite each other.
+        let (drained, dropped) = obs::drain_spans();
+        spans.extend(drained);
+        span_dropped += dropped;
     }
 
     // Tail: completions and late retries after the horizon. All faults
     // lie strictly inside the horizon, so only flow events remain.
     while let Some((now, ev)) = queue.pop() {
+        if profiling {
+            simcore::profile::leaf(&["chaos", ev.label()], (now - prof_last).as_nanos());
+            prof_last = now;
+        }
         match ev {
             Ev::Arrive { .. } => unreachable!("arrivals all lie inside the horizon"),
             Ev::Fault { .. } => unreachable!("fault schedules end before the horizon"),
             Ev::Retry { flow } => {
                 let p = pending_retry.remove(&flow).expect("retry without kill");
                 retries_total += 1;
+                let retry = obs::span(
+                    now.as_nanos(),
+                    p.kill_span,
+                    SpanKind::FlowRetry,
+                    flow,
+                    p.bytes_left,
+                    0,
+                );
                 admit(
                     flow,
                     p.tenant,
@@ -670,6 +805,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                     p.bytes_left,
                     p.issued,
                     now,
+                    retry,
                     &pairs,
                     &truth,
                     &mut broker,
@@ -689,13 +825,37 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                     fleet.flow_finished(r);
                     relay_flows[r].remove(&flow);
                 }
-                slo.record_completion(fl.tenant, fl.ratio, now - fl.issued);
+                let done = obs::span(
+                    now.as_nanos(),
+                    fl.span,
+                    SpanKind::FlowComplete,
+                    flow,
+                    (now - fl.issued).as_nanos(),
+                    fl.bytes,
+                );
+                let breach = slo.record_completion(fl.tenant, fl.ratio, now - fl.issued);
+                if breach.any() {
+                    obs::span(
+                        now.as_nanos(),
+                        done,
+                        SpanKind::SloBreach,
+                        flow,
+                        u64::from(fl.tenant),
+                        breach.mask(),
+                    );
+                }
                 inv.flow_completed(flow, fl.bytes);
                 completed_total += 1;
             }
         }
     }
     inv.finish();
+
+    let (drained, dropped) = obs::drain_spans();
+    spans.extend(drained);
+    span_dropped += dropped;
+    obs::set_span_recording(was_recording);
+    let attribution = Attribution::attribute(&spans);
 
     broker.publish();
     fleet.publish();
@@ -710,6 +870,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     obs::add_named("faults.cache_poisonings", counts.poisons);
     obs::add_named("faults.flows_killed", killed_total);
     obs::add_named("faults.retries", retries_total);
+    obs::add_named("obs.spans_dropped", span_dropped);
 
     ChaosReport {
         rows,
@@ -724,6 +885,9 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
         budget_usd: svc.fleet.budget_usd,
         invariant_violations: inv.violations().to_vec(),
         slo,
+        spans,
+        span_dropped,
+        attribution,
     }
 }
 
@@ -749,6 +913,7 @@ fn admit(
     bytes: u64,
     issued: SimTime,
     now: SimTime,
+    parent: u64,
     pairs: &[(RouterId, RouterId)],
     truth: &[cronets::eval::PairEval],
     broker: &mut Broker,
@@ -765,10 +930,23 @@ fn admit(
     let direct_true = tr.direct.throughput_bps;
     match decision {
         Decision::Deny => {
+            let admitted = obs::span(now.as_nanos(), parent, SpanKind::Admit, flow, 0, 0);
+            // A denial breaches immediately (mask 4): charged here so the
+            // attribution walk can reach the causing fault via the
+            // retry/kill chain above `parent`.
+            obs::span(
+                now.as_nanos(),
+                admitted,
+                SpanKind::SloBreach,
+                flow,
+                u64::from(tenant),
+                4,
+            );
             slo.record_denial(tenant);
             inv.flow_denied(flow);
         }
         Decision::Direct { .. } => {
+            let admitted = obs::span(now.as_nanos(), parent, SpanKind::Admit, flow, 1, 0);
             inv.flow_admitted(flow, None);
             let done = now + completion_time(bytes, direct_true, tr.direct.rtt);
             let handle = queue.schedule(done, Ev::Complete { flow });
@@ -783,10 +961,19 @@ fn admit(
                     bytes,
                     done_at: done,
                     handle,
+                    span: admitted,
                 },
             );
         }
         Decision::Overlay { node, .. } => {
+            let admitted = obs::span(
+                now.as_nanos(),
+                parent,
+                SpanKind::Admit,
+                flow,
+                2,
+                node as u64 + 1,
+            );
             fleet.flow_started(node);
             debug_assert_eq!(fleet.relay_state(node), RelayState::Active);
             inv.set_relay_state(node, fleet.relay_state(node));
@@ -811,6 +998,7 @@ fn admit(
                     bytes,
                     done_at: done,
                     handle,
+                    span: admitted,
                 },
             );
         }
@@ -874,6 +1062,52 @@ mod tests {
         // Byte conservation is the checker's job; a clean run proves it
         // held for every kill/retry chain.
         assert!(r.invariant_violations.is_empty());
+    }
+
+    #[test]
+    fn every_kill_and_breach_is_attributed_or_explicitly_not() {
+        let r = chaos(&tiny_cfg(), 7);
+        assert_eq!(r.span_dropped, 0, "per-epoch drains keep the ring empty");
+        assert!(!r.spans.is_empty());
+        // Conservation: every kill and every breach lands in exactly one
+        // bucket (a fault's charge row or the unattributed row).
+        assert_eq!(
+            r.attribution.attributed_killed() + r.attribution.unattributed_killed,
+            r.killed
+        );
+        assert_eq!(
+            r.attribution.attributed_breaches() + r.attribution.unattributed_breaches,
+            r.slo.violations()
+        );
+        // With no ring drops every kill has its FaultInject parent.
+        assert_eq!(r.attribution.unattributed_killed, 0);
+        assert!(r.killed > 0);
+        assert!(
+            r.attribution.charges.iter().any(|c| c.killed > 0),
+            "some fault must be charged with kills"
+        );
+        // Every injected fault gets a charge row, impactful or not.
+        let fault_spans = r
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::FaultInject)
+            .count();
+        assert_eq!(r.attribution.charges.len(), fault_spans);
+    }
+
+    #[test]
+    fn span_stream_is_deterministic() {
+        let a = chaos(&tiny_cfg(), 5);
+        let b = chaos(&tiny_cfg(), 5);
+        let dump = |r: &ChaosReport| {
+            r.spans
+                .iter()
+                .map(obs::SpanRecord::to_tsv)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(dump(&a), dump(&b));
+        assert_eq!(a.attribution.to_tsv(), b.attribution.to_tsv());
     }
 
     #[test]

@@ -26,12 +26,13 @@ pub fn write_cdf<W: Write>(mut w: W, cdf: &Cdf) -> io::Result<()> {
 }
 
 fn save_cdf(dir: &Path, name: &str, cdf: &Cdf, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    let path = dir.join(name);
-    let mut file = fs::File::create(&path)?;
-    writeln!(file, "# value\tcdf")?;
-    write_cdf(&mut file, cdf)?;
-    out.push(path);
-    Ok(())
+    save_rows(
+        dir,
+        name,
+        "value\tcdf",
+        cdf.points().iter().map(|(x, y)| format!("{x:.6}\t{y:.6}")),
+        out,
+    )
 }
 
 fn save_rows(
@@ -41,13 +42,9 @@ fn save_rows(
     rows: impl IntoIterator<Item = String>,
     out: &mut Vec<PathBuf>,
 ) -> io::Result<()> {
-    let path = dir.join(name);
-    let mut file = fs::File::create(&path)?;
-    writeln!(file, "# {header}")?;
-    for row in rows {
-        writeln!(file, "{row}")?;
-    }
-    out.push(path);
+    // One escaping-safe writer for every results TSV (shared with the
+    // manifest, trace, and span emitters in `obs`).
+    out.push(obs::write_tsv(dir, name, header, rows)?);
     Ok(())
 }
 

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod attribution;
 pub mod chaos;
 pub mod cost;
 pub mod export;
@@ -41,6 +42,7 @@ pub mod mptcp_exp;
 pub mod prevalence;
 pub mod quality;
 pub mod report;
+pub mod run_report;
 pub mod scenario;
 pub mod service;
 pub mod sweep;

@@ -1,6 +1,6 @@
 //! Deterministic telemetry for the CRONets reproduction.
 //!
-//! Three pieces, all std-only:
+//! Five pieces, all std-only:
 //!
 //! * a **metrics registry** ([`metrics`]) — counters, gauges and
 //!   fixed-bucket histograms keyed by name, mutated through pre-resolved
@@ -8,9 +8,15 @@
 //! * a **flow tracer** ([`trace`]) — a bounded ring buffer of per-flow
 //!   records (segment sent/acked, retransmit, RTO backoff, cwnd change,
 //!   subflow switch);
+//! * a **causal span tracer** ([`span`]) — parent/child event records
+//!   with run-stable ids covering the flow lifecycle (arrival →
+//!   admission → completion/kill → retry) plus fault and autoscaler
+//!   events, the substrate for fault attribution;
 //! * **phase timers and run manifests** ([`manifest`]) — scoped
 //!   wall-clock timers plus a per-run manifest (seed, experiment, sim
-//!   duration, metric snapshot) exported as TSV and JSON lines.
+//!   duration, metric snapshot) exported as TSV and JSON lines;
+//! * the **emit helpers** ([`emit`]) — the one escaping-safe TSV/JSON
+//!   writer behind every exporter.
 //!
 //! # Determinism contract
 //!
@@ -38,16 +44,23 @@
 //! same capture path runs at every thread count (including one), so the
 //! snapshot is a pure function of the seed, never of the schedule.
 
+pub mod emit;
 pub mod manifest;
 pub mod metrics;
+pub mod span;
 pub mod sync;
 pub mod trace;
 
+pub use emit::{json_escape, tsv_field, tsv_row, write_tsv, Tsv};
 pub use manifest::{phase, take_phases, PhaseTimer, RunManifest};
 pub use metrics::{
     add, add_named, counter, gauge, histogram, histogram_quantile, inc, labeled, observe, set,
     snapshot, CounterId, GaugeId, Histogram, HistogramId, SnapValue, Snapshot, CWND_EDGES,
     GOODPUT_EDGES, QUEUE_DEPTH_EDGES,
+};
+pub use span::{
+    drain_spans, reset_spans, set_span_recording, span, span_recording, SpanKind, SpanRecord,
+    SPAN_CAPACITY,
 };
 pub use trace::{drain_trace, set_trace_filter, trace, trace_filter, TraceKind, TraceRecord};
 
@@ -83,6 +96,7 @@ pub fn enable() {
     metrics::reset();
     sync::reset();
     trace::reset();
+    span::reset_spans();
     manifest::reset_phases();
     metrics::register_catalogue();
 }
@@ -108,37 +122,48 @@ pub fn sync_enabled() -> bool {
     SYNC_ENABLED.load(Ordering::Relaxed)
 }
 
-/// Everything one parallel work unit recorded: its metric shard plus the
-/// unit's filtered trace records. Plain owned data — safe to send from a
-/// worker thread back to the merging thread.
+/// Everything one parallel work unit recorded: its metric shard, the
+/// unit's filtered trace records, and its causal spans. Plain owned
+/// data — safe to send from a worker thread back to the merging thread.
 #[derive(Debug)]
 pub struct UnitShard {
     metrics: metrics::Shard,
     trace: Vec<TraceRecord>,
     trace_dropped: u64,
+    spans: Vec<SpanRecord>,
+    span_dropped: u64,
+    span_ids: u64,
 }
 
 /// Runs `f` against a fresh, empty per-unit registry and trace ring
-/// (with collection forced on for the duration) and returns the unit's
-/// output together with everything it recorded. The calling thread's
-/// own registry and ring are saved and restored around the unit; the
-/// trace filter stays in effect inside it. Fold the shard back with
-/// [`absorb_unit`], strictly in unit-index order.
+/// and returns the unit's output together with everything it recorded.
+/// Metric collection inside the unit follows the process-wide
+/// [`sync_enabled`] flag — a span-only capture (recording on, metrics
+/// off) must not force every `add` in the unit onto the collecting
+/// path. The calling thread's own registry and ring are saved and
+/// restored around the unit; the trace filter stays in effect inside
+/// it. Fold the shard back with [`absorb_unit`], strictly in unit-index
+/// order.
 pub fn capture_unit<T>(f: impl FnOnce() -> T) -> (T, UnitShard) {
     let saved_metrics = metrics::begin_unit();
     let saved_trace = trace::begin_unit();
+    let saved_spans = span::begin_unit();
     let was_enabled = enabled();
-    ENABLED.with(|e| e.set(true));
+    ENABLED.with(|e| e.set(sync_enabled()));
     let out = f();
     ENABLED.with(|e| e.set(was_enabled));
     let shard = metrics::end_unit(saved_metrics);
     let (records, trace_dropped) = trace::end_unit(saved_trace);
+    let (spans, span_dropped, span_ids) = span::end_unit(saved_spans);
     (
         out,
         UnitShard {
             metrics: shard,
             trace: records,
             trace_dropped,
+            spans,
+            span_dropped,
+            span_ids,
         },
     )
 }
@@ -151,6 +176,7 @@ pub fn capture_unit<T>(f: impl FnOnce() -> T) -> (T, UnitShard) {
 pub fn absorb_unit(shard: UnitShard) {
     metrics::merge_shard(shard.metrics);
     trace::replay(&shard.trace, shard.trace_dropped);
+    span::replay(&shard.spans, shard.span_dropped, shard.span_ids);
 }
 
 #[cfg(test)]
@@ -196,6 +222,38 @@ mod shard_tests {
         assert_eq!(serial_trace, merged_trace, "trace replay diverged");
         assert!(serial_snap.contains("t.shard.count\tcounter\t10"));
         assert!(serial_snap.contains("t.shard.gauge\tgauge\t3"));
+    }
+
+    #[test]
+    fn captured_spans_rebase_onto_the_absorbing_thread() {
+        let _guard = test_guard();
+        enable();
+        set_span_recording(true);
+        // The caller has already consumed two ids before the units run.
+        let root = span(1, 0, SpanKind::FaultInject, 0, 3, 2);
+        span(2, root, SpanKind::FlowKill, 5, 100, 2);
+        let shards: Vec<UnitShard> = (0..2)
+            .map(|u| {
+                capture_unit(|| {
+                    let arrive = span(10 * u, 0, SpanKind::FlowArrive, u, 0, 500);
+                    span(10 * u + 1, arrive, SpanKind::Admit, u, 1, 0);
+                })
+                .1
+            })
+            .collect();
+        for s in shards {
+            absorb_unit(s);
+        }
+        let (recs, dropped) = drain_spans();
+        set_span_recording(false);
+        disable();
+        assert_eq!(dropped, 0);
+        let ids: Vec<u64> = recs.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6], "ids re-base contiguously");
+        // Each unit's admit still points at its own arrival after re-basing.
+        assert_eq!(recs[3].parent, recs[2].id);
+        assert_eq!(recs[5].parent, recs[4].id);
+        assert_eq!(recs[1].parent, recs[0].id);
     }
 
     #[test]

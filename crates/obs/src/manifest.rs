@@ -61,23 +61,7 @@ pub(crate) fn reset_phases() {
     PHASES.with(|p| p.borrow_mut().clear());
 }
 
-/// Escapes a string for inclusion in a JSON string literal.
-#[must_use]
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+pub use crate::emit::json_escape;
 
 /// Everything needed to identify and reproduce one experiment run.
 #[derive(Debug, Clone)]
@@ -111,20 +95,21 @@ impl RunManifest {
     /// Renders as TSV: `run` / `phase` / `metric` record rows.
     #[must_use]
     pub fn to_tsv(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "run\texperiment={}\tseed={}\tsim_duration_ns={}\n",
-            self.experiment, self.seed, self.sim_duration_ns
-        ));
+        let mut out = crate::emit::Tsv::new();
+        out.row([
+            "run".to_string(),
+            format!("experiment={}", self.experiment),
+            format!("seed={}", self.seed),
+            format!("sim_duration_ns={}", self.sim_duration_ns),
+        ]);
         for (name, ns) in &self.phases {
-            out.push_str(&format!("phase\t{name}\twall_ns={ns}\n"));
+            out.row(["phase".to_string(), name.clone(), format!("wall_ns={ns}")]);
         }
         for line in self.snapshot.to_tsv().lines() {
-            out.push_str("metric\t");
-            out.push_str(line);
-            out.push('\n');
+            // Snapshot rows are already escaped; nest them verbatim.
+            out.raw_line(&format!("metric\t{line}"));
         }
-        out
+        out.finish()
     }
 
     /// Renders as JSON lines: one `run` record, then `phase` records,

@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::manifest::json_escape;
+use crate::emit::{json_escape, Tsv};
 
 /// Handle to a registered counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,17 +89,24 @@ impl Histogram {
         }
     }
 
-    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
-    /// within the containing bucket. Exact only up to bucket resolution:
-    /// the error is bounded by the width of that bucket (the unit tests
-    /// cross-check this bound against `measure::stats::Cdf`). Returns
-    /// 0 for an empty histogram.
+    /// Estimates the `q`-quantile by linear interpolation within the
+    /// containing bucket. Exact only up to bucket resolution: the error
+    /// is bounded by the width of that bucket (the unit tests
+    /// cross-check this bound against `measure::stats::Cdf`). Edge
+    /// cases are pinned rather than bucket-dependent: an empty
+    /// histogram returns 0, `q <= 0` returns the observed minimum, and
+    /// `q >= 1` returns the observed maximum.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
         // Rank in [1, count], matching an order-statistic CDF.
         let rank = (q * self.count as f64).max(1.0);
         let mut seen = 0u64;
@@ -407,6 +414,8 @@ pub(crate) fn register_catalogue() {
         "faults.cache_poisonings",
         "faults.flows_killed",
         "faults.retries",
+        "obs.trace_dropped",
+        "obs.spans_dropped",
     ] {
         counter(name);
     }
@@ -497,26 +506,35 @@ impl Snapshot {
         self.entries.is_empty()
     }
 
-    /// Looks up one metric by exact name.
+    /// Looks up one metric by exact name. A miss usually means a typo'd
+    /// or renamed metric, so debug builds (outside the test harness,
+    /// which probes names on purpose) complain on stderr while release
+    /// builds stay silent.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&SnapValue> {
-        self.entries
+        let hit = self
+            .entries
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
-            .map(|i| &self.entries[i].1)
+            .map(|i| &self.entries[i].1);
+        #[cfg(all(debug_assertions, not(test)))]
+        if hit.is_none() {
+            eprintln!("obs: snapshot lookup missed metric {name:?}");
+        }
+        hit
     }
 
     /// Renders as TSV: `name<TAB>kind<TAB>value[<TAB>extra]`.
     #[must_use]
     pub fn to_tsv(&self) -> String {
-        let mut out = String::new();
+        let mut out = Tsv::new();
         for (name, v) in &self.entries {
             match v {
                 SnapValue::Counter(c) => {
-                    out.push_str(&format!("{name}\tcounter\t{c}\n"));
+                    out.row([name.clone(), "counter".to_string(), c.to_string()]);
                 }
                 SnapValue::Gauge(g) => {
-                    out.push_str(&format!("{name}\tgauge\t{g}\n"));
+                    out.row([name.clone(), "gauge".to_string(), g.to_string()]);
                 }
                 SnapValue::Histogram {
                     count,
@@ -524,13 +542,18 @@ impl Snapshot {
                     p50,
                     p99,
                 } => {
-                    out.push_str(&format!(
-                        "{name}\thistogram\tcount={count}\tsum={sum}\tp50={p50}\tp99={p99}\n"
-                    ));
+                    out.row([
+                        name.clone(),
+                        "histogram".to_string(),
+                        format!("count={count}"),
+                        format!("sum={sum}"),
+                        format!("p50={p50}"),
+                        format!("p99={p99}"),
+                    ]);
                 }
             }
         }
-        out
+        out.finish()
     }
 
     /// Renders as JSON lines, one metric per line.

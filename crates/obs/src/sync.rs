@@ -144,6 +144,46 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_adds_merge_exactly_regardless_of_interleaving() {
+        // The dataplane counters are relaxed atomics: no ordering is
+        // promised between threads, but the merged total must be exact
+        // and the snapshot must observe it once the threads join.
+        let _guard = crate::test_guard();
+        crate::enable();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        FRAMES_FORWARDED.inc();
+                        // Mixed add sizes exercise fetch_add merging, and
+                        // the gauge keeps last-write-wins per thread.
+                        ENCAP_OVERHEAD_BYTES.add(i % 7);
+                        NAT_ACTIVE.set((t * per_thread + i) as i64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(FRAMES_FORWARDED.get(), threads * per_thread);
+        let per_thread_sum: u64 = (0..per_thread).map(|i| i % 7).sum();
+        assert_eq!(ENCAP_OVERHEAD_BYTES.get(), threads * per_thread_sum);
+        // Some thread's final set must have landed.
+        let nat = NAT_ACTIVE.get();
+        assert!((0..(threads * per_thread) as i64).contains(&nat));
+        // The registry snapshot folds the atomics in by name.
+        let snap = crate::snapshot();
+        assert_eq!(
+            snap.get("dataplane.frames_forwarded"),
+            Some(&crate::SnapValue::Counter(threads * per_thread))
+        );
+        crate::disable();
+    }
+
+    #[test]
     fn all_counters_cover_the_dataplane_catalogue() {
         let names: Vec<&str> = all_counters().iter().map(|(n, _)| *n).collect();
         assert!(names.contains(&"dataplane.frames_forwarded"));

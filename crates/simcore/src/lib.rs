@@ -11,7 +11,10 @@
 //!   the distributions the network models need (exponential, log-normal,
 //!   Pareto, Bernoulli);
 //! * [`TokenBucket`] — a rate limiter used to model virtual-NIC caps
-//!   (the 100 Mbps Softlayer port of the paper) and link shaping.
+//!   (the 100 Mbps Softlayer port of the paper) and link shaping;
+//! * [`profile`] — a deterministic sim-time profiler that charges
+//!   virtual nanoseconds to event-handler kinds and exports
+//!   flamegraph-compatible folded stacks.
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod profile;
 mod rng;
 mod time;
 mod token;

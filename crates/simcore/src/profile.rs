@@ -1,0 +1,305 @@
+//! Sim-time profiler: self/cumulative accounting per event-handler kind.
+//!
+//! Wall-clock profiles of a discrete-event simulation are noisy and
+//! non-deterministic; what actually matters for the DES hot-path work is
+//! where **simulated** time is spent — which handler kinds the run's
+//! virtual nanoseconds are charged to. Handlers call [`leaf`] with a
+//! static label path (e.g. `["netsim", "deliver"]`) and the span of sim
+//! time since the previous event; the profiler accumulates self time and
+//! hit counts in a label trie. [`folded`] renders the trie as
+//! flamegraph-compatible folded stacks (`a;b;c self_ns`, one line per
+//! node, sorted), ready for `flamegraph.pl` or speedscope.
+//!
+//! Everything is charged in integer sim-nanoseconds, so profiles are a
+//! pure function of the seed: byte-identical across runs and — because
+//! [`ProfileShard`] merging is purely additive and commutative on the
+//! label trie — across `--threads N`.
+//!
+//! Profiling is off by default; the disabled check is one thread-local
+//! `Cell<bool>` read, cheap enough to leave in the DES dispatch loop.
+
+use std::cell::{Cell, RefCell};
+
+#[derive(Debug, Clone)]
+struct Node {
+    label: &'static str,
+    parent: usize,
+    children: Vec<usize>,
+    self_ns: u64,
+    count: u64,
+}
+
+#[derive(Debug, Default)]
+struct Trie {
+    nodes: Vec<Node>,
+}
+
+impl Trie {
+    /// Finds or creates the node at `path` under the implicit root and
+    /// returns its index. Root is node 0 (created lazily, no label).
+    fn intern(&mut self, path: &[&'static str]) -> usize {
+        if self.nodes.is_empty() {
+            self.nodes.push(Node {
+                label: "",
+                parent: 0,
+                children: Vec::new(),
+                self_ns: 0,
+                count: 0,
+            });
+        }
+        let mut at = 0usize;
+        for &label in path {
+            let found = self.nodes[at]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].label == label);
+            at = match found {
+                Some(c) => c,
+                None => {
+                    let c = self.nodes.len();
+                    self.nodes.push(Node {
+                        label,
+                        parent: at,
+                        children: Vec::new(),
+                        self_ns: 0,
+                        count: 0,
+                    });
+                    self.nodes[at].children.push(c);
+                    c
+                }
+            };
+        }
+        at
+    }
+
+    fn stack_of(&self, mut i: usize) -> String {
+        let mut parts = Vec::new();
+        while i != 0 {
+            parts.push(self.nodes[i].label);
+            i = self.nodes[i].parent;
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+
+    /// Cumulative sim-ns of a node: its self time plus all descendants.
+    fn cum_ns(&self, i: usize) -> u64 {
+        let mut total = self.nodes[i].self_ns;
+        for &c in &self.nodes[i].children {
+            total += self.cum_ns(c);
+        }
+        total
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static TRIE: RefCell<Trie> = RefCell::new(Trie::default());
+}
+
+/// Turns profiling on or off for this thread. State is kept until
+/// [`reset`], so a final [`folded`] still works after turning it off.
+pub fn set_enabled(on: bool) {
+    ENABLED.with(|e| e.set(on));
+}
+
+/// Whether profiling is on for this thread.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Clears all accumulated profile state (the enable flag stays as set).
+pub fn reset() {
+    TRIE.with(|t| t.borrow_mut().nodes.clear());
+}
+
+/// Charges `self_ns` simulated nanoseconds (and one hit) to the handler
+/// at `path`. No-op while profiling is disabled. Labels must be static
+/// so the trie never allocates per event beyond first intern.
+#[inline]
+pub fn leaf(path: &[&'static str], self_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    TRIE.with(|t| {
+        let mut t = t.borrow_mut();
+        let i = t.intern(path);
+        t.nodes[i].self_ns += self_ns;
+        t.nodes[i].count += 1;
+    });
+}
+
+/// Renders the accumulated profile as flamegraph folded stacks: one
+/// `a;b;c self_ns` line per node with nonzero self time, sorted by
+/// stack string for deterministic output.
+#[must_use]
+pub fn folded() -> String {
+    TRIE.with(|t| {
+        let t = t.borrow();
+        let mut lines: Vec<String> = (1..t.nodes.len())
+            .filter(|&i| t.nodes[i].self_ns > 0 || t.nodes[i].count > 0)
+            .map(|i| format!("{} {}", t.stack_of(i), t.nodes[i].self_ns))
+            .collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    })
+}
+
+/// A per-handler summary row: `(stack, self_ns, cum_ns, count)`, sorted
+/// by descending self time then stack name — the "phase/profile summary"
+/// table the report renders.
+#[must_use]
+pub fn summary() -> Vec<(String, u64, u64, u64)> {
+    TRIE.with(|t| {
+        let t = t.borrow();
+        let mut rows: Vec<(String, u64, u64, u64)> = (1..t.nodes.len())
+            .filter(|&i| t.nodes[i].self_ns > 0 || t.nodes[i].count > 0)
+            .map(|i| {
+                (
+                    t.stack_of(i),
+                    t.nodes[i].self_ns,
+                    t.cum_ns(i),
+                    t.nodes[i].count,
+                )
+            })
+            .collect();
+        rows.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    })
+}
+
+/// One thread's (or work unit's) detached profile: flat
+/// `(path, self_ns, count)` rows. Merging is additive and commutative,
+/// so parallel sweeps produce the same profile in any absorb order.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileShard {
+    rows: Vec<(Vec<&'static str>, u64, u64)>,
+}
+
+impl ProfileShard {
+    /// Whether the shard recorded nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Exports and clears this thread's accumulated profile as a shard.
+#[must_use]
+pub fn take_shard() -> ProfileShard {
+    TRIE.with(|t| {
+        let mut t = t.borrow_mut();
+        let rows = (1..t.nodes.len())
+            .filter(|&i| t.nodes[i].self_ns > 0 || t.nodes[i].count > 0)
+            .map(|i| {
+                let mut path = Vec::new();
+                let mut at = i;
+                while at != 0 {
+                    path.push(t.nodes[at].label);
+                    at = t.nodes[at].parent;
+                }
+                path.reverse();
+                (path, t.nodes[i].self_ns, t.nodes[i].count)
+            })
+            .collect();
+        t.nodes.clear();
+        ProfileShard { rows }
+    })
+}
+
+/// Adds a shard's rows into this thread's profile.
+pub fn merge_shard(shard: &ProfileShard) {
+    TRIE.with(|t| {
+        let mut t = t.borrow_mut();
+        for (path, self_ns, count) in &shard.rows {
+            let i = t.intern(path);
+            t.nodes[i].self_ns += self_ns;
+            t.nodes[i].count += count;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that share the thread-local trie state. Cargo
+    /// may run tests on a shared thread pool, so take no chances.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_is_silent() {
+        let _g = guard();
+        reset();
+        set_enabled(false);
+        leaf(&["a"], 100);
+        assert!(folded().is_empty());
+    }
+
+    #[test]
+    fn folded_stacks_accumulate_and_sort() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        leaf(&["netsim", "deliver"], 10);
+        leaf(&["netsim", "deliver"], 5);
+        leaf(&["netsim", "ack"], 7);
+        leaf(&["chaos", "arrive"], 3);
+        set_enabled(false);
+        let out = folded();
+        assert_eq!(out, "chaos;arrive 3\nnetsim;ack 7\nnetsim;deliver 15");
+    }
+
+    #[test]
+    fn summary_ranks_by_self_time_with_cumulative() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        leaf(&["netsim"], 2);
+        leaf(&["netsim", "deliver"], 20);
+        leaf(&["netsim", "ack"], 6);
+        set_enabled(false);
+        let rows = summary();
+        assert_eq!(rows[0].0, "netsim;deliver");
+        assert_eq!(rows[0].1, 20);
+        let netsim = rows.iter().find(|r| r.0 == "netsim").unwrap();
+        assert_eq!(netsim.1, 2, "self time excludes children");
+        assert_eq!(netsim.2, 28, "cumulative includes children");
+        reset();
+    }
+
+    #[test]
+    fn shard_merge_is_order_independent() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        leaf(&["a", "x"], 1);
+        leaf(&["b"], 2);
+        let s1 = take_shard();
+        leaf(&["b"], 5);
+        leaf(&["a", "x"], 3);
+        leaf(&["c"], 7);
+        let s2 = take_shard();
+        merge_shard(&s2);
+        merge_shard(&s1);
+        let backwards = folded();
+        reset();
+        merge_shard(&s1);
+        merge_shard(&s2);
+        let forwards = folded();
+        set_enabled(false);
+        reset();
+        assert_eq!(forwards, backwards);
+        assert!(forwards.contains("a;x 4"));
+        assert!(forwards.contains("b 7"));
+        assert!(forwards.contains("c 7"));
+    }
+}

@@ -141,6 +141,21 @@ enum Event {
     SetLinkLoss { link: u32, loss_bits: u64 },
 }
 
+impl Event {
+    /// Static handler-kind label for the sim-time profiler.
+    fn label(&self) -> &'static str {
+        match self {
+            Event::Hop { .. } => "hop",
+            Event::Deliver { .. } => "deliver",
+            Event::Ack { .. } => "ack",
+            Event::Timeout { .. } => "timeout",
+            Event::Stop { .. } => "stop",
+            Event::Sample { .. } => "sample",
+            Event::SetLinkLoss { .. } => "set_link_loss",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Subflow {
     path: Vec<usize>,
@@ -502,10 +517,23 @@ impl Netsim {
             }
         }
         let mut last_now = SimTime::ZERO;
+        // Sampled once per run: the profiler flag is thread-local and
+        // nothing toggles it mid-run.
+        let profiling = simcore::profile::enabled();
+        let mut prof_last = SimTime::ZERO;
         while let Some((now, event)) = self.queue.pop() {
             if let Some(h) = self.obs {
                 obs::inc(h.events);
                 last_now = now;
+            }
+            if profiling {
+                // Charge the sim-time gap since the previous event to
+                // this event's handler kind (self time).
+                simcore::profile::leaf(
+                    &["netsim", event.label()],
+                    now.duration_since(prof_last).as_nanos(),
+                );
+                prof_last = now;
             }
             match event {
                 Event::Hop {

@@ -20,6 +20,18 @@
 //!
 //! `--trace FLOW` additionally records the segment-level event trace of
 //! one DES flow id into `./results/trace_<name>.tsv`.
+//!
+//! `--spans` (chaos) writes the run's causal span stream into
+//! `./results/spans_chaos.tsv`; chaos always writes the fault
+//! attribution table to `./results/attribution.tsv`.
+//!
+//! `--profile` records a sim-time profile per event-handler kind and
+//! writes flamegraph-ready folded stacks into
+//! `./results/profile_<name>.folded`.
+//!
+//! `cronets report` aggregates everything previous runs left in
+//! `./results/` — manifests, attribution, spans, profiles — into
+//! `report.txt` plus an OpenMetrics-style `report.openmetrics`.
 
 use std::env;
 use std::process::ExitCode;
@@ -83,7 +95,7 @@ const RESULTS_DIR: &str = "results";
 
 fn usage() {
     eprintln!(
-        "usage: cronets <experiment|list|all> [--seed N] [--threads N] [--smoke] [--metrics] [--trace FLOW]"
+        "usage: cronets <experiment|list|all|report> [--seed N] [--threads N] [--smoke] [--metrics] [--trace FLOW] [--spans] [--profile]"
     );
     eprintln!(
         "  --seed N      PRNG seed (default {})",
@@ -96,6 +108,13 @@ fn usage() {
     eprintln!("                write manifest_<name>.tsv/.jsonl into ./{RESULTS_DIR}/");
     eprintln!("  --trace FLOW  with --metrics: trace DES flow FLOW's segment");
     eprintln!("                events into ./{RESULTS_DIR}/trace_<name>.tsv");
+    eprintln!("  --spans       (chaos) write the causal span stream into");
+    eprintln!("                ./{RESULTS_DIR}/spans_chaos.tsv");
+    eprintln!("  --profile     record a sim-time profile; write folded stacks");
+    eprintln!("                into ./{RESULTS_DIR}/profile_<name>.folded");
+    eprintln!("commands:");
+    eprintln!("  report        aggregate ./{RESULTS_DIR}/ artifacts into report.txt");
+    eprintln!("                and report.openmetrics");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<10} {desc}");
@@ -159,12 +178,41 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
             };
             let report = exp::chaos::chaos(&cfg, seed);
             print!("{report}");
+            if report.span_dropped > 0 {
+                eprintln!(
+                    "warning: span ring overwrote {} records; attribution chains may be broken",
+                    report.span_dropped
+                );
+            }
             let path = std::path::Path::new(RESULTS_DIR).join("chaos.tsv");
             match std::fs::create_dir_all(RESULTS_DIR)
                 .and_then(|()| std::fs::write(&path, report.to_tsv()))
             {
                 Ok(()) => println!("wrote {}", path.display()),
                 Err(e) => eprintln!("chaos TSV write failed: {e}"),
+            }
+            let apath = std::path::Path::new(RESULTS_DIR).join("attribution.tsv");
+            match std::fs::write(&apath, report.attribution.to_tsv()) {
+                Ok(()) => println!("wrote {}", apath.display()),
+                Err(e) => eprintln!("attribution write failed: {e}"),
+            }
+            if opts.spans {
+                let spath = std::path::Path::new(RESULTS_DIR).join("spans_chaos.tsv");
+                let rows = report.spans.iter().map(obs::SpanRecord::to_tsv);
+                match obs::write_tsv(
+                    std::path::Path::new(RESULTS_DIR),
+                    "spans_chaos.tsv",
+                    "t_ns\tid\tparent\tkind\tsubject\ta\tb",
+                    rows,
+                ) {
+                    Ok(_) => println!(
+                        "wrote {} ({} spans, {} dropped)",
+                        spath.display(),
+                        report.spans.len(),
+                        report.span_dropped
+                    ),
+                    Err(e) => eprintln!("span write failed: {e}"),
+                }
             }
         }
         "export" => {
@@ -192,6 +240,8 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
 struct Opts {
     metrics: bool,
     smoke: bool,
+    spans: bool,
+    profile: bool,
     trace_flow: Option<u64>,
 }
 
@@ -202,6 +252,31 @@ struct Opts {
 /// timings on stderr, and writes the run manifest (and optional flow
 /// trace) into `./results/`.
 fn run_instrumented(name: &str, seed: u64, opts: Opts) -> bool {
+    if opts.profile {
+        simcore::profile::reset();
+        simcore::profile::set_enabled(true);
+    }
+    let ok = run_with_metrics(name, seed, opts);
+    if opts.profile {
+        simcore::profile::set_enabled(false);
+        if ok {
+            let folded = simcore::profile::folded();
+            let path = std::path::Path::new(RESULTS_DIR).join(format!("profile_{name}.folded"));
+            let mut body = folded;
+            if !body.is_empty() {
+                body.push('\n');
+            }
+            match std::fs::create_dir_all(RESULTS_DIR).and_then(|()| std::fs::write(&path, &body)) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("profile write failed: {e}"),
+            }
+        }
+    }
+    ok
+}
+
+/// The `--metrics` wrapper proper (profiling handled by the caller).
+fn run_with_metrics(name: &str, seed: u64, opts: Opts) -> bool {
     if !opts.metrics {
         return run(name, seed, opts);
     }
@@ -212,6 +287,13 @@ fn run_instrumented(name: &str, seed: u64, opts: Opts) -> bool {
         let _p = obs::phase(name);
         run(name, seed, opts)
     };
+    // Drain the trace while collection is still on, so the ring's
+    // dropped count lands in this run's snapshot and manifest.
+    let trace = opts.trace_flow.map(|flow| {
+        let (records, overwritten) = obs::drain_trace();
+        obs::add_named("obs.trace_dropped", overwritten);
+        (flow, records, overwritten)
+    });
     obs::disable();
     if !ok {
         return false;
@@ -231,8 +313,12 @@ fn run_instrumented(name: &str, seed: u64, opts: Opts) -> bool {
         Ok((tsv, jsonl)) => println!("wrote {} and {}", tsv.display(), jsonl.display()),
         Err(e) => eprintln!("manifest write failed: {e}"),
     }
-    if let Some(flow) = opts.trace_flow {
-        let (records, overwritten) = obs::drain_trace();
+    if let Some((flow, records, overwritten)) = trace {
+        if overwritten > 0 {
+            eprintln!(
+                "warning: trace ring overwrote {overwritten} records; oldest events were lost"
+            );
+        }
         let path = std::path::Path::new(RESULTS_DIR).join(format!("trace_{name}.tsv"));
         let mut body = String::from("t_ns\tflow\tevent\ta\tb\n");
         for r in &records {
@@ -249,6 +335,36 @@ fn run_instrumented(name: &str, seed: u64, opts: Opts) -> bool {
         }
     }
     true
+}
+
+/// The `report` command: aggregate `./results/` into `report.txt` and
+/// `report.openmetrics`.
+fn run_report_cmd() -> ExitCode {
+    let dir = std::path::Path::new(RESULTS_DIR);
+    match exp::run_report::assemble(dir) {
+        Ok(report) => {
+            print!("{report}");
+            let txt = dir.join("report.txt");
+            let om = dir.join("report.openmetrics");
+            match std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&txt, report.to_string()))
+                .and_then(|()| std::fs::write(&om, report.to_openmetrics()))
+            {
+                Ok(()) => {
+                    println!("wrote {} and {}", txt.display(), om.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("report write failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("report failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -275,6 +391,8 @@ fn main() -> ExitCode {
             },
             "--metrics" => opts.metrics = true,
             "--smoke" => opts.smoke = true,
+            "--spans" => opts.spans = true,
+            "--profile" => opts.profile = true,
             "--trace" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(f) => opts.trace_flow = Some(f),
                 None => {
@@ -311,6 +429,7 @@ fn main() -> ExitCode {
             usage();
             ExitCode::SUCCESS
         }
+        "report" => run_report_cmd(),
         "all" => {
             let mut failed = Vec::new();
             for (name, _) in EXPERIMENTS {

@@ -12,19 +12,23 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// Runs `cronets <args>` in a fresh scratch directory; returns the
-/// stdout plus the contents of every file the run wrote under
-/// `./results/`, keyed by file name.
-fn run_in_scratch(tag: &str, args: &[&str]) -> (String, BTreeMap<String, Vec<u8>>) {
+/// Creates (wiping) the scratch directory for one tagged run.
+fn scratch_dir(tag: &str) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Runs `cronets <args>` with `dir` as working directory; returns its
+/// stdout.
+fn run_in(dir: &Path, args: &[&str]) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_cronets"))
         .args(args)
-        .current_dir(&dir)
+        .current_dir(dir)
         .output()
         .expect("cronets runs");
     assert!(
@@ -32,6 +36,11 @@ fn run_in_scratch(tag: &str, args: &[&str]) -> (String, BTreeMap<String, Vec<u8>
         "cronets {args:?} failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// Reads every file under `dir/results`, keyed by file name.
+fn read_results(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     let mut files = BTreeMap::new();
     let results = dir.join("results");
     if results.is_dir() {
@@ -43,19 +52,37 @@ fn run_in_scratch(tag: &str, args: &[&str]) -> (String, BTreeMap<String, Vec<u8>
             );
         }
     }
-    (String::from_utf8(out.stdout).expect("utf8 stdout"), files)
+    files
 }
 
-/// Strips the manifest records that legitimately vary run-to-run: wall
-/// clock phase timings (`phase` rows / objects). Everything else in a
-/// manifest is a pure function of the seed.
+/// Runs `cronets <args>` in a fresh scratch directory; returns the
+/// stdout plus the contents of every file the run wrote under
+/// `./results/`, keyed by file name.
+fn run_in_scratch(tag: &str, args: &[&str]) -> (String, BTreeMap<String, Vec<u8>>) {
+    let dir = scratch_dir(tag);
+    let out = run_in(&dir, args);
+    (out, read_results(&dir))
+}
+
+/// Strips the records that legitimately vary run-to-run: wall-clock
+/// phase timings in manifests (`phase` rows / objects) and in the
+/// aggregated report text. Everything else is a pure function of the
+/// seed.
 fn strip_wall_clock(name: &str, body: &[u8]) -> Vec<u8> {
-    if !name.starts_with("manifest_") {
+    let is_manifest = name.starts_with("manifest_");
+    let is_report = name == "report.txt";
+    if !is_manifest && !is_report {
         return body.to_vec();
     }
     let text = String::from_utf8_lossy(body);
     text.lines()
-        .filter(|l| !l.starts_with("phase\t") && !l.contains("\"phase\""))
+        .filter(|l| {
+            if is_manifest {
+                !l.starts_with("phase\t") && !l.contains("\"phase\"")
+            } else {
+                !l.trim_start().starts_with("phase ")
+            }
+        })
         .flat_map(|l| l.bytes().chain(std::iter::once(b'\n')))
         .collect()
 }
@@ -113,8 +140,67 @@ fn chaos_run_is_thread_invariant() {
     // chaos layers a deterministic fault schedule (relay crashes, DC
     // outages, link flaps, probe blackholes, cache poisoning) over the
     // service loop; kills, retries and the invariant verdict must all be
-    // byte-identical at any thread count, as must results/chaos.tsv.
-    assert_thread_invariant("chaos", &["--smoke", "--metrics"]);
+    // byte-identical at any thread count, as must results/chaos.tsv, the
+    // span stream (--spans) and the attribution table it implies.
+    assert_thread_invariant("chaos", &["--smoke", "--metrics", "--spans"]);
+}
+
+#[test]
+fn chaos_report_pipeline_is_thread_invariant() {
+    // The full observability pipeline: a chaos run leaves its manifest,
+    // span stream, attribution table and sim-time profile in results/,
+    // then `cronets report` aggregates them. Everything except wall
+    // clock must be byte-identical at any thread count.
+    let pipeline = |tag: &str, threads: &str| {
+        let dir = scratch_dir(tag);
+        run_in(
+            &dir,
+            &[
+                "chaos",
+                "--smoke",
+                "--seed",
+                "424242",
+                "--metrics",
+                "--spans",
+                "--profile",
+                "--threads",
+                threads,
+            ],
+        );
+        let out = run_in(&dir, &["report", "--threads", threads]);
+        (out, read_results(&dir))
+    };
+    let (out1, files1) = pipeline("chaos_report_t1", "1");
+    let (out8, files8) = pipeline("chaos_report_t8", "8");
+    let strip_stdout = |s: &str| {
+        s.lines()
+            .filter(|l| !l.trim_start().starts_with("phase "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_stdout(&out1),
+        strip_stdout(&out8),
+        "report stdout differs across threads"
+    );
+    let names1: Vec<&String> = files1.keys().collect();
+    let names8: Vec<&String> = files8.keys().collect();
+    assert_eq!(names1, names8, "report: results file sets differ");
+    for want in [
+        "attribution.tsv",
+        "spans_chaos.tsv",
+        "report.txt",
+        "report.openmetrics",
+    ] {
+        assert!(files1.contains_key(want), "missing results/{want}");
+    }
+    for (name, body1) in &files1 {
+        assert_eq!(
+            strip_wall_clock(name, body1),
+            strip_wall_clock(name, &files8[name]),
+            "report pipeline: results/{name} differs across threads"
+        );
+    }
 }
 
 #[test]

@@ -155,3 +155,42 @@ fn chaos_smoke_matrix_matches_goldens() {
         );
     }
 }
+
+#[test]
+fn chaos_attribution_matrix_matches_goldens() {
+    // Golden: the first fault's charge row and the final unattributed
+    // row of results/attribution.tsv — pinning the span stream, the
+    // causality walk, and the breach weighting all at once. Regenerate
+    // with `cronets chaos --smoke --seed <s>`.
+    let golden = [
+        (
+            "7",
+            "0\t133785544797\tlink_degrade\t4860698193373619395\t0\t0\t0",
+            "unattributed\t0\t-\t0\t0\t0\t1778",
+        ),
+        (
+            "11",
+            "0\t772545940101\trelay_crash\t1\t2\t14622010\t0",
+            "unattributed\t0\t-\t0\t0\t0\t24961",
+        ),
+        (
+            "13",
+            "0\t89717512766\trelay_crash\t1\t0\t0\t0",
+            "unattributed\t0\t-\t0\t0\t0\t45431",
+        ),
+    ];
+    for (seed, first, last) in golden {
+        let (out, tsv) = run(
+            &format!("seedmat_attr_{seed}"),
+            &["chaos", "--smoke", "--seed", seed],
+            "attribution.tsv",
+        );
+        let (got_first, got_last) = tsv_first_last(&tsv);
+        assert_eq!(got_first, first, "attribution seed {seed} first fault");
+        assert_eq!(got_last, last, "attribution seed {seed} unattributed row");
+        assert!(
+            out.contains("charged to fault events"),
+            "chaos seed {seed}: attribution summary line missing:\n{out}"
+        );
+    }
+}
