@@ -105,7 +105,8 @@ pub fn mptcp_over_with_failures(
     let (mut sim, des_paths, index) = build_sim_indexed(net, paths, seed);
     for &(link, at, loss) in failures {
         if let Some(&idx) = index.get(&link) {
-            sim.schedule_link_loss(idx, simcore::SimTime::ZERO + at, loss);
+            sim.schedule_link_loss(idx, simcore::SimTime::ZERO + at, loss)
+                .expect("failure schedule names a link build_sim_indexed created");
         }
     }
     let cfg = MptcpConfig {

@@ -26,7 +26,6 @@ use std::fmt;
 use control::{Broker, Decision, Fleet, RelayState, SloAccount};
 use cronets::select::{achieved, PathChoice};
 use faults::{FaultConfig, FaultKind, FaultSchedule, InvariantViolation, Invariants};
-use routing::RouteCache;
 use simcore::{EventHandle, EventQueue, SimDuration, SimTime};
 use topology::{LinkId, RouterId};
 
@@ -342,7 +341,7 @@ struct PendingRetry {
 
 /// Per-epoch relay availability from the schedule's crash windows:
 /// `1 - downtime / (relays × epoch)`.
-fn availability_by_epoch(schedule: &FaultSchedule, cfg: &ChaosConfig) -> Vec<f64> {
+pub(crate) fn availability_by_epoch(schedule: &FaultSchedule, cfg: &ChaosConfig) -> Vec<f64> {
     let epochs = cfg.service.workload.epochs as usize;
     let epoch = cfg.service.workload.epoch.as_secs_f64();
     let relays = cfg.faults.relays.max(1) as f64;
@@ -373,7 +372,7 @@ fn availability_by_epoch(schedule: &FaultSchedule, cfg: &ChaosConfig) -> Vec<f64
 
 /// Mirrors the fleet's slot states into the invariant checker so
 /// admission checks see exactly what the fleet sees.
-fn sync_states(inv: &mut Invariants, fleet: &Fleet, relays: usize) {
+pub(crate) fn sync_states(inv: &mut Invariants, fleet: &Fleet, relays: usize) {
     for i in 0..relays {
         inv.set_relay_state(i, fleet.relay_state(i));
     }
@@ -389,6 +388,9 @@ fn sync_states(inv: &mut Invariants, fleet: &Fleet, relays: usize) {
 /// [`crate::service::service`]'s requirements).
 #[must_use]
 pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
+    if cfg.service.fidelity != transport::Fidelity::Des {
+        return crate::hybrid::chaos_hybrid(cfg, seed);
+    }
     // Span recording is always on for a chaos run — fault attribution
     // needs the causal stream even in plain runs without `--metrics`.
     // The caller's flag is restored before returning.
@@ -424,23 +426,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     );
     let relays = svc.fleet.relays;
 
-    let mut cache = RouteCache::build(&world.net);
-    let mut keys: Vec<(RouterId, RouterId)> = Vec::new();
-    for &s in &world.servers {
-        keys.extend(world.clients.iter().map(|&c| (s, c)));
-        keys.extend(world.cronet.nodes().iter().map(|n| (s, n.vm())));
-    }
-    for n in world.cronet.nodes() {
-        keys.extend(world.clients.iter().map(|&c| (n.vm(), c)));
-    }
-    cache.prefetch(&world.net, &keys);
-    let pairs: Vec<(RouterId, RouterId)> = world
-        .servers
-        .iter()
-        .flat_map(|&s| world.clients.iter().map(move |&c| (s, c)))
-        .filter(|&(s, c)| cache.route(&world.net, s, c).is_some())
-        .collect();
-    assert!(!pairs.is_empty(), "no routable server/client pair");
+    let (cache, pairs) = crate::service::prefetched_pairs(&world);
 
     // Candidate victims for link degradation: every inter-AS link, in
     // id order (deterministic; the schedule's salt picks modulo this).

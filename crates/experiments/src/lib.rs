@@ -19,6 +19,7 @@
 //! | [`failover`] | §VI-A: direct-path failure mid-transfer, MPTCP vs plain TCP |
 //! | [`service`] | §VI–§VII: CRONets as an online service (workload, broker, autoscaler, SLOs) |
 //! | [`chaos`] | §VI-A generalized: the service under a deterministic fault schedule (crashes, outages, flaps, poisoned probes) |
+//! | [`hybrid`] | fast-fidelity service/chaos: overlay flows exact, direct-path mass settled analytically (`--fidelity hybrid`) |
 //!
 //! Every experiment is deterministic in its seed, returns a typed result,
 //! and knows how to render itself as the rows/series of the original
@@ -37,6 +38,7 @@ pub mod export;
 pub mod extensions;
 pub mod factors;
 pub mod failover;
+pub mod hybrid;
 pub mod longitudinal;
 pub mod mptcp_exp;
 pub mod prevalence;

@@ -159,21 +159,22 @@ fn nine_scattered_servers(seed: u64) -> (World, Vec<RouterId>) {
     (world, vms)
 }
 
-/// Runs the §VI validation with the given coupling.
-#[must_use]
-pub fn validate(config: &MptcpExpConfig, coupling: CouplingAlg) -> MptcpValidation {
-    let build_phase = obs::phase("build_world");
+/// One kept worst-direct pair with its routed paths (direct + up to 7
+/// overlay reflections) — the §VI validation's unit of work, shared
+/// with the hybrid-fidelity accuracy check.
+pub(crate) struct Prepared {
+    pub(crate) pair: (RouterId, RouterId),
+    pub(crate) direct: RouterPath,
+    pub(crate) overlays: Vec<RouterPath>,
+    model_direct: f64,
+    pub(crate) max_split_model: f64,
+}
+
+/// Builds the §VI world and the `config.n_pairs` worst-direct prepared
+/// pairs (sorted worst-first, like the paper's path index).
+pub(crate) fn prepared_pairs(config: &MptcpExpConfig) -> (World, TcpParams, Vec<Prepared>) {
     let (mut world, vms) = nine_scattered_servers(config.seed);
     let params = *world.cronet.params();
-
-    // All ordered VM pairs with their routed paths (direct + 7 overlay).
-    struct Prepared {
-        pair: (RouterId, RouterId),
-        direct: RouterPath,
-        overlays: Vec<RouterPath>,
-        model_direct: f64,
-        max_split_model: f64,
-    }
     let mut prepared = Vec::new();
     for &a in &vms {
         for &b in &vms {
@@ -215,6 +216,14 @@ pub fn validate(config: &MptcpExpConfig, coupling: CouplingAlg) -> MptcpValidati
     // pre-selection measurement).
     prepared.sort_by(|x, y| x.model_direct.partial_cmp(&y.model_direct).unwrap());
     prepared.truncate(config.n_pairs);
+    (world, params, prepared)
+}
+
+/// Runs the §VI validation with the given coupling.
+#[must_use]
+pub fn validate(config: &MptcpExpConfig, coupling: CouplingAlg) -> MptcpValidation {
+    let build_phase = obs::phase("build_world");
+    let (world, params, prepared) = prepared_pairs(config);
     drop(build_phase);
 
     // One work unit per kept pair: each DES run already derives its seed

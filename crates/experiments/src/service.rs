@@ -31,10 +31,11 @@ use control::{
 };
 use cronets::eval::{modes_from_segments, quality, Measurement, OverlayEval, PairEval};
 use cronets::select::{achieved, PathChoice};
-use routing::RouteCache;
+use routing::{RouteCache, RouterPath};
 use simcore::{EventQueue, SimDuration, SimTime};
 use topology::RouterId;
 use transport::model::tcp_throughput;
+use transport::Fidelity;
 
 use crate::scenario::{ScenarioConfig, World};
 
@@ -57,6 +58,12 @@ pub struct ServiceConfig {
     /// `probe_every` epochs (1 = every epoch, i.e. an always-fresh
     /// oracle).
     pub probe_every: u32,
+    /// Simulation fidelity. [`Fidelity::Des`] (the default) runs the
+    /// exact per-flow event loop; [`Fidelity::Hybrid`] and
+    /// [`Fidelity::Analytic`] run the blended loop in [`crate::hybrid`],
+    /// which keeps overlay-riding flows exact and settles the direct-path
+    /// mass arithmetically (the two coincide at the service level).
+    pub fidelity: Fidelity,
 }
 
 impl ServiceConfig {
@@ -120,6 +127,7 @@ impl ServiceConfig {
                 },
             ],
             probe_every: 2,
+            fidelity: Fidelity::Des,
         }
     }
 
@@ -194,6 +202,7 @@ impl ServiceConfig {
                 },
             ],
             probe_every: 2,
+            fidelity: Fidelity::Des,
         }
     }
 }
@@ -351,14 +360,28 @@ pub(crate) fn epoch_truth(
     let nodes = world.cronet.nodes();
     exec::parallel_map(pairs.len(), |pi| {
         let (server, client) = pairs[pi];
-        let direct_path = cache
-            .route(net, server, client)
-            .expect("pairs are pre-filtered to routable");
-        let q_direct = quality(net, &direct_path);
-        let direct = Measurement {
-            throughput_bps: tcp_throughput(&q_direct, &params),
-            rtt: q_direct.rtt,
-            loss: q_direct.loss,
+        // Pairs are pre-filtered to routable at build time, but a
+        // post-fault route repair can sever the direct route later; a
+        // dead direct path is scored as zero throughput / total loss
+        // (overlays may still reach the client — the paper's story).
+        let (direct, direct_path) = match cache.route(net, server, client) {
+            Some(direct_path) => {
+                let q_direct = quality(net, &direct_path);
+                let direct = Measurement {
+                    throughput_bps: tcp_throughput(&q_direct, &params),
+                    rtt: q_direct.rtt,
+                    loss: q_direct.loss,
+                };
+                (direct, direct_path)
+            }
+            None => (
+                Measurement {
+                    throughput_bps: 0.0,
+                    rtt: SimDuration::ZERO,
+                    loss: 1.0,
+                },
+                RouterPath::trivial(server),
+            ),
         };
         let mut overlays = Vec::with_capacity(nodes.len());
         for (ni, node) in nodes.iter().enumerate() {
@@ -394,6 +417,35 @@ pub(crate) fn completion_time(bytes: u64, bps: f64, rtt: SimDuration) -> SimDura
     rtt + SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps.max(1.0))
 }
 
+/// Builds the service's warmed route cache and pair catalogue: every
+/// routable (server, client) combination, plus prefetched relay legs.
+/// Shared by the DES loop, the chaos harness, and the hybrid loop so
+/// all fidelities price the same catalogue.
+///
+/// # Panics
+///
+/// Panics if no server/client pair is routable.
+pub(crate) fn prefetched_pairs(world: &World) -> (RouteCache, Vec<(RouterId, RouterId)>) {
+    let mut cache = RouteCache::build(&world.net);
+    let mut keys: Vec<(RouterId, RouterId)> = Vec::new();
+    for &s in &world.servers {
+        keys.extend(world.clients.iter().map(|&c| (s, c)));
+        keys.extend(world.cronet.nodes().iter().map(|n| (s, n.vm())));
+    }
+    for n in world.cronet.nodes() {
+        keys.extend(world.clients.iter().map(|&c| (n.vm(), c)));
+    }
+    cache.prefetch(&world.net, &keys);
+    let pairs: Vec<(RouterId, RouterId)> = world
+        .servers
+        .iter()
+        .flat_map(|&s| world.clients.iter().map(move |&c| (s, c)))
+        .filter(|&(s, c)| cache.route(&world.net, s, c).is_some())
+        .collect();
+    assert!(!pairs.is_empty(), "no routable server/client pair");
+    (cache, pairs)
+}
+
 /// Maps a virtual workload client onto the pair catalogue. Mixes the
 /// client id first (SplitMix64 finalizer) so the pair is decorrelated
 /// from `client % tenants` — otherwise each tenant would own a fixed
@@ -415,6 +467,9 @@ pub(crate) fn pair_of(client: u64, n_pairs: usize) -> usize {
 /// routable server/client pair).
 #[must_use]
 pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
+    if cfg.fidelity != Fidelity::Des {
+        return crate::hybrid::service_hybrid(cfg, seed);
+    }
     assert!(cfg.probe_every >= 1, "probe_every must be at least 1");
     assert_eq!(
         cfg.workload.tenants as usize,
@@ -430,23 +485,7 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
 
     // The service's pair catalogue: every routable (server, client)
     // combination; virtual workload clients map onto it round-robin.
-    let mut cache = RouteCache::build(&world.net);
-    let mut keys: Vec<(RouterId, RouterId)> = Vec::new();
-    for &s in &world.servers {
-        keys.extend(world.clients.iter().map(|&c| (s, c)));
-        keys.extend(world.cronet.nodes().iter().map(|n| (s, n.vm())));
-    }
-    for n in world.cronet.nodes() {
-        keys.extend(world.clients.iter().map(|&c| (n.vm(), c)));
-    }
-    cache.prefetch(&world.net, &keys);
-    let pairs: Vec<(RouterId, RouterId)> = world
-        .servers
-        .iter()
-        .flat_map(|&s| world.clients.iter().map(move |&c| (s, c)))
-        .filter(|&(s, c)| cache.route(&world.net, s, c).is_some())
-        .collect();
-    assert!(!pairs.is_empty(), "no routable server/client pair");
+    let (cache, pairs) = prefetched_pairs(&world);
 
     // All arrivals up front: one work unit per epoch, pure in
     // (seed, epoch), merged in epoch order.

@@ -70,9 +70,19 @@ impl Scratch {
     }
 
     /// Dijkstra over the intra-AS subgraph of `from`'s AS, weighted by
-    /// link propagation delay. Stops early once `to` is settled (pass
-    /// `None` to compute distances to every reachable router of the AS).
-    fn dijkstra(&mut self, net: &Network, from: RouterId, to: Option<RouterId>) {
+    /// link propagation delay, skipping every link in the `avoid` set.
+    /// Stops early once `to` is settled (pass `None` to compute
+    /// distances to every reachable router of the AS). The empty avoid
+    /// set costs one branch per edge, so ordinary expansion is
+    /// unchanged; a non-empty set is expected to be a handful of failed
+    /// links, so a linear scan beats building a hash set.
+    fn dijkstra_avoiding(
+        &mut self,
+        net: &Network,
+        from: RouterId,
+        to: Option<RouterId>,
+        avoid: &[LinkId],
+    ) {
         let n = net.router_count();
         if self.stamps.len() < n {
             self.stamps.resize(n, 0);
@@ -93,6 +103,9 @@ impl Scratch {
             }
             for &(v, l) in net.neighbors(u) {
                 if net.router(v).asn() != asn {
+                    continue;
+                }
+                if !avoid.is_empty() && avoid.contains(&l) {
                     continue;
                 }
                 let nd = d + net.link(l).prop_delay().as_nanos().max(1);
@@ -118,6 +131,23 @@ thread_local! {
 /// Panics if the routers belong to different ASes.
 #[must_use]
 pub fn intra_as_path(net: &Network, from: RouterId, to: RouterId) -> Option<RouterPath> {
+    intra_as_path_avoiding(net, from, to, &[])
+}
+
+/// [`intra_as_path`] with a failed-link avoid set: the shortest intra-AS
+/// route that uses none of the `avoid` links, or `None` if avoidance
+/// disconnects the pair. The empty set is exactly [`intra_as_path`].
+///
+/// # Panics
+///
+/// Panics if the routers belong to different ASes.
+#[must_use]
+pub fn intra_as_path_avoiding(
+    net: &Network,
+    from: RouterId,
+    to: RouterId,
+    avoid: &[LinkId],
+) -> Option<RouterPath> {
     let asn = net.router(from).asn();
     assert_eq!(
         asn,
@@ -129,7 +159,7 @@ pub fn intra_as_path(net: &Network, from: RouterId, to: RouterId) -> Option<Rout
     }
     SCRATCH.with(|s| {
         let mut s = s.borrow_mut();
-        s.dijkstra(net, from, Some(to));
+        s.dijkstra_avoiding(net, from, Some(to), avoid);
         if s.dist(to) == u64::MAX {
             return None;
         }
@@ -186,6 +216,22 @@ pub fn expand_as_path(
     src: RouterId,
     dst: RouterId,
 ) -> Option<RouterPath> {
+    expand_as_path_avoiding(net, as_path, src, dst, &[])
+}
+
+/// [`expand_as_path`] with a failed-link avoid set: avoided inter-AS
+/// links are struck from the hot-potato candidate list and avoided
+/// intra-AS links from the IGP shortest paths. Returns `None` if
+/// avoidance leaves some AS pair without a usable link or disconnects an
+/// AS internally. The empty set is exactly [`expand_as_path`].
+#[must_use]
+pub fn expand_as_path_avoiding(
+    net: &Network,
+    as_path: &[AsId],
+    src: RouterId,
+    dst: RouterId,
+    avoid: &[LinkId],
+) -> Option<RouterPath> {
     let mut path = RouterPath::trivial(src);
     let mut ingress = src;
     for (i, window) in as_path.windows(2).enumerate() {
@@ -199,9 +245,12 @@ pub fn expand_as_path(
         }
         let best = SCRATCH.with(|s| {
             let mut s = s.borrow_mut();
-            s.dijkstra(net, ingress, None);
+            s.dijkstra_avoiding(net, ingress, None, avoid);
             let mut best: Option<(u64, LinkId, RouterId, RouterId)> = None;
             for &l in candidates {
+                if !avoid.is_empty() && avoid.contains(&l) {
+                    continue;
+                }
                 let link = net.link(l);
                 let (near, far) = if net.router(link.a()).asn() == cur_as {
                     (link.a(), link.b())
@@ -220,14 +269,14 @@ pub fn expand_as_path(
             best
         });
         let (_, l, near, far) = best?;
-        let to_border = intra_as_path(net, ingress, near)?;
+        let to_border = intra_as_path_avoiding(net, ingress, near, avoid)?;
         path = path.join(to_border);
         path = path.join(RouterPath::new(vec![near, far], vec![l]));
         ingress = far;
         let _ = i;
     }
     // Final leg inside the destination AS.
-    let tail = intra_as_path(net, ingress, dst)?;
+    let tail = intra_as_path_avoiding(net, ingress, dst, avoid)?;
     Some(path.join(tail))
 }
 

@@ -51,6 +51,8 @@ pub mod traceroute;
 
 pub use bgp::{AsRoute, Bgp, RouteClass};
 pub use cache::RouteCache;
-pub use expand::{expand_as_path, intra_as_path, route};
+pub use expand::{
+    expand_as_path, expand_as_path_avoiding, intra_as_path, intra_as_path_avoiding, route,
+};
 pub use path::RouterPath;
 pub use traceroute::{traceroute, Hop};

@@ -196,6 +196,58 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Drains every pending event sharing the earliest timestamp into
+    /// `batch` (cleared first), preserving schedule order within the
+    /// tick, and returns that timestamp. Events scheduled *while the
+    /// batch is processed* — even at the same timestamp — land in a
+    /// later batch, which matches the order `pop` would have produced:
+    /// their sequence numbers are higher than every event already
+    /// queued at that tick.
+    ///
+    /// ```
+    /// use simcore::{EventQueue, SimTime, SimDuration};
+    /// let mut q = EventQueue::new();
+    /// let t = SimTime::ZERO + SimDuration::from_secs(1);
+    /// q.schedule(t, "a");
+    /// q.schedule(t + SimDuration::from_secs(1), "later");
+    /// q.schedule(t, "b");
+    /// let mut batch = Vec::new();
+    /// assert_eq!(q.pop_batch(&mut batch), Some(t));
+    /// assert_eq!(batch, vec!["a", "b"]);
+    /// assert_eq!(q.len(), 1, "the later tick stays queued");
+    /// ```
+    pub fn pop_batch(&mut self, batch: &mut Vec<E>) -> Option<SimTime> {
+        batch.clear();
+        let t = self.peek_time()?;
+        self.now = t;
+        while let Some(&head) = self.heap.first() {
+            if head.time != t {
+                break;
+            }
+            self.remove_head();
+            let payload = self.slots[head.slot as usize].payload.take();
+            self.free.push(head.slot);
+            if let Some(p) = payload {
+                self.live -= 1;
+                batch.push(p);
+            }
+        }
+        Some(t)
+    }
+
+    /// `pop_batch` bounded by an epoch boundary: drains the earliest
+    /// tick only if it lies strictly before `t`. Returns the tick's
+    /// timestamp, or `None` (leaving `batch` cleared) when the queue is
+    /// empty or its head is at or past `t`.
+    pub fn pop_batch_before(&mut self, t: SimTime, batch: &mut Vec<E>) -> Option<SimTime> {
+        if self.peek_time()? < t {
+            self.pop_batch(batch)
+        } else {
+            batch.clear();
+            None
+        }
+    }
+
     /// The time of the earliest pending event, if any, without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(&head) = self.heap.first() {
@@ -403,5 +455,79 @@ mod tests {
             assert_eq!(q.len(), reference.len());
         }
         assert_eq!(popped, expected);
+    }
+
+    /// `pop_batch` must yield the exact event sequence `pop` yields,
+    /// chunked by timestamp, with cancellations honoured.
+    #[test]
+    fn batch_dispatch_matches_pop_order() {
+        let build = || {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            let mut rng = crate::SimRng::seed_from(99);
+            for id in 0..500u32 {
+                // Deliberately few distinct ticks so batches coalesce.
+                let t = SimTime::from_nanos(rng.index(40) as u64 * 10);
+                handles.push(q.schedule(t, id));
+            }
+            // Cancel every seventh event, including some whole ticks.
+            for (i, h) in handles.iter().enumerate() {
+                if i % 7 == 0 {
+                    q.cancel(*h);
+                }
+            }
+            q
+        };
+        let mut by_pop = Vec::new();
+        let mut q = build();
+        while let Some((t, id)) = q.pop() {
+            by_pop.push((t, id));
+        }
+        let mut by_batch = Vec::new();
+        let mut q = build();
+        let mut batch = Vec::new();
+        while let Some(t) = q.pop_batch(&mut batch) {
+            assert!(!batch.is_empty(), "batch at {t} is empty");
+            by_batch.extend(batch.iter().map(|&id| (t, id)));
+        }
+        assert_eq!(by_pop, by_batch);
+        assert!(q.is_empty());
+    }
+
+    /// Events scheduled during a batch — even at the batch's own
+    /// timestamp — must surface in a later batch, exactly as `pop`
+    /// would order them.
+    #[test]
+    fn batch_dispatch_defers_same_tick_reschedules() {
+        let t = SimTime::from_nanos(100);
+        let mut q = EventQueue::new();
+        q.schedule(t, 0u32);
+        q.schedule(t, 1);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(t));
+        assert_eq!(batch, vec![0, 1]);
+        // A handler reacting to the batch schedules more work at `now`.
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        assert_eq!(q.pop_batch(&mut batch), Some(t));
+        assert_eq!(batch, vec![2, 3]);
+        assert_eq!(q.pop_batch(&mut batch), None);
+    }
+
+    #[test]
+    fn batch_before_respects_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(5), 'a');
+        q.schedule(SimTime::from_nanos(5), 'b');
+        q.schedule(SimTime::from_nanos(9), 'c');
+        let mut batch = vec!['x'];
+        assert_eq!(
+            q.pop_batch_before(SimTime::from_nanos(9), &mut batch),
+            Some(SimTime::from_nanos(5))
+        );
+        assert_eq!(batch, vec!['a', 'b']);
+        assert_eq!(q.pop_batch_before(SimTime::from_nanos(9), &mut batch), None);
+        assert!(batch.is_empty(), "miss clears the batch buffer");
+        assert_eq!(q.len(), 1);
     }
 }

@@ -42,6 +42,41 @@ impl DesPath {
     }
 }
 
+/// Error returned when a scheduled fault injection names a link the
+/// simulation does not have, or a loss value outside `[0, 1]`. Fault
+/// schedules are data assembled away from the `Netsim` they drive, so
+/// a mismatch is a typed error rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultInjectionError {
+    /// The link index does not exist in this simulation.
+    NoSuchLink {
+        /// The index asked for.
+        link: usize,
+        /// How many links the simulation has.
+        links: usize,
+    },
+    /// The requested loss is not a probability.
+    InvalidLoss {
+        /// The offending value.
+        loss: f64,
+    },
+}
+
+impl std::fmt::Display for FaultInjectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultInjectionError::NoSuchLink { link, links } => {
+                write!(f, "no link {link} (simulation has {links})")
+            }
+            FaultInjectionError::InvalidLoss { loss } => {
+                write!(f, "loss {loss} is not a probability in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultInjectionError {}
+
 /// Configuration of a (single- or multi-path) transfer.
 #[derive(Debug, Clone)]
 pub struct TransferConfig {
@@ -156,8 +191,13 @@ impl Event {
     }
 }
 
+/// Hot per-subflow state: the flat control block every ACK, timeout and
+/// send decision reads. Subflows of all flows live contiguously in
+/// `Netsim::sub_hot` (struct-of-arrays, indexed by global subflow id),
+/// so the event loop's working set stays cache-dense no matter how many
+/// flows the simulation carries.
 #[derive(Debug)]
-struct Subflow {
+struct SubflowHot {
     path: Vec<usize>,
     reverse_delay: SimDuration,
     cc: CcState,
@@ -170,6 +210,9 @@ struct Subflow {
     dup_acks: u32,
     in_recovery: bool,
     recovery_point: u64,
+    /// Recovery scan cursor: holes below this have been retransmitted in
+    /// the current recovery episode (SACK scoreboard, RFC 6675 spirit).
+    retx_cursor: u64,
     // --- RTT estimation (RFC 6298) ---
     srtt: Option<SimDuration>,
     rttvar: SimDuration,
@@ -177,35 +220,42 @@ struct Subflow {
     timer_epoch: u64,
     /// Whether a live (non-stale) timer is scheduled.
     timer_armed: bool,
-    /// Per-segment send time and whether it was retransmitted (Karn's rule).
-    sent_at: HashMap<u64, (SimTime, bool)>,
-    /// Recovery scan cursor: holes below this have been retransmitted in
-    /// the current recovery episode (SACK scoreboard, RFC 6675 spirit).
-    retx_cursor: u64,
+    /// Minimum RTT sample (control state: HyStart's delay threshold).
+    min_rtt: SimDuration,
     // --- receiver ---
     rcv_nxt: u64,
-    ooo: BTreeSet<u64>,
     // --- OLIA inter-loss bookkeeping ---
     interloss_cur: f64,
     interloss_prev: f64,
+}
+
+/// Cold per-subflow state: heap-backed bookkeeping and statistics kept
+/// out of [`SubflowHot`] so the hot array's scalars pack densely. The
+/// containers chase pointers whichever struct owns them; the counters
+/// are read once per run when stats are assembled.
+#[derive(Debug, Default)]
+struct SubflowCold {
+    /// Per-segment send time and whether it was retransmitted (Karn's rule).
+    sent_at: HashMap<u64, (SimTime, bool)>,
+    /// Receiver out-of-order buffer (our SACK scoreboard equivalent).
+    ooo: BTreeSet<u64>,
     // --- stats ---
     segs_sent: u64,
     retx: u64,
     /// Diagnostic: recovery episodes entered / timeouts fired.
-    pub(crate) recovery_entries: u64,
-    pub(crate) timeouts: u64,
+    recovery_entries: u64,
+    timeouts: u64,
     rtt_sum_ns: u128,
     rtt_samples: u64,
-    min_rtt: SimDuration,
     /// `snd_una` captured when the flow stopped.
     final_una: Option<u64>,
     /// Diagnostic cwnd trace: (100ms tick, cwnd_segs).
-    pub(crate) trace: Vec<(u64, f64)>,
+    trace: Vec<(u64, f64)>,
 }
 
-impl Subflow {
+impl SubflowHot {
     fn new(path: Vec<usize>, reverse_delay: SimDuration, cc: CongestionAlg) -> Self {
-        Subflow {
+        SubflowHot {
             path,
             reverse_delay,
             cc: CcState::new(cc),
@@ -221,20 +271,10 @@ impl Subflow {
             rto: INITIAL_RTO,
             timer_epoch: 0,
             timer_armed: false,
-            sent_at: HashMap::new(),
+            min_rtt: SimDuration::MAX,
             rcv_nxt: 0,
-            ooo: BTreeSet::new(),
             interloss_cur: 0.0,
             interloss_prev: 0.0,
-            segs_sent: 0,
-            retx: 0,
-            recovery_entries: 0,
-            timeouts: 0,
-            rtt_sum_ns: 0,
-            rtt_samples: 0,
-            min_rtt: SimDuration::MAX,
-            final_una: None,
-            trace: Vec::new(),
         }
     }
 
@@ -248,7 +288,7 @@ impl Subflow {
         self.srtt.unwrap_or(fallback).as_secs_f64().max(1e-4)
     }
 
-    fn on_rtt_sample(&mut self, sample: SimDuration, min_rto: SimDuration) {
+    fn on_rtt_sample(&mut self, cold: &mut SubflowCold, sample: SimDuration, min_rto: SimDuration) {
         match self.srtt {
             None => {
                 self.srtt = Some(sample);
@@ -266,8 +306,8 @@ impl Subflow {
         }
         let rto = self.srtt.unwrap() + self.rttvar * 4;
         self.rto = rto.max(min_rto).min(MAX_RTO);
-        self.rtt_sum_ns += u128::from(sample.as_nanos());
-        self.rtt_samples += 1;
+        cold.rtt_sum_ns += u128::from(sample.as_nanos());
+        cold.rtt_samples += 1;
         self.min_rtt = self.min_rtt.min(sample);
     }
 
@@ -297,7 +337,11 @@ enum FlowKind {
 
 #[derive(Debug)]
 struct Flow {
-    subflows: Vec<Subflow>,
+    /// First subflow's index into the struct-of-arrays subflow state;
+    /// the flow's subflows occupy `first_sub .. first_sub + n_subs`
+    /// contiguously (flows never gain or lose subflows after creation).
+    first_sub: u32,
+    n_subs: u32,
     coupling: CouplingAlg,
     params: TcpParams,
     stopped: bool,
@@ -360,6 +404,10 @@ pub struct Netsim {
     queue: EventQueue<Event>,
     links: Vec<SimLink>,
     flows: Vec<Flow>,
+    /// Struct-of-arrays subflow state: `sub_hot[sid]` / `sub_cold[sid]`
+    /// for global subflow id `sid = flow.first_sub + s`.
+    sub_hot: Vec<SubflowHot>,
+    sub_cold: Vec<SubflowCold>,
     rng: SimRng,
     /// Telemetry handles (`None` when collection is off at construction).
     obs: Option<ObsHandles>,
@@ -375,9 +423,17 @@ impl Netsim {
             queue: EventQueue::new(),
             links: Vec::new(),
             flows: Vec::new(),
+            sub_hot: Vec::new(),
+            sub_cold: Vec::new(),
             rng: SimRng::seed_from(seed),
             obs: ObsHandles::capture(),
         }
+    }
+
+    /// Global subflow id of subflow `s` of flow `f`.
+    #[inline]
+    fn sid(&self, f: usize, s: usize) -> usize {
+        self.flows[f].first_sub as usize + s
     }
 
     /// Adds a unidirectional link and returns its index.
@@ -407,13 +463,30 @@ impl Netsim {
     /// failure injection (`loss = 1.0` makes the link a black hole, the
     /// §VI-A "if the default Internet path fails" scenario) or repair.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the link index is out of range or `loss` is not a
-    /// probability.
-    pub fn schedule_link_loss(&mut self, link: usize, at: SimTime, loss: f64) {
-        assert!(link < self.links.len(), "no link {link}");
-        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+    /// Returns [`FaultInjectionError`] when the link index is out of
+    /// range or `loss` is not a probability — fault schedules are often
+    /// assembled far from the simulation they target, so a stale link id
+    /// is a typed error, not a panic. Debug builds assert first: inside
+    /// this repository both conditions are construction bugs.
+    pub fn schedule_link_loss(
+        &mut self,
+        link: usize,
+        at: SimTime,
+        loss: f64,
+    ) -> Result<(), FaultInjectionError> {
+        debug_assert!(link < self.links.len(), "no link {link}");
+        debug_assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        if link >= self.links.len() {
+            return Err(FaultInjectionError::NoSuchLink {
+                link,
+                links: self.links.len(),
+            });
+        }
+        if !(0.0..=1.0).contains(&loss) {
+            return Err(FaultInjectionError::InvalidLoss { loss });
+        }
         self.queue.schedule(
             at,
             Event::SetLinkLoss {
@@ -421,6 +494,7 @@ impl Netsim {
                 loss_bits: loss.to_bits(),
             },
         );
+        Ok(())
     }
 
     /// Adds a single-path TCP flow; returns its index into
@@ -451,16 +525,17 @@ impl Netsim {
         alg: CongestionAlg,
     ) -> usize {
         assert!(!paths.is_empty(), "a flow needs at least one path");
-        let subflows = paths
-            .into_iter()
-            .map(|p| {
-                let reverse: SimDuration =
-                    p.links().iter().map(|&l| self.links[l].prop_delay()).sum();
-                Subflow::new(p.links().to_vec(), reverse, alg)
-            })
-            .collect();
+        let first_sub = u32::try_from(self.sub_hot.len()).expect("subflow id overflow");
+        let n_subs = paths.len() as u32;
+        for p in paths {
+            let reverse: SimDuration = p.links().iter().map(|&l| self.links[l].prop_delay()).sum();
+            self.sub_hot
+                .push(SubflowHot::new(p.links().to_vec(), reverse, alg));
+            self.sub_cold.push(SubflowCold::default());
+        }
         self.flows.push(Flow {
-            subflows,
+            first_sub,
+            n_subs,
             coupling,
             params: cfg.params,
             stopped: false,
@@ -512,7 +587,7 @@ impl Netsim {
             }
         }
         for f in 0..self.flows.len() {
-            for s in 0..self.flows[f].subflows.len() {
+            for s in 0..self.flows[f].n_subs as usize {
                 self.try_send(f, s, SimTime::ZERO);
             }
         }
@@ -521,67 +596,82 @@ impl Netsim {
         // nothing toggles it mid-run.
         let profiling = simcore::profile::enabled();
         let mut prof_last = SimTime::ZERO;
-        while let Some((now, event)) = self.queue.pop() {
-            if let Some(h) = self.obs {
-                obs::inc(h.events);
-                last_now = now;
-            }
-            if profiling {
-                // Charge the sim-time gap since the previous event to
-                // this event's handler kind (self time).
-                simcore::profile::leaf(
-                    &["netsim", event.label()],
-                    now.duration_since(prof_last).as_nanos(),
-                );
-                prof_last = now;
-            }
-            match event {
-                Event::Hop {
-                    flow,
-                    sub,
-                    seq,
-                    hop,
-                } => {
-                    self.forward_hop(flow as usize, sub as usize, seq, hop as usize, now);
+        // Same-tick events drain from the heap as one batch per
+        // timestamp (one heap walk instead of a pop per event), in the
+        // exact order `pop` would have produced; events a handler
+        // schedules at the batch's own time land in a later batch, just
+        // as their higher sequence numbers would have ordered them.
+        let mut batch = Vec::new();
+        while let Some(now) = self.queue.pop_batch(&mut batch) {
+            for event in batch.drain(..) {
+                if let Some(h) = self.obs {
+                    obs::inc(h.events);
+                    last_now = now;
                 }
-                Event::Deliver { flow, sub, seq } => {
-                    self.on_deliver(flow as usize, sub as usize, seq, now)
+                if profiling {
+                    // Charge the sim-time gap since the previous event to
+                    // this event's handler kind (self time); within a
+                    // batch the gap is zero for all but the first event.
+                    simcore::profile::leaf(
+                        &["netsim", event.label()],
+                        now.duration_since(prof_last).as_nanos(),
+                    );
+                    prof_last = now;
                 }
-                Event::Ack { flow, sub, cum } => self.on_ack(flow as usize, sub as usize, cum, now),
-                Event::Timeout { flow, sub, epoch } => {
-                    self.on_timeout(flow as usize, sub as usize, epoch, now);
-                }
-                Event::Stop { flow } => {
-                    if let Some(h) = self.obs {
-                        obs::inc(h.flows_completed);
+                match event {
+                    Event::Hop {
+                        flow,
+                        sub,
+                        seq,
+                        hop,
+                    } => {
+                        self.forward_hop(flow as usize, sub as usize, seq, hop as usize, now);
                     }
-                    let f = &mut self.flows[flow as usize];
-                    f.stopped = true;
-                    for sub in &mut f.subflows {
-                        sub.final_una = Some(sub.snd_una);
+                    Event::Deliver { flow, sub, seq } => {
+                        self.on_deliver(flow as usize, sub as usize, seq, now)
                     }
-                    // The stop instant doubles as the final sample tick
-                    // when it lands on the sampling grid (the Stop event
-                    // precedes the equal-time Sample, which then no-ops).
-                    if let Some(iv) = f.sample_interval {
-                        let elapsed = f.stop_time.duration_since(SimTime::ZERO);
-                        if elapsed.as_nanos().is_multiple_of(iv.as_nanos()) {
-                            let delivered = Self::delivered_segs(f);
-                            f.samples.push(delivered);
+                    Event::Ack { flow, sub, cum } => {
+                        self.on_ack(flow as usize, sub as usize, cum, now)
+                    }
+                    Event::Timeout { flow, sub, epoch } => {
+                        self.on_timeout(flow as usize, sub as usize, epoch, now);
+                    }
+                    Event::Stop { flow } => {
+                        if let Some(h) = self.obs {
+                            obs::inc(h.flows_completed);
+                        }
+                        let fi = flow as usize;
+                        let first = self.flows[fi].first_sub as usize;
+                        let n = self.flows[fi].n_subs as usize;
+                        for sid in first..first + n {
+                            self.sub_cold[sid].final_una = Some(self.sub_hot[sid].snd_una);
+                        }
+                        self.flows[fi].stopped = true;
+                        // The stop instant doubles as the final sample tick
+                        // when it lands on the sampling grid (the Stop event
+                        // precedes the equal-time Sample, which then no-ops).
+                        if let Some(iv) = self.flows[fi].sample_interval {
+                            let elapsed = self.flows[fi].stop_time.duration_since(SimTime::ZERO);
+                            if elapsed.as_nanos().is_multiple_of(iv.as_nanos()) {
+                                let delivered = self.delivered_segs(fi);
+                                self.flows[fi].samples.push(delivered);
+                            }
                         }
                     }
-                }
-                Event::SetLinkLoss { link, loss_bits } => {
-                    self.links[link as usize].set_loss_prob(f64::from_bits(loss_bits));
-                }
-                Event::Sample { flow } => {
-                    let f = &mut self.flows[flow as usize];
-                    if !f.stopped {
-                        let delivered = Self::delivered_segs(f);
-                        f.samples.push(delivered);
-                        let interval = f.sample_interval.expect("sampled flow has interval");
-                        if now + interval <= f.stop_time {
-                            self.queue.schedule(now + interval, Event::Sample { flow });
+                    Event::SetLinkLoss { link, loss_bits } => {
+                        self.links[link as usize].set_loss_prob(f64::from_bits(loss_bits));
+                    }
+                    Event::Sample { flow } => {
+                        let fi = flow as usize;
+                        if !self.flows[fi].stopped {
+                            let delivered = self.delivered_segs(fi);
+                            self.flows[fi].samples.push(delivered);
+                            let interval = self.flows[fi]
+                                .sample_interval
+                                .expect("sampled flow has interval");
+                            if now + interval <= self.flows[fi].stop_time {
+                                self.queue.schedule(now + interval, Event::Sample { flow });
+                            }
                         }
                     }
                 }
@@ -594,7 +684,7 @@ impl Netsim {
             obs::add(h.queue_drops, queue_drops);
             obs::add(h.random_drops, random_drops);
         }
-        self.flows.iter().map(Self::stats_of).collect()
+        (0..self.flows.len()).map(|f| self.stats_of(f)).collect()
     }
 
     /// Diagnostic: (snd_una, snd_nxt, cwnd_segs, rto_ms, in_recovery,
@@ -602,15 +692,17 @@ impl Netsim {
     #[doc(hidden)]
     #[must_use]
     pub fn debug_subflow_state(&self, f: usize, s: usize) -> (u64, u64, f64, u64, bool, u64, u64) {
-        let sub = &self.flows[f].subflows[s];
+        let sid = self.sid(f, s);
+        let hot = &self.sub_hot[sid];
+        let cold = &self.sub_cold[sid];
         (
-            sub.snd_una,
-            sub.snd_nxt,
-            sub.cc.cwnd_segs(),
-            sub.rto.as_millis(),
-            sub.in_recovery,
-            sub.recovery_entries,
-            sub.timeouts,
+            hot.snd_una,
+            hot.snd_nxt,
+            hot.cc.cwnd_segs(),
+            hot.rto.as_millis(),
+            hot.in_recovery,
+            cold.recovery_entries,
+            cold.timeouts,
         )
     }
 
@@ -618,37 +710,58 @@ impl Netsim {
     #[doc(hidden)]
     #[must_use]
     pub fn debug_receiver_state(&self, f: usize, s: usize) -> (u64, usize, u64) {
-        let sub = &self.flows[f].subflows[s];
-        (sub.rcv_nxt, sub.ooo.len(), sub.segs_sent)
+        let sid = self.sid(f, s);
+        (
+            self.sub_hot[sid].rcv_nxt,
+            self.sub_cold[sid].ooo.len(),
+            self.sub_cold[sid].segs_sent,
+        )
+    }
+
+    /// The subflow-id range of flow `f`.
+    fn sub_range(&self, f: usize) -> std::ops::Range<usize> {
+        let flow = &self.flows[f];
+        let first = flow.first_sub as usize;
+        first..first + flow.n_subs as usize
     }
 
     /// Unique delivered segments for goodput accounting (relay flows
     /// count only the second hop).
-    fn delivered_segs(flow: &Flow) -> u64 {
-        match flow.kind {
+    fn delivered_segs(&self, f: usize) -> u64 {
+        match self.flows[f].kind {
             FlowKind::Relay { .. } => {
-                let s = &flow.subflows[1];
-                s.final_una.unwrap_or(s.snd_una)
+                let sid = self.flows[f].first_sub as usize + 1;
+                self.sub_cold[sid]
+                    .final_una
+                    .unwrap_or(self.sub_hot[sid].snd_una)
             }
-            FlowKind::Normal => flow
-                .subflows
-                .iter()
-                .map(|s| s.final_una.unwrap_or(s.snd_una))
+            FlowKind::Normal => self
+                .sub_range(f)
+                .map(|sid| {
+                    self.sub_cold[sid]
+                        .final_una
+                        .unwrap_or(self.sub_hot[sid].snd_una)
+                })
                 .sum(),
         }
     }
 
-    fn stats_of(flow: &Flow) -> FlowStats {
+    fn stats_of(&self, f: usize) -> FlowStats {
+        let flow = &self.flows[f];
         let mss = u64::from(flow.params.mss);
         let duration = flow.stop_time.duration_since(SimTime::ZERO);
         let dur_s = duration.as_secs_f64().max(1e-9);
-        let per_subflow_goodput: Vec<f64> = flow
-            .subflows
-            .iter()
-            .map(|s| s.final_una.unwrap_or(s.snd_una) as f64 * mss as f64 * 8.0 / dur_s)
+        let per_subflow_goodput: Vec<f64> = self
+            .sub_range(f)
+            .map(|sid| {
+                let una = self.sub_cold[sid]
+                    .final_una
+                    .unwrap_or(self.sub_hot[sid].snd_una);
+                una as f64 * mss as f64 * 8.0 / dur_s
+            })
             .collect();
         // A relay does not add goodput: only what reaches B counts.
-        let bytes: u64 = Self::delivered_segs(flow) * mss;
+        let bytes: u64 = self.delivered_segs(f) * mss;
         let interval_goodput_bps: Vec<f64> = flow.sample_interval.map_or_else(Vec::new, |iv| {
             let iv_s = iv.as_secs_f64().max(1e-9);
             let mut prev = 0u64;
@@ -661,19 +774,19 @@ impl Netsim {
                 })
                 .collect()
         });
-        let segs: u64 = flow.subflows.iter().map(|s| s.segs_sent).sum();
-        let retx: u64 = flow.subflows.iter().map(|s| s.retx).sum();
-        let samples: u64 = flow.subflows.iter().map(|s| s.rtt_samples).sum();
-        let rtt_sum: u128 = flow.subflows.iter().map(|s| s.rtt_sum_ns).sum();
+        let cold = || self.sub_range(f).map(|sid| &self.sub_cold[sid]);
+        let segs: u64 = cold().map(|c| c.segs_sent).sum();
+        let retx: u64 = cold().map(|c| c.retx).sum();
+        let samples: u64 = cold().map(|c| c.rtt_samples).sum();
+        let rtt_sum: u128 = cold().map(|c| c.rtt_sum_ns).sum();
         let avg_rtt = if samples > 0 {
             SimDuration::from_nanos((rtt_sum / u128::from(samples)) as u64)
         } else {
             SimDuration::ZERO
         };
-        let min_rtt = flow
-            .subflows
-            .iter()
-            .map(|s| s.min_rtt)
+        let min_rtt = self
+            .sub_range(f)
+            .map(|sid| self.sub_hot[sid].min_rtt)
             .min()
             .unwrap_or(SimDuration::MAX);
         FlowStats {
@@ -701,17 +814,19 @@ impl Netsim {
     // ----- receiver ----------------------------------------------------
 
     fn on_deliver(&mut self, f: usize, s: usize, seq: u64, now: SimTime) {
-        let sub = &mut self.flows[f].subflows[s];
-        if seq == sub.rcv_nxt {
-            sub.rcv_nxt += 1;
-            while sub.ooo.remove(&sub.rcv_nxt) {
-                sub.rcv_nxt += 1;
+        let sid = self.sid(f, s);
+        let hot = &mut self.sub_hot[sid];
+        let cold = &mut self.sub_cold[sid];
+        if seq == hot.rcv_nxt {
+            hot.rcv_nxt += 1;
+            while cold.ooo.remove(&hot.rcv_nxt) {
+                hot.rcv_nxt += 1;
             }
-        } else if seq > sub.rcv_nxt {
-            sub.ooo.insert(seq);
+        } else if seq > hot.rcv_nxt {
+            cold.ooo.insert(seq);
         }
-        let cum = sub.rcv_nxt;
-        let delay = sub.reverse_delay;
+        let cum = hot.rcv_nxt;
+        let delay = hot.reverse_delay;
         self.queue.schedule(
             now + delay,
             Event::Ack {
@@ -731,26 +846,29 @@ impl Netsim {
     // ----- sender --------------------------------------------------------
 
     fn subflow_views(&self, f: usize) -> Vec<SubflowView> {
-        let flow = &self.flows[f];
         let fallback = SimDuration::from_millis(100);
-        flow.subflows
-            .iter()
-            .map(|s| SubflowView {
-                cwnd_segs: s.cc.cwnd_segs(),
-                srtt_s: s.srtt_secs(fallback),
-                interloss_segs: s.interloss_best(),
+        self.sub_range(f)
+            .map(|sid| {
+                let hot = &self.sub_hot[sid];
+                SubflowView {
+                    cwnd_segs: hot.cc.cwnd_segs(),
+                    srtt_s: hot.srtt_secs(fallback),
+                    interloss_segs: hot.interloss_best(),
+                }
             })
             .collect()
     }
 
     fn on_ack(&mut self, f: usize, s: usize, cum: u64, now: SimTime) {
+        let sid = self.sid(f, s);
         {
             let obs_h = self.obs;
-            let sub = &mut self.flows[f].subflows[s];
+            let hot = &self.sub_hot[sid];
+            let cold = &mut self.sub_cold[sid];
             let tick = now.as_millis() / 100;
-            if sub.trace.last().is_none_or(|&(t, _)| t < tick) {
-                let w = sub.cc.cwnd_segs();
-                sub.trace.push((tick, w));
+            if cold.trace.last().is_none_or(|&(t, _)| t < tick) {
+                let w = hot.cc.cwnd_segs();
+                cold.trace.push((tick, w));
                 if let Some(h) = obs_h {
                     obs::observe(h.cwnd, w);
                     obs::trace(
@@ -758,7 +876,7 @@ impl Netsim {
                         f as u64,
                         obs::TraceKind::CwndChange,
                         w as u64,
-                        u64::from(sub.cc.in_slow_start()),
+                        u64::from(hot.cc.in_slow_start()),
                     );
                 }
             }
@@ -774,50 +892,51 @@ impl Netsim {
             self.subflow_views(f)
         };
         let obs_on = self.obs.is_some();
-        let sub = &mut self.flows[f].subflows[s];
+        let hot = &mut self.sub_hot[sid];
+        let cold = &mut self.sub_cold[sid];
 
-        if cum > sub.snd_una {
-            let newly = (cum - sub.snd_una) as f64;
+        if cum > hot.snd_una {
+            let newly = (cum - hot.snd_una) as f64;
             if obs_on {
                 obs::trace(
                     now.as_nanos(),
                     f as u64,
                     obs::TraceKind::SegmentAcked,
                     cum,
-                    (cum - sub.snd_una) * mss,
+                    (cum - hot.snd_una) * mss,
                 );
             }
             // RTT sample from the first non-retransmitted segment (Karn).
             let mut sample = None;
-            for seq in sub.snd_una..cum {
-                if let Some((t, retxed)) = sub.sent_at.remove(&seq) {
+            for seq in hot.snd_una..cum {
+                if let Some((t, retxed)) = cold.sent_at.remove(&seq) {
                     if !retxed && sample.is_none() {
                         sample = Some(now.duration_since(t));
                     }
                 }
             }
             if let Some(m) = sample {
-                sub.on_rtt_sample(m, min_rto);
+                hot.on_rtt_sample(cold, m, min_rto);
                 // HyStart-style delay-increase detection: leave slow start
                 // before the exponential burst overflows the path queue.
-                if sub.cc.in_slow_start() {
-                    let floor = sub.min_rtt;
+                if hot.cc.in_slow_start() {
+                    let floor = hot.min_rtt;
                     let thresh = floor + floor.mul_f64(0.25).max(SimDuration::from_millis(4));
                     if m > thresh {
-                        sub.cc.exit_slow_start();
+                        hot.cc.exit_slow_start();
                     }
                 }
             }
-            sub.snd_una = cum;
+            hot.snd_una = cum;
             // After a go-back-N rewind, an ACK for pre-rewind data can
             // overtake snd_nxt; acked data needs no resending.
-            sub.snd_nxt = sub.snd_nxt.max(cum);
-            sub.dup_acks = 0;
-            sub.interloss_cur += newly;
+            hot.snd_nxt = hot.snd_nxt.max(cum);
+            hot.dup_acks = 0;
+            hot.interloss_cur += newly;
 
-            if sub.in_recovery {
-                if cum >= sub.recovery_point {
-                    sub.in_recovery = false;
+            if hot.in_recovery {
+                if cum >= hot.recovery_point {
+                    hot.in_recovery = false;
                 } else {
                     // Partial ACK: stay in recovery, no window growth;
                     // try_send keeps filling holes under pipe accounting.
@@ -826,19 +945,19 @@ impl Netsim {
                     return;
                 }
             } else {
-                let srtt = sub.srtt.unwrap_or(SimDuration::from_millis(100));
+                let srtt = hot.srtt.unwrap_or(SimDuration::from_millis(100));
                 match coupling {
-                    CouplingAlg::Uncoupled => sub.cc.on_ack_single(newly, now, srtt),
-                    c => sub.cc.on_ack_coupled(c, newly, now, srtt, &views, s),
+                    CouplingAlg::Uncoupled => hot.cc.on_ack_single(newly, now, srtt),
+                    c => hot.cc.on_ack_coupled(c, newly, now, srtt, &views, s),
                 }
             }
-            if sub.flight_segs() > 0 {
+            if hot.flight_segs() > 0 {
                 self.rearm_timer(f, s, now);
             } else {
                 // Nothing outstanding: invalidate the timer.
-                let sub = &mut self.flows[f].subflows[s];
-                sub.timer_epoch += 1;
-                sub.timer_armed = false;
+                let hot = &mut self.sub_hot[sid];
+                hot.timer_epoch += 1;
+                hot.timer_armed = false;
             }
             self.try_send(f, s, now);
             // Split relay: ACKs from B free relay buffer space, which may
@@ -846,23 +965,23 @@ impl Netsim {
             if s == 1 && matches!(self.flows[f].kind, FlowKind::Relay { .. }) {
                 self.try_send(f, 0, now);
             }
-        } else if sub.flight_segs() > 0 {
+        } else if hot.flight_segs() > 0 {
             // Duplicate ACK.
-            sub.dup_acks += 1;
+            hot.dup_acks += 1;
             // Every duplicate ACK proves the path is alive and carries
             // new SACK information: restart the retransmission timer
             // (RFC 6675 §4 behaviour); otherwise self-induced queueing
             // pushes the RTT past a freshly-armed RTO and spurious
             // timeouts shred the window.
             self.rearm_timer(f, s, now);
-            let sub = &mut self.flows[f].subflows[s];
-            if !sub.in_recovery && sub.dup_acks == 3 {
-                sub.cc.on_loss();
-                sub.roll_interloss();
-                sub.in_recovery = true;
-                sub.recovery_point = sub.snd_nxt;
-                sub.retx_cursor = sub.snd_una;
-                sub.recovery_entries += 1;
+            let hot = &mut self.sub_hot[sid];
+            if !hot.in_recovery && hot.dup_acks == 3 {
+                hot.cc.on_loss();
+                hot.roll_interloss();
+                hot.in_recovery = true;
+                hot.recovery_point = hot.snd_nxt;
+                hot.retx_cursor = hot.snd_una;
+                self.sub_cold[sid].recovery_entries += 1;
                 self.rearm_timer(f, s, now);
             }
             // Pipe accounting in try_send retransmits the holes.
@@ -874,36 +993,38 @@ impl Netsim {
         if self.flows[f].stopped {
             return;
         }
+        let sid = self.sid(f, s);
         let obs_h = self.obs;
-        let sub = &mut self.flows[f].subflows[s];
-        if epoch != sub.timer_epoch || sub.flight_segs() == 0 {
-            if epoch == sub.timer_epoch {
-                sub.timer_armed = false;
+        let hot = &mut self.sub_hot[sid];
+        if epoch != hot.timer_epoch || hot.flight_segs() == 0 {
+            if epoch == hot.timer_epoch {
+                hot.timer_armed = false;
             }
             return;
         }
-        sub.timeouts += 1;
-        sub.cc.on_timeout(sub.flight_segs() as f64);
-        sub.roll_interloss();
-        sub.in_recovery = false;
-        sub.dup_acks = 0;
-        sub.retx_cursor = sub.snd_una;
+        let cold = &mut self.sub_cold[sid];
+        cold.timeouts += 1;
+        hot.cc.on_timeout(hot.flight_segs() as f64);
+        hot.roll_interloss();
+        hot.in_recovery = false;
+        hot.dup_acks = 0;
+        hot.retx_cursor = hot.snd_una;
         // Go-back-N: after an RTO everything outstanding is presumed
         // lost; rewind and resend from snd_una under slow start. The
         // receiver's out-of-order buffer makes the cumulative ACKs jump
         // over anything that did survive, so little is actually resent
         // twice (classic pre-SACK RTO behaviour).
-        sub.snd_nxt = sub.snd_una;
+        hot.snd_nxt = hot.snd_una;
         // Exponential backoff.
-        sub.rto = (sub.rto * 2).min(MAX_RTO);
+        hot.rto = (hot.rto * 2).min(MAX_RTO);
         if let Some(h) = obs_h {
             obs::inc(h.rto_fired);
             obs::trace(
                 now.as_nanos(),
                 f as u64,
                 obs::TraceKind::RtoBackoff,
-                sub.rto.as_nanos(),
-                sub.timeouts,
+                hot.rto.as_nanos(),
+                cold.timeouts,
             );
         }
         self.try_send(f, s, now);
@@ -911,11 +1032,12 @@ impl Netsim {
     }
 
     fn rearm_timer(&mut self, f: usize, s: usize, now: SimTime) {
-        let sub = &mut self.flows[f].subflows[s];
-        sub.timer_epoch += 1;
-        sub.timer_armed = true;
-        let epoch = sub.timer_epoch;
-        let deadline = now + sub.rto;
+        let sid = self.sid(f, s);
+        let hot = &mut self.sub_hot[sid];
+        hot.timer_epoch += 1;
+        hot.timer_armed = true;
+        let epoch = hot.timer_epoch;
+        let deadline = now + hot.rto;
         self.queue.schedule(
             deadline,
             Event::Timeout {
@@ -935,17 +1057,21 @@ impl Netsim {
         if self.flows[f].stopped {
             return;
         }
+        let sid = self.sid(f, s);
         let params = self.flows[f].params;
         let cwnd_segs = {
-            let sub = &self.flows[f].subflows[s];
-            sub.cc
+            let hot = &self.sub_hot[sid];
+            hot.cc
                 .cwnd_segs()
                 .min(params.max_window as f64 / f64::from(params.mss))
         };
         let mut pipe = {
-            let sub = &self.flows[f].subflows[s];
-            let sacked = sub.ooo.range(sub.snd_una..sub.snd_nxt).count() as u64;
-            sub.flight_segs().saturating_sub(sacked) as f64
+            let hot = &self.sub_hot[sid];
+            let sacked = self.sub_cold[sid]
+                .ooo
+                .range(hot.snd_una..hot.snd_nxt)
+                .count() as u64;
+            hot.flight_segs().saturating_sub(sacked) as f64
         };
         // Relay flows bound the *new data* a subflow may emit:
         // A→relay must not overrun the relay buffer; relay→B can only
@@ -953,35 +1079,36 @@ impl Netsim {
         let new_data_limit: Option<u64> = match self.flows[f].kind {
             FlowKind::Normal => None,
             FlowKind::Relay { buffer_segs } => {
-                let flow = &self.flows[f];
+                let first = self.flows[f].first_sub as usize;
                 if s == 0 {
-                    Some(flow.subflows[1].snd_una + buffer_segs)
+                    Some(self.sub_hot[first + 1].snd_una + buffer_segs)
                 } else {
-                    Some(flow.subflows[0].rcv_nxt)
+                    Some(self.sub_hot[first].rcv_nxt)
                 }
             }
         };
         while pipe + 1.0 <= cwnd_segs {
             let (seq, is_retx) = {
-                let sub = &mut self.flows[f].subflows[s];
+                let hot = &mut self.sub_hot[sid];
+                let cold = &self.sub_cold[sid];
                 // Holes are retransmitted only inside a recovery episode:
                 // repairing them outside one would bypass the 3-dup-ack
                 // window reduction entirely (loss without consequence).
-                let hole = if sub.in_recovery {
-                    Self::next_hole(sub)
+                let hole = if hot.in_recovery {
+                    Self::next_hole(hot, cold)
                 } else {
                     None
                 };
                 match hole {
                     Some(seq) => (seq, true),
                     None => {
-                        if new_data_limit.is_some_and(|limit| sub.snd_nxt >= limit) {
+                        if new_data_limit.is_some_and(|limit| hot.snd_nxt >= limit) {
                             break; // app-limited by the relay chain
                         }
-                        let seq = sub.snd_nxt;
-                        sub.snd_nxt += 1;
-                        let resend = seq < sub.high_water;
-                        sub.high_water = sub.high_water.max(sub.snd_nxt);
+                        let seq = hot.snd_nxt;
+                        hot.snd_nxt += 1;
+                        let resend = seq < hot.high_water;
+                        hot.high_water = hot.high_water.max(hot.snd_nxt);
                         (seq, resend)
                     }
                 }
@@ -995,27 +1122,27 @@ impl Netsim {
     /// exist only below the highest out-of-order sequence the receiver
     /// holds; the cursor guarantees each hole is retransmitted at most
     /// once per recovery episode.
-    fn next_hole(sub: &mut Subflow) -> Option<u64> {
-        let &hi = sub.ooo.iter().next_back()?;
+    fn next_hole(hot: &mut SubflowHot, cold: &SubflowCold) -> Option<u64> {
+        let &hi = cold.ooo.iter().next_back()?;
         // RFC 6675: this episode only repairs losses from the window that
         // triggered it. Data sent during recovery that is lost again gets
         // its own episode (and its own window reduction) later.
-        let hi = hi.min(sub.recovery_point);
+        let hi = hi.min(hot.recovery_point);
         // Scan from the receiver's cumulative point, not the sender's
         // (possibly stale) snd_una: segments between the two are already
         // delivered and must not be mistaken for holes.
-        if sub.retx_cursor < sub.rcv_nxt {
-            sub.retx_cursor = sub.rcv_nxt;
+        if hot.retx_cursor < hot.rcv_nxt {
+            hot.retx_cursor = hot.rcv_nxt;
         }
-        let mut seq = sub.retx_cursor;
-        while seq < hi && sub.ooo.contains(&seq) {
+        let mut seq = hot.retx_cursor;
+        while seq < hi && cold.ooo.contains(&seq) {
             seq += 1;
         }
         if seq >= hi {
-            sub.retx_cursor = hi;
+            hot.retx_cursor = hi;
             None
         } else {
-            sub.retx_cursor = seq + 1;
+            hot.retx_cursor = seq + 1;
             Some(seq)
         }
     }
@@ -1035,7 +1162,7 @@ impl Netsim {
             // A multi-subflow flow transmitting on a different subflow
             // than last time is a scheduler switch (relay flows' two
             // segments are independent TCP loops, not subflows).
-            if self.flows[f].subflows.len() > 1 && matches!(self.flows[f].kind, FlowKind::Normal) {
+            if self.flows[f].n_subs > 1 && matches!(self.flows[f].kind, FlowKind::Normal) {
                 let prev = self.flows[f].last_tx_sub;
                 if let Some(p) = prev {
                     if p != s as u32 {
@@ -1052,18 +1179,19 @@ impl Netsim {
                 self.flows[f].last_tx_sub = Some(s as u32);
             }
         }
-        let sub = &mut self.flows[f].subflows[s];
-        sub.segs_sent += 1;
+        let sid = self.sid(f, s);
+        let cold = &mut self.sub_cold[sid];
+        cold.segs_sent += 1;
         if is_retx {
-            sub.retx += 1;
-            if let Some(entry) = sub.sent_at.get_mut(&seq) {
+            cold.retx += 1;
+            if let Some(entry) = cold.sent_at.get_mut(&seq) {
                 entry.1 = true; // Karn: no RTT sample from this seq anymore.
                 entry.0 = now;
             } else {
-                sub.sent_at.insert(seq, (now, true));
+                cold.sent_at.insert(seq, (now, true));
             }
         } else {
-            sub.sent_at.insert(seq, (now, false));
+            cold.sent_at.insert(seq, (now, false));
         }
         // Enter the path at hop 0; forwarding proceeds hop by hop through
         // the event queue so shared links see arrivals in time order.
@@ -1074,8 +1202,9 @@ impl Netsim {
     /// Transmits `seq` over hop `hop` of its path at `now`; schedules the
     /// next hop's arrival, the final delivery, or nothing on a drop.
     fn forward_hop(&mut self, f: usize, s: usize, seq: u64, hop: usize, now: SimTime) {
+        let sid = self.sid(f, s);
         let wire_bytes = self.flows[f].params.mss + HEADER_BYTES;
-        let link = self.flows[f].subflows[s].path[hop];
+        let link = self.sub_hot[sid].path[hop];
         if let Some(h) = self.obs {
             // Backlog the segment sees on arrival, in packets of its own
             // wire size (the lazy droptail queue tracks time, not bytes).
@@ -1086,7 +1215,7 @@ impl Netsim {
         let Some(arrival) = self.links[link].transmit(now, wire_bytes, &mut self.rng) else {
             return; // dropped: loss recovery will notice
         };
-        let last_hop = hop + 1 == self.flows[f].subflows[s].path.len();
+        let last_hop = hop + 1 == self.sub_hot[sid].path.len();
         let event = if last_hop {
             Event::Deliver {
                 flow: f as u32,
@@ -1108,7 +1237,7 @@ impl Netsim {
     /// segment of a burst). Uses an explicit armed flag rather than
     /// flight-size heuristics.
     fn rearm_timer_if_unarmed(&mut self, f: usize, s: usize, now: SimTime) {
-        if !self.flows[f].subflows[s].timer_armed {
+        if !self.sub_hot[self.sid(f, s)].timer_armed {
             self.rearm_timer(f, s, now);
         }
     }
@@ -1285,7 +1414,8 @@ mod tests {
         let mut sim = Netsim::new(41);
         let good = sim.add_link(100_000_000, SimDuration::from_millis(15), 1e-5, 1 << 20);
         let backup = sim.add_link(50_000_000, SimDuration::from_millis(40), 1e-4, 1 << 20);
-        sim.schedule_link_loss(good, SimTime::ZERO + SimDuration::from_secs(10), 1.0);
+        sim.schedule_link_loss(good, SimTime::ZERO + SimDuration::from_secs(10), 1.0)
+            .unwrap();
         let cfg = MptcpConfig {
             transfer: TransferConfig::for_secs(30).sampled_every(SimDuration::from_secs(1)),
             coupling: CouplingAlg::Olia,
@@ -1317,7 +1447,8 @@ mod tests {
     fn single_path_tcp_stalls_after_its_link_dies() {
         let mut sim = Netsim::new(42);
         let l = sim.add_link(100_000_000, SimDuration::from_millis(20), 1e-5, 1 << 20);
-        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(5), 1.0);
+        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(5), 1.0)
+            .unwrap();
         let cfg = TransferConfig::for_secs(20).sampled_every(SimDuration::from_secs(1));
         let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
         let stats = sim.run().remove(f);
@@ -1333,8 +1464,10 @@ mod tests {
     fn link_repair_restores_throughput() {
         let mut sim = Netsim::new(43);
         let l = sim.add_link(50_000_000, SimDuration::from_millis(20), 1e-5, 1 << 20);
-        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(5), 1.0);
-        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(8), 1e-5);
+        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(5), 1.0)
+            .unwrap();
+        sim.schedule_link_loss(l, SimTime::ZERO + SimDuration::from_secs(8), 1e-5)
+            .unwrap();
         let cfg = TransferConfig::for_secs(60).sampled_every(SimDuration::from_secs(1));
         let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
         let stats = sim.run().remove(f);
@@ -1641,6 +1774,34 @@ mod tests {
     }
 
     #[test]
+    fn fault_injection_error_display() {
+        let e = FaultInjectionError::NoSuchLink { link: 9, links: 2 };
+        assert_eq!(e.to_string(), "no link 9 (simulation has 2)");
+        let e = FaultInjectionError::InvalidLoss { loss: 1.5 };
+        assert_eq!(e.to_string(), "loss 1.5 is not a probability in [0, 1]");
+    }
+
+    // Debug builds assert on these misuse cases before the typed error
+    // is built; the Result is the release-mode contract.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn fault_injection_misuse_returns_typed_errors() {
+        let mut sim = Netsim::new(0);
+        let l = sim.add_link(1_000_000, SimDuration::from_millis(1), 0.0, 1 << 20);
+        assert_eq!(
+            sim.schedule_link_loss(l + 1, SimTime::ZERO, 0.5),
+            Err(FaultInjectionError::NoSuchLink {
+                link: l + 1,
+                links: 1
+            })
+        );
+        assert_eq!(
+            sim.schedule_link_loss(l, SimTime::ZERO, 2.0),
+            Err(FaultInjectionError::InvalidLoss { loss: 2.0 })
+        );
+    }
+
+    #[test]
     fn stats_freeze_at_stop_time() {
         let stats = one_link_sim(19, 10, 200, 0.0, 2);
         // 400 ms RTT, 2 s run: only a few windows complete; goodput must
@@ -1665,9 +1826,9 @@ mod debug_probe {
             cfg.params.max_window = 64 << 20;
             let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
             let st = sim.run().remove(f);
-            let sub = &sim.flows[f].subflows[0];
+            let hot = &sim.sub_hot[sim.sid(f, 0)];
             eprintln!("{alg:?}: goodput={:.1}Mbps segs={} retx={} cwnd_end={:.0} ssthresh? in_ss={} avg_rtt={}ms",
-                st.goodput_bps/1e6, st.segments_sent, st.retransmits, sub.cc.cwnd_segs(), sub.cc.in_slow_start(), st.avg_rtt.as_millis());
+                st.goodput_bps/1e6, st.segments_sent, st.retransmits, hot.cc.cwnd_segs(), hot.cc.in_slow_start(), st.avg_rtt.as_millis());
         }
     }
 
@@ -1717,17 +1878,18 @@ mod debug_probe {
         let l = sim.add_link(100_000_000, SimDuration::from_millis(80), 0.0046, 1 << 20);
         let f = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(60));
         let st = sim.run().remove(f);
-        let sub = &sim.flows[f].subflows[0];
+        let hot = &sim.sub_hot[sim.sid(f, 0)];
+        let cold = &sim.sub_cold[sim.sid(f, 0)];
         eprintln!(
             "reno: goodput={:.2}M segs={} retx={} recoveries={} timeouts={} cwnd_end={:.0}",
             st.goodput_bps / 1e6,
             st.segments_sent,
             st.retransmits,
-            sub.recovery_entries,
-            sub.timeouts,
-            sub.cc.cwnd_segs()
+            cold.recovery_entries,
+            cold.timeouts,
+            hot.cc.cwnd_segs()
         );
-        let series: Vec<String> = sub
+        let series: Vec<String> = cold
             .trace
             .iter()
             .step_by(5)
@@ -1747,9 +1909,9 @@ mod debug_probe {
             cfg.params.max_window = 64 << 20;
             let f = sim.add_tcp_flow(DesPath::new(vec![l]), &cfg);
             let st = sim.run().remove(f);
-            let sub = &sim.flows[f].subflows[0];
+            let hot = &sim.sub_hot[sim.sid(f, 0)];
             eprintln!("t={secs}s: goodput={:.1}Mbps segs={} retx={} cwnd={:.0} inrec={} una={} nxt={} rto={} ql_drops={} rnd_drops={}",
-                st.goodput_bps/1e6, st.segments_sent, st.retransmits, sub.cc.cwnd_segs(), sub.in_recovery, sub.snd_una, sub.snd_nxt, sub.rto, sim.links[0].queue_drops, sim.links[0].random_drops);
+                st.goodput_bps/1e6, st.segments_sent, st.retransmits, hot.cc.cwnd_segs(), hot.in_recovery, hot.snd_una, hot.snd_nxt, hot.rto, sim.links[0].queue_drops, sim.links[0].random_drops);
         }
     }
 
@@ -1778,7 +1940,7 @@ mod debug_probe {
                 solo.goodput_bps / 1e6,
                 solo.retransmits,
                 st.goodput_bps / 1e6,
-                sim2.flows[f].subflows[0].cc.cwnd_segs(),
+                sim2.sub_hot[sim2.sid(f, 0)].cc.cwnd_segs(),
                 st.retransmits
             );
         }
@@ -1797,15 +1959,14 @@ mod debug_probe {
             let fm = sim.add_mptcp_flow(vec![DesPath::new(vec![l]), DesPath::new(vec![l])], &cfg);
             let ft = sim.add_tcp_flow(DesPath::new(vec![l]), &TransferConfig::for_secs(secs));
             let stats = sim.run();
-            let m = &sim.flows[fm];
             eprintln!(
                 "t={secs}: mptcp={:.1}M (w0={:.0} w1={:.0} retx={}) tcp={:.1}M (w={:.0} retx={})",
                 stats[fm].goodput_bps / 1e6,
-                m.subflows[0].cc.cwnd_segs(),
-                m.subflows[1].cc.cwnd_segs(),
+                sim.sub_hot[sim.sid(fm, 0)].cc.cwnd_segs(),
+                sim.sub_hot[sim.sid(fm, 1)].cc.cwnd_segs(),
                 stats[fm].retransmits,
                 stats[ft].goodput_bps / 1e6,
-                sim.flows[ft].subflows[0].cc.cwnd_segs(),
+                sim.sub_hot[sim.sid(ft, 0)].cc.cwnd_segs(),
                 stats[ft].retransmits
             );
         }
@@ -1823,15 +1984,16 @@ mod debug_probe {
         };
         let f = sim.add_mptcp_flow(vec![DesPath::new(vec![a]), DesPath::new(vec![b])], &cfg);
         let st = sim.run().remove(f);
-        for (i, s) in sim.flows[f].subflows.iter().enumerate() {
+        for i in 0..2 {
+            let hot = &sim.sub_hot[sim.sid(f, i)];
             eprintln!(
                 "sub{}: goodput={:.1}Mbps cwnd={:.1} interloss={:.0} srtt={:?} retx={}",
                 i,
                 st.per_subflow_goodput[i] / 1e6,
-                s.cc.cwnd_segs(),
-                s.interloss_best(),
-                s.srtt,
-                s.retx
+                hot.cc.cwnd_segs(),
+                hot.interloss_best(),
+                hot.srtt,
+                sim.sub_cold[sim.sid(f, i)].retx
             );
         }
         eprintln!("total={:.1}Mbps", st.goodput_bps / 1e6);

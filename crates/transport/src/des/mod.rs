@@ -28,5 +28,5 @@ mod engine;
 mod link;
 
 pub use cc::{lia_increase, olia_increase, CcState, CongestionAlg, CouplingAlg, SubflowView};
-pub use engine::{DesPath, FlowStats, MptcpConfig, Netsim, TransferConfig};
+pub use engine::{DesPath, FaultInjectionError, FlowStats, MptcpConfig, Netsim, TransferConfig};
 pub use link::SimLink;

@@ -38,6 +38,7 @@ use std::process::ExitCode;
 
 use cronets_repro::experiments as exp;
 use transport::des::CouplingAlg;
+use transport::Fidelity;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     (
@@ -85,6 +86,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "SVI-A generalized: the service under a deterministic fault schedule",
     ),
     (
+        "accuracy",
+        "hybrid-vs-DES goodput error on the Fig. 12/13 scenario (slow)",
+    ),
+    (
         "export",
         "write all analytic figure data as TSV into ./results/",
     ),
@@ -95,7 +100,7 @@ const RESULTS_DIR: &str = "results";
 
 fn usage() {
     eprintln!(
-        "usage: cronets <experiment|list|all|report> [--seed N] [--threads N] [--smoke] [--metrics] [--trace FLOW] [--spans] [--profile]"
+        "usage: cronets <experiment|list|all|report> [--seed N] [--threads N] [--smoke] [--fidelity F] [--metrics] [--trace FLOW] [--spans] [--profile]"
     );
     eprintln!(
         "  --seed N      PRNG seed (default {})",
@@ -104,6 +109,9 @@ fn usage() {
     eprintln!("  --threads N   worker threads (default: available parallelism);");
     eprintln!("                output is byte-identical at any thread count");
     eprintln!("  --smoke       CI-sized run (service and chaos experiments only)");
+    eprintln!("  --fidelity F  service/chaos simulation fidelity: des (default,");
+    eprintln!("                full event-driven day), hybrid (overlay flows exact,");
+    eprintln!("                direct-path mass settled analytically) or analytic");
     eprintln!("  --metrics     collect telemetry; print a metric snapshot and");
     eprintln!("                write manifest_<name>.tsv/.jsonl into ./{RESULTS_DIR}/");
     eprintln!("  --trace FLOW  with --metrics: trace DES flow FLOW's segment");
@@ -155,11 +163,12 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
         "placement" => println!("{}", exp::extensions::placement(seed, 4)),
         "failover" => println!("{}", exp::failover::failover(seed, 20, 60)),
         "service" => {
-            let cfg = if opts.smoke {
+            let mut cfg = if opts.smoke {
                 exp::service::ServiceConfig::smoke()
             } else {
                 exp::service::ServiceConfig::paper()
             };
+            cfg.fidelity = opts.fidelity;
             let report = exp::service::service(&cfg, seed);
             print!("{report}");
             let path = std::path::Path::new(RESULTS_DIR).join("service.tsv");
@@ -171,11 +180,12 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
             }
         }
         "chaos" => {
-            let cfg = if opts.smoke {
+            let mut cfg = if opts.smoke {
                 exp::chaos::ChaosConfig::smoke()
             } else {
                 exp::chaos::ChaosConfig::paper()
             };
+            cfg.service.fidelity = opts.fidelity;
             let report = exp::chaos::chaos(&cfg, seed);
             print!("{report}");
             if report.span_dropped > 0 {
@@ -215,6 +225,26 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
                 }
             }
         }
+        "accuracy" => {
+            let cfg = if opts.smoke {
+                exp::mptcp_exp::MptcpExpConfig::quick(seed)
+            } else {
+                exp::mptcp_exp::MptcpExpConfig {
+                    n_pairs: 6,
+                    duration: simcore::SimDuration::from_secs(20),
+                    seed,
+                }
+            };
+            let acc = exp::hybrid::accuracy(&cfg);
+            print!("{acc}");
+            let path = std::path::Path::new(RESULTS_DIR).join("hybrid_accuracy.tsv");
+            match std::fs::create_dir_all(RESULTS_DIR)
+                .and_then(|()| std::fs::write(&path, acc.to_tsv()))
+            {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("accuracy TSV write failed: {e}"),
+            }
+        }
         "export" => {
             let dir = std::path::Path::new(RESULTS_DIR);
             match exp::export::export_fast(dir, seed) {
@@ -236,13 +266,27 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
     true
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 struct Opts {
     metrics: bool,
     smoke: bool,
     spans: bool,
     profile: bool,
+    fidelity: Fidelity,
     trace_flow: Option<u64>,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            metrics: false,
+            smoke: false,
+            spans: false,
+            profile: false,
+            fidelity: Fidelity::Des,
+            trace_flow: None,
+        }
+    }
 }
 
 /// Runs one experiment, wrapped in telemetry when `--metrics` is on:
@@ -391,6 +435,13 @@ fn main() -> ExitCode {
             },
             "--metrics" => opts.metrics = true,
             "--smoke" => opts.smoke = true,
+            "--fidelity" => match it.next().map(String::as_str).and_then(Fidelity::parse) {
+                Some(f) => opts.fidelity = f,
+                None => {
+                    eprintln!("--fidelity needs one of: des, hybrid, analytic");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--spans" => opts.spans = true,
             "--profile" => opts.profile = true,
             "--trace" => match it.next().and_then(|s| s.parse().ok()) {

@@ -146,6 +146,26 @@ fn chaos_run_is_thread_invariant() {
 }
 
 #[test]
+fn hybrid_service_is_thread_invariant() {
+    // The hybrid-fidelity service loop settles the direct-path mass
+    // analytically; it must remain a pure function of (config, seed) —
+    // stdout, epoch table and metric snapshot byte-identical at any
+    // thread count.
+    assert_thread_invariant("service", &["--smoke", "--fidelity", "hybrid", "--metrics"]);
+}
+
+#[test]
+fn hybrid_chaos_is_thread_invariant() {
+    // The hybrid chaos loop adds the fault heap, exact overlay kills /
+    // retries and incremental route repair; spans and the attribution
+    // table must be byte-identical at any thread count too.
+    assert_thread_invariant(
+        "chaos",
+        &["--smoke", "--fidelity", "hybrid", "--metrics", "--spans"],
+    );
+}
+
+#[test]
 fn chaos_report_pipeline_is_thread_invariant() {
     // The full observability pipeline: a chaos run leaves its manifest,
     // span stream, attribution table and sim-time profile in results/,
