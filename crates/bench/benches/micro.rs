@@ -339,6 +339,51 @@ fn bench_chaos_smoke_hybrid() -> f64 {
     bench(5, 5, || chaos(&cfg, 7).completed)
 }
 
+/// K-hop candidate enumeration over the tiny world's warmed route
+/// cache: the per-pair setup cost the multihop policy pays once per
+/// run (leg reachability probes + capacity/price pruning + ordering).
+fn bench_multihop_enumerate() -> f64 {
+    let world = World::build(&ScenarioConfig::tiny(), 13);
+    let nodes = world.cronet.nodes();
+    let (s, c) = (world.servers[0], world.clients[0]);
+    let mut cache = routing::RouteCache::build(&world.net);
+    let mut keys: Vec<(topology::RouterId, topology::RouterId)> = vec![(s, c)];
+    for a in nodes {
+        keys.push((s, a.vm()));
+        keys.push((a.vm(), c));
+        for b in nodes {
+            if a.vm() != b.vm() {
+                keys.push((a.vm(), b.vm()));
+            }
+        }
+    }
+    cache.prefetch(&world.net, &keys);
+    let ecfg = paths::EnumerateConfig::khops(2);
+    bench(500, 7, || {
+        paths::enumerate(&world.net, &cache, nodes, s, c, &ecfg, 0.01).len()
+    })
+}
+
+/// One bandit observation folded into an arm's EWMA estimate (plus the
+/// pull/time bookkeeping): the per-probe cost of the path selector.
+fn bench_bandit_update() -> f64 {
+    let rng = simcore::SimRng::seed_from(7).fork(0xBE_9C4);
+    let mut b = paths::PathBandit::new(paths::BanditConfig::service(), 50, rng);
+    let mut i = 0usize;
+    bench(1_000_000, 7, || {
+        i += 1;
+        b.observe(i % 50, black_box(20e6));
+    })
+}
+
+/// The whole smoke-sized multihop comparison (three schedules × three
+/// policies over the Fig. 12/13 worst-direct pairs): the end-to-end
+/// number `cronets multihop --smoke` pays.
+fn bench_multihop_smoke() -> f64 {
+    let cfg = experiments::multihop::MultihopConfig::smoke(7);
+    bench(1, 3, || experiments::multihop::multihop(&cfg).rows.len())
+}
+
 /// Fault-schedule generation for the smoke chaos run: the pure
 /// `(config, seed) → events` cost the nemesis adds before a run starts.
 fn bench_fault_inject() -> f64 {
@@ -377,6 +422,9 @@ fn main() {
         ("broker_decision", bench_broker_decision()),
         ("service_smoke", bench_service_smoke()),
         ("service_smoke_hybrid", bench_service_smoke_hybrid()),
+        ("multihop_enumerate", bench_multihop_enumerate()),
+        ("bandit_update", bench_bandit_update()),
+        ("multihop_smoke", bench_multihop_smoke()),
         ("fault_inject", bench_fault_inject()),
         ("chaos_smoke", bench_chaos_smoke()),
         ("chaos_smoke_hybrid", bench_chaos_smoke_hybrid()),

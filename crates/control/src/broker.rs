@@ -12,11 +12,47 @@
 //! vouch for.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use cronets::eval::PairEval;
 use cronets::select::{achieved, best_choice_filtered, PathChoice};
-use simcore::{SimDuration, SimTime};
+use paths::{ArmEval, BanditConfig, Candidate, Hops, PathBandit};
+use simcore::{SimDuration, SimRng, SimTime};
 use topology::RouterId;
+
+/// Which path-selection engine the broker runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PathsPolicy {
+    /// The paper's engine: direct vs. one relay hop, chosen from the
+    /// staleness-bounded probe cache.
+    #[default]
+    OneHop,
+    /// The k-hop engine: a UCB bandit over enumerated relay chains with
+    /// budgeted, uncertainty-driven probe refresh.
+    MultiHop,
+}
+
+impl PathsPolicy {
+    /// Parses a `--paths` CLI value. Unknown values return `None` so the
+    /// CLI can exit non-zero with a usage hint.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<PathsPolicy> {
+        match s {
+            "onehop" => Some(PathsPolicy::OneHop),
+            "multihop" => Some(PathsPolicy::MultiHop),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PathsPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PathsPolicy::OneHop => "onehop",
+            PathsPolicy::MultiHop => "multihop",
+        })
+    }
+}
 
 /// Broker policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +91,13 @@ pub struct BrokerStats {
     /// Admissions that fell back to direct because the probe was stale
     /// or missing.
     pub stale_fallback: u64,
+    /// Admissions steered through a multi-hop relay chain (a subset of
+    /// `overlay`; only the multihop policy produces them).
+    pub chain: u64,
+    /// Ground-truth probes spent by the budgeted bandit refresh.
+    pub probe_spent: u64,
+    /// Bandit refresh rounds executed (one per pair per epoch).
+    pub probe_refreshes: u64,
 }
 
 /// The broker's verdict for one flow request.
@@ -74,8 +117,32 @@ pub enum Decision {
         /// Expected direct-path throughput, bits/second.
         bps: f64,
     },
+    /// Steer through the multi-hop relay chain `hops` (two or more
+    /// relays; one-hop chains surface as [`Decision::Overlay`]).
+    Chain {
+        /// The relay chain, in traversal order.
+        hops: Hops,
+        /// Expected end-to-end split-mode throughput, bits/second.
+        bps: f64,
+    },
     /// Refuse the flow (expected throughput below the admission floor).
     Deny,
+}
+
+/// One pair's multihop state: the (fixed) candidate chains and the
+/// bandit learning their goodput.
+#[derive(Debug)]
+struct PairPaths {
+    cands: Vec<Candidate>,
+    bandit: PathBandit,
+}
+
+/// Multihop-policy state, present only after
+/// [`Broker::enable_multihop`].
+#[derive(Debug)]
+struct Multihop {
+    pairs: Vec<PairPaths>,
+    budget: u32,
 }
 
 /// Online admission + path-selection engine (see module docs).
@@ -84,6 +151,7 @@ pub struct Broker {
     cfg: BrokerConfig,
     probes: HashMap<(RouterId, RouterId), Probe>,
     stats: BrokerStats,
+    multihop: Option<Multihop>,
 }
 
 impl Broker {
@@ -94,6 +162,7 @@ impl Broker {
             cfg,
             probes: HashMap::new(),
             stats: BrokerStats::default(),
+            multihop: None,
         }
     }
 
@@ -171,6 +240,148 @@ impl Broker {
         }
     }
 
+    /// Switches the broker to the multihop bandit policy: one
+    /// [`PathBandit`] per endpoint pair over that pair's enumerated
+    /// candidate chains (`candidates[pair][0]` must be the direct arm).
+    /// Each bandit draws from its own substream forked from `seed`, so
+    /// decisions replay byte-identically at any thread count.
+    pub fn enable_multihop(
+        &mut self,
+        candidates: Vec<Vec<Candidate>>,
+        cfg: BanditConfig,
+        seed: u64,
+    ) {
+        let root = SimRng::seed_from(seed).fork(0xB0_D175);
+        self.multihop = Some(Multihop {
+            budget: cfg.probe_budget,
+            pairs: candidates
+                .into_iter()
+                .enumerate()
+                .map(|(i, cands)| {
+                    assert!(
+                        cands.first().is_some_and(|c| c.hops.is_empty()),
+                        "candidate 0 must be the direct arm"
+                    );
+                    let bandit = PathBandit::new(cfg, cands.len(), root.fork(i as u64));
+                    PairPaths { cands, bandit }
+                })
+                .collect(),
+        });
+    }
+
+    /// Whether the multihop bandit policy is active.
+    #[must_use]
+    pub fn is_multihop(&self) -> bool {
+        self.multihop.is_some()
+    }
+
+    /// The candidate chains enumerated for `pair` (multihop only).
+    #[must_use]
+    pub fn path_candidates(&self, pair: usize) -> &[Candidate] {
+        &self.mh().pairs[pair].cands
+    }
+
+    /// Seeds every arm of `pair` from a full ground-truth sweep — the
+    /// epoch-0 bootstrap, analogous to the one-hop loop's first probe
+    /// refresh.
+    pub fn seed_paths(&mut self, pair: usize, truth: &[ArmEval]) {
+        let mh = self.multihop.as_mut().expect("multihop policy not enabled");
+        let p = &mut mh.pairs[pair];
+        assert_eq!(truth.len(), p.cands.len(), "one truth per arm");
+        for (arm, t) in truth.iter().enumerate() {
+            p.bandit.observe(arm, t.bps);
+        }
+        self.stats.probe_spent += truth.len() as u64;
+        self.stats.probe_refreshes += 1;
+    }
+
+    /// Spends this epoch's probe budget on `pair`: the arms the bandit
+    /// is least certain about get their estimates refreshed from
+    /// `truth`. This replaces the one-hop policy's flat age cutoff —
+    /// refresh priority *is* the bandit's uncertainty.
+    pub fn probe_paths(&mut self, pair: usize, truth: &[ArmEval]) {
+        let mh = self.multihop.as_mut().expect("multihop policy not enabled");
+        let p = &mut mh.pairs[pair];
+        assert_eq!(truth.len(), p.cands.len(), "one truth per arm");
+        for arm in p.bandit.probe_plan(mh.budget as usize) {
+            p.bandit.observe(arm, truth[arm].bps);
+            self.stats.probe_spent += 1;
+        }
+        self.stats.probe_refreshes += 1;
+    }
+
+    /// Folds the goodput a carried flow actually achieved back into the
+    /// arm that carried it. Selection observations cost no probe budget
+    /// — the provider sees its own flows — and they are what lets the
+    /// bandit abandon a chain the moment a fault degrades a leg.
+    pub fn learn_path(&mut self, pair: usize, arm: usize, bps: f64) {
+        let mh = self.multihop.as_mut().expect("multihop policy not enabled");
+        mh.pairs[pair].bandit.observe(arm, bps);
+    }
+
+    /// The multihop analogue of [`Broker::age_probes`] cache poisoning:
+    /// every bandit loses accumulated confidence, so refresh pressure
+    /// spikes until the budget re-probes the arms.
+    pub fn poison_paths(&mut self) {
+        let mh = self.multihop.as_mut().expect("multihop policy not enabled");
+        for p in &mut mh.pairs {
+            p.bandit.forget();
+        }
+    }
+
+    /// Decides admission and path for a flow on `pair` under the bandit
+    /// policy. Mirrors [`Broker::decide`]'s margin and floor rules, but
+    /// expected rates come from the bandit's smoothed estimates and the
+    /// path may be a multi-relay chain — every relay on it must be
+    /// free. Returns the decision plus the chosen arm index (0 =
+    /// direct).
+    pub fn decide_paths(
+        &mut self,
+        pair: usize,
+        relay_free: impl Fn(usize) -> bool,
+    ) -> (Decision, usize) {
+        let mh = self.multihop.as_ref().expect("multihop policy not enabled");
+        let p = &mh.pairs[pair];
+        let direct_bps = p.bandit.mean(0);
+        let best = p
+            .bandit
+            .ranked()
+            .into_iter()
+            .find(|&a| a != 0 && p.cands[a].hops.iter().all(&relay_free));
+        if let Some(arm) = best {
+            let bps = p.bandit.mean(arm);
+            if bps >= self.cfg.overlay_margin * direct_bps && bps >= self.cfg.min_accept_bps {
+                let hops = p.cands[arm].hops;
+                self.stats.admitted += 1;
+                self.stats.overlay += 1;
+                return if hops.len() == 1 {
+                    (
+                        Decision::Overlay {
+                            node: hops.get(0),
+                            bps,
+                        },
+                        arm,
+                    )
+                } else {
+                    self.stats.chain += 1;
+                    (Decision::Chain { hops, bps }, arm)
+                };
+            }
+        }
+        if direct_bps >= self.cfg.min_accept_bps {
+            self.stats.admitted += 1;
+            self.stats.direct += 1;
+            (Decision::Direct { bps: direct_bps }, 0)
+        } else {
+            self.stats.denied += 1;
+            (Decision::Deny, 0)
+        }
+    }
+
+    fn mh(&self) -> &Multihop {
+        self.multihop.as_ref().expect("multihop policy not enabled")
+    }
+
     /// The decision counters so far.
     #[must_use]
     pub fn stats(&self) -> BrokerStats {
@@ -185,6 +396,9 @@ impl Broker {
         obs::add_named("control.broker.overlay", self.stats.overlay);
         obs::add_named("control.broker.direct", self.stats.direct);
         obs::add_named("control.broker.stale_fallback", self.stats.stale_fallback);
+        obs::add_named("control.broker.chain", self.stats.chain);
+        obs::add_named("control.broker.probe_spent", self.stats.probe_spent);
+        obs::add_named("control.broker.probe_refreshes", self.stats.probe_refreshes);
     }
 }
 
@@ -359,5 +573,126 @@ mod tests {
         assert_eq!(b.decide(s, d, SimTime::ZERO, |_| true), Decision::Deny);
         assert_eq!(b.stats().denied, 1);
         assert_eq!(b.stats().admitted, 0);
+    }
+
+    fn cand(hops: &[usize]) -> Candidate {
+        Candidate {
+            hops: if hops.is_empty() {
+                Hops::direct()
+            } else {
+                Hops::from_slice(hops)
+            },
+            price_per_gb: 0.01 * hops.len() as f64,
+        }
+    }
+
+    fn truth(bps: &[f64]) -> Vec<ArmEval> {
+        bps.iter()
+            .map(|&b| ArmEval {
+                bps: b,
+                rtt: SimDuration::from_millis(50),
+            })
+            .collect()
+    }
+
+    /// Arms: 0 direct, 1 = O0, 2 = O1, 3 = O0→O1.
+    fn multihop_broker() -> Broker {
+        let mut b = Broker::new(cfg());
+        b.enable_multihop(
+            vec![vec![cand(&[]), cand(&[0]), cand(&[1]), cand(&[0, 1])]],
+            BanditConfig::service(),
+            7,
+        );
+        b
+    }
+
+    #[test]
+    fn bandit_steers_to_the_best_chain() {
+        let mut b = multihop_broker();
+        b.seed_paths(0, &truth(&[10e6, 30e6, 25e6, 60e6]));
+        let (d, arm) = b.decide_paths(0, |_| true);
+        assert_eq!(arm, 3);
+        match d {
+            Decision::Chain { hops, bps } => {
+                assert_eq!(hops, Hops::from_slice(&[0, 1]));
+                assert!((bps - 60e6).abs() < 1.0);
+            }
+            other => panic!("expected a chain, got {other:?}"),
+        }
+        assert_eq!(b.stats().chain, 1);
+        assert_eq!(b.stats().overlay, 1);
+        assert_eq!(b.stats().admitted, 1);
+    }
+
+    #[test]
+    fn chains_need_every_relay_free() {
+        let mut b = multihop_broker();
+        b.seed_paths(0, &truth(&[10e6, 30e6, 25e6, 60e6]));
+        // Relay 1 is at capacity: the chain O0→O1 and overlay O1 are
+        // both out; the single-hop O0 wins.
+        let (d, arm) = b.decide_paths(0, |n| n != 1);
+        assert_eq!(arm, 1);
+        assert_eq!(d, Decision::Overlay { node: 0, bps: 30e6 });
+        // Everything busy: direct at the bandit's direct estimate.
+        let (d, arm) = b.decide_paths(0, |_| false);
+        assert_eq!(arm, 0);
+        assert_eq!(d, Decision::Direct { bps: 10e6 });
+    }
+
+    #[test]
+    fn carried_flow_observations_abandon_a_degraded_chain() {
+        let mut b = multihop_broker();
+        b.seed_paths(0, &truth(&[10e6, 30e6, 25e6, 60e6]));
+        // The chain's mid relay degrades: flows carried on arm 3 observe
+        // collapsing goodput, no probe budget required.
+        for _ in 0..6 {
+            b.learn_path(0, 3, 0.0);
+        }
+        let (_, arm) = b.decide_paths(0, |_| true);
+        assert_eq!(arm, 1, "bandit must fall back to the best one-hop arm");
+    }
+
+    #[test]
+    fn budgeted_refresh_spends_on_uncertain_arms_and_counts() {
+        let mut b = multihop_broker();
+        b.seed_paths(0, &truth(&[10e6, 30e6, 25e6, 60e6]));
+        assert_eq!(b.stats().probe_spent, 4);
+        assert_eq!(b.stats().probe_refreshes, 1);
+        b.probe_paths(0, &truth(&[10e6, 30e6, 25e6, 60e6]));
+        assert_eq!(
+            b.stats().probe_spent,
+            4 + u64::from(BanditConfig::service().probe_budget)
+        );
+        assert_eq!(b.stats().probe_refreshes, 2);
+    }
+
+    #[test]
+    fn floors_and_margin_apply_to_bandit_decisions() {
+        let mut b = multihop_broker();
+        // Overlay arms beat direct by < 5%: demote to direct.
+        b.seed_paths(0, &truth(&[100e6, 102e6, 101e6, 102e6]));
+        let (d, _) = b.decide_paths(0, |_| true);
+        assert_eq!(d, Decision::Direct { bps: 100e6 });
+        // Everything under the floor: deny.
+        let mut b = multihop_broker();
+        b.seed_paths(0, &truth(&[0.5e6, 0.9e6, 0.8e6, 0.9e6]));
+        let (d, _) = b.decide_paths(0, |_| true);
+        assert_eq!(d, Decision::Deny);
+        assert_eq!(b.stats().denied, 1);
+    }
+
+    #[test]
+    fn poison_spikes_refresh_pressure() {
+        let mut b = multihop_broker();
+        b.seed_paths(0, &truth(&[10e6, 30e6, 25e6, 60e6]));
+        for _ in 0..8 {
+            b.probe_paths(0, &truth(&[10e6, 30e6, 25e6, 60e6]));
+        }
+        b.poison_paths();
+        // After forgetting, the budget must still go somewhere sane and
+        // decisions keep flowing deterministically.
+        b.probe_paths(0, &truth(&[10e6, 30e6, 25e6, 60e6]));
+        let (_, arm) = b.decide_paths(0, |_| true);
+        assert_eq!(arm, 3);
     }
 }

@@ -31,7 +31,7 @@ pub mod fleet;
 pub mod slo;
 pub mod workload;
 
-pub use broker::{Broker, BrokerConfig, BrokerStats, Decision};
+pub use broker::{Broker, BrokerConfig, BrokerStats, Decision, PathsPolicy};
 pub use fleet::{Fleet, FleetConfig, FleetStats, RelayState};
 pub use slo::{Breach, SloAccount, SloTarget, TenantAccount};
 pub use workload::{FlowRequest, WorkloadConfig};

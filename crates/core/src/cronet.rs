@@ -21,6 +21,26 @@ pub struct OverlayNode {
 }
 
 impl OverlayNode {
+    /// Wraps an already-provisioned VM as an overlay relay (used when an
+    /// experiment repurposes rented servers — e.g. the §VI nine-VM world —
+    /// as chain hops instead of going through [`CronetBuilder`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relay_efficiency` is not within `(0, 1]`.
+    #[must_use]
+    pub fn new(vm: RouterId, forward_delay: SimDuration, relay_efficiency: f64) -> OverlayNode {
+        assert!(
+            relay_efficiency > 0.0 && relay_efficiency <= 1.0,
+            "relay efficiency must be in (0,1]"
+        );
+        OverlayNode {
+            vm,
+            forward_delay,
+            relay_efficiency,
+        }
+    }
+
     /// The VM's host router in the topology.
     #[must_use]
     pub fn vm(&self) -> RouterId {

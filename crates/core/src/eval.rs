@@ -300,6 +300,65 @@ pub fn eval_multi_hop(
     Some((rate * efficiency, full_path?))
 }
 
+/// Composes the measurement for a multi-hop relay chain from per-leg
+/// path qualities (`legs.len() == chain.len() + 1`, in traversal order).
+///
+/// This is the composable-tunnel primitive behind the `paths` crate:
+/// every leg up to the last runs its own TCP loop through the tunnel
+/// MSS (the relay re-encapsulates toward the next hop), while the final
+/// leg is NAT-decapsulated at full MSS — exactly the one-hop split
+/// model of [`modes_from_segments`] applied per leg. The chain rate is
+/// the slowest leg discounted by the product of relay efficiencies.
+/// Tunnels that cannot split TCP (IPsec) degrade to a single loop over
+/// the whole concatenation at tunnel MSS.
+///
+/// # Panics
+///
+/// Panics unless `legs.len() == chain.len() + 1`.
+#[must_use]
+pub fn chain_measurement(
+    legs: &[PathQuality],
+    chain: &[&OverlayNode],
+    tunnel: TunnelKind,
+    params: &TcpParams,
+) -> Measurement {
+    assert_eq!(
+        legs.len(),
+        chain.len() + 1,
+        "a k-hop chain has k + 1 tunnel legs"
+    );
+    let mut chained = legs[0];
+    for q in &legs[1..] {
+        chained = chained.chain(q);
+    }
+    for n in chain {
+        chained.rtt += n.forward_delay() * 2;
+    }
+    let tunnel_params = TcpParams {
+        mss: tunnel.effective_mss(params.mss),
+        ..*params
+    };
+    if !tunnel.supports_split_tcp() {
+        return Measurement {
+            throughput_bps: tcp_throughput(&chained, &tunnel_params),
+            rtt: chained.rtt,
+            loss: chained.loss,
+        };
+    }
+    let last = legs.len() - 1;
+    let mut rate = f64::INFINITY;
+    for (i, q) in legs.iter().enumerate() {
+        let p = if i == last { params } else { &tunnel_params };
+        rate = rate.min(tcp_throughput(q, p));
+    }
+    let efficiency: f64 = chain.iter().map(|n| n.relay_efficiency()).product();
+    Measurement {
+        throughput_bps: rate * efficiency,
+        rtt: chained.rtt,
+        loss: chained.loss,
+    }
+}
+
 /// Path quality under the current congestion state.
 #[must_use]
 pub fn quality(net: &Network, path: &RouterPath) -> PathQuality {
@@ -476,6 +535,66 @@ mod tests {
         let ratio = eval.split_improvement_ratio();
         assert!((ratio - eval.best_split_bps() / eval.direct.throughput_bps).abs() < 1e-9);
         assert!(eval.best_split_node().is_some());
+    }
+
+    #[test]
+    fn chain_measurement_matches_one_hop_split_mode() {
+        let (net, cronet, a, b) = world();
+        let mut bgp = Bgp::new();
+        let node = &cronet.nodes()[0];
+        let q_a = quality(&net, &route(&net, &mut bgp, a, node.vm()).unwrap());
+        let q_b = quality(&net, &route(&net, &mut bgp, node.vm(), b).unwrap());
+        let (_, split, _) = modes_from_segments(&q_a, &q_b, node, TunnelKind::Gre, cronet.params());
+        let m = chain_measurement(&[q_a, q_b], &[node], TunnelKind::Gre, cronet.params());
+        assert!((m.throughput_bps - split.throughput_bps).abs() < 1e-9);
+        assert_eq!(m.rtt, split.rtt);
+        assert!((m.loss - split.loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_measurement_matches_eval_multi_hop_rate() {
+        let (net, cronet, a, b) = world();
+        let mut bgp = Bgp::new();
+        let chain: Vec<&OverlayNode> = cronet.nodes().iter().take(2).collect();
+        let (rate, _) = eval_multi_hop(
+            &net,
+            &mut bgp,
+            a,
+            b,
+            &chain,
+            TunnelKind::Gre,
+            cronet.params(),
+        )
+        .unwrap();
+        let legs: Vec<PathQuality> = {
+            let waypoints = [a, chain[0].vm(), chain[1].vm(), b];
+            waypoints
+                .windows(2)
+                .map(|w| quality(&net, &route(&net, &mut bgp, w[0], w[1]).unwrap()))
+                .collect()
+        };
+        let m = chain_measurement(&legs, &chain, TunnelKind::Gre, cronet.params());
+        assert!((m.throughput_bps - rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipsec_chain_degrades_to_single_loop() {
+        let (net, cronet, a, b) = world();
+        let mut bgp = Bgp::new();
+        let chain: Vec<&OverlayNode> = cronet.nodes().iter().take(2).collect();
+        let legs: Vec<PathQuality> = {
+            let waypoints = [a, chain[0].vm(), chain[1].vm(), b];
+            waypoints
+                .windows(2)
+                .map(|w| quality(&net, &route(&net, &mut bgp, w[0], w[1]).unwrap()))
+                .collect()
+        };
+        let split = chain_measurement(&legs, &chain, TunnelKind::Gre, cronet.params());
+        let plain = chain_measurement(&legs, &chain, TunnelKind::Ipsec, cronet.params());
+        // One TCP loop over three concatenated legs cannot beat the
+        // slowest per-leg loop (Mathis: rate falls with total RTT).
+        assert!(plain.throughput_bps <= split.throughput_bps / 0.9);
+        assert_eq!(plain.rtt, split.rtt);
     }
 
     #[test]

@@ -23,9 +23,10 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
-use control::{Broker, Decision, Fleet, RelayState, SloAccount};
+use control::{Broker, Decision, Fleet, PathsPolicy, RelayState, SloAccount};
 use cronets::select::{achieved, PathChoice};
 use faults::{FaultConfig, FaultKind, FaultSchedule, InvariantViolation, Invariants};
+use paths::{relay_hop_price_per_gb, ArmEval, BanditConfig, Candidate, EnumerateConfig, Hops};
 use simcore::{EventHandle, EventQueue, SimDuration, SimTime};
 use topology::{LinkId, RouterId};
 
@@ -310,7 +311,9 @@ impl Ev {
 /// An admitted, in-flight flow segment (cancellable on relay crash).
 struct InFlight {
     tenant: u32,
-    relay: Option<usize>,
+    /// The relay chain this segment rides (empty for direct; one node
+    /// for the classic overlay; up to three under `--paths multihop`).
+    hops: Hops,
     /// Achieved/direct ratio of this segment (ground truth at admission).
     ratio: f64,
     /// Original request time: SLO completion latency spans kills and
@@ -389,6 +392,11 @@ pub(crate) fn sync_states(inv: &mut Invariants, fleet: &Fleet, relays: usize) {
 #[must_use]
 pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     if cfg.service.fidelity != transport::Fidelity::Des {
+        assert_eq!(
+            cfg.service.paths,
+            PathsPolicy::OneHop,
+            "multihop paths require DES fidelity (chains have no analytic shortcut)"
+        );
         return crate::hybrid::chaos_hybrid(cfg, seed);
     }
     // Span recording is always on for a chaos run — fault attribution
@@ -426,7 +434,37 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     );
     let relays = svc.fleet.relays;
 
-    let (cache, pairs) = crate::service::prefetched_pairs(&world);
+    let (mut cache, pairs) = crate::service::prefetched_pairs(&world);
+
+    // Multihop policy: fix each pair's candidate chains once (static
+    // pruning keeps arm indices stable for the bandits' whole run) and
+    // warm the relay-mesh legs the chains ride on.
+    let multihop = svc.paths == PathsPolicy::MultiHop;
+    let mut cands: Vec<Vec<Candidate>> = Vec::new();
+    if multihop {
+        let mesh: Vec<(RouterId, RouterId)> = world
+            .cronet
+            .nodes()
+            .iter()
+            .flat_map(|a| {
+                world
+                    .cronet
+                    .nodes()
+                    .iter()
+                    .filter(move |b| b.vm() != a.vm())
+                    .map(move |b| (a.vm(), b.vm()))
+            })
+            .collect();
+        cache.prefetch(&world.net, &mesh);
+        let ecfg = EnumerateConfig::khops(svc.khops);
+        let hop_price = relay_hop_price_per_gb(svc.fleet.port, svc.fleet.plan);
+        let (net, nodes) = (&world.net, world.cronet.nodes());
+        let shared = &cache;
+        cands = exec::parallel_map(pairs.len(), |pi| {
+            let (s, c) = pairs[pi];
+            paths::enumerate(net, shared, nodes, s, c, &ecfg, hop_price)
+        });
+    }
 
     // Candidate victims for link degradation: every inter-AS link, in
     // id order (deterministic; the schedule's salt picks modulo this).
@@ -449,6 +487,9 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     let availability = availability_by_epoch(&schedule, cfg);
 
     let mut broker = Broker::new(svc.broker);
+    if multihop {
+        broker.enable_multihop(cands.clone(), BanditConfig::service(), seed);
+    }
     let mut fleet = Fleet::new(svc.fleet);
     let mut slo = SloAccount::new(svc.slo.clone());
     let mut inv = Invariants::new(relays, schedule.mttr_cap());
@@ -482,6 +523,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     let mut ep_ratio_n: u64 = 0;
 
     let mut truth = Vec::new();
+    let mut ptruth: Vec<Vec<ArmEval>> = Vec::new();
     for e in 0..epochs {
         if e > 0 {
             world.step_epoch(u64::from(e));
@@ -494,9 +536,42 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
         }
         let epoch_start = SimTime::ZERO + svc.workload.epoch * u64::from(e);
         let epoch_end = epoch_start + svc.workload.epoch;
-        truth = epoch_truth(&world, &cache, &pairs);
+        truth = if multihop {
+            Vec::new()
+        } else {
+            epoch_truth(&world, &cache, &pairs)
+        };
+        // Multihop ground truth: one work unit per pair scoring that
+        // pair's fixed arms under the current (degraded) network state.
+        ptruth = if multihop {
+            let net = &world.net;
+            let params = *world.cronet.params();
+            let tunnel = world.cronet.tunnel();
+            let nodes = world.cronet.nodes();
+            let (shared, arms) = (&cache, &cands);
+            exec::parallel_map(pairs.len(), |pi| {
+                let (s, c) = pairs[pi];
+                paths::evaluate(net, shared, nodes, s, c, tunnel, &params, &arms[pi])
+            })
+        } else {
+            Vec::new()
+        };
         // Probe refresh — unless the refresh traffic is blackholed.
-        if e % svc.probe_every == 0 && blackhole_depth == 0 {
+        // Under multihop the flat cadence gives way to the bandits'
+        // budgeted, uncertainty-driven refresh (epoch 0 seeds all arms);
+        // a blackhole starves the bandits of probes the same way it
+        // starves the probe cache.
+        if multihop {
+            if e == 0 {
+                for (pi, pt) in ptruth.iter().enumerate() {
+                    broker.seed_paths(pi, pt);
+                }
+            } else if blackhole_depth == 0 {
+                for (pi, pt) in ptruth.iter().enumerate() {
+                    broker.probe_paths(pi, pt);
+                }
+            }
+        } else if e % svc.probe_every == 0 && blackhole_depth == 0 {
             for (pi, &(s, c)) in pairs.iter().enumerate() {
                 broker.observe(s, c, epoch_start, truth[pi].clone());
             }
@@ -542,6 +617,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         arrive,
                         &pairs,
                         &truth,
+                        &ptruth,
                         &mut broker,
                         &mut fleet,
                         &mut slo,
@@ -575,6 +651,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         retry,
                         &pairs,
                         &truth,
+                        &ptruth,
                         &mut broker,
                         &mut fleet,
                         &mut slo,
@@ -588,11 +665,13 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                     let fl = in_flight
                         .remove(&flow)
                         .expect("completion without admission");
-                    if let Some(r) = fl.relay {
+                    if !fl.hops.is_empty() {
                         fleet.accrue(now.min(horizon).saturating_duration_since(billed_to));
                         billed_to = now.min(horizon).max(billed_to);
-                        fleet.flow_finished(r);
-                        relay_flows[r].remove(&flow);
+                        for r in fl.hops.iter() {
+                            fleet.flow_finished(r);
+                            relay_flows[r].remove(&flow);
+                        }
                     }
                     let done = obs::span(
                         now.as_nanos(),
@@ -649,6 +728,14 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                             for flow in victims {
                                 let fl = in_flight.remove(&flow).expect("tracked flow");
                                 assert!(queue.cancel(fl.handle), "completion already fired");
+                                // A mid-chain kill also releases the
+                                // surviving legs: their meters stop and
+                                // they drop the flow (the crashed leg
+                                // was cleared wholesale above).
+                                for r in fl.hops.iter().filter(|&r| r != relay) {
+                                    fleet.flow_finished(r);
+                                    relay_flows[r].remove(&flow);
+                                }
                                 // Bytes already on the wire when the VM
                                 // died: pro-rata over the segment.
                                 let total = (fl.done_at - fl.started).as_nanos().max(1);
@@ -699,7 +786,16 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         }
                         FaultKind::ProbeBlackholeStart => blackhole_depth += 1,
                         FaultKind::ProbeBlackholeEnd => blackhole_depth -= 1,
-                        FaultKind::CachePoison { age } => broker.age_probes(age),
+                        FaultKind::CachePoison { age } => {
+                            if multihop {
+                                // The bandits' analogue of a poisoned
+                                // probe cache: confidence is forgotten,
+                                // so the next refreshes re-explore.
+                                broker.poison_paths();
+                            } else {
+                                broker.age_probes(age);
+                            }
+                        }
                     }
                 }
             }
@@ -794,6 +890,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                     retry,
                     &pairs,
                     &truth,
+                    &ptruth,
                     &mut broker,
                     &mut fleet,
                     &mut slo,
@@ -807,7 +904,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                 let fl = in_flight
                     .remove(&flow)
                     .expect("completion without admission");
-                if let Some(r) = fl.relay {
+                for r in fl.hops.iter() {
                     fleet.flow_finished(r);
                     relay_flows[r].remove(&flow);
                 }
@@ -902,6 +999,7 @@ fn admit(
     parent: u64,
     pairs: &[(RouterId, RouterId)],
     truth: &[cronets::eval::PairEval],
+    ptruth: &[Vec<ArmEval>],
     broker: &mut Broker,
     fleet: &mut Fleet,
     slo: &mut SloAccount,
@@ -910,11 +1008,82 @@ fn admit(
     in_flight: &mut HashMap<u64, InFlight>,
     relay_flows: &mut [BTreeSet<u64>],
 ) {
+    if broker.is_multihop() {
+        let (decision, arm) = broker.decide_paths(pi, |n| fleet.is_free(n));
+        if decision == Decision::Deny {
+            let admitted = obs::span(now.as_nanos(), parent, SpanKind::Admit, flow, 0, 0);
+            obs::span(
+                now.as_nanos(),
+                admitted,
+                SpanKind::SloBreach,
+                flow,
+                u64::from(tenant),
+                4,
+            );
+            slo.record_denial(tenant);
+            inv.flow_denied(flow);
+            return;
+        }
+        let hops = match decision {
+            Decision::Direct { .. } => Hops::direct(),
+            Decision::Overlay { node, .. } => Hops::single(node),
+            Decision::Chain { hops, .. } => hops,
+            Decision::Deny => unreachable!(),
+        };
+        // Span arg a extends the one-hop encoding (1 direct, 2 overlay)
+        // by chain length; b names the ingress relay.
+        let admitted = obs::span(
+            now.as_nanos(),
+            parent,
+            SpanKind::Admit,
+            flow,
+            1 + hops.len() as u64,
+            hops.first().map_or(0, |r| r as u64 + 1),
+        );
+        for r in hops.iter() {
+            fleet.flow_started(r);
+            debug_assert_eq!(fleet.relay_state(r), RelayState::Active);
+            inv.set_relay_state(r, fleet.relay_state(r));
+        }
+        let chain: Vec<usize> = hops.iter().collect();
+        inv.flow_admitted_path(flow, &chain);
+        // Ground truth for the chosen arm, not the bandit's estimate —
+        // a stale belief earns the real rate. The carried flow's rate
+        // also feeds the bandit for free.
+        let at = ptruth[pi][arm];
+        broker.learn_path(pi, arm, at.bps);
+        let ratio = if hops.is_empty() {
+            1.0
+        } else {
+            at.bps / ptruth[pi][0].bps.max(1.0)
+        };
+        let done = now + completion_time(bytes, at.bps, at.rtt);
+        let handle = queue.schedule(done, Ev::Complete { flow });
+        for r in hops.iter() {
+            relay_flows[r].insert(flow);
+        }
+        in_flight.insert(
+            flow,
+            InFlight {
+                tenant,
+                hops,
+                ratio,
+                issued,
+                started: now,
+                bytes,
+                done_at: done,
+                handle,
+                span: admitted,
+            },
+        );
+        return;
+    }
     let (s, c) = pairs[pi];
     let decision = broker.decide(s, c, now, |n| fleet.is_free(n));
     let tr = &truth[pi];
     let direct_true = tr.direct.throughput_bps;
     match decision {
+        Decision::Chain { .. } => unreachable!("one-hop broker never emits chains"),
         Decision::Deny => {
             let admitted = obs::span(now.as_nanos(), parent, SpanKind::Admit, flow, 0, 0);
             // A denial breaches immediately (mask 4): charged here so the
@@ -940,7 +1109,7 @@ fn admit(
                 flow,
                 InFlight {
                     tenant,
-                    relay: None,
+                    hops: Hops::direct(),
                     ratio: 1.0,
                     issued,
                     started: now,
@@ -977,7 +1146,7 @@ fn admit(
                 flow,
                 InFlight {
                     tenant,
-                    relay: Some(node),
+                    hops: Hops::single(node),
                     ratio: bps_true / direct_true.max(1.0),
                     issued,
                     started: now,
@@ -1094,6 +1263,45 @@ mod tests {
         };
         assert_eq!(dump(&a), dump(&b));
         assert_eq!(a.attribution.to_tsv(), b.attribution.to_tsv());
+    }
+
+    fn multihop_cfg() -> ChaosConfig {
+        let mut cfg = tiny_cfg();
+        cfg.service.paths = PathsPolicy::MultiHop;
+        cfg
+    }
+
+    #[test]
+    fn multihop_chaos_survives_mid_chain_crashes() {
+        let r = chaos(&multihop_cfg(), 7);
+        assert!(r.faults.crashes > 0, "no crashes injected");
+        assert!(r.killed > 0, "no flow ever rode a crashing relay");
+        assert!(r.completed > 0);
+        assert_eq!(r.killed, r.retries, "every kill re-enters once");
+        assert!(r.broker.probe_spent > 0, "bandits never probed");
+        // Byte conservation and no-flows-on-unavailable-relays across
+        // chain admissions and mid-chain kills are the checker's job.
+        assert!(
+            r.invariant_violations.is_empty(),
+            "{:?}",
+            r.invariant_violations
+        );
+    }
+
+    #[test]
+    fn multihop_chaos_is_deterministic() {
+        let a = chaos(&multihop_cfg(), 5);
+        let b = chaos(&multihop_cfg(), 5);
+        assert_eq!(a.to_tsv(), b.to_tsv());
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn multihop_chaos_diverges_from_onehop() {
+        let a = chaos(&tiny_cfg(), 7);
+        let b = chaos(&multihop_cfg(), 7);
+        assert_ne!(a.to_tsv(), b.to_tsv(), "policy changed nothing");
+        assert_eq!(a.broker.probe_spent, 0, "onehop spends no probe budget");
     }
 
     #[test]

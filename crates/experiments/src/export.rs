@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 
 use measure::stats::Cdf;
 
-use crate::{chaos, factors, longitudinal, prevalence, quality, service};
+use crate::{chaos, factors, longitudinal, multihop, prevalence, quality, service};
 
 /// Writes a CDF as `value<TAB>fraction` rows.
 ///
@@ -196,6 +196,12 @@ pub fn export_fast(dir: &Path, seed: u64) -> io::Result<Vec<PathBuf>> {
     fs::write(&cha_path, cha.to_tsv())?;
     written.push(cha_path);
 
+    // The k-hop bandit-vs-static comparison (smoke-sized).
+    let mh = multihop::multihop(&multihop::MultihopConfig::smoke(seed));
+    let mh_path = dir.join("multihop_smoke.tsv");
+    fs::write(&mh_path, mh.to_tsv())?;
+    written.push(mh_path);
+
     Ok(written)
 }
 
@@ -232,6 +238,10 @@ mod tests {
         assert!(
             written.iter().any(|p| p.ends_with("chaos_smoke.tsv")),
             "chaos table missing from the export set"
+        );
+        assert!(
+            written.iter().any(|p| p.ends_with("multihop_smoke.tsv")),
+            "multihop table missing from the export set"
         );
         for path in &written {
             let meta = std::fs::metadata(path).unwrap();

@@ -20,6 +20,7 @@
 //! | [`service`] | §VI–§VII: CRONets as an online service (workload, broker, autoscaler, SLOs) |
 //! | [`chaos`] | §VI-A generalized: the service under a deterministic fault schedule (crashes, outages, flaps, poisoned probes) |
 //! | [`hybrid`] | fast-fidelity service/chaos: overlay flows exact, direct-path mass settled analytically (`--fidelity hybrid`) |
+//! | [`multihop`] | §VII-B generalized: k-hop chains with online-bandit selection vs static/OLIA on the Fig. 12/13 flows, clean and under faults |
 //!
 //! Every experiment is deterministic in its seed, returns a typed result,
 //! and knows how to render itself as the rows/series of the original
@@ -41,6 +42,7 @@ pub mod failover;
 pub mod hybrid;
 pub mod longitudinal;
 pub mod mptcp_exp;
+pub mod multihop;
 pub mod prevalence;
 pub mod quality;
 pub mod report;

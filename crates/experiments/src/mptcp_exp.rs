@@ -124,8 +124,9 @@ const NINE_CITIES: &[&str] = &[
 /// "cloud" AS), so traffic between any two of them crosses the public
 /// Internet — which is why relaying through a third server can help at
 /// all. (Nine VMs inside one provider would ride its private backbone
-/// and never need an overlay.)
-fn nine_scattered_servers(seed: u64) -> (World, Vec<RouterId>) {
+/// and never need an overlay.) Shared with the multi-hop path-engine
+/// evaluation, which reuses the same flows.
+pub(crate) fn nine_scattered_servers(seed: u64) -> (World, Vec<RouterId>) {
     use cloud::provider::{attach_provider, ProviderConfig};
     use cloud::vnic::provision_vm;
 

@@ -27,10 +27,12 @@ use std::fmt;
 
 use cloud::{PortSpeed, TrafficPlan};
 use control::{
-    Broker, BrokerConfig, Decision, Fleet, FleetConfig, SloAccount, SloTarget, WorkloadConfig,
+    Broker, BrokerConfig, Decision, Fleet, FleetConfig, PathsPolicy, SloAccount, SloTarget,
+    WorkloadConfig,
 };
 use cronets::eval::{modes_from_segments, quality, Measurement, OverlayEval, PairEval};
 use cronets::select::{achieved, PathChoice};
+use paths::{relay_hop_price_per_gb, ArmEval, BanditConfig, Candidate, EnumerateConfig, Hops};
 use routing::{RouteCache, RouterPath};
 use simcore::{EventQueue, SimDuration, SimTime};
 use topology::RouterId;
@@ -56,8 +58,14 @@ pub struct ServiceConfig {
     pub slo: Vec<SloTarget>,
     /// Probe cadence: the broker's path cache is refreshed every
     /// `probe_every` epochs (1 = every epoch, i.e. an always-fresh
-    /// oracle).
+    /// oracle). Ignored under [`PathsPolicy::MultiHop`], where the
+    /// bandit's probe budget replaces the flat cadence.
     pub probe_every: u32,
+    /// Path-selection engine: the paper's one-hop broker (default) or
+    /// the k-hop bandit engine from the `paths` crate.
+    pub paths: PathsPolicy,
+    /// Maximum relay hops per chain under the multihop policy (1..=3).
+    pub khops: usize,
     /// Simulation fidelity. [`Fidelity::Des`] (the default) runs the
     /// exact per-flow event loop; [`Fidelity::Hybrid`] and
     /// [`Fidelity::Analytic`] run the blended loop in [`crate::hybrid`],
@@ -127,6 +135,8 @@ impl ServiceConfig {
                 },
             ],
             probe_every: 2,
+            paths: PathsPolicy::OneHop,
+            khops: 2,
             fidelity: Fidelity::Des,
         }
     }
@@ -202,6 +212,8 @@ impl ServiceConfig {
                 },
             ],
             probe_every: 2,
+            paths: PathsPolicy::OneHop,
+            khops: 2,
             fidelity: Fidelity::Des,
         }
     }
@@ -300,6 +312,13 @@ impl fmt::Display for ServiceReport {
             "broker: {} overlay admissions, {} direct, {} stale fallbacks",
             self.broker.overlay, self.broker.direct, self.broker.stale_fallback,
         )?;
+        if self.broker.probe_refreshes > 0 {
+            writeln!(
+                f,
+                "paths: {} chain admissions, {} probes over {} bandit refreshes",
+                self.broker.chain, self.broker.probe_spent, self.broker.probe_refreshes,
+            )?;
+        }
         writeln!(
             f,
             "fleet: {} scale-ups, {} drains, {} releases; spend ${:.4} of ${:.4} budget",
@@ -338,8 +357,9 @@ enum Ev {
     /// An admitted flow finishes.
     Complete {
         tenant: u32,
-        /// The relay slot the flow holds, if steered through an overlay.
-        relay: Option<usize>,
+        /// The relay slots the flow holds, in traversal order (empty for
+        /// the direct path, one entry for the paper's one-hop overlay).
+        hops: Hops,
         /// Achieved/direct throughput ratio (ground truth at admission).
         ratio: f64,
         issued: SimTime,
@@ -468,6 +488,11 @@ pub(crate) fn pair_of(client: u64, n_pairs: usize) -> usize {
 #[must_use]
 pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
     if cfg.fidelity != Fidelity::Des {
+        assert_eq!(
+            cfg.paths,
+            PathsPolicy::OneHop,
+            "multihop paths require DES fidelity (chains have no analytic shortcut)"
+        );
         return crate::hybrid::service_hybrid(cfg, seed);
     }
     assert!(cfg.probe_every >= 1, "probe_every must be at least 1");
@@ -485,7 +510,37 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
 
     // The service's pair catalogue: every routable (server, client)
     // combination; virtual workload clients map onto it round-robin.
-    let (cache, pairs) = prefetched_pairs(&world);
+    let (mut cache, pairs) = prefetched_pairs(&world);
+
+    // Multihop policy: fix each pair's candidate chains once (static
+    // pruning keeps arm indices stable for the bandits' whole run) and
+    // warm the relay-mesh legs the chains ride on.
+    let multihop = cfg.paths == PathsPolicy::MultiHop;
+    let mut cands: Vec<Vec<Candidate>> = Vec::new();
+    if multihop {
+        let mesh: Vec<(RouterId, RouterId)> = world
+            .cronet
+            .nodes()
+            .iter()
+            .flat_map(|a| {
+                world
+                    .cronet
+                    .nodes()
+                    .iter()
+                    .filter(move |b| b.vm() != a.vm())
+                    .map(move |b| (a.vm(), b.vm()))
+            })
+            .collect();
+        cache.prefetch(&world.net, &mesh);
+        let ecfg = EnumerateConfig::khops(cfg.khops);
+        let hop_price = relay_hop_price_per_gb(cfg.fleet.port, cfg.fleet.plan);
+        let (net, nodes) = (&world.net, world.cronet.nodes());
+        let shared = &cache;
+        cands = exec::parallel_map(pairs.len(), |pi| {
+            let (s, c) = pairs[pi];
+            paths::enumerate(net, shared, nodes, s, c, &ecfg, hop_price)
+        });
+    }
 
     // All arrivals up front: one work unit per epoch, pure in
     // (seed, epoch), merged in epoch order.
@@ -496,6 +551,9 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
     let total_arrivals: u64 = arrivals_by_epoch.iter().map(|a| a.len() as u64).sum();
 
     let mut broker = Broker::new(cfg.broker);
+    if multihop {
+        broker.enable_multihop(cands.clone(), BanditConfig::service(), seed);
+    }
     let mut fleet = Fleet::new(cfg.fleet);
     let mut slo = SloAccount::new(cfg.slo.clone());
     let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -512,8 +570,38 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
         }
         let epoch_start = SimTime::ZERO + cfg.workload.epoch * u64::from(e);
         let epoch_end = epoch_start + cfg.workload.epoch;
-        let truth = epoch_truth(&world, &cache, &pairs);
-        if e % cfg.probe_every == 0 {
+        let truth = if multihop {
+            Vec::new()
+        } else {
+            epoch_truth(&world, &cache, &pairs)
+        };
+        // Multihop ground truth: one work unit per pair scoring that
+        // pair's fixed arms under the current congestion state.
+        let ptruth: Vec<Vec<ArmEval>> = if multihop {
+            let net = &world.net;
+            let params = *world.cronet.params();
+            let tunnel = world.cronet.tunnel();
+            let nodes = world.cronet.nodes();
+            let (shared, arms) = (&cache, &cands);
+            exec::parallel_map(pairs.len(), |pi| {
+                let (s, c) = pairs[pi];
+                paths::evaluate(net, shared, nodes, s, c, tunnel, &params, &arms[pi])
+            })
+        } else {
+            Vec::new()
+        };
+        if multihop {
+            // Budgeted, uncertainty-driven refresh replaces the flat
+            // probe cadence: epoch 0 seeds every arm, after which each
+            // pair only spends its probe budget per epoch.
+            for (pi, pt) in ptruth.iter().enumerate() {
+                if e == 0 {
+                    broker.seed_paths(pi, pt);
+                } else {
+                    broker.probe_paths(pi, pt);
+                }
+            }
+        } else if e % cfg.probe_every == 0 {
             for (pi, &(s, c)) in pairs.iter().enumerate() {
                 broker.observe(s, c, epoch_start, truth[pi].clone());
             }
@@ -533,6 +621,44 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
 
         while let Some((now, ev)) = queue.pop_before(epoch_end) {
             match ev {
+                Ev::Arrive { epoch, idx } if multihop => {
+                    let req = &arrivals_by_epoch[epoch as usize][idx as usize];
+                    let pi = pair_of(req.client, pairs.len());
+                    let (decision, arm) = broker.decide_paths(pi, |n| fleet.is_free(n));
+                    if decision == Decision::Deny {
+                        slo.record_denial(req.tenant);
+                        continue;
+                    }
+                    let hops = match decision {
+                        Decision::Direct { .. } => Hops::direct(),
+                        Decision::Overlay { node, .. } => Hops::single(node),
+                        Decision::Chain { hops, .. } => hops,
+                        Decision::Deny => unreachable!(),
+                    };
+                    for r in hops.iter() {
+                        fleet.flow_started(r);
+                    }
+                    // Ground truth for the chosen arm, not the bandit's
+                    // estimate — a stale belief earns the real rate. The
+                    // carried flow's rate also feeds the bandit for free.
+                    let at = ptruth[pi][arm];
+                    broker.learn_path(pi, arm, at.bps);
+                    let ratio = if hops.is_empty() {
+                        1.0
+                    } else {
+                        at.bps / ptruth[pi][0].bps.max(1.0)
+                    };
+                    let done = now + completion_time(req.bytes, at.bps, at.rtt);
+                    queue.schedule(
+                        done,
+                        Ev::Complete {
+                            tenant: req.tenant,
+                            hops,
+                            ratio,
+                            issued: now,
+                        },
+                    );
+                }
                 Ev::Arrive { epoch, idx } => {
                     let req = &arrivals_by_epoch[epoch as usize][idx as usize];
                     let pi = pair_of(req.client, pairs.len());
@@ -542,13 +668,16 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
                     let direct_true = tr.direct.throughput_bps;
                     match decision {
                         Decision::Deny => slo.record_denial(req.tenant),
+                        Decision::Chain { .. } => {
+                            unreachable!("one-hop broker never emits chains")
+                        }
                         Decision::Direct { .. } => {
                             let done = now + completion_time(req.bytes, direct_true, tr.direct.rtt);
                             queue.schedule(
                                 done,
                                 Ev::Complete {
                                     tenant: req.tenant,
-                                    relay: None,
+                                    hops: Hops::direct(),
                                     ratio: 1.0,
                                     issued: now,
                                 },
@@ -569,7 +698,7 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
                                 done,
                                 Ev::Complete {
                                     tenant: req.tenant,
-                                    relay: Some(node),
+                                    hops: Hops::single(node),
                                     ratio: bps_true / direct_true.max(1.0),
                                     issued: now,
                                 },
@@ -579,15 +708,17 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
                 }
                 Ev::Complete {
                     tenant,
-                    relay,
+                    hops,
                     ratio,
                     issued,
                 } => {
-                    if let Some(r) = relay {
-                        // A completed drain stops this relay's meter now.
+                    if !hops.is_empty() {
+                        // A completed drain stops these relays' meters now.
                         fleet.accrue(now.min(horizon).saturating_duration_since(billed_to));
                         billed_to = now.min(horizon).max(billed_to);
-                        fleet.flow_finished(r);
+                        for r in hops.iter() {
+                            fleet.flow_finished(r);
+                        }
                     }
                     slo.record_completion(tenant, ratio, now - issued);
                     completed_total += 1;
@@ -624,11 +755,11 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
             Ev::Arrive { .. } => unreachable!("arrivals all lie inside the horizon"),
             Ev::Complete {
                 tenant,
-                relay,
+                hops,
                 ratio,
                 issued,
             } => {
-                if let Some(r) = relay {
+                for r in hops.iter() {
                     fleet.flow_finished(r);
                 }
                 slo.record_completion(tenant, ratio, now - issued);
@@ -708,5 +839,54 @@ mod tests {
         assert_eq!(overlay, r.broker.overlay);
         let stale: u64 = r.rows.iter().map(|x| x.stale).sum();
         assert_eq!(stale, r.broker.stale_fallback);
+    }
+
+    fn multihop_cfg() -> ServiceConfig {
+        let mut cfg = tiny_cfg();
+        cfg.paths = PathsPolicy::MultiHop;
+        cfg
+    }
+
+    #[test]
+    fn multihop_service_balances_its_ledgers() {
+        let r = service(&multihop_cfg(), 11);
+        assert_eq!(r.rows.len(), 8);
+        let admitted = r.broker.overlay + r.broker.direct + r.broker.stale_fallback;
+        assert_eq!(r.broker.admitted, admitted);
+        assert_eq!(r.arrivals, r.broker.admitted + r.broker.denied);
+        assert_eq!(r.completed, r.broker.admitted);
+        assert!(r.spend_usd <= r.budget_usd + 1e-9, "spend over budget");
+        assert!(r.broker.overlay > 0, "no overlay admissions");
+        assert_eq!(
+            r.broker.stale_fallback, 0,
+            "the bandit never goes stale-blind"
+        );
+        assert!(r.broker.probe_spent > 0, "budgeted refresh never ran");
+        assert!(r.broker.probe_refreshes > 0);
+    }
+
+    #[test]
+    fn multihop_service_is_deterministic() {
+        let a = service(&multihop_cfg(), 5);
+        let b = service(&multihop_cfg(), 5);
+        assert_eq!(a.to_tsv(), b.to_tsv());
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn multihop_policy_diverges_from_onehop() {
+        let a = service(&tiny_cfg(), 11);
+        let b = service(&multihop_cfg(), 11);
+        assert_ne!(a.to_tsv(), b.to_tsv(), "policies must actually differ");
+        assert_eq!(a.broker.probe_spent, 0, "one-hop spends no bandit budget");
+    }
+
+    #[test]
+    fn khops_one_restricts_to_single_relays() {
+        let mut cfg = multihop_cfg();
+        cfg.khops = 1;
+        let r = service(&cfg, 11);
+        assert_eq!(r.broker.chain, 0, "k=1 admits no multi-relay chains");
+        assert!(r.broker.overlay > 0);
     }
 }

@@ -188,6 +188,20 @@ impl Invariants {
         }
     }
 
+    /// The flow was admitted onto a multi-hop relay chain: every relay
+    /// slot on the chain must be `Active`. Equivalent to one
+    /// [`Invariants::flow_admitted`] check per hop (an empty chain is a
+    /// direct-path admission).
+    pub fn flow_admitted_path(&mut self, flow: u64, relays: &[usize]) {
+        if relays.is_empty() {
+            self.flow_admitted(flow, None);
+            return;
+        }
+        for &r in relays {
+            self.flow_admitted(flow, Some(r));
+        }
+    }
+
     /// A fault killed the flow mid-transfer after `delivered` bytes; a
     /// retry segment is expected to carry the rest.
     pub fn flow_killed(&mut self, flow: u64, delivered: u64) {

@@ -66,7 +66,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ),
     ("fig13", "Fig. 13: MPTCP/uncoupled-CUBIC validation (slow)"),
     ("cost", "SI/SVII-D: cost comparison"),
-    ("multihop", "SVII-B extension: one- vs two-hop overlays"),
+    (
+        "multihop",
+        "SVII-B generalized: k-hop chains, bandit vs static vs OLIA proxy",
+    ),
     ("ports", "SVII-C extension: port-speed sweep"),
     ("placement", "SVII-A extension: greedy node placement"),
     (
@@ -100,7 +103,7 @@ const RESULTS_DIR: &str = "results";
 
 fn usage() {
     eprintln!(
-        "usage: cronets <experiment|list|all|report> [--seed N] [--threads N] [--smoke] [--fidelity F] [--metrics] [--trace FLOW] [--spans] [--profile]"
+        "usage: cronets <experiment|list|all|report> [--seed N] [--threads N] [--smoke] [--fidelity F] [--paths P] [--khops K] [--metrics] [--trace FLOW] [--spans] [--profile]"
     );
     eprintln!(
         "  --seed N      PRNG seed (default {})",
@@ -112,6 +115,12 @@ fn usage() {
     eprintln!("  --fidelity F  service/chaos simulation fidelity: des (default,");
     eprintln!("                full event-driven day), hybrid (overlay flows exact,");
     eprintln!("                direct-path mass settled analytically) or analytic");
+    eprintln!("  --paths P     service/chaos path engine: onehop (default, the");
+    eprintln!("                paper's probe-cache broker) or multihop (k-hop");
+    eprintln!("                chains with online-bandit selection; multihop");
+    eprintln!("                uses --khops chains and runs DES fidelity only)");
+    eprintln!("  --khops K     chain-length bound for multihop/multihop runs,");
+    eprintln!("                1..=3 (default 2)");
     eprintln!("  --metrics     collect telemetry; print a metric snapshot and");
     eprintln!("                write manifest_<name>.tsv/.jsonl into ./{RESULTS_DIR}/");
     eprintln!("  --trace FLOW  with --metrics: trace DES flow FLOW's segment");
@@ -158,7 +167,23 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
             println!("{}", exp::mptcp_exp::validate(&cfg, CouplingAlg::Uncoupled));
         }
         "cost" => println!("{}", exp::cost::cost_comparison()),
-        "multihop" => println!("{}", exp::extensions::multi_hop(seed, 25)),
+        "multihop" => {
+            let mut mcfg = if opts.smoke {
+                exp::multihop::MultihopConfig::smoke(seed)
+            } else {
+                exp::multihop::MultihopConfig::paper(seed)
+            };
+            mcfg.khops = opts.khops;
+            let report = exp::multihop::multihop(&mcfg);
+            print!("{report}");
+            let path = std::path::Path::new(RESULTS_DIR).join("multihop.tsv");
+            match std::fs::create_dir_all(RESULTS_DIR)
+                .and_then(|()| std::fs::write(&path, report.to_tsv()))
+            {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("multihop TSV write failed: {e}"),
+            }
+        }
         "ports" => println!("{}", exp::extensions::port_sweep(seed)),
         "placement" => println!("{}", exp::extensions::placement(seed, 4)),
         "failover" => println!("{}", exp::failover::failover(seed, 20, 60)),
@@ -169,6 +194,8 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
                 exp::service::ServiceConfig::paper()
             };
             cfg.fidelity = opts.fidelity;
+            cfg.paths = opts.paths;
+            cfg.khops = opts.khops;
             let report = exp::service::service(&cfg, seed);
             print!("{report}");
             let path = std::path::Path::new(RESULTS_DIR).join("service.tsv");
@@ -186,6 +213,8 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
                 exp::chaos::ChaosConfig::paper()
             };
             cfg.service.fidelity = opts.fidelity;
+            cfg.service.paths = opts.paths;
+            cfg.service.khops = opts.khops;
             let report = exp::chaos::chaos(&cfg, seed);
             print!("{report}");
             if report.span_dropped > 0 {
@@ -273,6 +302,8 @@ struct Opts {
     spans: bool,
     profile: bool,
     fidelity: Fidelity,
+    paths: control::PathsPolicy,
+    khops: usize,
     trace_flow: Option<u64>,
 }
 
@@ -284,6 +315,8 @@ impl Default for Opts {
             spans: false,
             profile: false,
             fidelity: Fidelity::Des,
+            paths: control::PathsPolicy::OneHop,
+            khops: 2,
             trace_flow: None,
         }
     }
@@ -439,6 +472,26 @@ fn main() -> ExitCode {
                 Some(f) => opts.fidelity = f,
                 None => {
                     eprintln!("--fidelity needs one of: des, hybrid, analytic");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--paths" => match it
+                .next()
+                .map(String::as_str)
+                .and_then(control::PathsPolicy::parse)
+            {
+                Some(p) => opts.paths = p,
+                None => {
+                    eprintln!("--paths needs one of: onehop, multihop");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--khops" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(k) if (1..=3).contains(&k) => opts.khops = k,
+                _ => {
+                    eprintln!("--khops needs an integer in 1..=3");
+                    usage();
                     return ExitCode::FAILURE;
                 }
             },

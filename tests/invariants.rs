@@ -13,7 +13,7 @@
 //! event streams (a double completion, a flow steered to a crashed
 //! relay, lost bytes) must be caught, and `assert_clean` must panic.
 
-use control::RelayState;
+use control::{PathsPolicy, RelayState};
 use experiments::chaos::{chaos, ChaosConfig};
 use faults::{FaultConfig, FaultSchedule, InvariantViolation, Invariants};
 use simcore::{SimDuration, SimRng, SimTime};
@@ -67,6 +67,30 @@ fn sweep(seed: u64, cases: u64) {
     }
 }
 
+/// As [`sweep`], but with the k-hop bandit engine steering admissions —
+/// chained legs register on every relay they cross, so byte
+/// conservation and the no-flows-on-dead-relays rule now cover
+/// mid-chain crashes too.
+fn sweep_multihop(seed: u64, cases: u64) {
+    for case in 0..cases {
+        let mut cfg = micro_cfg();
+        cfg.service.paths = PathsPolicy::MultiHop;
+        randomize(&mut cfg.faults, seed, case);
+        let run_seed = seed.wrapping_mul(1_000_003).wrapping_add(case);
+        let r = chaos(&cfg, run_seed);
+        assert!(
+            r.invariant_violations.is_empty(),
+            "multihop seed {seed} case {case} (run seed {run_seed}): {:?}",
+            r.invariant_violations
+        );
+        assert_eq!(r.killed, r.retries, "every kill re-enters exactly once");
+        assert!(
+            r.spend_usd <= r.budget_usd + 1e-9,
+            "multihop seed {seed} case {case}: spend over budget"
+        );
+    }
+}
+
 #[test]
 fn invariants_hold_across_randomized_schedules_seed_7() {
     sweep(7, 36);
@@ -80,6 +104,21 @@ fn invariants_hold_across_randomized_schedules_seed_11() {
 #[test]
 fn invariants_hold_across_randomized_schedules_seed_13() {
     sweep(13, 36);
+}
+
+#[test]
+fn invariants_hold_for_multihop_chains_seed_7() {
+    sweep_multihop(7, 18);
+}
+
+#[test]
+fn invariants_hold_for_multihop_chains_seed_11() {
+    sweep_multihop(11, 18);
+}
+
+#[test]
+fn invariants_hold_for_multihop_chains_seed_13() {
+    sweep_multihop(13, 18);
 }
 
 #[test]
@@ -147,6 +186,42 @@ fn checker_catches_routing_to_a_dead_relay() {
             state: RelayState::Failed,
         }]
     );
+}
+
+#[test]
+fn checker_catches_a_chain_crossing_a_dead_relay() {
+    // A multi-hop admission must be vetted leg by leg: a chain whose
+    // *middle* hop is down is exactly as broken as a dead one-hop.
+    let mut inv = Invariants::new(3, SimDuration::from_secs(60));
+    inv.set_relay_state(0, RelayState::Active);
+    inv.set_relay_state(2, RelayState::Active);
+    inv.relay_crashed(1, SimTime::ZERO + SimDuration::from_secs(5));
+    inv.flow_requested(9, 1000);
+    inv.flow_admitted_path(9, &[0, 1, 2]);
+    assert_eq!(
+        inv.violations(),
+        &[InvariantViolation::FlowOnUnavailableRelay {
+            flow: 9,
+            relay: 1,
+            state: RelayState::Failed,
+        }]
+    );
+}
+
+#[test]
+fn checker_conserves_bytes_across_a_chained_retry() {
+    // A mid-chain crash kills the flow; the retry carries the rest over
+    // a different chain. The ledger must balance across both segments.
+    let mut inv = Invariants::new(3, SimDuration::from_secs(60));
+    for r in 0..3 {
+        inv.set_relay_state(r, RelayState::Active);
+    }
+    inv.flow_requested(4, 10_000);
+    inv.flow_admitted_path(4, &[0, 2]);
+    inv.flow_killed(4, 3_000);
+    inv.flow_admitted_path(4, &[1]);
+    inv.flow_completed(4, 7_000);
+    assert_eq!(inv.violations(), &[]);
 }
 
 #[test]

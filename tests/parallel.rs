@@ -166,6 +166,26 @@ fn hybrid_chaos_is_thread_invariant() {
 }
 
 #[test]
+fn multihop_experiment_is_thread_invariant() {
+    // The k-hop path engine fans candidate evaluation out per pair and
+    // gives each pair's bandit its own RNG substream; the policy
+    // comparison table (stdout and results/multihop.tsv) must be
+    // byte-identical at any thread count.
+    assert_thread_invariant("multihop", &["--smoke", "--metrics"]);
+}
+
+#[test]
+fn multihop_chaos_is_thread_invariant() {
+    // The service under faults with chained admissions: bandit probes,
+    // per-leg billing, mid-chain crash kills and retries must replay
+    // byte-identically at any thread count.
+    assert_thread_invariant(
+        "chaos",
+        &["--smoke", "--paths", "multihop", "--metrics", "--spans"],
+    );
+}
+
+#[test]
 fn chaos_report_pipeline_is_thread_invariant() {
     // The full observability pipeline: a chaos run leaves its manifest,
     // span stream, attribution table and sim-time profile in results/,

@@ -157,6 +157,45 @@ fn chaos_smoke_matrix_matches_goldens() {
 }
 
 #[test]
+fn multihop_smoke_matrix_matches_goldens() {
+    // Golden: first (clean, epoch 0) and last (flaky, epoch 11) rows of
+    // results/multihop.tsv — pinning candidate enumeration order, the
+    // bandit's RNG substream, and all three policy replays at once.
+    // Regenerate with `cronets multihop --smoke --seed <s>`.
+    let golden = [
+        (
+            "7",
+            "clean\t0\t0\t0\t2.7701\t1.5952\t1.5952",
+            "flaky\t11\t0\t0\t4.0901\t4.6512\t4.6512",
+        ),
+        (
+            "11",
+            "clean\t0\t0\t0\t3.3983\t3.3983\t3.3983",
+            "flaky\t11\t0\t1\t4.2610\t6.4688\t6.4688",
+        ),
+        (
+            "13",
+            "clean\t0\t0\t0\t7.9439\t7.0334\t7.0334",
+            "flaky\t11\t0\t0\t7.5569\t7.1306\t7.3589",
+        ),
+    ];
+    for (seed, first, last) in golden {
+        let (out, tsv) = run(
+            &format!("seedmat_multihop_{seed}"),
+            &["multihop", "--smoke", "--seed", seed],
+            "multihop.tsv",
+        );
+        let (got_first, got_last) = tsv_first_last(&tsv);
+        assert_eq!(got_first, first, "multihop seed {seed} first row");
+        assert_eq!(got_last, last, "multihop seed {seed} last row");
+        assert!(
+            out.contains("bandit"),
+            "multihop seed {seed}: summary table missing:\n{out}"
+        );
+    }
+}
+
+#[test]
 fn explicit_des_fidelity_matches_default_across_seed_matrix() {
     // `--fidelity des` must be a no-op: the flag routes through the same
     // full-DES loop the goldens above pin, for every matrix seed, in
