@@ -403,6 +403,43 @@ fn bench_chaos_smoke() -> f64 {
     bench(1, 3, || chaos(&cfg, 7).completed)
 }
 
+/// One fuzzer iteration: structured mutation, render, and the micro
+/// chaos run under the mutant — the marginal cost of every unit of
+/// `cronets fuzz --budget`.
+fn bench_fuzz_iter() -> f64 {
+    let cfg = ChaosConfig::micro();
+    let horizon = cfg.service.workload.horizon();
+    let epoch = cfg.service.workload.epoch;
+    let base = fuzz::ScheduleIr::from_schedule(
+        &FaultSchedule::generate(&cfg.faults, 7),
+        cfg.faults.relays,
+        horizon,
+        7,
+    );
+    let mut rng = simcore::SimRng::seed_from(7).fork(0xBE7C);
+    bench(3, 3, || {
+        let mut ir = base.clone();
+        fuzz::mutate(&mut ir, &mut rng, epoch);
+        let sched = ir.render().expect("sanitized mutants render");
+        experiments::chaos::chaos_with_schedule(&cfg, 7, &sched).completed
+    })
+}
+
+/// A three-day smoke soak (service + nemesis + invariants + ledger
+/// compaction per day): the per-day amortized cost `cronets soak
+/// --smoke` pays.
+fn bench_soak_smoke() -> f64 {
+    let cfg = experiments::soak::SoakConfig {
+        days: 3,
+        smoke: true,
+    };
+    bench(1, 3, || {
+        experiments::soak::soak(&cfg, 7, None, None, |_| {})
+            .expect("soak runs")
+            .days_done
+    })
+}
+
 fn main() {
     let results: Vec<(&str, f64)> = vec![
         ("event_queue_push_pop_10k", bench_event_queue()),
@@ -428,6 +465,8 @@ fn main() {
         ("fault_inject", bench_fault_inject()),
         ("chaos_smoke", bench_chaos_smoke()),
         ("chaos_smoke_hybrid", bench_chaos_smoke_hybrid()),
+        ("fuzz_iter", bench_fuzz_iter()),
+        ("soak_smoke", bench_soak_smoke()),
         ("report_smoke", bench_report_smoke()),
     ];
 

@@ -25,7 +25,7 @@ use std::fmt;
 
 use control::{Broker, Decision, Fleet, PathsPolicy, RelayState, SloAccount};
 use cronets::select::{achieved, PathChoice};
-use faults::{FaultConfig, FaultKind, FaultSchedule, InvariantViolation, Invariants};
+use faults::{FaultConfig, FaultKind, FaultSchedule, Invariants, Violation};
 use paths::{relay_hop_price_per_gb, ArmEval, BanditConfig, Candidate, EnumerateConfig, Hops};
 use simcore::{EventHandle, EventQueue, SimDuration, SimTime};
 use topology::{LinkId, RouterId};
@@ -80,6 +80,20 @@ impl ChaosConfig {
             service,
             detect_after: SimDuration::from_secs(3),
         }
+    }
+
+    /// Fuzz-sized chaos run: the smoke world cut to six epochs at a
+    /// low arrival rate, so one fuzzer iteration (or one soak smoke
+    /// day) costs milliseconds while still exercising every admission
+    /// path.
+    #[must_use]
+    pub fn micro() -> ChaosConfig {
+        let mut cfg = ChaosConfig::smoke();
+        cfg.service.workload.epochs = 6;
+        cfg.service.workload.mean_rate_per_sec = 2.0;
+        cfg.service.workload.diurnal_period = cfg.service.workload.epoch * 6;
+        cfg.faults.horizon = cfg.service.workload.horizon();
+        cfg
     }
 
     /// Paper-scale chaos run: the §II-A web-server day under a gentler,
@@ -176,8 +190,9 @@ pub struct ChaosReport {
     /// The configured budget, USD.
     pub budget_usd: f64,
     /// Invariant violations detected by the [`faults::Invariants`]
-    /// checker (empty on a correct run).
-    pub invariant_violations: Vec<InvariantViolation>,
+    /// checker (empty on a correct run), each stamped with the
+    /// sim-time and causal span id current at detection.
+    pub invariant_violations: Vec<Violation>,
     /// The run's causal span stream, in emission order.
     pub spans: Vec<obs::SpanRecord>,
     /// Spans the bounded ring overwrote before a drain (0 on healthy
@@ -399,6 +414,39 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
         );
         return crate::hybrid::chaos_hybrid(cfg, seed);
     }
+    // The nemesis: generated up front, pure in (cfg.faults, seed).
+    let schedule = FaultSchedule::generate(&cfg.faults, seed);
+    chaos_with_schedule(cfg, seed, &schedule)
+}
+
+/// Runs the chaos loop under an externally supplied fault schedule —
+/// the fuzzer's entry point: mutated schedules replace the generated
+/// one while everything else (workload, broker, fleet, checker) stays
+/// pinned to `(cfg, seed)`. [`chaos`] is `chaos_with_schedule` over
+/// [`FaultSchedule::generate`].
+///
+/// # Panics
+///
+/// Panics on an inconsistent configuration (see [`chaos`]), a non-DES
+/// fidelity (schedule injection has no hybrid shortcut), an event at
+/// or past the workload horizon, or a relay index outside the fleet.
+#[must_use]
+pub fn chaos_with_schedule(cfg: &ChaosConfig, seed: u64, schedule: &FaultSchedule) -> ChaosReport {
+    assert_eq!(
+        cfg.service.fidelity,
+        transport::Fidelity::Des,
+        "schedule injection requires DES fidelity"
+    );
+    let check_horizon = SimTime::ZERO + cfg.service.workload.horizon();
+    for e in schedule.events() {
+        assert!(e.at < check_horizon, "schedule event at/past the horizon");
+        match e.kind {
+            FaultKind::RelayCrash { relay } | FaultKind::RelayRestore { relay } => {
+                assert!(relay < cfg.faults.relays, "schedule names relay {relay}");
+            }
+            _ => {}
+        }
+    }
     // Span recording is always on for a chaos run — fault attribution
     // needs the causal stream even in plain runs without `--metrics`.
     // The caller's flag is restored before returning.
@@ -481,10 +529,9 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     });
     let total_arrivals: u64 = arrivals_by_epoch.iter().map(|a| a.len() as u64).sum();
 
-    // The nemesis: generated up front, pure in (cfg.faults, seed), and
-    // scheduled before any flow so queue order is fully deterministic.
-    let schedule = FaultSchedule::generate(&cfg.faults, seed);
-    let availability = availability_by_epoch(&schedule, cfg);
+    // The nemesis is scheduled before any flow so queue order is fully
+    // deterministic.
+    let availability = availability_by_epoch(schedule, cfg);
 
     let mut broker = Broker::new(svc.broker);
     if multihop {
@@ -598,7 +645,6 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                 Ev::Arrive { epoch, idx } => {
                     let req = &arrivals_by_epoch[epoch as usize][idx as usize];
                     let pi = pair_of(req.client, pairs.len());
-                    inv.flow_requested(req.id, req.bytes);
                     let arrive = obs::span(
                         now.as_nanos(),
                         0,
@@ -607,6 +653,8 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         u64::from(req.tenant),
                         req.bytes,
                     );
+                    inv.context(now, arrive);
+                    inv.flow_requested(req.id, req.bytes);
                     admit(
                         req.id,
                         req.tenant,
@@ -692,6 +740,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                             breach.mask(),
                         );
                     }
+                    inv.context(now, done);
                     inv.flow_completed(flow, fl.bytes);
                     completed_total += 1;
                     ep_ratio_sum += fl.ratio;
@@ -714,6 +763,7 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         fault.kind.discriminant(),
                         fault.kind.target(),
                     );
+                    inv.context(now, fault_span);
                     match fault.kind {
                         FaultKind::RelayCrash { relay } => {
                             // Rent accrues up to the crash; a dead VM
@@ -743,7 +793,6 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                                 let delivered = ((u128::from(fl.bytes) * u128::from(elapsed))
                                     / u128::from(total))
                                     as u64;
-                                inv.flow_killed(flow, delivered);
                                 let kill = obs::span(
                                     now.as_nanos(),
                                     fault_span,
@@ -752,6 +801,8 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                                     fl.bytes - delivered,
                                     relay as u64,
                                 );
+                                inv.context(now, kill);
+                                inv.flow_killed(flow, delivered);
                                 killed_total += 1;
                                 ep_killed += 1;
                                 pending_retry.insert(
@@ -927,11 +978,14 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
                         breach.mask(),
                     );
                 }
+                inv.context(now, done);
                 inv.flow_completed(flow, fl.bytes);
                 completed_total += 1;
             }
         }
     }
+    // End-of-run checks carry no span; stamp them with the horizon.
+    inv.context(horizon, 0);
     inv.finish();
 
     let (drained, dropped) = obs::drain_spans();
@@ -954,6 +1008,11 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     obs::add_named("faults.flows_killed", killed_total);
     obs::add_named("faults.retries", retries_total);
     obs::add_named("obs.spans_dropped", span_dropped);
+    // Invariant check-site hit counts: the fuzzer's coverage map keys
+    // on which checks a schedule actually reached.
+    for (site, n) in inv.site_counts() {
+        obs::add_named(&format!("faults.check.{site}"), n);
+    }
 
     ChaosReport {
         rows,
@@ -1021,6 +1080,7 @@ fn admit(
                 4,
             );
             slo.record_denial(tenant);
+            inv.context(now, admitted);
             inv.flow_denied(flow);
             return;
         }
@@ -1046,6 +1106,7 @@ fn admit(
             inv.set_relay_state(r, fleet.relay_state(r));
         }
         let chain: Vec<usize> = hops.iter().collect();
+        inv.context(now, admitted);
         inv.flow_admitted_path(flow, &chain);
         // Ground truth for the chosen arm, not the bandit's estimate —
         // a stale belief earns the real rate. The carried flow's rate
@@ -1098,10 +1159,12 @@ fn admit(
                 4,
             );
             slo.record_denial(tenant);
+            inv.context(now, admitted);
             inv.flow_denied(flow);
         }
         Decision::Direct { .. } => {
             let admitted = obs::span(now.as_nanos(), parent, SpanKind::Admit, flow, 1, 0);
+            inv.context(now, admitted);
             inv.flow_admitted(flow, None);
             let done = now + completion_time(bytes, direct_true, tr.direct.rtt);
             let handle = queue.schedule(done, Ev::Complete { flow });
@@ -1132,6 +1195,7 @@ fn admit(
             fleet.flow_started(node);
             debug_assert_eq!(fleet.relay_state(node), RelayState::Active);
             inv.set_relay_state(node, fleet.relay_state(node));
+            inv.context(now, admitted);
             inv.flow_admitted(flow, Some(node));
             let bps_true = achieved(tr, PathChoice::Overlay(node));
             let rtt = tr

@@ -715,6 +715,7 @@ impl ChaosRun<'_> {
                 breach.mask(),
             );
         }
+        self.inv.context(now, done);
         self.inv.flow_completed(flow, bytes);
     }
 
@@ -781,6 +782,7 @@ impl ChaosRun<'_> {
                         u64::from(tenant),
                         4,
                     );
+                    self.inv.context(now, admitted);
                     self.inv.flow_denied(flow);
                 }
             }
@@ -797,6 +799,7 @@ impl ChaosRun<'_> {
                     // close its byte ledger here. Its completion span is
                     // stamped at the (analytic) done instant.
                     let admitted = obs::span(now.as_nanos(), parent, SpanKind::Admit, flow, 1, 0);
+                    self.inv.context(now, admitted);
                     self.inv.flow_admitted(flow, None);
                     let done_span = obs::span(
                         done.as_nanos(),
@@ -817,6 +820,7 @@ impl ChaosRun<'_> {
                             breach.mask(),
                         );
                     }
+                    self.inv.context(done, done_span);
                     self.inv.flow_completed(flow, bytes);
                 } else {
                     self.led.settle(tenant, 1.0, issued, done);
@@ -827,15 +831,17 @@ impl ChaosRun<'_> {
                 self.stats.admitted += 1;
                 self.stats.overlay += 1;
                 let parent = if first {
-                    self.inv.flow_requested(flow, bytes);
-                    obs::span(
+                    let arrive = obs::span(
                         now.as_nanos(),
                         0,
                         SpanKind::FlowArrive,
                         flow,
                         u64::from(tenant),
                         bytes,
-                    )
+                    );
+                    self.inv.context(now, arrive);
+                    self.inv.flow_requested(flow, bytes);
+                    arrive
                 } else {
                     parent
                 };
@@ -850,6 +856,7 @@ impl ChaosRun<'_> {
                 self.fleet.flow_started(node);
                 debug_assert_eq!(self.fleet.relay_state(node), RelayState::Active);
                 self.inv.set_relay_state(node, self.fleet.relay_state(node));
+                self.inv.context(now, admitted);
                 self.inv.flow_admitted(flow, Some(node));
                 let bps = tr.node_bps[node];
                 let done = now + completion_time(bytes, bps, tr.node_rtt[node]);
@@ -898,6 +905,7 @@ impl ChaosRun<'_> {
             fault.kind.discriminant(),
             fault.kind.target(),
         );
+        self.inv.context(now, fault_span);
         match fault.kind {
             FaultKind::RelayCrash { relay } => {
                 self.fleet
@@ -918,7 +926,6 @@ impl ChaosRun<'_> {
                             / u128::from(total)) as u64;
                         (fl.flow, fl.tenant, fl.pair, fl.bytes, fl.issued, delivered)
                     };
-                    self.inv.flow_killed(flow, delivered);
                     let kill = obs::span(
                         now.as_nanos(),
                         fault_span,
@@ -927,6 +934,8 @@ impl ChaosRun<'_> {
                         bytes - delivered,
                         relay as u64,
                     );
+                    self.inv.context(now, kill);
+                    self.inv.flow_killed(flow, delivered);
                     self.killed_total += 1;
                     self.ep_killed += 1;
                     let ri = self.rets.len() as u32;
@@ -1190,6 +1199,8 @@ pub(crate) fn chaos_hybrid(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
             span_dropped += dropped;
         }
     }
+    // End-of-run checks carry no span; stamp them with the horizon.
+    run.inv.context(SimTime::ZERO + svc.workload.horizon(), 0);
     run.inv.finish();
 
     let (drained, dropped) = obs::drain_spans();
@@ -1212,6 +1223,11 @@ pub(crate) fn chaos_hybrid(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
     obs::add_named("faults.flows_killed", run.killed_total);
     obs::add_named("faults.retries", run.retries_total);
     obs::add_named("obs.spans_dropped", span_dropped);
+    // Invariant check-site hit counts: the fuzzer's coverage map keys
+    // on which checks a schedule actually reached.
+    for (site, n) in run.inv.site_counts() {
+        obs::add_named(&format!("faults.check.{site}"), n);
+    }
     obs::add_named("hybrid.route_repairs", run.repairs);
     obs::add_named("hybrid.flows_exact", run.flows_exact);
     obs::add_named("hybrid.flows_aggregated", run.flows_aggregated);

@@ -21,6 +21,8 @@
 //! | [`chaos`] | §VI-A generalized: the service under a deterministic fault schedule (crashes, outages, flaps, poisoned probes) |
 //! | [`hybrid`] | fast-fidelity service/chaos: overlay flows exact, direct-path mass settled analytically (`--fidelity hybrid`) |
 //! | [`multihop`] | §VII-B generalized: k-hop chains with online-bandit selection vs static/OLIA on the Fig. 12/13 flows, clean and under faults |
+//! | [`fuzzing`] | coverage-guided fault-schedule fuzzing of the chaos loop, with delta-debugged repros (`cronets fuzz`) |
+//! | [`soak`] | week-of-simulated-time chaos soak, checkpoint-resumable and byte-deterministic (`cronets soak`) |
 //!
 //! Every experiment is deterministic in its seed, returns a typed result,
 //! and knows how to render itself as the rows/series of the original
@@ -39,6 +41,7 @@ pub mod export;
 pub mod extensions;
 pub mod factors;
 pub mod failover;
+pub mod fuzzing;
 pub mod hybrid;
 pub mod longitudinal;
 pub mod mptcp_exp;
@@ -49,6 +52,7 @@ pub mod report;
 pub mod run_report;
 pub mod scenario;
 pub mod service;
+pub mod soak;
 pub mod sweep;
 pub mod thresholds;
 

@@ -19,14 +19,23 @@
 //! Violations accumulate rather than panic, so one run can report all
 //! of them; [`Invariants::assert_clean`] converts them into a panic for
 //! use in tests (including `#[should_panic]` negative tests that prove
-//! the checker actually fires).
+//! the checker actually fires). Each recorded [`Violation`] is stamped
+//! with the sim-time and causal span id that were current when it was
+//! detected (see [`Invariants::context`]), so a minimized fuzzer repro
+//! is self-describing: the report names *when* the invariant broke and
+//! *which* span to look up in the causal stream.
+//!
+//! The checker also counts how often each of its check sites fired
+//! ([`Invariants::site_counts`]); the fuzzer's coverage map keys on
+//! these counts alongside the broker and fleet counters.
 
 use std::collections::HashMap;
 
 use control::RelayState;
 use simcore::{SimDuration, SimTime};
 
-/// One detected violation of a system invariant.
+/// One detected violation of a system invariant (the *kind*; see
+/// [`Violation`] for the stamped record).
 #[derive(Debug, Clone, PartialEq)]
 pub enum InvariantViolation {
     /// A flow reached a terminal state twice.
@@ -74,6 +83,22 @@ pub enum InvariantViolation {
     },
 }
 
+impl InvariantViolation {
+    /// Stable kebab-case tag, used by the fuzz corpus format's `expect`
+    /// header and the soak/fuzz finding file names.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            InvariantViolation::DoubleBilling { .. } => "double-billing",
+            InvariantViolation::FlowOnUnavailableRelay { .. } => "flow-on-unavailable-relay",
+            InvariantViolation::BytesNotConserved { .. } => "bytes-not-conserved",
+            InvariantViolation::RecoveryExceededMttr { .. } => "recovery-exceeded-mttr",
+            InvariantViolation::CrashNeverRecovered { .. } => "crash-never-recovered",
+            InvariantViolation::UnknownFlow { .. } => "unknown-flow",
+        }
+    }
+}
+
 impl std::fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -112,6 +137,61 @@ impl std::fmt::Display for InvariantViolation {
     }
 }
 
+/// A recorded violation, stamped with the sim-time and causal span id
+/// that were current when the checker detected it (the experiment sets
+/// them via [`Invariants::context`]). The stamp makes a minimized repro
+/// self-describing: `at` names the failing instant on the simulation
+/// timeline and `span` the causal record to chase in the span stream
+/// (0 when no span was in scope).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// What broke.
+    pub kind: InvariantViolation,
+    /// Sim-time at detection.
+    pub at: SimTime,
+    /// The causal span id in scope at detection (0 = none).
+    pub span: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [t=+{:.3}s span {}]",
+            self.kind,
+            self.at.as_secs_f64(),
+            self.span
+        )
+    }
+}
+
+/// Names of the checker's call sites, in [`Invariants::site_counts`]
+/// order. Published as `faults.check.<name>` counters so the fuzzer's
+/// coverage map can key on which checks a schedule actually reached.
+pub const CHECK_SITES: [&str; 10] = [
+    "flow_requested",
+    "admit_direct",
+    "admit_relay",
+    "admit_chain",
+    "flow_killed",
+    "flow_completed",
+    "flow_denied",
+    "relay_crashed",
+    "relay_restored",
+    "finish",
+];
+
+const SITE_FLOW_REQUESTED: usize = 0;
+const SITE_ADMIT_DIRECT: usize = 1;
+const SITE_ADMIT_RELAY: usize = 2;
+const SITE_ADMIT_CHAIN: usize = 3;
+const SITE_FLOW_KILLED: usize = 4;
+const SITE_FLOW_COMPLETED: usize = 5;
+const SITE_FLOW_DENIED: usize = 6;
+const SITE_RELAY_CRASHED: usize = 7;
+const SITE_RELAY_RESTORED: usize = 8;
+const SITE_FINISH: usize = 9;
+
 #[derive(Debug, Clone, Copy)]
 struct FlowTrack {
     requested: u64,
@@ -127,7 +207,10 @@ pub struct Invariants {
     down_since: Vec<Option<SimTime>>,
     mttr_cap: SimDuration,
     flows: HashMap<u64, FlowTrack>,
-    violations: Vec<InvariantViolation>,
+    violations: Vec<Violation>,
+    ctx_at: SimTime,
+    ctx_span: u64,
+    sites: [u64; CHECK_SITES.len()],
 }
 
 impl Invariants {
@@ -142,7 +225,28 @@ impl Invariants {
             mttr_cap,
             flows: HashMap::new(),
             violations: Vec::new(),
+            ctx_at: SimTime::ZERO,
+            ctx_span: 0,
+            sites: [0; CHECK_SITES.len()],
         }
+    }
+
+    /// Sets the causal context every subsequently recorded violation is
+    /// stamped with: the current sim-time and the span id of the event
+    /// being processed (0 when none). The experiment calls this once
+    /// per event, not per check, so the checker's report methods keep
+    /// their signatures.
+    pub fn context(&mut self, at: SimTime, span: u64) {
+        self.ctx_at = at;
+        self.ctx_span = span;
+    }
+
+    fn report(&mut self, kind: InvariantViolation) {
+        self.violations.push(Violation {
+            kind,
+            at: self.ctx_at,
+            span: self.ctx_span,
+        });
     }
 
     /// Mirrors a fleet state transition (rent, drain, release) so
@@ -155,6 +259,7 @@ impl Invariants {
 
     /// A new flow asked for `bytes` bytes of transfer.
     pub fn flow_requested(&mut self, flow: u64, bytes: u64) {
+        self.sites[SITE_FLOW_REQUESTED] += 1;
         self.flows.insert(
             flow,
             FlowTrack {
@@ -170,20 +275,23 @@ impl Invariants {
     /// an `Active` slot is a violation — drained, crashed, and released
     /// slots must receive no new flows.
     pub fn flow_admitted(&mut self, flow: u64, relay: Option<usize>) {
+        self.sites[if relay.is_some() {
+            SITE_ADMIT_RELAY
+        } else {
+            SITE_ADMIT_DIRECT
+        }] += 1;
         if !self.flows.contains_key(&flow) {
-            self.violations
-                .push(InvariantViolation::UnknownFlow { flow });
+            self.report(InvariantViolation::UnknownFlow { flow });
             return;
         }
         if let Some(r) = relay {
             let state = self.relay_state[r];
             if state != RelayState::Active {
-                self.violations
-                    .push(InvariantViolation::FlowOnUnavailableRelay {
-                        flow,
-                        relay: r,
-                        state,
-                    });
+                self.report(InvariantViolation::FlowOnUnavailableRelay {
+                    flow,
+                    relay: r,
+                    state,
+                });
             }
         }
     }
@@ -197,6 +305,7 @@ impl Invariants {
             self.flow_admitted(flow, None);
             return;
         }
+        self.sites[SITE_ADMIT_CHAIN] += 1;
         for &r in relays {
             self.flow_admitted(flow, Some(r));
         }
@@ -205,32 +314,30 @@ impl Invariants {
     /// A fault killed the flow mid-transfer after `delivered` bytes; a
     /// retry segment is expected to carry the rest.
     pub fn flow_killed(&mut self, flow: u64, delivered: u64) {
+        self.sites[SITE_FLOW_KILLED] += 1;
         match self.flows.get_mut(&flow) {
             Some(t) => t.accounted += delivered,
-            None => self
-                .violations
-                .push(InvariantViolation::UnknownFlow { flow }),
+            None => self.report(InvariantViolation::UnknownFlow { flow }),
         }
     }
 
     /// The flow's final segment finished, delivering `segment` bytes.
     /// Checks terminal-once (double billing) and byte conservation.
     pub fn flow_completed(&mut self, flow: u64, segment: u64) {
+        self.sites[SITE_FLOW_COMPLETED] += 1;
         let Some(t) = self.flows.get_mut(&flow) else {
-            self.violations
-                .push(InvariantViolation::UnknownFlow { flow });
+            self.report(InvariantViolation::UnknownFlow { flow });
             return;
         };
         if t.terminal {
-            self.violations
-                .push(InvariantViolation::DoubleBilling { flow });
+            self.report(InvariantViolation::DoubleBilling { flow });
             return;
         }
         t.terminal = true;
         t.accounted += segment;
         if t.accounted != t.requested {
             let (expected, accounted) = (t.requested, t.accounted);
-            self.violations.push(InvariantViolation::BytesNotConserved {
+            self.report(InvariantViolation::BytesNotConserved {
                 flow,
                 expected,
                 accounted,
@@ -240,54 +347,76 @@ impl Invariants {
 
     /// The flow was denied admission (terminal, no bytes move).
     pub fn flow_denied(&mut self, flow: u64) {
+        self.sites[SITE_FLOW_DENIED] += 1;
         let Some(t) = self.flows.get_mut(&flow) else {
-            self.violations
-                .push(InvariantViolation::UnknownFlow { flow });
+            self.report(InvariantViolation::UnknownFlow { flow });
             return;
         };
-        if t.terminal {
-            self.violations
-                .push(InvariantViolation::DoubleBilling { flow });
-        }
+        let already_terminal = t.terminal;
         t.terminal = true;
+        if already_terminal {
+            self.report(InvariantViolation::DoubleBilling { flow });
+        }
     }
 
     /// Relay `relay` crashed at `at`.
     pub fn relay_crashed(&mut self, relay: usize, at: SimTime) {
+        self.sites[SITE_RELAY_CRASHED] += 1;
         self.relay_state[relay] = RelayState::Failed;
         self.down_since[relay] = Some(at);
     }
 
     /// Relay `relay` was restored at `at`; checks the recovery bound.
     pub fn relay_restored(&mut self, relay: usize, at: SimTime) {
+        self.sites[SITE_RELAY_RESTORED] += 1;
         self.relay_state[relay] = RelayState::Released;
         if let Some(since) = self.down_since[relay].take() {
             let down_for = at - since;
             if down_for > self.mttr_cap {
-                self.violations
-                    .push(InvariantViolation::RecoveryExceededMttr {
-                        relay,
-                        down_for,
-                        cap: self.mttr_cap,
-                    });
+                self.report(InvariantViolation::RecoveryExceededMttr {
+                    relay,
+                    down_for,
+                    cap: self.mttr_cap,
+                });
             }
         }
     }
 
     /// End-of-run checks: every crash window must have closed.
     pub fn finish(&mut self) {
-        for (relay, since) in self.down_since.iter().enumerate() {
-            if since.is_some() {
-                self.violations
-                    .push(InvariantViolation::CrashNeverRecovered { relay });
+        self.sites[SITE_FINISH] += 1;
+        for relay in 0..self.down_since.len() {
+            if self.down_since[relay].is_some() {
+                self.report(InvariantViolation::CrashNeverRecovered { relay });
             }
         }
     }
 
-    /// All violations recorded so far, in detection order.
+    /// All violations recorded so far, in detection order, each stamped
+    /// with the sim-time and span id current at detection.
     #[must_use]
-    pub fn violations(&self) -> &[InvariantViolation] {
+    pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// The violation kinds alone (detection order), for tests that
+    /// assert on the kind without caring about the context stamp.
+    #[must_use]
+    pub fn kinds(&self) -> Vec<InvariantViolation> {
+        self.violations.iter().map(|v| v.kind.clone()).collect()
+    }
+
+    /// How often each check site fired, as `(site name, count)` in
+    /// [`CHECK_SITES`] order. Experiments publish these as
+    /// `faults.check.<name>` counters; the fuzzer's coverage map keys
+    /// on them.
+    #[must_use]
+    pub fn site_counts(&self) -> [(&'static str, u64); CHECK_SITES.len()] {
+        let mut out = [("", 0u64); CHECK_SITES.len()];
+        for (i, name) in CHECK_SITES.iter().enumerate() {
+            out[i] = (name, self.sites[i]);
+        }
+        out
     }
 
     /// Panics with the full violation list if any invariant was broken.
@@ -342,8 +471,8 @@ mod tests {
         inv.flow_completed(7, 10);
         inv.flow_completed(7, 10);
         assert_eq!(
-            inv.violations(),
-            &[InvariantViolation::DoubleBilling { flow: 7 }]
+            inv.kinds(),
+            vec![InvariantViolation::DoubleBilling { flow: 7 }]
         );
     }
 
@@ -357,8 +486,8 @@ mod tests {
         inv.flow_requested(2, 10);
         inv.flow_admitted(2, Some(1));
         assert_eq!(
-            inv.violations(),
-            &[
+            inv.kinds(),
+            vec![
                 InvariantViolation::FlowOnUnavailableRelay {
                     flow: 1,
                     relay: 0,
@@ -380,8 +509,8 @@ mod tests {
         inv.flow_killed(3, 400);
         inv.flow_completed(3, 500);
         assert_eq!(
-            inv.violations(),
-            &[InvariantViolation::BytesNotConserved {
+            inv.kinds(),
+            vec![InvariantViolation::BytesNotConserved {
                 flow: 3,
                 expected: 1000,
                 accounted: 900,
@@ -395,8 +524,8 @@ mod tests {
         inv.relay_crashed(0, t(0));
         inv.relay_restored(0, t(31));
         assert_eq!(
-            inv.violations(),
-            &[InvariantViolation::RecoveryExceededMttr {
+            inv.kinds(),
+            vec![InvariantViolation::RecoveryExceededMttr {
                 relay: 0,
                 down_for: SimDuration::from_secs(31),
                 cap: SimDuration::from_secs(30),
@@ -410,9 +539,48 @@ mod tests {
         inv.relay_crashed(1, t(5));
         inv.finish();
         assert_eq!(
-            inv.violations(),
-            &[InvariantViolation::CrashNeverRecovered { relay: 1 }]
+            inv.kinds(),
+            vec![InvariantViolation::CrashNeverRecovered { relay: 1 }]
         );
+    }
+
+    #[test]
+    fn violations_carry_the_context_stamp() {
+        let mut inv = Invariants::new(1, SimDuration::from_secs(30));
+        inv.flow_requested(9, 10);
+        inv.context(t(42), 777);
+        inv.flow_completed(9, 10);
+        inv.flow_completed(9, 10); // double billing, stamped (42 s, 777)
+        let v = &inv.violations()[0];
+        assert_eq!(v.kind, InvariantViolation::DoubleBilling { flow: 9 });
+        assert_eq!(v.at, t(42));
+        assert_eq!(v.span, 777);
+        let shown = v.to_string();
+        assert!(shown.contains("span 777"), "{shown}");
+        assert!(shown.contains("t=+42.000s"), "{shown}");
+    }
+
+    #[test]
+    fn site_counts_track_every_check_site() {
+        let mut inv = Invariants::new(2, SimDuration::from_secs(60));
+        inv.set_relay_state(0, RelayState::Active);
+        inv.set_relay_state(1, RelayState::Active);
+        inv.flow_requested(1, 10);
+        inv.flow_admitted_path(1, &[0, 1]);
+        inv.flow_completed(1, 10);
+        inv.flow_requested(2, 10);
+        inv.flow_admitted(2, None);
+        inv.flow_denied(3); // unknown, still counts the site
+        inv.finish();
+        let counts: std::collections::HashMap<_, _> = inv.site_counts().into_iter().collect();
+        assert_eq!(counts["flow_requested"], 2);
+        assert_eq!(counts["admit_chain"], 1);
+        assert_eq!(counts["admit_relay"], 2);
+        assert_eq!(counts["admit_direct"], 1);
+        assert_eq!(counts["flow_completed"], 1);
+        assert_eq!(counts["flow_denied"], 1);
+        assert_eq!(counts["finish"], 1);
+        assert_eq!(counts["relay_crashed"], 0);
     }
 
     #[test]
@@ -447,8 +615,15 @@ mod tests {
             InvariantViolation::CrashNeverRecovered { relay: 0 },
             InvariantViolation::UnknownFlow { flow: 9 },
         ];
-        for v in samples {
-            assert!(!v.to_string().is_empty());
+        for kind in samples {
+            assert!(!kind.to_string().is_empty());
+            assert!(!kind.tag().is_empty());
+            let v = Violation {
+                kind,
+                at: t(1),
+                span: 2,
+            };
+            assert!(v.to_string().contains("span 2"));
         }
     }
 }

@@ -35,5 +35,5 @@
 pub mod check;
 pub mod schedule;
 
-pub use check::{InvariantViolation, Invariants};
-pub use schedule::{FaultConfig, FaultCounts, FaultEvent, FaultKind, FaultSchedule};
+pub use check::{InvariantViolation, Invariants, Violation, CHECK_SITES};
+pub use schedule::{FaultConfig, FaultCounts, FaultEvent, FaultKind, FaultSchedule, ScheduleError};

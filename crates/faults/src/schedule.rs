@@ -162,8 +162,89 @@ pub struct FaultCounts {
     pub poisons: u64,
 }
 
+/// Why an externally supplied event list cannot form a well-formed
+/// [`FaultSchedule`]. See [`FaultSchedule::from_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Events are not sorted by time.
+    OutOfOrder {
+        /// Index of the first event earlier than its predecessor.
+        index: usize,
+    },
+    /// A relay crashed while already inside an open crash window.
+    DoubleCrash {
+        /// The relay slot.
+        relay: usize,
+    },
+    /// A restore arrived for a relay with no open crash window.
+    RestoreWithoutCrash {
+        /// The relay slot.
+        relay: usize,
+    },
+    /// A crash window was still open at the end of the list.
+    CrashNeverRestored {
+        /// The relay slot.
+        relay: usize,
+    },
+    /// A clear arrived for a link salt with no open degradation.
+    ClearWithoutDegrade {
+        /// The window selector.
+        salt: u64,
+    },
+    /// A degradation reused a salt whose window is still open.
+    DegradeSaltReused {
+        /// The window selector.
+        salt: u64,
+    },
+    /// A degradation window was still open at the end of the list.
+    DegradeNeverCleared {
+        /// The window selector.
+        salt: u64,
+    },
+    /// A blackhole end arrived with no blackhole open.
+    BlackholeEndWithoutStart,
+    /// A blackhole window was still open at the end of the list.
+    BlackholeNeverEnded,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::OutOfOrder { index } => {
+                write!(f, "event {index} is earlier than its predecessor")
+            }
+            ScheduleError::DoubleCrash { relay } => {
+                write!(f, "relay {relay} crashed inside an open crash window")
+            }
+            ScheduleError::RestoreWithoutCrash { relay } => {
+                write!(f, "restore for relay {relay} without an open crash")
+            }
+            ScheduleError::CrashNeverRestored { relay } => {
+                write!(f, "crash window for relay {relay} never closes")
+            }
+            ScheduleError::ClearWithoutDegrade { salt } => {
+                write!(f, "clear for link salt {salt} without an open degradation")
+            }
+            ScheduleError::DegradeSaltReused { salt } => {
+                write!(f, "link salt {salt} reused while its window is open")
+            }
+            ScheduleError::DegradeNeverCleared { salt } => {
+                write!(f, "degradation window for salt {salt} never clears")
+            }
+            ScheduleError::BlackholeEndWithoutStart => {
+                write!(f, "blackhole end without an open blackhole")
+            }
+            ScheduleError::BlackholeNeverEnded => {
+                write!(f, "a blackhole window never ends")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// A generated, time-sorted fault schedule.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultSchedule {
     events: Vec<FaultEvent>,
     counts: FaultCounts,
@@ -316,6 +397,97 @@ impl FaultSchedule {
         }
     }
 
+    /// Builds a schedule from an externally supplied event list (the
+    /// fuzzer's mutated schedules enter here), validating the same
+    /// well-formedness properties `generate` guarantees by
+    /// construction: non-decreasing times, crash/restore pairing per
+    /// relay, degrade/clear pairing per salt (no reuse while open), and
+    /// balanced blackhole windows that all close.
+    ///
+    /// Deliberately **not** validated: that crash windows fit inside
+    /// the declared `mttr_cap`. The cap is a *claim* the schedule makes
+    /// and the [`crate::Invariants`] checker verifies at runtime — a
+    /// hand-written corpus entry with a too-small declared cap is the
+    /// harness's proof that `RecoveryExceededMttr` actually fires.
+    ///
+    /// Counts are recomputed from the events; `outages` stays 0 (an
+    /// event list cannot tell a DC outage from coincident crashes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] naming the first well-formedness
+    /// violation found.
+    pub fn from_events(
+        events: Vec<FaultEvent>,
+        mttr_cap: SimDuration,
+    ) -> Result<FaultSchedule, ScheduleError> {
+        let mut counts = FaultCounts::default();
+        let mut down: Vec<usize> = Vec::new();
+        let mut open_links: Vec<u64> = Vec::new();
+        let mut blackhole_depth: u64 = 0;
+        let mut prev = SimTime::ZERO;
+        for (i, e) in events.iter().enumerate() {
+            if e.at < prev {
+                return Err(ScheduleError::OutOfOrder { index: i });
+            }
+            prev = e.at;
+            match e.kind {
+                FaultKind::RelayCrash { relay } => {
+                    if down.contains(&relay) {
+                        return Err(ScheduleError::DoubleCrash { relay });
+                    }
+                    down.push(relay);
+                    counts.crashes += 1;
+                }
+                FaultKind::RelayRestore { relay } => {
+                    let Some(pos) = down.iter().position(|&r| r == relay) else {
+                        return Err(ScheduleError::RestoreWithoutCrash { relay });
+                    };
+                    down.swap_remove(pos);
+                    counts.restores += 1;
+                }
+                FaultKind::LinkDegrade { salt, .. } => {
+                    if open_links.contains(&salt) {
+                        return Err(ScheduleError::DegradeSaltReused { salt });
+                    }
+                    open_links.push(salt);
+                    counts.degradations += 1;
+                }
+                FaultKind::LinkClear { salt } => {
+                    let Some(pos) = open_links.iter().position(|&s| s == salt) else {
+                        return Err(ScheduleError::ClearWithoutDegrade { salt });
+                    };
+                    open_links.swap_remove(pos);
+                }
+                FaultKind::ProbeBlackholeStart => {
+                    blackhole_depth += 1;
+                    counts.blackholes += 1;
+                }
+                FaultKind::ProbeBlackholeEnd => {
+                    if blackhole_depth == 0 {
+                        return Err(ScheduleError::BlackholeEndWithoutStart);
+                    }
+                    blackhole_depth -= 1;
+                }
+                FaultKind::CachePoison { .. } => counts.poisons += 1,
+            }
+        }
+        if let Some(&relay) = down.first() {
+            return Err(ScheduleError::CrashNeverRestored { relay });
+        }
+        if let Some(&salt) = open_links.first() {
+            return Err(ScheduleError::DegradeNeverCleared { salt });
+        }
+        if blackhole_depth > 0 {
+            return Err(ScheduleError::BlackholeNeverEnded);
+        }
+        Ok(FaultSchedule {
+            events,
+            counts,
+            mttr_cap,
+        })
+    }
+
     /// The events, sorted by injection time.
     #[must_use]
     pub fn events(&self) -> &[FaultEvent] {
@@ -456,6 +628,94 @@ mod tests {
         }
         assert_eq!(blackhole_depth, 0);
         assert!(open_links.is_empty());
+    }
+
+    #[test]
+    fn from_events_accepts_every_generated_schedule() {
+        for seed in [7, 11, 13] {
+            let s = FaultSchedule::generate(&cfg(), seed);
+            let rebuilt = FaultSchedule::from_events(s.events().to_vec(), s.mttr_cap())
+                .expect("generated schedules are well-formed");
+            assert_eq!(rebuilt.events(), s.events());
+            let (a, b) = (rebuilt.counts(), s.counts());
+            assert_eq!(a.crashes, b.crashes);
+            assert_eq!(a.restores, b.restores);
+            assert_eq!(a.degradations, b.degradations);
+            assert_eq!(a.blackholes, b.blackholes);
+            assert_eq!(a.poisons, b.poisons);
+        }
+    }
+
+    #[test]
+    fn from_events_rejects_malformed_lists() {
+        let cap = SimDuration::from_secs(60);
+        let ev = |secs, kind| FaultEvent { at: at(secs), kind };
+        let crash = |r| FaultKind::RelayCrash { relay: r };
+        let restore = |r| FaultKind::RelayRestore { relay: r };
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(5.0, crash(0)), ev(1.0, restore(0))], cap),
+            Err(ScheduleError::OutOfOrder { index: 1 })
+        );
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(1.0, crash(0)), ev(2.0, crash(0))], cap),
+            Err(ScheduleError::DoubleCrash { relay: 0 })
+        );
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(1.0, restore(3))], cap),
+            Err(ScheduleError::RestoreWithoutCrash { relay: 3 })
+        );
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(1.0, crash(2))], cap),
+            Err(ScheduleError::CrashNeverRestored { relay: 2 })
+        );
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(1.0, FaultKind::LinkClear { salt: 9 })], cap),
+            Err(ScheduleError::ClearWithoutDegrade { salt: 9 })
+        );
+        let degrade = FaultKind::LinkDegrade {
+            salt: 9,
+            severity: 0.5,
+        };
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(1.0, degrade), ev(2.0, degrade)], cap),
+            Err(ScheduleError::DegradeSaltReused { salt: 9 })
+        );
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(1.0, degrade)], cap),
+            Err(ScheduleError::DegradeNeverCleared { salt: 9 })
+        );
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(1.0, FaultKind::ProbeBlackholeEnd)], cap),
+            Err(ScheduleError::BlackholeEndWithoutStart)
+        );
+        assert_eq!(
+            FaultSchedule::from_events(vec![ev(1.0, FaultKind::ProbeBlackholeStart)], cap),
+            Err(ScheduleError::BlackholeNeverEnded)
+        );
+    }
+
+    #[test]
+    fn from_events_does_not_police_the_declared_cap() {
+        // A crash window longer than the declared cap is *accepted*:
+        // the cap is a claim the Invariants checker verifies at
+        // runtime, which is how the corpus proves the harness fires.
+        let cap = SimDuration::from_secs(10);
+        let s = FaultSchedule::from_events(
+            vec![
+                FaultEvent {
+                    at: at(1.0),
+                    kind: FaultKind::RelayCrash { relay: 0 },
+                },
+                FaultEvent {
+                    at: at(100.0),
+                    kind: FaultKind::RelayRestore { relay: 0 },
+                },
+            ],
+            cap,
+        )
+        .expect("cap violations are a runtime property");
+        assert_eq!(s.mttr_cap(), cap);
+        assert_eq!(s.counts().crashes, 1);
     }
 
     #[test]

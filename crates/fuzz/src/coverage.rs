@@ -1,0 +1,149 @@
+//! Counter-derived coverage map.
+//!
+//! Instead of instrumenting branches, the fuzzer keys coverage on what
+//! the system already publishes: the `control.broker.*` decision
+//! counters, `control.fleet.*` state-transition counters, and
+//! `faults.*` counters (including the `faults.check.*` invariant-site
+//! hits). Each observed `(counter name, log2 value bucket)` pair is one
+//! feature in a fixed-size bitmap — the AFL trick of bucketing hit
+//! counts so "this schedule made the broker deny 64× instead of 2×"
+//! counts as new behaviour, while ±1 noise does not.
+
+/// Number of feature slots (bits) in the map.
+const MAP_BITS: usize = 1 << 16;
+
+/// 64-bit FNV-1a, the usual dependency-free string hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+/// AFL-style hit-count bucket: 0 stays 0; positive values land in
+/// `1 + floor(log2(v))`, so 1, 2–3, 4–7, … are distinct features.
+fn bucket(value: u64) -> u64 {
+    if value == 0 {
+        0
+    } else {
+        1 + (63 - u64::from(value.leading_zeros()))
+    }
+}
+
+/// A fixed-size feature bitmap. `observe` returns whether the feature
+/// was new — the fuzzer's "keep this input" signal.
+#[derive(Debug, Clone)]
+pub struct CoverageMap {
+    bits: Vec<u64>,
+    set: usize,
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        CoverageMap::new()
+    }
+}
+
+impl CoverageMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> CoverageMap {
+        CoverageMap {
+            bits: vec![0u64; MAP_BITS / 64],
+            set: 0,
+        }
+    }
+
+    /// Folds `(name, value)` into a feature and marks it. Returns
+    /// `true` when the feature had never been seen.
+    pub fn observe(&mut self, name: &str, value: u64) -> bool {
+        let feature = fnv1a(name.as_bytes()) ^ bucket(value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let slot = (feature as usize) % MAP_BITS;
+        let (word, bit) = (slot / 64, slot % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.set += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Harvests every interesting counter from a TSV metrics snapshot
+    /// (the `name\tkind\tvalue` lines of `obs::Snapshot::to_tsv`),
+    /// returning how many *new* features this run lit. Only counter
+    /// rows under the broker / fleet / faults prefixes participate —
+    /// gauges and histograms carry magnitudes, not decisions.
+    pub fn harvest_tsv(&mut self, tsv: &str) -> usize {
+        let mut new = 0;
+        for line in tsv.lines() {
+            let mut f = line.split('\t');
+            let (Some(name), Some(kind), Some(value)) = (f.next(), f.next(), f.next()) else {
+                continue;
+            };
+            if kind != "counter" {
+                continue;
+            }
+            let interesting = name.starts_with("control.broker.")
+                || name.starts_with("control.fleet.")
+                || name.starts_with("faults.");
+            if !interesting {
+                continue;
+            }
+            let Ok(v) = value.trim().parse::<u64>() else {
+                continue;
+            };
+            if v > 0 && self.observe(name, v) {
+                new += 1;
+            }
+        }
+        new
+    }
+
+    /// Distinct features seen so far.
+    #[must_use]
+    pub fn features(&self) -> usize {
+        self.set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_is_new_and_repeats_are_not() {
+        let mut m = CoverageMap::new();
+        assert!(m.observe("control.broker.denied", 4));
+        assert!(!m.observe("control.broker.denied", 5), "same 4–7 bucket");
+        assert!(m.observe("control.broker.denied", 64), "new bucket");
+        assert!(m.observe("control.fleet.crashes", 4), "different counter");
+        assert_eq!(m.features(), 3);
+    }
+
+    #[test]
+    fn harvest_reads_only_interesting_counters() {
+        let mut m = CoverageMap::new();
+        let tsv = "control.broker.denied\tcounter\t12\n\
+                   control.fleet.crashes\tcounter\t3\n\
+                   faults.check.flow_killed\tcounter\t7\n\
+                   faults.injected\tcounter\t0\n\
+                   des.events\tcounter\t999\n\
+                   control.broker.latency\tgauge\t5\n";
+        assert_eq!(m.harvest_tsv(tsv), 3);
+        assert_eq!(m.harvest_tsv(tsv), 0, "second run lights nothing");
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(u64::MAX), 64);
+    }
+}

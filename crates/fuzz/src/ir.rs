@@ -1,0 +1,623 @@
+//! Structured intermediate representation of a fault schedule.
+//!
+//! Raw [`faults::FaultEvent`] lists are hostile to mutation: deleting
+//! one event orphans its pair, shifting one past another breaks
+//! ordering. The IR stores the schedule as *windows and points* —
+//! a crash window owns both its crash and its restore — so every
+//! mutation that keeps windows inside the horizon keeps the schedule
+//! well-formed. [`ScheduleIr::render`] lowers to a validated
+//! [`FaultSchedule`]; [`ScheduleIr::encode`] / [`ScheduleIr::decode`]
+//! round-trip the corpus text format byte-exactly (all times are
+//! integer nanoseconds, severity is per-mille).
+
+use faults::{FaultEvent, FaultKind, FaultSchedule, ScheduleError};
+use simcore::{SimDuration, SimTime};
+
+/// Mixer for deterministic salt de-duplication (the 64-bit golden
+/// ratio, as in Fibonacci hashing).
+const SALT_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A relay crash window: `relay` is down on `[start, start + down)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// Fleet slot that crashes.
+    pub relay: usize,
+    /// Crash instant, nanoseconds on the sim timeline.
+    pub start: u64,
+    /// Downtime, nanoseconds.
+    pub down: u64,
+}
+
+/// A link degradation window keyed by `salt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeWindow {
+    /// Victim selector (resolved modulo the world's link count).
+    pub salt: u64,
+    /// Window open instant, nanoseconds.
+    pub start: u64,
+    /// Window length, nanoseconds.
+    pub len: u64,
+    /// Congestion-level floor, per-mille (950 = 0.95) — integral so
+    /// the text format round-trips exactly.
+    pub severity_pm: u32,
+}
+
+/// A probe-blackhole window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlackholeWindow {
+    /// Window open instant, nanoseconds.
+    pub start: u64,
+    /// Window length, nanoseconds.
+    pub len: u64,
+}
+
+/// A cache-poisoning point event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonPoint {
+    /// Injection instant, nanoseconds.
+    pub at: u64,
+    /// Extra age applied to every cached probe, nanoseconds.
+    pub age: u64,
+}
+
+/// A fault schedule as mutable structure. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleIr {
+    /// Fleet slots the schedule may name (crash relays are `< relays`).
+    pub relays: usize,
+    /// Horizon: every event must land strictly before it, nanoseconds.
+    pub horizon: u64,
+    /// The recovery bound the schedule *claims*, nanoseconds. Rendering
+    /// does not enforce it — the `Invariants` checker verifies it at
+    /// runtime, which is how a corpus entry proves the harness fires.
+    pub mttr_cap: u64,
+    /// Service seed this schedule was found under: a violation replays
+    /// only against the workload that exposed it.
+    pub seed: u64,
+    /// `"clean"`, or the [`faults::InvariantViolation::tag`] the replay
+    /// is expected to reproduce.
+    pub expect: String,
+    /// Relay crash windows.
+    pub crashes: Vec<CrashWindow>,
+    /// Link degradation windows.
+    pub degrades: Vec<DegradeWindow>,
+    /// Probe blackhole windows.
+    pub blackholes: Vec<BlackholeWindow>,
+    /// Cache poisoning points.
+    pub poisons: Vec<PoisonPoint>,
+}
+
+impl ScheduleIr {
+    /// The empty schedule (no faults) for the given frame.
+    #[must_use]
+    pub fn empty(relays: usize, horizon: SimDuration, mttr_cap: SimDuration, seed: u64) -> Self {
+        ScheduleIr {
+            relays,
+            horizon: horizon.as_nanos(),
+            mttr_cap: mttr_cap.as_nanos(),
+            seed,
+            expect: "clean".to_string(),
+            crashes: Vec::new(),
+            degrades: Vec::new(),
+            blackholes: Vec::new(),
+            poisons: Vec::new(),
+        }
+    }
+
+    /// Lifts a well-formed [`FaultSchedule`] (e.g. a generated one)
+    /// into the IR: crashes pair with the next restore of the same
+    /// relay, degrades with their salt's clear, blackhole ends with the
+    /// oldest open start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is not well-formed (generated and
+    /// `from_events`-validated schedules always are).
+    #[must_use]
+    pub fn from_schedule(
+        schedule: &FaultSchedule,
+        relays: usize,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let mut ir = ScheduleIr::empty(relays, horizon, schedule.mttr_cap(), seed);
+        let mut open_crash: Vec<(usize, u64, usize)> = Vec::new(); // (relay, start, slot)
+        let mut open_degrade: Vec<(u64, u64, u32, usize)> = Vec::new(); // (salt, start, pm, slot)
+        let mut open_bh: Vec<usize> = Vec::new(); // slots, FIFO
+        for e in schedule.events() {
+            let t = (e.at - SimTime::ZERO).as_nanos();
+            match e.kind {
+                FaultKind::RelayCrash { relay } => {
+                    ir.crashes.push(CrashWindow {
+                        relay,
+                        start: t,
+                        down: 0,
+                    });
+                    open_crash.push((relay, t, ir.crashes.len() - 1));
+                }
+                FaultKind::RelayRestore { relay } => {
+                    let i = open_crash
+                        .iter()
+                        .position(|&(r, _, _)| r == relay)
+                        .expect("restore pairs with crash");
+                    let (_, start, slot) = open_crash.swap_remove(i);
+                    ir.crashes[slot].down = t - start;
+                }
+                FaultKind::LinkDegrade { salt, severity } => {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let pm = (severity * 1000.0).round() as u32;
+                    ir.degrades.push(DegradeWindow {
+                        salt,
+                        start: t,
+                        len: 0,
+                        severity_pm: pm,
+                    });
+                    open_degrade.push((salt, t, pm, ir.degrades.len() - 1));
+                }
+                FaultKind::LinkClear { salt } => {
+                    let i = open_degrade
+                        .iter()
+                        .position(|&(s, _, _, _)| s == salt)
+                        .expect("clear pairs with degrade");
+                    let (_, start, _, slot) = open_degrade.swap_remove(i);
+                    ir.degrades[slot].len = t - start;
+                }
+                FaultKind::ProbeBlackholeStart => {
+                    ir.blackholes.push(BlackholeWindow { start: t, len: 0 });
+                    open_bh.push(ir.blackholes.len() - 1);
+                }
+                FaultKind::ProbeBlackholeEnd => {
+                    let slot = open_bh.remove(0);
+                    ir.blackholes[slot].len = t - ir.blackholes[slot].start;
+                }
+                FaultKind::CachePoison { age } => {
+                    ir.poisons.push(PoisonPoint {
+                        at: t,
+                        age: age.as_nanos(),
+                    });
+                }
+            }
+        }
+        assert!(open_crash.is_empty() && open_degrade.is_empty() && open_bh.is_empty());
+        ir
+    }
+
+    /// Repairs the IR into a renderable schedule: clamps everything
+    /// strictly inside the horizon, caps crash downtime at the declared
+    /// `mttr_cap` (fuzzer-minted schedules are cap-consistent, so any
+    /// `RecoveryExceededMttr` they trigger is a real bug), separates
+    /// same-relay crash windows by at least 1 ns, de-duplicates degrade
+    /// salts deterministically, drops windows that cannot fit, and
+    /// sorts every list. Idempotent.
+    pub fn sanitize(&mut self) {
+        let horizon = self.horizon.max(2);
+        let clamp_window = |start: &mut u64, len: &mut u64| -> bool {
+            *start = (*start).min(horizon - 2);
+            *len = (*len).clamp(1, horizon - 1 - *start);
+            true
+        };
+
+        // Crash windows: clamp, cap, then resolve per-relay overlaps by
+        // pushing later windows forward (dropping what no longer fits).
+        for w in &mut self.crashes {
+            w.relay %= self.relays.max(1);
+            w.down = w.down.min(self.mttr_cap.max(1));
+            clamp_window(&mut w.start, &mut w.down);
+            w.down = w.down.min(self.mttr_cap.max(1));
+        }
+        self.crashes.sort_by_key(|w| (w.relay, w.start, w.down));
+        let mut kept: Vec<CrashWindow> = Vec::with_capacity(self.crashes.len());
+        let mut next_free: Vec<u64> = vec![0; self.relays.max(1)];
+        for mut w in self.crashes.drain(..) {
+            w.start = w.start.max(next_free[w.relay]);
+            if w.start + w.down >= horizon {
+                continue; // cannot fit after the push; drop it
+            }
+            next_free[w.relay] = w.start + w.down + 1;
+            kept.push(w);
+        }
+        kept.sort_by_key(|w| (w.start, w.relay, w.down));
+        self.crashes = kept;
+
+        // Degradation windows: clamp and force globally unique salts
+        // (windows may overlap in time, so reuse is never safe).
+        let mut used: Vec<u64> = Vec::with_capacity(self.degrades.len());
+        for (i, w) in self.degrades.iter_mut().enumerate() {
+            clamp_window(&mut w.start, &mut w.len);
+            w.severity_pm = w.severity_pm.min(1000);
+            while used.contains(&w.salt) {
+                w.salt = w.salt.wrapping_mul(SALT_MIX).wrapping_add(i as u64 + 1);
+            }
+            used.push(w.salt);
+        }
+        self.degrades.sort_by_key(|w| (w.start, w.salt, w.len));
+
+        for w in &mut self.blackholes {
+            clamp_window(&mut w.start, &mut w.len);
+        }
+        self.blackholes.sort_by_key(|w| (w.start, w.len));
+
+        for p in &mut self.poisons {
+            p.at = p.at.min(horizon - 1);
+            p.age = p.age.max(1);
+        }
+        self.poisons.sort_by_key(|p| (p.at, p.age));
+    }
+
+    /// Lowers the IR to a validated [`FaultSchedule`]. Window opens get
+    /// even sequence numbers and closes odd, so a close always sorts
+    /// before a later window's open at the same instant; residual
+    /// conflicts (e.g. two same-relay windows an unsanitized IR left
+    /// touching) surface as the underlying [`ScheduleError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first well-formedness violation
+    /// [`FaultSchedule::from_events`] finds.
+    pub fn render(&self) -> Result<FaultSchedule, ScheduleError> {
+        let mut raw: Vec<(u64, u64, FaultKind)> = Vec::new();
+        let mut seq = 0u64;
+        let window = |raw: &mut Vec<(u64, u64, FaultKind)>,
+                      seq: &mut u64,
+                      start: u64,
+                      end: u64,
+                      open: FaultKind,
+                      close: FaultKind| {
+            raw.push((start, *seq, open));
+            raw.push((end, *seq + 1, close));
+            *seq += 2;
+        };
+        for w in &self.crashes {
+            window(
+                &mut raw,
+                &mut seq,
+                w.start,
+                w.start + w.down,
+                FaultKind::RelayCrash { relay: w.relay },
+                FaultKind::RelayRestore { relay: w.relay },
+            );
+        }
+        for w in &self.degrades {
+            window(
+                &mut raw,
+                &mut seq,
+                w.start,
+                w.start + w.len,
+                FaultKind::LinkDegrade {
+                    salt: w.salt,
+                    severity: f64::from(w.severity_pm) / 1000.0,
+                },
+                FaultKind::LinkClear { salt: w.salt },
+            );
+        }
+        for w in &self.blackholes {
+            window(
+                &mut raw,
+                &mut seq,
+                w.start,
+                w.start + w.len,
+                FaultKind::ProbeBlackholeStart,
+                FaultKind::ProbeBlackholeEnd,
+            );
+        }
+        for p in &self.poisons {
+            raw.push((
+                p.at,
+                seq,
+                FaultKind::CachePoison {
+                    age: SimDuration::from_nanos(p.age),
+                },
+            ));
+            seq += 1;
+        }
+        raw.sort_by_key(|x| (x.0, x.1));
+        let events: Vec<FaultEvent> = raw
+            .into_iter()
+            .map(|(at, _, kind)| FaultEvent {
+                at: SimTime::ZERO + SimDuration::from_nanos(at),
+                kind,
+            })
+            .collect();
+        FaultSchedule::from_events(events, SimDuration::from_nanos(self.mttr_cap))
+    }
+
+    /// Total mutable items (crash + degrade + blackhole windows +
+    /// poison points) — the domain [`crate::minimize::ddmin`] shrinks.
+    #[must_use]
+    pub fn item_count(&self) -> usize {
+        self.crashes.len() + self.degrades.len() + self.blackholes.len() + self.poisons.len()
+    }
+
+    /// A copy retaining only the items whose mask slot is `true`, in
+    /// item order: crashes, then degrades, blackholes, poisons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.item_count()`.
+    #[must_use]
+    pub fn keep(&self, mask: &[bool]) -> ScheduleIr {
+        assert_eq!(mask.len(), self.item_count());
+        let mut out = self.clone();
+        let mut it = mask.iter().copied();
+        out.crashes.retain(|_| it.next().unwrap());
+        out.degrades.retain(|_| it.next().unwrap());
+        out.blackholes.retain(|_| it.next().unwrap());
+        out.poisons.retain(|_| it.next().unwrap());
+        out
+    }
+
+    /// Serializes to the corpus text format (format v1, line-oriented,
+    /// integer fields only — decode∘encode is the identity).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::from("# cronets fuzz schedule v1\n");
+        out.push_str(&format!("relays {}\n", self.relays));
+        out.push_str(&format!("horizon_ns {}\n", self.horizon));
+        out.push_str(&format!("mttr_cap_ns {}\n", self.mttr_cap));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("expect {}\n", self.expect));
+        for w in &self.crashes {
+            out.push_str(&format!("crash {} {} {}\n", w.relay, w.start, w.down));
+        }
+        for w in &self.degrades {
+            out.push_str(&format!(
+                "degrade {} {} {} {}\n",
+                w.salt, w.start, w.len, w.severity_pm
+            ));
+        }
+        for w in &self.blackholes {
+            out.push_str(&format!("blackhole {} {}\n", w.start, w.len));
+        }
+        for p in &self.poisons {
+            out.push_str(&format!("poison {} {}\n", p.at, p.age));
+        }
+        out
+    }
+
+    /// Parses the corpus text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn decode(text: &str) -> Result<ScheduleIr, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| "empty corpus file".to_string())?;
+        if header.trim() != "# cronets fuzz schedule v1" {
+            return Err(format!("bad header: {header:?}"));
+        }
+        let mut ir =
+            ScheduleIr::empty(0, SimDuration::from_nanos(0), SimDuration::from_nanos(0), 0);
+        let parse = |n: usize, field: &str| -> Result<u64, String> {
+            field
+                .parse::<u64>()
+                .map_err(|_| format!("line {}: bad integer {field:?}", n + 1))
+        };
+        for (n, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut f = line.split_ascii_whitespace();
+            let key = f.next().unwrap();
+            let rest: Vec<&str> = f.collect();
+            let want = |k: usize| -> Result<(), String> {
+                if rest.len() == k {
+                    Ok(())
+                } else {
+                    Err(format!("line {}: {key} wants {k} fields", n + 1))
+                }
+            };
+            match key {
+                "relays" => {
+                    want(1)?;
+                    ir.relays = usize::try_from(parse(n, rest[0])?)
+                        .map_err(|_| format!("line {}: relays too large", n + 1))?;
+                }
+                "horizon_ns" => {
+                    want(1)?;
+                    ir.horizon = parse(n, rest[0])?;
+                }
+                "mttr_cap_ns" => {
+                    want(1)?;
+                    ir.mttr_cap = parse(n, rest[0])?;
+                }
+                "seed" => {
+                    want(1)?;
+                    ir.seed = parse(n, rest[0])?;
+                }
+                "expect" => {
+                    want(1)?;
+                    ir.expect = rest[0].to_string();
+                }
+                "crash" => {
+                    want(3)?;
+                    ir.crashes.push(CrashWindow {
+                        relay: usize::try_from(parse(n, rest[0])?)
+                            .map_err(|_| format!("line {}: relay too large", n + 1))?,
+                        start: parse(n, rest[1])?,
+                        down: parse(n, rest[2])?,
+                    });
+                }
+                "degrade" => {
+                    want(4)?;
+                    ir.degrades.push(DegradeWindow {
+                        salt: parse(n, rest[0])?,
+                        start: parse(n, rest[1])?,
+                        len: parse(n, rest[2])?,
+                        severity_pm: u32::try_from(parse(n, rest[3])?)
+                            .map_err(|_| format!("line {}: severity too large", n + 1))?,
+                    });
+                }
+                "blackhole" => {
+                    want(2)?;
+                    ir.blackholes.push(BlackholeWindow {
+                        start: parse(n, rest[0])?,
+                        len: parse(n, rest[1])?,
+                    });
+                }
+                "poison" => {
+                    want(2)?;
+                    ir.poisons.push(PoisonPoint {
+                        at: parse(n, rest[0])?,
+                        age: parse(n, rest[1])?,
+                    });
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", n + 1)),
+            }
+        }
+        Ok(ir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::FaultConfig;
+
+    fn frame() -> (usize, SimDuration, SimDuration) {
+        (4, SimDuration::from_secs(600), SimDuration::from_secs(60))
+    }
+
+    fn gen_cfg() -> FaultConfig {
+        let (relays, horizon, cap) = frame();
+        FaultConfig {
+            relays,
+            horizon,
+            relay_mtbf: SimDuration::from_secs(120),
+            relay_mttr: SimDuration::from_secs(30),
+            mttr_cap: cap,
+            dc_outage_per_hour: 2.0,
+            dc_group: 2,
+            link_flap_per_hour: 12.0,
+            link_flap_mean: SimDuration::from_secs(40),
+            link_severity: 0.95,
+            blackhole_per_hour: 6.0,
+            blackhole_mean: SimDuration::from_secs(40),
+            poison_per_hour: 6.0,
+            poison_age: SimDuration::from_secs(120),
+        }
+    }
+
+    #[test]
+    fn generated_schedules_round_trip_through_the_ir() {
+        for seed in [7, 11, 13] {
+            let s = FaultSchedule::generate(&gen_cfg(), seed);
+            let (relays, horizon, _) = frame();
+            let ir = ScheduleIr::from_schedule(&s, relays, horizon, seed);
+            let rendered = ir.render().expect("lifted schedule renders");
+            assert_eq!(rendered.events(), s.events(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_the_identity() {
+        let s = FaultSchedule::generate(&gen_cfg(), 7);
+        let (relays, horizon, _) = frame();
+        let mut ir = ScheduleIr::from_schedule(&s, relays, horizon, 7);
+        ir.expect = "recovery-exceeded-mttr".to_string();
+        let text = ir.encode();
+        let back = ScheduleIr::decode(&text).expect("own encoding decodes");
+        assert_eq!(back, ir);
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ScheduleIr::decode("").is_err());
+        assert!(ScheduleIr::decode("not a header\n").is_err());
+        let bad = "# cronets fuzz schedule v1\ncrash 0 oops 3\n";
+        assert!(ScheduleIr::decode(bad).is_err());
+        let unknown = "# cronets fuzz schedule v1\nwarp 9\n";
+        assert!(ScheduleIr::decode(unknown).is_err());
+    }
+
+    #[test]
+    fn sanitize_repairs_pathological_windows() {
+        let (relays, horizon, cap) = frame();
+        let h = horizon.as_nanos();
+        let mut ir = ScheduleIr::empty(relays, horizon, cap, 7);
+        ir.crashes = vec![
+            // Overlapping on one relay.
+            CrashWindow {
+                relay: 1,
+                start: 100,
+                down: 1_000_000,
+            },
+            CrashWindow {
+                relay: 1,
+                start: 200,
+                down: 1_000_000,
+            },
+            // Past the horizon.
+            CrashWindow {
+                relay: 2,
+                start: h + 5,
+                down: 50,
+            },
+            // Longer than the cap.
+            CrashWindow {
+                relay: 0,
+                start: 0,
+                down: u64::MAX,
+            },
+            // Relay index out of range.
+            CrashWindow {
+                relay: 999,
+                start: 500,
+                down: 50,
+            },
+        ];
+        ir.degrades = vec![
+            DegradeWindow {
+                salt: 9,
+                start: 0,
+                len: 10,
+                severity_pm: 5000,
+            },
+            DegradeWindow {
+                salt: 9,
+                start: 5,
+                len: 10,
+                severity_pm: 900,
+            },
+        ];
+        ir.blackholes = vec![BlackholeWindow { start: h, len: 0 }];
+        ir.poisons = vec![PoisonPoint { at: h + 7, age: 0 }];
+        ir.sanitize();
+        let rendered = ir.render().expect("sanitized IR always renders");
+        // Well-formed: strictly inside the horizon, caps honoured.
+        let end = SimTime::ZERO + horizon;
+        for e in rendered.events() {
+            assert!(e.at < end);
+        }
+        for w in &ir.crashes {
+            assert!(w.down <= cap.as_nanos());
+            assert!(w.relay < relays);
+        }
+        assert_ne!(ir.degrades[0].salt, ir.degrades[1].salt, "salts deduped");
+        assert!(ir.degrades.iter().all(|w| w.severity_pm <= 1000));
+        // Idempotent.
+        let once = ir.clone();
+        ir.sanitize();
+        assert_eq!(ir, once);
+    }
+
+    #[test]
+    fn keep_drops_exactly_the_masked_items() {
+        let s = FaultSchedule::generate(&gen_cfg(), 11);
+        let (relays, horizon, _) = frame();
+        let ir = ScheduleIr::from_schedule(&s, relays, horizon, 11);
+        let n = ir.item_count();
+        assert!(n >= 4, "fuzz frame should inject plenty");
+        let none = ir.keep(&vec![false; n]);
+        assert_eq!(none.item_count(), 0);
+        assert!(none.render().expect("empty renders").is_empty());
+        let all = ir.keep(&vec![true; n]);
+        assert_eq!(all, ir);
+        let mut mask = vec![true; n];
+        mask[0] = false;
+        assert_eq!(ir.keep(&mask).item_count(), n - 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! # fuzz — coverage-guided fault-schedule fuzzing
+//!
+//! The renewal processes in `crates/faults` only ever produce
+//! *statistically plausible* schedules; the broker, fleet, and NAT
+//! state machines have never seen adversarially-shaped timing — a
+//! crash landing mid-drain, a cache poisoning chased by a probe
+//! blackhole, an outage spanning an autoscale decision. This crate
+//! supplies the missing pressure, AFL-style but structured and fully
+//! seed-pure:
+//!
+//! * [`ir::ScheduleIr`] — a structured intermediate representation of a
+//!   fault schedule as *windows and points* (crash windows, degradation
+//!   windows, blackhole windows, poison points) instead of raw events.
+//!   Mutating windows keeps schedules well-formed by construction;
+//!   [`ir::ScheduleIr::render`] lowers to a validated
+//!   [`faults::FaultSchedule`] via `FaultSchedule::from_events`. The IR
+//!   round-trips through a line-oriented text format
+//!   ([`ir::ScheduleIr::encode`]/[`ir::ScheduleIr::decode`]) — the
+//!   corpus format checked into `tests/corpus/`.
+//! * [`mutate::mutate`] — structured mutation operators (add / remove /
+//!   shift / stretch windows, epoch-boundary alignment, the
+//!   poison-then-blackhole combo) driven by a forked [`simcore::SimRng`]
+//!   substream.
+//! * [`coverage::CoverageMap`] — a fixed-size feature bitmap keyed on
+//!   (obs counter name × log2-bucketed value), harvested from the
+//!   `control.broker.*` / `control.fleet.*` / `faults.*` counters a run
+//!   publishes (broker decision variants × fleet transitions ×
+//!   invariant-check sites). A schedule that lights a new feature earns
+//!   a place in the corpus.
+//! * [`minimize::ddmin`] — classic delta-debugging over the IR's items,
+//!   shrinking a violating schedule to a locally minimal repro before
+//!   it lands as a named regression test.
+//!
+//! Everything is a pure function of its inputs and the supplied RNG:
+//! the fuzzer's whole trajectory replays from `(config, seed)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod ir;
+pub mod minimize;
+pub mod mutate;
+
+pub use coverage::CoverageMap;
+pub use ir::ScheduleIr;
+pub use minimize::ddmin;
+pub use mutate::mutate;

@@ -1,0 +1,140 @@
+//! Delta-debugging minimizer for violating schedules.
+//!
+//! Classic `ddmin` (Zeller & Hildebrandt) over the IR's items: split
+//! the kept-item set into chunks, try dropping each chunk (and each
+//! complement), recurse with finer granularity while anything still
+//! reproduces. The predicate decides "still interesting" — for the
+//! fuzzer that means re-running the chaos loop and checking the same
+//! violation kind survives.
+
+use crate::ir::ScheduleIr;
+
+/// Shrinks `ir` to a locally minimal schedule for which `interesting`
+/// still returns `true`. The input itself must be interesting; the
+/// result is 1-minimal in items (dropping any single remaining item
+/// breaks reproduction) up to the predicate's determinism. Returns the
+/// minimized IR and how many predicate evaluations were spent.
+pub fn ddmin<F>(ir: &ScheduleIr, mut interesting: F) -> (ScheduleIr, usize)
+where
+    F: FnMut(&ScheduleIr) -> bool,
+{
+    let n = ir.item_count();
+    let mut probes = 0usize;
+    if n <= 1 {
+        return (ir.clone(), probes);
+    }
+    let mut kept: Vec<usize> = (0..n).collect();
+    let mut granularity = 2usize;
+    while kept.len() >= 2 {
+        let chunk = kept.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < kept.len() {
+            let end = (start + chunk).min(kept.len());
+            // Complement of kept[start..end]: drop the chunk.
+            let candidate: Vec<usize> = kept[..start].iter().chain(&kept[end..]).copied().collect();
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            let mut mask = vec![false; n];
+            for &i in &candidate {
+                mask[i] = true;
+            }
+            probes += 1;
+            if interesting(&ir.keep(&mask)) {
+                kept = candidate;
+                granularity = (granularity - 1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= kept.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(kept.len());
+        }
+    }
+    let mut mask = vec![false; n];
+    for &i in &kept {
+        mask[i] = true;
+    }
+    (ir.keep(&mask), probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CrashWindow, PoisonPoint};
+    use simcore::SimDuration;
+
+    fn ir_with_items(crashes: usize, poisons: usize) -> ScheduleIr {
+        let mut ir = ScheduleIr::empty(
+            4,
+            SimDuration::from_secs(600),
+            SimDuration::from_secs(60),
+            7,
+        );
+        for i in 0..crashes {
+            ir.crashes.push(CrashWindow {
+                relay: i % 4,
+                start: (i as u64) * 10_000_000_000,
+                down: 1_000_000_000,
+            });
+        }
+        for i in 0..poisons {
+            ir.poisons.push(PoisonPoint {
+                at: (i as u64) * 7_000_000_000,
+                age: 1_000_000_000,
+            });
+        }
+        ir
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let ir = ir_with_items(10, 10);
+        // "Interesting" iff the crash window starting at 30 s survives.
+        let culprit = |c: &ScheduleIr| c.crashes.iter().any(|w| w.start == 30_000_000_000);
+        assert!(culprit(&ir));
+        let (min, probes) = ddmin(&ir, culprit);
+        assert_eq!(min.item_count(), 1);
+        assert_eq!(min.crashes.len(), 1);
+        assert_eq!(min.crashes[0].start, 30_000_000_000);
+        assert!(probes > 0);
+    }
+
+    #[test]
+    fn keeps_an_interacting_pair() {
+        let ir = ir_with_items(6, 6);
+        // Interesting iff BOTH a specific crash and a specific poison
+        // survive — ddmin must not split the interaction.
+        let pair = |c: &ScheduleIr| {
+            c.crashes.iter().any(|w| w.start == 20_000_000_000)
+                && c.poisons.iter().any(|p| p.at == 14_000_000_000)
+        };
+        assert!(pair(&ir));
+        let (min, _) = ddmin(&ir, pair);
+        assert_eq!(min.item_count(), 2);
+        assert!(pair(&min));
+    }
+
+    #[test]
+    fn single_item_inputs_return_unchanged() {
+        let ir = ir_with_items(1, 0);
+        let (min, probes) = ddmin(&ir, |_| true);
+        assert_eq!(min, ir);
+        assert_eq!(probes, 0);
+    }
+
+    #[test]
+    fn everything_interesting_still_one_minimal() {
+        // Predicate: any non-empty subset reproduces. ddmin should end
+        // at exactly one item.
+        let ir = ir_with_items(8, 0);
+        let (min, _) = ddmin(&ir, |c| c.item_count() >= 1);
+        assert_eq!(min.item_count(), 1);
+    }
+}

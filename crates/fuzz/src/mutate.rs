@@ -1,0 +1,189 @@
+//! Structured mutation operators over [`ScheduleIr`].
+//!
+//! Each call applies one to three operators drawn from the supplied
+//! RNG substream and then [`ScheduleIr::sanitize`]s, so the result is
+//! always renderable. The operator set is aimed at the interleavings
+//! the renewal processes essentially never produce: crash windows
+//! aligned onto epoch boundaries (an outage spanning an autoscale
+//! decision), a cache poisoning chased by a probe blackhole (the
+//! broker must fly blind on poisoned beliefs), duplicated crashes
+//! across relays (correlated failure without the DC-group structure).
+
+use simcore::{SimDuration, SimRng};
+
+use crate::ir::{BlackholeWindow, CrashWindow, DegradeWindow, PoisonPoint, ScheduleIr};
+
+/// Number of distinct operators `mutate` draws from.
+const OPS: usize = 10;
+
+/// Applies 1–3 random structured mutations to `ir` in place, then
+/// sanitizes. Deterministic in `(ir, rng state, epoch)`.
+pub fn mutate(ir: &mut ScheduleIr, rng: &mut SimRng, epoch: SimDuration) {
+    let rounds = 1 + rng.index(3);
+    for _ in 0..rounds {
+        apply_one(ir, rng, epoch);
+    }
+    ir.sanitize();
+}
+
+fn rand_at(rng: &mut SimRng, horizon: u64) -> u64 {
+    rng.next_u64() % horizon.max(1)
+}
+
+fn apply_one(ir: &mut ScheduleIr, rng: &mut SimRng, epoch: SimDuration) {
+    let horizon = ir.horizon.max(2);
+    let epoch_ns = epoch.as_nanos().max(1);
+    match rng.index(OPS) {
+        // Add a crash window somewhere.
+        0 => {
+            let down = 1 + rng.next_u64() % ir.mttr_cap.max(1);
+            ir.crashes.push(CrashWindow {
+                relay: rng.index(ir.relays.max(1)),
+                start: rand_at(rng, horizon),
+                down,
+            });
+        }
+        // Remove a random crash window.
+        1 => {
+            if !ir.crashes.is_empty() {
+                let i = rng.index(ir.crashes.len());
+                ir.crashes.remove(i);
+            }
+        }
+        // Shift a crash window to a fresh instant.
+        2 => {
+            if !ir.crashes.is_empty() {
+                let i = rng.index(ir.crashes.len());
+                ir.crashes[i].start = rand_at(rng, horizon);
+            }
+        }
+        // Stretch or shrink a crash window.
+        3 => {
+            if !ir.crashes.is_empty() {
+                let i = rng.index(ir.crashes.len());
+                ir.crashes[i].down = 1 + rng.next_u64() % ir.mttr_cap.max(1);
+            }
+        }
+        // Align a crash window to span an epoch boundary: start just
+        // before it, recover just after — the outage straddles the
+        // autoscale/rebalance decision taken at the boundary.
+        4 => {
+            if !ir.crashes.is_empty() {
+                let i = rng.index(ir.crashes.len());
+                let boundaries = (horizon / epoch_ns).max(1);
+                let b = (1 + rng.next_u64() % boundaries) * epoch_ns;
+                let lead = 1 + rng.next_u64() % epoch_ns.min(ir.mttr_cap.max(2) / 2).max(1);
+                ir.crashes[i].start = b.saturating_sub(lead);
+                ir.crashes[i].down = (2 * lead).min(ir.mttr_cap.max(1));
+            }
+        }
+        // Add a degradation window.
+        5 => {
+            let len = 1 + rng.next_u64() % ir.mttr_cap.max(1);
+            ir.degrades.push(DegradeWindow {
+                salt: rng.next_u64(),
+                start: rand_at(rng, horizon),
+                len,
+                severity_pm: 500 + u32::try_from(rng.next_u64() % 501).unwrap(),
+            });
+        }
+        // Add a blackhole window.
+        6 => {
+            let len = 1 + rng.next_u64() % ir.mttr_cap.max(1);
+            ir.blackholes.push(BlackholeWindow {
+                start: rand_at(rng, horizon),
+                len,
+            });
+        }
+        // The pathological pair: poison the cache, then immediately
+        // blackhole probe refreshes so the poisoned beliefs cannot be
+        // corrected for a whole window.
+        7 => {
+            let t = rand_at(rng, horizon);
+            let len = 1 + rng.next_u64() % ir.mttr_cap.max(1);
+            ir.poisons.push(PoisonPoint {
+                at: t,
+                age: 1 + rng.next_u64() % (2 * ir.mttr_cap.max(1)),
+            });
+            ir.blackholes.push(BlackholeWindow { start: t, len });
+        }
+        // Add a lone poison point.
+        8 => {
+            ir.poisons.push(PoisonPoint {
+                at: rand_at(rng, horizon),
+                age: 1 + rng.next_u64() % (2 * ir.mttr_cap.max(1)),
+            });
+        }
+        // Duplicate a crash window onto another relay: correlated
+        // failure without the DC-group adjacency structure.
+        _ => {
+            if !ir.crashes.is_empty() && ir.relays > 1 {
+                let i = rng.index(ir.crashes.len());
+                let mut w = ir.crashes[i];
+                w.relay = (w.relay + 1 + rng.index(ir.relays - 1)) % ir.relays;
+                ir.crashes.push(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+
+    fn frame() -> ScheduleIr {
+        ScheduleIr::empty(
+            4,
+            SimDuration::from_secs(600),
+            SimDuration::from_secs(60),
+            7,
+        )
+    }
+
+    #[test]
+    fn mutation_is_deterministic_in_the_rng() {
+        let mut a = frame();
+        let mut b = frame();
+        let mut ra = SimRng::seed_from(42);
+        let mut rb = SimRng::seed_from(42);
+        for _ in 0..50 {
+            mutate(&mut a, &mut ra, SimDuration::from_secs(60));
+            mutate(&mut b, &mut rb, SimDuration::from_secs(60));
+        }
+        assert_eq!(a, b);
+        assert!(a.item_count() > 0, "50 rounds add something");
+    }
+
+    #[test]
+    fn mutants_always_render() {
+        let epoch = SimDuration::from_secs(60);
+        for seed in 0..20 {
+            let mut ir = frame();
+            let mut rng = SimRng::seed_from(seed);
+            for _ in 0..30 {
+                mutate(&mut ir, &mut rng, epoch);
+                let sched = ir
+                    .render()
+                    .unwrap_or_else(|e| panic!("seed {seed}: unrenderable mutant: {e}"));
+                let horizon = SimTime::ZERO + SimDuration::from_nanos(ir.horizon);
+                for ev in sched.events() {
+                    assert!(ev.at < horizon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_rng_streams_diverge() {
+        let mut a = frame();
+        let mut b = frame();
+        let mut ra = SimRng::seed_from(1);
+        let mut rb = SimRng::seed_from(2);
+        for _ in 0..10 {
+            mutate(&mut a, &mut ra, SimDuration::from_secs(60));
+            mutate(&mut b, &mut rb, SimDuration::from_secs(60));
+        }
+        assert_ne!(a, b);
+    }
+}

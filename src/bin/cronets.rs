@@ -103,7 +103,7 @@ const RESULTS_DIR: &str = "results";
 
 fn usage() {
     eprintln!(
-        "usage: cronets <experiment|list|all|report> [--seed N] [--threads N] [--smoke] [--fidelity F] [--paths P] [--khops K] [--metrics] [--trace FLOW] [--spans] [--profile]"
+        "usage: cronets <experiment|list|all|report|fuzz|soak> [--seed N] [--threads N] [--smoke] [--fidelity F] [--paths P] [--khops K] [--metrics] [--trace FLOW] [--spans] [--profile] [--budget N] [--resume CKPT] [--stop-after N]"
     );
     eprintln!(
         "  --seed N      PRNG seed (default {})",
@@ -129,16 +129,28 @@ fn usage() {
     eprintln!("                ./{RESULTS_DIR}/spans_chaos.tsv");
     eprintln!("  --profile     record a sim-time profile; write folded stacks");
     eprintln!("                into ./{RESULTS_DIR}/profile_<name>.folded");
+    eprintln!("  --budget N    (fuzz) iterations to spend (default 40 with");
+    eprintln!("                --smoke, 200 otherwise)");
+    eprintln!("  --resume CKPT (soak) resume from a checkpoint file written by a");
+    eprintln!("                previous soak run (./{RESULTS_DIR}/soak.ckpt)");
+    eprintln!("  --stop-after N (soak) stop once N days are done, leaving the");
+    eprintln!("                checkpoint behind for a later --resume");
     eprintln!("commands:");
     eprintln!("  report        aggregate ./{RESULTS_DIR}/ artifacts into report.txt");
     eprintln!("                and report.openmetrics");
+    eprintln!("  fuzz          coverage-guided fault-schedule fuzzing of the chaos");
+    eprintln!("                loop; minimized violations land as corpus files in");
+    eprintln!("                ./{RESULTS_DIR}/ and fail the run");
+    eprintln!("  soak          week-of-simulated-time chaos soak, alternating the");
+    eprintln!("                onehop and multihop engines day by day; checkpoint-");
+    eprintln!("                resumable, byte-identical at any --threads N");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<10} {desc}");
     }
 }
 
-fn run(name: &str, seed: u64, opts: Opts) -> bool {
+fn run(name: &str, seed: u64, opts: &Opts) -> bool {
     match name {
         "fig2" => println!("{}", exp::prevalence::fig2(seed)),
         "fig3" => println!("{}", exp::prevalence::fig3(seed)),
@@ -295,7 +307,7 @@ fn run(name: &str, seed: u64, opts: Opts) -> bool {
     true
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Opts {
     metrics: bool,
     smoke: bool,
@@ -305,6 +317,12 @@ struct Opts {
     paths: control::PathsPolicy,
     khops: usize,
     trace_flow: Option<u64>,
+    /// `cronets fuzz` iteration budget (`--budget`).
+    budget: Option<u32>,
+    /// `cronets soak` checkpoint to resume from (`--resume`).
+    resume: Option<String>,
+    /// `cronets soak` day cap for split runs (`--stop-after`).
+    stop_after: Option<u32>,
 }
 
 impl Default for Opts {
@@ -318,6 +336,9 @@ impl Default for Opts {
             paths: control::PathsPolicy::OneHop,
             khops: 2,
             trace_flow: None,
+            budget: None,
+            resume: None,
+            stop_after: None,
         }
     }
 }
@@ -328,7 +349,7 @@ impl Default for Opts {
 /// the deterministic snapshot to stdout, reports wall-clock phase
 /// timings on stderr, and writes the run manifest (and optional flow
 /// trace) into `./results/`.
-fn run_instrumented(name: &str, seed: u64, opts: Opts) -> bool {
+fn run_instrumented(name: &str, seed: u64, opts: &Opts) -> bool {
     if opts.profile {
         simcore::profile::reset();
         simcore::profile::set_enabled(true);
@@ -353,7 +374,7 @@ fn run_instrumented(name: &str, seed: u64, opts: Opts) -> bool {
 }
 
 /// The `--metrics` wrapper proper (profiling handled by the caller).
-fn run_with_metrics(name: &str, seed: u64, opts: Opts) -> bool {
+fn run_with_metrics(name: &str, seed: u64, opts: &Opts) -> bool {
     if !opts.metrics {
         return run(name, seed, opts);
     }
@@ -444,6 +465,115 @@ fn run_report_cmd() -> ExitCode {
     }
 }
 
+/// The `fuzz` command: coverage-guided fault-schedule fuzzing. Writes
+/// the iteration table to `./results/fuzz.tsv` and every minimized
+/// violation to `./results/fuzz_finding_<i>.corpus`; any finding fails
+/// the run (CI treats a new violation as a regression).
+fn run_fuzz_cmd(seed: u64, opts: &Opts) -> ExitCode {
+    let budget = opts.budget.unwrap_or(if opts.smoke { 40 } else { 200 });
+    let fcfg = exp::fuzzing::FuzzConfig { budget };
+    let report = exp::fuzzing::fuzz_campaign(&fcfg, seed);
+    print!("{report}");
+    let dir = std::path::Path::new(RESULTS_DIR);
+    let path = dir.join("fuzz.tsv");
+    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report.to_tsv())) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("fuzz TSV write failed: {e}"),
+    }
+    for (i, finding) in report.findings.iter().enumerate() {
+        let fpath = dir.join(format!("fuzz_finding_{i}.corpus"));
+        match std::fs::write(&fpath, &finding.corpus) {
+            Ok(()) => println!(
+                "wrote {} ({}; add to tests/corpus/ as a regression test)",
+                fpath.display(),
+                finding.tag
+            ),
+            Err(e) => eprintln!("finding write failed: {e}"),
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "fuzz: {} invariant violation(s) found",
+            report.findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The `soak` command: the week-long deterministic soak. Writes the day
+/// table to `./results/soak.tsv` and keeps `./results/soak.ckpt` fresh
+/// after every completed day; `--resume` picks a killed run back up and
+/// the resulting TSV is byte-identical to an unsplit run's.
+fn run_soak_cmd(seed: u64, opts: &Opts) -> ExitCode {
+    let cfg = if opts.smoke {
+        exp::soak::SoakConfig::smoke()
+    } else {
+        exp::soak::SoakConfig::paper()
+    };
+    let resume_text = match &opts.resume {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("cannot read checkpoint {p:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let dir = std::path::Path::new(RESULTS_DIR);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let ckpt_path = dir.join("soak.ckpt");
+    let report = match exp::soak::soak(
+        &cfg,
+        seed,
+        resume_text.as_deref(),
+        opts.stop_after,
+        |ckpt| {
+            if let Err(e) = std::fs::write(&ckpt_path, ckpt) {
+                eprintln!("checkpoint write failed: {e}");
+            }
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("soak failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{report}");
+    let path = dir.join("soak.tsv");
+    match std::fs::write(&path, report.to_tsv()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("soak TSV write failed: {e}"),
+    }
+    println!("checkpoint at {}", ckpt_path.display());
+    for finding in &report.findings {
+        let fpath = dir.join(format!("soak_violation_day{}.corpus", finding.day));
+        match std::fs::write(&fpath, &finding.corpus) {
+            Ok(()) => println!(
+                "wrote {} ({}; add to tests/corpus/ as a regression test)",
+                fpath.display(),
+                finding.tag
+            ),
+            Err(e) => eprintln!("finding write failed: {e}"),
+        }
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "soak: {} invariant violation(s) found",
+            report.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut seed = exp::prevalence::DEFAULT_SEED;
@@ -497,6 +627,27 @@ fn main() -> ExitCode {
             },
             "--spans" => opts.spans = true,
             "--profile" => opts.profile = true,
+            "--budget" => match it.next().and_then(|s| s.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => opts.budget = Some(n),
+                _ => {
+                    eprintln!("--budget needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => match it.next() {
+                Some(p) => opts.resume = Some(p.clone()),
+                None => {
+                    eprintln!("--resume needs a checkpoint file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stop-after" => match it.next().and_then(|s| s.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => opts.stop_after = Some(n),
+                _ => {
+                    eprintln!("--stop-after needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--trace" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(f) => opts.trace_flow = Some(f),
                 None => {
@@ -528,17 +679,53 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    match cmd.as_str() {
+    let cmd = cmd.as_str();
+    // The multihop bandit engine is DES-only: the hybrid/analytic loop
+    // settles the direct-path mass arithmetically and has no chain
+    // dataplane. Refuse the combination up front, for every command.
+    if opts.paths == control::PathsPolicy::MultiHop && opts.fidelity != Fidelity::Des {
+        eprintln!(
+            "error: --paths multihop runs DES fidelity only; --fidelity {} has no \
+             multihop dataplane (drop --paths multihop or use --fidelity des)",
+            opts.fidelity
+        );
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if cmd == "soak" && opts.fidelity != Fidelity::Des {
+        eprintln!(
+            "error: cronets soak runs DES fidelity only (it alternates the onehop \
+             and multihop engines day by day); drop --fidelity {}",
+            opts.fidelity
+        );
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if matches!(cmd, "fuzz" | "soak") && opts.metrics {
+        eprintln!("error: cronets {cmd} manages metric collection internally; drop --metrics");
+        return ExitCode::FAILURE;
+    }
+    if opts.budget.is_some() && cmd != "fuzz" {
+        eprintln!("error: --budget only applies to cronets fuzz");
+        return ExitCode::FAILURE;
+    }
+    if (opts.resume.is_some() || opts.stop_after.is_some()) && cmd != "soak" {
+        eprintln!("error: --resume/--stop-after only apply to cronets soak");
+        return ExitCode::FAILURE;
+    }
+    match cmd {
         "list" => {
             usage();
             ExitCode::SUCCESS
         }
         "report" => run_report_cmd(),
+        "fuzz" => run_fuzz_cmd(seed, &opts),
+        "soak" => run_soak_cmd(seed, &opts),
         "all" => {
             let mut failed = Vec::new();
             for (name, _) in EXPERIMENTS {
                 eprintln!("--- running {name} ---");
-                if !run_instrumented(name, seed, opts) {
+                if !run_instrumented(name, seed, &opts) {
                     failed.push(*name);
                 }
             }
@@ -550,7 +737,7 @@ fn main() -> ExitCode {
             }
         }
         name => {
-            if run_instrumented(name, seed, opts) {
+            if run_instrumented(name, seed, &opts) {
                 ExitCode::SUCCESS
             } else {
                 eprintln!("unknown experiment {name:?}");

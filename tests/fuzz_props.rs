@@ -1,0 +1,139 @@
+//! Property layer for the fuzz-adjacent machinery: the multihop
+//! bandit's probe-budget accounting under fuzzer-generated fault
+//! schedules.
+//!
+//! Each case mutates a schedule IR with the fuzzer's own operators,
+//! then drives a [`paths::PathBandit`] through the schedule epoch by
+//! epoch the way the broker does: epochs inside a probe-blackhole
+//! window spend nothing (probing is blind), cache poisonings call
+//! [`paths::PathBandit::forget`], and every other epoch spends exactly
+//! one `probe_plan` worth of probes. The ledger must balance exactly —
+//! the plan never over-spends the per-epoch budget, never under-spends
+//! while unexplored arms remain, never repeats an arm within an epoch,
+//! and the total spend equals the closed-form prediction. 100 schedules
+//! × 3 base seeds = 300 cases.
+
+use fuzz::{mutate, ScheduleIr};
+use paths::{BanditConfig, PathBandit};
+use simcore::{SimDuration, SimRng};
+
+const EPOCHS: u64 = 6;
+const EPOCH_NS: u64 = 150_000_000_000;
+const HORIZON_NS: u64 = EPOCHS * EPOCH_NS;
+
+/// True when any blackhole window covers part of epoch `e`.
+fn blackholed(ir: &ScheduleIr, e: u64) -> bool {
+    let (lo, hi) = (e * EPOCH_NS, (e + 1) * EPOCH_NS);
+    ir.blackholes
+        .iter()
+        .any(|w| w.start < hi && w.start + w.len > lo)
+}
+
+/// Cache poisonings landing inside epoch `e`.
+fn poisons_in(ir: &ScheduleIr, e: u64) -> usize {
+    let (lo, hi) = (e * EPOCH_NS, (e + 1) * EPOCH_NS);
+    ir.poisons
+        .iter()
+        .filter(|p| p.at >= lo && p.at < hi)
+        .count()
+}
+
+fn sweep(seed: u64, cases: u32) {
+    let root = SimRng::seed_from(seed).fork(0xBA0D);
+    for case in 0..cases {
+        let mut rng = root.fork(u64::from(case));
+        let mut ir = ScheduleIr::empty(
+            5,
+            SimDuration::from_nanos(HORIZON_NS),
+            SimDuration::from_nanos(450_000_000_000),
+            seed,
+        );
+        // A few mutation rounds build a schedule with several windows.
+        for _ in 0..3 {
+            mutate(&mut ir, &mut rng, SimDuration::from_nanos(EPOCH_NS));
+        }
+
+        let n_arms = 1 + rng.index(6);
+        let budget = 1 + rng.index(4);
+        let cfg = BanditConfig {
+            probe_budget: budget as u32,
+            ..BanditConfig::service()
+        };
+        let mut bandit = PathBandit::new(cfg, n_arms, rng.fork(1));
+
+        let mut spent = 0usize;
+        let mut expected = 0usize;
+        let mut pulled = vec![false; n_arms];
+        // A poisoning (`forget`) halves the bandit's pull counts, after
+        // which re-exploring already-pulled arms is correct behavior —
+        // the external freshness ledger only binds until then.
+        let mut poisoned = false;
+        for e in 0..EPOCHS {
+            for _ in 0..poisons_in(&ir, e) {
+                bandit.forget();
+                poisoned = true;
+            }
+            if blackholed(&ir, e) {
+                // Probing is blind during a blackhole: the broker skips
+                // the epoch's plan entirely, spending nothing.
+                continue;
+            }
+            let plan = bandit.probe_plan(budget);
+            // Never over-spends the per-epoch budget, never plans more
+            // arms than exist, never repeats an arm within one epoch.
+            assert_eq!(
+                plan.len(),
+                budget.min(n_arms),
+                "seed {seed} case {case} epoch {e}: plan size off"
+            );
+            let mut sorted = plan.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                plan.len(),
+                "seed {seed} case {case} epoch {e}: duplicate arm in plan"
+            );
+            assert!(
+                plan.iter().all(|&a| a < n_arms),
+                "seed {seed} case {case} epoch {e}: arm out of range"
+            );
+            // Never under-spends while unexplored arms remain: forced
+            // initial exploration front-loads unpulled arms.
+            let unpulled = pulled.iter().filter(|&&p| !p).count();
+            let fresh = plan.iter().filter(|&&a| !pulled[a]).count();
+            assert!(
+                poisoned || fresh >= unpulled.min(budget),
+                "seed {seed} case {case} epoch {e}: \
+                 {unpulled} arms unexplored but only {fresh} planned"
+            );
+            for &arm in &plan {
+                bandit.observe(arm, 1e6 + arm as f64);
+                pulled[arm] = true;
+            }
+            spent += plan.len();
+            expected += budget.min(n_arms);
+        }
+        // Exact ledger: total spend equals the closed-form prediction
+        // (budget-capped plan size × non-blackholed epochs).
+        assert_eq!(
+            spent, expected,
+            "seed {seed} case {case}: probe ledger out of balance"
+        );
+    }
+}
+
+#[test]
+fn bandit_probe_budget_balances_seed_7() {
+    sweep(7, 100);
+}
+
+#[test]
+fn bandit_probe_budget_balances_seed_11() {
+    sweep(11, 100);
+}
+
+#[test]
+fn bandit_probe_budget_balances_seed_13() {
+    sweep(13, 100);
+}
