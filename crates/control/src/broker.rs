@@ -100,6 +100,22 @@ pub struct BrokerStats {
     pub probe_refreshes: u64,
 }
 
+impl BrokerStats {
+    /// Folds another shard's counters into this one. All fields are
+    /// additive event counts, so the merge is associative; the sharded
+    /// service still folds in region order for uniformity.
+    pub fn absorb(&mut self, other: &BrokerStats) {
+        self.admitted += other.admitted;
+        self.denied += other.denied;
+        self.overlay += other.overlay;
+        self.direct += other.direct;
+        self.stale_fallback += other.stale_fallback;
+        self.chain += other.chain;
+        self.probe_spent += other.probe_spent;
+        self.probe_refreshes += other.probe_refreshes;
+    }
+}
+
 /// The broker's verdict for one flow request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Decision {
@@ -391,14 +407,13 @@ impl Broker {
     /// Exports the decision counters through `obs` (no-op while
     /// collection is disabled).
     pub fn publish(&self) {
-        obs::add_named("control.broker.admitted", self.stats.admitted);
-        obs::add_named("control.broker.denied", self.stats.denied);
-        obs::add_named("control.broker.overlay", self.stats.overlay);
-        obs::add_named("control.broker.direct", self.stats.direct);
-        obs::add_named("control.broker.stale_fallback", self.stats.stale_fallback);
-        obs::add_named("control.broker.chain", self.stats.chain);
-        obs::add_named("control.broker.probe_spent", self.stats.probe_spent);
-        obs::add_named("control.broker.probe_refreshes", self.stats.probe_refreshes);
+        self.publish_prefixed("control.");
+    }
+
+    /// Exports the decision counters under an explicit namespace prefix
+    /// (e.g. `control.shard3.`); see `crate::shard`.
+    pub fn publish_prefixed(&self, prefix: &str) {
+        crate::shard::publish_broker_stats(prefix, &self.stats);
     }
 }
 

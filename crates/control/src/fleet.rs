@@ -76,12 +76,28 @@ pub struct FleetStats {
     pub restores: u64,
 }
 
+impl FleetStats {
+    /// Folds another shard's counters into this one (all fields are
+    /// additive event counts, so the merge is associative and
+    /// commutative — the sharded service still folds in region order).
+    pub fn absorb(&mut self, other: &FleetStats) {
+        self.scale_ups += other.scale_ups;
+        self.drains += other.drains;
+        self.releases += other.releases;
+        self.crashes += other.crashes;
+        self.restores += other.restores;
+    }
+}
+
 /// Relay-fleet autoscaler (see module docs).
 #[derive(Debug)]
 pub struct Fleet {
     cfg: FleetConfig,
     state: Vec<RelayState>,
     flows: Vec<u32>,
+    /// Contiguous slots per relay group (one group per overlay node);
+    /// 1 for the classic one-slot-per-node fleet.
+    per_group: usize,
     hourly_usd: f64,
     spend_usd: f64,
     stats: FleetStats,
@@ -97,11 +113,32 @@ impl Fleet {
     /// than the slot count, no slots, or zero per-relay capacity).
     #[must_use]
     pub fn new(cfg: FleetConfig) -> Fleet {
+        let groups = cfg.relays;
+        Fleet::grouped(cfg, groups)
+    }
+
+    /// Creates a fleet whose slots are partitioned into `groups`
+    /// contiguous relay groups (one group per overlay node/DC, each of
+    /// `relays / groups` slots). With `groups == relays` this is exactly
+    /// the classic one-slot-per-node fleet of [`Fleet::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`min_active` larger
+    /// than the slot count, no slots, zero per-relay capacity, or a
+    /// slot count that does not divide evenly into `groups`).
+    #[must_use]
+    pub fn grouped(cfg: FleetConfig, groups: usize) -> Fleet {
         assert!(cfg.relays > 0, "fleet needs at least one relay slot");
         assert!(cfg.min_active <= cfg.relays, "min_active exceeds slots");
         assert!(
             cfg.capacity_per_relay > 0,
             "relay capacity must be positive"
+        );
+        assert!(groups > 0, "fleet needs at least one relay group");
+        assert!(
+            cfg.relays.is_multiple_of(groups),
+            "relay slots must divide evenly into groups"
         );
         let mut state = vec![RelayState::Released; cfg.relays];
         for s in state.iter_mut().take(cfg.min_active) {
@@ -111,10 +148,56 @@ impl Fleet {
             hourly_usd: overlay_node_hourly_usd(cfg.port, cfg.plan),
             state,
             flows: vec![0; cfg.relays],
+            per_group: cfg.relays / groups,
             spend_usd: 0.0,
             stats: FleetStats::default(),
             cfg,
         }
+    }
+
+    /// Number of relay groups (overlay nodes) the fleet spans.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.state.len() / self.per_group
+    }
+
+    /// Whether relay group `g` has any free slot — the broker's
+    /// candidate filter in grouped fleets. For one-slot groups this is
+    /// exactly [`Fleet::is_free`].
+    #[must_use]
+    pub fn group_free(&self, g: usize) -> bool {
+        let base = g * self.per_group;
+        (base..base + self.per_group).any(|i| self.is_free(i))
+    }
+
+    /// Starts a flow on the first free slot of group `g` and returns
+    /// that slot id. For one-slot groups this is [`Fleet::flow_started`]
+    /// on slot `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot in the group is free — the broker must only
+    /// steer onto groups its capacity filter accepted.
+    pub fn start_in_group(&mut self, g: usize) -> usize {
+        let base = g * self.per_group;
+        let slot = (base..base + self.per_group)
+            .find(|&i| self.is_free(i))
+            .unwrap_or_else(|| panic!("flow steered onto unavailable relay group {g}"));
+        self.flows[slot] += 1;
+        slot
+    }
+
+    /// Replaces the fleet's spend ceiling — the sharded service's
+    /// budget reconciler redistributes the global headroom across
+    /// regions at each epoch barrier.
+    pub fn set_budget(&mut self, budget_usd: f64) {
+        self.cfg.budget_usd = budget_usd;
+    }
+
+    /// The fleet's current spend ceiling, USD.
+    #[must_use]
+    pub fn budget_usd(&self) -> f64 {
+        self.cfg.budget_usd
     }
 
     /// Whether relay `i` is active with spare capacity (the broker's
@@ -330,15 +413,31 @@ impl Fleet {
     /// Exports counters and gauges through `obs` (no-op while collection
     /// is disabled).
     pub fn publish(&self) {
-        obs::add_named("control.fleet.scale_ups", self.stats.scale_ups);
-        obs::add_named("control.fleet.drains", self.stats.drains);
-        obs::add_named("control.fleet.releases", self.stats.releases);
-        obs::add_named("control.fleet.crashes", self.stats.crashes);
-        obs::add_named("control.fleet.restores", self.stats.restores);
-        obs::set(obs::gauge("control.fleet.active"), self.active() as f64);
-        obs::set(obs::gauge("control.fleet.draining"), self.draining() as f64);
-        obs::set(obs::gauge("control.fleet.failed"), self.failed() as f64);
-        obs::set(obs::gauge("control.fleet.spend_usd"), self.spend_usd);
+        self.publish_prefixed("control.");
+    }
+
+    /// Exports counters and gauges under an explicit namespace prefix
+    /// (e.g. `control.shard3.`); the sharded service publishes every
+    /// region's fleet this way and folds a merged rollup under the
+    /// classic `control.` names.
+    pub fn publish_prefixed(&self, prefix: &str) {
+        crate::shard::publish_fleet_stats(prefix, &self.stats);
+        obs::set(
+            obs::gauge(&format!("{prefix}fleet.active")),
+            self.active() as f64,
+        );
+        obs::set(
+            obs::gauge(&format!("{prefix}fleet.draining")),
+            self.draining() as f64,
+        );
+        obs::set(
+            obs::gauge(&format!("{prefix}fleet.failed")),
+            self.failed() as f64,
+        );
+        obs::set(
+            obs::gauge(&format!("{prefix}fleet.spend_usd")),
+            self.spend_usd,
+        );
     }
 }
 

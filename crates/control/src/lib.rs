@@ -14,6 +14,7 @@
 //! | [`broker`] | online admission + path selection from a staleness-bounded probe cache |
 //! | [`fleet`] | relay autoscaler renting/releasing overlay nodes under a budget, draining before release |
 //! | [`slo`] | per-tenant SLO accounting (throughput-ratio and completion-latency targets) |
+//! | [`shard`] | cross-shard messages, per-shard counter namespacing, and exact-merge reconciliation helpers for the sharded control plane |
 //!
 //! Determinism contract: every component is a pure function of its
 //! inputs. The workload derives each epoch's arrivals from
@@ -28,10 +29,12 @@
 
 pub mod broker;
 pub mod fleet;
+pub mod shard;
 pub mod slo;
 pub mod workload;
 
 pub use broker::{Broker, BrokerConfig, BrokerStats, Decision, PathsPolicy};
 pub use fleet::{Fleet, FleetConfig, FleetStats, RelayState};
+pub use shard::ShardMsg;
 pub use slo::{Breach, SloAccount, SloTarget, TenantAccount};
 pub use workload::{FlowRequest, WorkloadConfig};

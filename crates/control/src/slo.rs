@@ -192,15 +192,20 @@ impl SloAccount {
     /// / `control.slo.violations` plus per-tenant labeled counters.
     /// No-op while collection is disabled.
     pub fn publish(&self) {
-        obs::add_named("control.slo.completed", self.completed());
-        obs::add_named("control.slo.violations", self.violations());
+        self.publish_prefixed("control.");
+    }
+
+    /// Exports totals under an explicit namespace prefix (e.g.
+    /// `control.shard3.`); see `crate::shard`.
+    pub fn publish_prefixed(&self, prefix: &str) {
+        let completed = format!("{prefix}slo.completed");
+        let violations = format!("{prefix}slo.violations");
+        obs::add_named(&completed, self.completed());
+        obs::add_named(&violations, self.violations());
         for (i, t) in self.tenants.iter().enumerate() {
             let label = format!("tenant={i}");
-            obs::add_named(&obs::labeled("control.slo.completed", &label), t.completed);
-            obs::add_named(
-                &obs::labeled("control.slo.violations", &label),
-                t.violations(),
-            );
+            obs::add_named(&obs::labeled(&completed, &label), t.completed);
+            obs::add_named(&obs::labeled(&violations, &label), t.violations());
         }
     }
 }

@@ -28,11 +28,22 @@
 //! The pool size comes from [`threads`]: the `--threads N` CLI flag (via
 //! [`set_threads`]) or `std::thread::available_parallelism` by default.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 /// Configured worker count; 0 means "use available parallelism".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside [`shard_rounds`] lane threads: a lane is already one
+    /// of several parallel executors, so nested [`parallel_map`] calls
+    /// must run inline rather than oversubscribe the machine with a
+    /// second level of worker pools. Inline execution is byte-identical
+    /// by the thread-invariance contract, so this is purely a
+    /// scheduling decision.
+    static INLINE: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Sets the worker-pool size for subsequent [`parallel_map`] calls.
 /// `0` restores the default (available parallelism).
@@ -67,7 +78,11 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads().min(n_units).max(1);
+    let workers = if INLINE.with(Cell::get) {
+        1
+    } else {
+        threads().min(n_units).max(1)
+    };
     // Span recording is independent of metrics collection (plain runs
     // still attribute faults), so either flag selects the capture path.
     let sharded = obs::enabled() || obs::span_recording();
@@ -150,6 +165,149 @@ where
         out.push(v);
     }
     out
+}
+
+/// Runs `n` stateful shards through `rounds` barrier-synchronized
+/// rounds with deterministic, ordered cross-shard mailboxes.
+///
+/// Each round, shard `i`'s `step(i, &mut state, round, inbox)` runs once
+/// and returns outbound messages as `(destination_shard, message)`
+/// pairs. At the barrier the messages are routed **in shard-index
+/// order** (so every inbox is ordered by sender index, then by emission
+/// order within the sender), and `barrier(round, &mut states)` runs on
+/// the calling thread — the global-reconciliation hook. Messages
+/// emitted in round `r` are delivered at the start of round `r + 1`;
+/// messages still in flight after the last round are dropped, so
+/// callers must size `rounds` to drain their protocol.
+///
+/// Shards are multiplexed onto `lanes` worker threads (clamped to
+/// `[1, n]`) by static assignment: lane `l` owns shards `l, l+lanes,
+/// l+2·lanes, …` and steps them in increasing index order. Telemetry
+/// follows the [`parallel_map`] contract — with collection or span
+/// recording on, each shard-step runs under [`obs::capture_unit`] and
+/// the shards are absorbed in shard-index order at the barrier — and
+/// nested [`parallel_map`] calls inside a lane run inline, so the
+/// result, metrics, spans and traces are byte-identical for any
+/// `(lanes, threads)` combination.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any shard-step, and panics if a
+/// message names a destination shard `>= n`.
+pub fn shard_rounds<S, M, F, B>(
+    mut states: Vec<S>,
+    lanes: usize,
+    rounds: usize,
+    step: F,
+    mut barrier: B,
+) -> Vec<S>
+where
+    S: Send,
+    M: Send,
+    F: Fn(usize, &mut S, usize, Vec<M>) -> Vec<(usize, M)> + Sync,
+    B: FnMut(usize, &mut [S]),
+{
+    let n = states.len();
+    if n == 0 {
+        return states;
+    }
+    let lanes = lanes.clamp(1, n);
+    let mut inboxes: Vec<Vec<M>> = (0..n).map(|_| Vec::new()).collect();
+    for round in 0..rounds {
+        let sharded = obs::enabled() || obs::span_recording();
+        let mut outboxes: Vec<Vec<(usize, M)>> = Vec::with_capacity(n);
+        if lanes == 1 {
+            // Inline on the caller; nested parallel_map still uses the
+            // full pool. Capture per shard when telemetry is on so the
+            // stream is identical to the multi-lane path.
+            let mut shards = Vec::with_capacity(n);
+            for (i, (state, inbox)) in states.iter_mut().zip(&mut inboxes).enumerate() {
+                let inbox = std::mem::take(inbox);
+                if sharded {
+                    let (out, shard) = obs::capture_unit(|| step(i, state, round, inbox));
+                    outboxes.push(out);
+                    shards.push(shard);
+                } else {
+                    outboxes.push(step(i, state, round, inbox));
+                }
+            }
+            for shard in shards {
+                obs::absorb_unit(shard);
+            }
+        } else {
+            // Static assignment: lane l owns shards l, l+lanes, … — the
+            // partition is a pure function of (n, lanes), never of the
+            // schedule.
+            let mut lane_work: Vec<Vec<(usize, S, Vec<M>)>> =
+                (0..lanes).map(|_| Vec::new()).collect();
+            for (i, (state, inbox)) in states.drain(..).zip(inboxes.drain(..)).enumerate() {
+                lane_work[i % lanes].push((i, state, inbox));
+            }
+            let trace_filter = obs::trace_filter();
+            let span_recording = obs::span_recording();
+            let profiling = simcore::profile::enabled();
+            type Stepped<S, M> = (usize, S, Vec<(usize, M)>, Option<obs::UnitShard>);
+            let mut tagged: Vec<Stepped<S, M>> = Vec::with_capacity(n);
+            thread::scope(|scope| {
+                let handles: Vec<_> = lane_work
+                    .drain(..)
+                    .map(|work| {
+                        let step = &step;
+                        scope.spawn(move || {
+                            INLINE.with(|c| c.set(true));
+                            if sharded {
+                                obs::set_trace_filter(trace_filter);
+                                obs::set_span_recording(span_recording);
+                            }
+                            simcore::profile::set_enabled(profiling);
+                            let mut local = Vec::with_capacity(work.len());
+                            for (i, mut state, inbox) in work {
+                                if sharded {
+                                    let (out, shard) =
+                                        obs::capture_unit(|| step(i, &mut state, round, inbox));
+                                    local.push((i, state, out, Some(shard)));
+                                } else {
+                                    let out = step(i, &mut state, round, inbox);
+                                    local.push((i, state, out, None));
+                                }
+                            }
+                            let prof = profiling.then(simcore::profile::take_shard);
+                            (local, prof)
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    match handle.join() {
+                        Ok((part, prof)) => {
+                            tagged.extend(part);
+                            if let Some(prof) = prof {
+                                simcore::profile::merge_shard(&prof);
+                            }
+                        }
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+            });
+            tagged.sort_unstable_by_key(|&(i, ..)| i);
+            inboxes = (0..n).map(|_| Vec::new()).collect();
+            for (_, state, out, shard) in tagged {
+                if let Some(shard) = shard {
+                    obs::absorb_unit(shard);
+                }
+                states.push(state);
+                outboxes.push(out);
+            }
+        }
+        // Route in shard-index order: inbox order is (sender, emission).
+        for out in &mut outboxes {
+            for (dst, msg) in out.drain(..) {
+                assert!(dst < n, "shard message addressed to unknown shard {dst}");
+                inboxes[dst].push(msg);
+            }
+        }
+        barrier(round, &mut states);
+    }
+    states
 }
 
 #[cfg(test)]
@@ -259,6 +417,108 @@ mod tests {
         set_threads(4);
         let out = parallel_map(10, |i| i + 1);
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        set_threads(0);
+    }
+
+    /// A ring workload: each shard forwards an accumulating token to
+    /// the next shard every round and folds received tokens into its
+    /// state. The final states depend on message ordering, so any
+    /// routing nondeterminism would show up immediately.
+    fn ring(n: usize, lanes: usize, rounds: usize) -> (Vec<u64>, Vec<u64>) {
+        let mut barrier_log = Vec::new();
+        let states = shard_rounds(
+            vec![0u64; n],
+            lanes,
+            rounds,
+            |i, s, round, inbox| {
+                for m in inbox {
+                    *s = s.wrapping_mul(31).wrapping_add(m);
+                }
+                vec![((i + 1) % n, (i as u64) << 8 | round as u64)]
+            },
+            |round, states| barrier_log.push(round as u64 + states.iter().sum::<u64>()),
+        );
+        (states, barrier_log)
+    }
+
+    #[test]
+    fn shard_rounds_is_lane_invariant() {
+        let _g = guard();
+        set_threads(8);
+        let baseline = ring(16, 1, 6);
+        for lanes in [2, 3, 8, 16, 64] {
+            assert_eq!(ring(16, lanes, 6), baseline, "lanes={lanes}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn shard_rounds_metrics_are_lane_invariant() {
+        let _g = guard();
+        let run = |lanes: usize, threads: usize| {
+            set_threads(threads);
+            obs::enable();
+            let states = shard_rounds(
+                vec![0u64; 12],
+                lanes,
+                4,
+                |i, s, _round, inbox| {
+                    obs::add_named("exec.shard.steps", 1);
+                    // Nested parallel_map inside a lane must stay
+                    // deterministic (and runs inline on lane threads).
+                    let sum: u64 = parallel_map(4, |k| (i + k) as u64).iter().sum();
+                    *s += sum + inbox.len() as u64;
+                    vec![((i + 5) % 12, i as u64)]
+                },
+                |_, _| {},
+            );
+            let snap = obs::snapshot().to_tsv();
+            obs::disable();
+            (states, snap)
+        };
+        let baseline = run(1, 1);
+        for (lanes, threads) in [(1, 8), (4, 1), (4, 8), (12, 8)] {
+            assert_eq!(
+                run(lanes, threads),
+                baseline,
+                "lanes={lanes} threads={threads}"
+            );
+        }
+        set_threads(0);
+        assert!(baseline.1.contains("exec.shard.steps\tcounter\t48"));
+    }
+
+    #[test]
+    fn shard_rounds_inbox_is_ordered_by_sender() {
+        let _g = guard();
+        set_threads(4);
+        // Every shard sends its index to shard 0 each round; shard 0
+        // must observe senders in index order every time.
+        let states = shard_rounds(
+            vec![Vec::new(); 8],
+            4,
+            3,
+            |i, s: &mut Vec<u64>, _round, inbox| {
+                s.extend(inbox);
+                vec![(0usize, i as u64)]
+            },
+            |_, _| {},
+        );
+        assert_eq!(states[0], {
+            let round: Vec<u64> = (0..8).collect();
+            let mut all = round.clone();
+            all.extend(&round);
+            all
+        });
+        set_threads(0);
+    }
+
+    #[test]
+    fn shard_rounds_barrier_sees_every_round() {
+        let _g = guard();
+        set_threads(2);
+        let (_, log) = ring(4, 2, 5);
+        assert_eq!(log.len(), 5);
         set_threads(0);
     }
 

@@ -432,6 +432,21 @@ pub fn chaos(cfg: &ChaosConfig, seed: u64) -> ChaosReport {
 /// or past the workload horizon, or a relay index outside the fleet.
 #[must_use]
 pub fn chaos_with_schedule(cfg: &ChaosConfig, seed: u64, schedule: &FaultSchedule) -> ChaosReport {
+    chaos_with_schedule_prefixed(cfg, seed, schedule, "control.")
+}
+
+/// [`chaos_with_schedule`] with control-plane counters exported under an
+/// explicit namespace prefix — the sharded engine runs one regional
+/// chaos loop per shard under `control.shard<k>.` and publishes the
+/// merged rollup under the classic `control.` names itself. Fault and
+/// invariant counters (`faults.*`, `obs.spans_dropped`) stay unprefixed:
+/// they sum across regions through ordinary counter absorption.
+pub(crate) fn chaos_with_schedule_prefixed(
+    cfg: &ChaosConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+    prefix: &str,
+) -> ChaosReport {
     assert_eq!(
         cfg.service.fidelity,
         transport::Fidelity::Des,
@@ -994,9 +1009,9 @@ pub fn chaos_with_schedule(cfg: &ChaosConfig, seed: u64, schedule: &FaultSchedul
     obs::set_span_recording(was_recording);
     let attribution = Attribution::attribute(&spans);
 
-    broker.publish();
-    fleet.publish();
-    slo.publish();
+    broker.publish_prefixed(prefix);
+    fleet.publish_prefixed(prefix);
+    slo.publish_prefixed(prefix);
     cache.publish();
     let counts = schedule.counts();
     obs::add_named("faults.injected", schedule.len() as u64);

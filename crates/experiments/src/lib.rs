@@ -23,6 +23,7 @@
 //! | [`multihop`] | §VII-B generalized: k-hop chains with online-bandit selection vs static/OLIA on the Fig. 12/13 flows, clean and under faults |
 //! | [`fuzzing`] | coverage-guided fault-schedule fuzzing of the chaos loop, with delta-debugged repros (`cronets fuzz`) |
 //! | [`soak`] | week-of-simulated-time chaos soak, checkpoint-resumable and byte-deterministic (`cronets soak`) |
+//! | [`sharded`] | the control plane at planetary scale: per-region shards with parallel brokers, hierarchical addressing, and epoch-barriered global reconciliation (`--planet`, `--shards`) |
 //!
 //! Every experiment is deterministic in its seed, returns a typed result,
 //! and knows how to render itself as the rows/series of the original
@@ -52,6 +53,7 @@ pub mod report;
 pub mod run_report;
 pub mod scenario;
 pub mod service;
+pub mod sharded;
 pub mod soak;
 pub mod sweep;
 pub mod thresholds;

@@ -27,13 +27,13 @@ use std::fmt;
 
 use cloud::{PortSpeed, TrafficPlan};
 use control::{
-    Broker, BrokerConfig, Decision, Fleet, FleetConfig, PathsPolicy, SloAccount, SloTarget,
-    WorkloadConfig,
+    Broker, BrokerConfig, Decision, Fleet, FleetConfig, FlowRequest, PathsPolicy, ShardMsg,
+    SloAccount, SloTarget, WorkloadConfig,
 };
 use cronets::eval::{modes_from_segments, quality, Measurement, OverlayEval, PairEval};
 use cronets::select::{achieved, PathChoice};
 use paths::{relay_hop_price_per_gb, ArmEval, BanditConfig, Candidate, EnumerateConfig, Hops};
-use routing::{RouteCache, RouterPath};
+use routing::{NodeAddr, RouteCache, RouterPath};
 use simcore::{EventQueue, SimDuration, SimTime};
 use topology::RouterId;
 use transport::model::tcp_throughput;
@@ -350,6 +350,48 @@ impl fmt::Display for ServiceReport {
     }
 }
 
+/// The relay *slots* a flow holds, in traversal order. Distinct from
+/// [`Hops`] (which packs overlay-node indices into `u8`s): a grouped
+/// fleet has many slots per node — up to 320 in the planetary config —
+/// so slot ids need 16 bits.
+#[derive(Debug, Clone, Copy)]
+struct SlotHops {
+    slots: [u16; 3],
+    len: u8,
+}
+
+impl SlotHops {
+    const EMPTY: SlotHops = SlotHops {
+        slots: [0; 3],
+        len: 0,
+    };
+
+    fn push(&mut self, slot: usize) {
+        assert!(slot <= usize::from(u16::MAX), "relay slot id overflows u16");
+        self.slots[usize::from(self.len)] = slot as u16;
+        self.len += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots[..usize::from(self.len)]
+            .iter()
+            .map(|&s| s.into())
+    }
+}
+
+/// Claims one slot per hop group, in traversal order.
+fn claim_slots(fleet: &mut Fleet, hops: &Hops) -> SlotHops {
+    let mut s = SlotHops::EMPTY;
+    for g in hops.iter() {
+        s.push(fleet.start_in_group(g));
+    }
+    s
+}
+
 /// A flow-level discrete event.
 enum Ev {
     /// Arrival `idx` of `epoch` reaches the broker.
@@ -357,12 +399,119 @@ enum Ev {
     /// An admitted flow finishes.
     Complete {
         tenant: u32,
-        /// The relay slots the flow holds, in traversal order (empty for
-        /// the direct path, one entry for the paper's one-hop overlay).
-        hops: Hops,
+        /// The relay slots the flow holds (empty for the direct path,
+        /// one entry for the paper's one-hop overlay).
+        slots: SlotHops,
         /// Achieved/direct throughput ratio (ground truth at admission).
         ratio: f64,
         issued: SimTime,
+    },
+    /// The egress leg of a cross-region flow finishes; the remainder is
+    /// handed to the destination region at the next epoch barrier.
+    RemoteEgress {
+        flow: u64,
+        /// Destination region index.
+        dst: u32,
+        tenant: u32,
+        slots: SlotHops,
+        /// Bytes the egress leg delivered.
+        handed: u64,
+        /// Bytes handed to the destination region.
+        remaining: u64,
+        /// Origin direct-path estimate, for a bounced retry.
+        direct_bps: f64,
+        rtt: SimDuration,
+        issued: SimTime,
+    },
+    /// The ingress leg of a flow handed off *to* this region finishes;
+    /// a `Done` goes back to the origin at the next barrier.
+    RemoteComplete {
+        flow: u64,
+        origin: u32,
+        tenant: u32,
+        slots: SlotHops,
+        ratio: f64,
+        remaining: u64,
+        issued: SimTime,
+    },
+}
+
+/// Cross-region behaviour of one shard of the sharded service; `None`
+/// in the classic single-region loop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RemoteCfg {
+    /// This shard's region index.
+    pub region: u32,
+    /// Total regions in the run.
+    pub regions: u32,
+    /// Per-mille of arrivals whose client is in another region.
+    pub permille: u32,
+    /// Record the byte-conservation ledger ([`RemoteEvent`]).
+    pub ledger: bool,
+}
+
+impl RemoteCfg {
+    /// Deterministically classifies an arrival: `None` keeps the flow
+    /// region-local; `Some((gid, dst))` marks it cross-region with a
+    /// globally unique flow id and a destination region. Pure in
+    /// `(region, request id)` — a SplitMix64 finalizer, no RNG draws,
+    /// so sharding never perturbs the workload substreams.
+    fn split(&self, req_id: u64) -> Option<(u64, u32)> {
+        if self.regions < 2 || self.permille == 0 {
+            return None;
+        }
+        let mut z = req_id ^ (u64::from(self.region) << 44) ^ 0x5EED_C0FF_EE00_0000;
+        z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if z % 1000 >= u64::from(self.permille) {
+            return None;
+        }
+        let mut d = ((z >> 10) % u64::from(self.regions - 1)) as u32;
+        if d >= self.region {
+            d += 1;
+        }
+        Some(((u64::from(self.region) << 48) | req_id, d))
+    }
+}
+
+/// One entry of the cross-region byte-conservation ledger, recorded in
+/// deterministic processing order when [`RemoteCfg::ledger`] is on. The
+/// shard-invariance tests replay it into `faults::Invariants` to prove
+/// a handed-off (and possibly bounced) flow accounts for every byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteEvent {
+    /// A cross-region flow arrived at its origin broker.
+    Requested {
+        /// Global flow id.
+        flow: u64,
+        /// Total bytes requested.
+        bytes: u64,
+    },
+    /// The origin broker denied the flow (terminal, no bytes moved).
+    Denied {
+        /// Global flow id.
+        flow: u64,
+    },
+    /// The egress leg delivered `delivered` bytes and handed the rest off.
+    HandedOff {
+        /// Global flow id.
+        flow: u64,
+        /// Bytes the egress leg delivered.
+        delivered: u64,
+    },
+    /// The destination bounced the flow back for a direct retry.
+    Retried {
+        /// Global flow id.
+        flow: u64,
+    },
+    /// The remainder was delivered (by the destination or the retry).
+    Completed {
+        /// Global flow id.
+        flow: u64,
+        /// Bytes delivered by this terminal segment.
+        delivered: u64,
     },
 }
 
@@ -477,112 +626,159 @@ pub(crate) fn pair_of(client: u64, n_pairs: usize) -> usize {
     ((z ^ (z >> 31)) % n_pairs as u64) as usize
 }
 
-/// Runs the online service loop. Deterministic in `(cfg, seed)` at any
-/// thread count.
-///
-/// # Panics
-///
-/// Panics if the configuration is inconsistent (tenant counts differ,
-/// fleet slots don't match the overlay, zero probe cadence, or no
-/// routable server/client pair).
-#[must_use]
-pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
-    if cfg.fidelity != Fidelity::Des {
-        assert_eq!(
-            cfg.paths,
-            PathsPolicy::OneHop,
-            "multihop paths require DES fidelity (chains have no analytic shortcut)"
-        );
-        return crate::hybrid::service_hybrid(cfg, seed);
-    }
-    assert!(cfg.probe_every >= 1, "probe_every must be at least 1");
-    assert_eq!(
-        cfg.workload.tenants as usize,
-        cfg.slo.len(),
-        "one SLO target per tenant"
-    );
-    let mut world = World::build(&cfg.scenario, seed);
-    assert_eq!(
-        cfg.fleet.relays,
-        world.cronet.nodes().len(),
-        "fleet slots must match the scenario's overlay nodes"
-    );
-
-    // The service's pair catalogue: every routable (server, client)
-    // combination; virtual workload clients map onto it round-robin.
-    let (mut cache, pairs) = prefetched_pairs(&world);
-
-    // Multihop policy: fix each pair's candidate chains once (static
-    // pruning keeps arm indices stable for the bandits' whole run) and
-    // warm the relay-mesh legs the chains ride on.
-    let multihop = cfg.paths == PathsPolicy::MultiHop;
-    let mut cands: Vec<Vec<Candidate>> = Vec::new();
-    if multihop {
-        let mesh: Vec<(RouterId, RouterId)> = world
-            .cronet
-            .nodes()
-            .iter()
-            .flat_map(|a| {
-                world
-                    .cronet
-                    .nodes()
-                    .iter()
-                    .filter(move |b| b.vm() != a.vm())
-                    .map(move |b| (a.vm(), b.vm()))
-            })
-            .collect();
-        cache.prefetch(&world.net, &mesh);
-        let ecfg = EnumerateConfig::khops(cfg.khops);
-        let hop_price = relay_hop_price_per_gb(cfg.fleet.port, cfg.fleet.plan);
-        let (net, nodes) = (&world.net, world.cronet.nodes());
-        let shared = &cache;
-        cands = exec::parallel_map(pairs.len(), |pi| {
-            let (s, c) = pairs[pi];
-            paths::enumerate(net, shared, nodes, s, c, &ecfg, hop_price)
-        });
-    }
-
-    // All arrivals up front: one work unit per epoch, pure in
-    // (seed, epoch), merged in epoch order.
-    let epochs = cfg.workload.epochs;
-    let arrivals_by_epoch = exec::parallel_map(epochs as usize, |e| {
-        cfg.workload.epoch_arrivals(seed, e as u32)
-    });
-    let total_arrivals: u64 = arrivals_by_epoch.iter().map(|a| a.len() as u64).sum();
-
-    let mut broker = Broker::new(cfg.broker);
-    if multihop {
-        broker.enable_multihop(cands.clone(), BanditConfig::service(), seed);
-    }
-    let mut fleet = Fleet::new(cfg.fleet);
-    let mut slo = SloAccount::new(cfg.slo.clone());
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut rows = Vec::with_capacity(epochs as usize);
+/// The service loop as a steppable state machine: the classic
+/// [`service`] entry point drives it epoch by epoch with empty
+/// mailboxes, and the sharded engine (`crate::sharded`) drives one per
+/// region with epoch-barriered cross-shard messages in between.
+pub(crate) struct ServiceLoop {
+    cfg: ServiceConfig,
+    world: World,
+    cache: RouteCache,
+    pairs: Vec<(RouterId, RouterId)>,
+    multihop: bool,
+    cands: Vec<Vec<Candidate>>,
+    arrivals_by_epoch: Vec<Vec<FlowRequest>>,
+    total_arrivals: u64,
+    broker: Broker,
+    fleet: Fleet,
+    slo: SloAccount,
+    queue: EventQueue<Ev>,
+    rows: Vec<EpochRow>,
     // Exact billing: accrue rent up to `billed_to` before every fleet
     // state change, so mid-epoch releases stop the meter mid-epoch.
-    let mut billed_to = SimTime::ZERO;
-    let horizon = SimTime::ZERO + cfg.workload.horizon();
-    let mut completed_total: u64 = 0;
+    billed_to: SimTime,
+    horizon: SimTime,
+    completed_total: u64,
+    remote: Option<RemoteCfg>,
+    outbox: Vec<ShardMsg>,
+    ledger: Vec<RemoteEvent>,
+    handoffs: u64,
+    retries: u64,
+}
 
-    for e in 0..epochs {
-        if e > 0 {
-            world.step_epoch(u64::from(e));
+impl ServiceLoop {
+    /// Builds the loop's world, pair catalogue, arrival schedule and
+    /// control-plane state. `remote` turns on the cross-region protocol
+    /// for one shard of the sharded service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (tenant counts
+    /// differ, fleet slots don't group evenly over the overlay nodes,
+    /// zero probe cadence, or no routable server/client pair).
+    pub(crate) fn new(cfg: &ServiceConfig, seed: u64, remote: Option<RemoteCfg>) -> ServiceLoop {
+        assert_eq!(cfg.fidelity, Fidelity::Des, "ServiceLoop is the DES path");
+        assert!(cfg.probe_every >= 1, "probe_every must be at least 1");
+        assert_eq!(
+            cfg.workload.tenants as usize,
+            cfg.slo.len(),
+            "one SLO target per tenant"
+        );
+        let world = World::build(&cfg.scenario, seed);
+        let nodes_n = world.cronet.nodes().len();
+        assert!(
+            cfg.fleet.relays.is_multiple_of(nodes_n),
+            "fleet slots must group evenly over the scenario's overlay nodes"
+        );
+
+        // The service's pair catalogue: every routable (server, client)
+        // combination; virtual workload clients map onto it round-robin.
+        let (mut cache, pairs) = prefetched_pairs(&world);
+
+        // Multihop policy: fix each pair's candidate chains once (static
+        // pruning keeps arm indices stable for the bandits' whole run)
+        // and warm the relay-mesh legs the chains ride on.
+        let multihop = cfg.paths == PathsPolicy::MultiHop;
+        let mut cands: Vec<Vec<Candidate>> = Vec::new();
+        if multihop {
+            let mesh: Vec<(RouterId, RouterId)> = world
+                .cronet
+                .nodes()
+                .iter()
+                .flat_map(|a| {
+                    world
+                        .cronet
+                        .nodes()
+                        .iter()
+                        .filter(move |b| b.vm() != a.vm())
+                        .map(move |b| (a.vm(), b.vm()))
+                })
+                .collect();
+            cache.prefetch(&world.net, &mesh);
+            let ecfg = EnumerateConfig::khops(cfg.khops);
+            let hop_price = relay_hop_price_per_gb(cfg.fleet.port, cfg.fleet.plan);
+            let (net, nodes) = (&world.net, world.cronet.nodes());
+            let shared = &cache;
+            cands = exec::parallel_map(pairs.len(), |pi| {
+                let (s, c) = pairs[pi];
+                paths::enumerate(net, shared, nodes, s, c, &ecfg, hop_price)
+            });
         }
-        let epoch_start = SimTime::ZERO + cfg.workload.epoch * u64::from(e);
-        let epoch_end = epoch_start + cfg.workload.epoch;
+
+        // All arrivals up front: one work unit per epoch, pure in
+        // (seed, epoch), merged in epoch order.
+        let epochs = cfg.workload.epochs;
+        let arrivals_by_epoch = exec::parallel_map(epochs as usize, |e| {
+            cfg.workload.epoch_arrivals(seed, e as u32)
+        });
+        let total_arrivals: u64 = arrivals_by_epoch.iter().map(|a| a.len() as u64).sum();
+
+        let mut broker = Broker::new(cfg.broker);
+        if multihop {
+            broker.enable_multihop(cands.clone(), BanditConfig::service(), seed);
+        }
+        let fleet = Fleet::grouped(cfg.fleet, nodes_n);
+        let slo = SloAccount::new(cfg.slo.clone());
+        let horizon = SimTime::ZERO + cfg.workload.horizon();
+        ServiceLoop {
+            cfg: cfg.clone(),
+            world,
+            cache,
+            pairs,
+            multihop,
+            cands,
+            arrivals_by_epoch,
+            total_arrivals,
+            broker,
+            fleet,
+            slo,
+            queue: EventQueue::new(),
+            rows: Vec::with_capacity(epochs as usize),
+            billed_to: SimTime::ZERO,
+            horizon,
+            completed_total: 0,
+            remote,
+            outbox: Vec::new(),
+            ledger: Vec::new(),
+            handoffs: 0,
+            retries: 0,
+        }
+    }
+
+    /// Runs epoch `e`: congestion step, path truth, probe refresh,
+    /// inbound cross-shard messages, the flow event loop, billing and
+    /// rebalance. `inbox` is empty in the classic single-region run.
+    pub(crate) fn run_epoch(&mut self, e: u32, inbox: Vec<ShardMsg>) {
+        if e > 0 {
+            self.world.step_epoch(u64::from(e));
+        }
+        let epoch_start = SimTime::ZERO + self.cfg.workload.epoch * u64::from(e);
+        let epoch_end = epoch_start + self.cfg.workload.epoch;
+        let multihop = self.multihop;
         let truth = if multihop {
             Vec::new()
         } else {
-            epoch_truth(&world, &cache, &pairs)
+            epoch_truth(&self.world, &self.cache, &self.pairs)
         };
         // Multihop ground truth: one work unit per pair scoring that
         // pair's fixed arms under the current congestion state.
         let ptruth: Vec<Vec<ArmEval>> = if multihop {
-            let net = &world.net;
-            let params = *world.cronet.params();
-            let tunnel = world.cronet.tunnel();
-            let nodes = world.cronet.nodes();
-            let (shared, arms) = (&cache, &cands);
+            let net = &self.world.net;
+            let params = *self.world.cronet.params();
+            let tunnel = self.world.cronet.tunnel();
+            let nodes = self.world.cronet.nodes();
+            let (shared, arms) = (&self.cache, &self.cands);
+            let pairs = &self.pairs;
             exec::parallel_map(pairs.len(), |pi| {
                 let (s, c) = pairs[pi];
                 paths::evaluate(net, shared, nodes, s, c, tunnel, &params, &arms[pi])
@@ -590,6 +786,26 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
         } else {
             Vec::new()
         };
+        let Self {
+            cfg,
+            pairs,
+            arrivals_by_epoch,
+            broker,
+            fleet,
+            slo,
+            queue,
+            rows,
+            billed_to,
+            horizon,
+            completed_total,
+            remote,
+            outbox,
+            ledger,
+            handoffs,
+            retries,
+            ..
+        } = self;
+        let horizon = *horizon;
         if multihop {
             // Budgeted, uncertainty-driven refresh replaces the flat
             // probe cadence: epoch 0 seeds every arm, after which each
@@ -601,7 +817,7 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
                     broker.probe_paths(pi, pt);
                 }
             }
-        } else if e % cfg.probe_every == 0 {
+        } else if e.is_multiple_of(cfg.probe_every) {
             for (pi, &(s, c)) in pairs.iter().enumerate() {
                 broker.observe(s, c, epoch_start, truth[pi].clone());
             }
@@ -618,15 +834,147 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
 
         let b0 = broker.stats();
         let (done0, viol0) = (slo.completed(), slo.violations());
+        let lg = remote.as_ref().is_some_and(|r| r.ledger);
+
+        // Cross-shard mailbox, delivered at the epoch barrier in
+        // (sender, emission) order. Handoffs are admitted against this
+        // region's relay pool at epoch start; Done/Retry settle the
+        // origin's SLO ledger.
+        for msg in inbox {
+            match msg {
+                ShardMsg::Handoff {
+                    flow,
+                    dst: _,
+                    origin,
+                    tenant,
+                    remaining,
+                    handed: _,
+                    direct_bps,
+                    rtt,
+                    issued,
+                } => {
+                    let pi = pair_of(flow, pairs.len());
+                    // The ingress leg must ride this region's relays: a
+                    // handoff is only worth taking onto overlay
+                    // capacity. No spare relay (or a deny) bounces the
+                    // flow back to the origin for a direct retry.
+                    let admitted = if multihop {
+                        let (decision, arm) = broker.decide_paths(pi, |n| fleet.group_free(n));
+                        match decision {
+                            Decision::Overlay { node, .. } => Some((Hops::single(node), arm)),
+                            Decision::Chain { hops, .. } => Some((hops, arm)),
+                            _ => None,
+                        }
+                        .map(|(hops, arm)| {
+                            let slots = claim_slots(fleet, &hops);
+                            let at = ptruth[pi][arm];
+                            broker.learn_path(pi, arm, at.bps);
+                            (slots, at.bps, at.rtt, ptruth[pi][0].bps)
+                        })
+                    } else {
+                        let (s, c) = pairs[pi];
+                        match broker.decide(s, c, epoch_start, |n| fleet.group_free(n)) {
+                            Decision::Overlay { node, .. } => {
+                                let tr = &truth[pi];
+                                let slots = claim_slots(fleet, &Hops::single(node));
+                                let bps_true = achieved(tr, PathChoice::Overlay(node));
+                                let leg_rtt = tr
+                                    .overlays
+                                    .iter()
+                                    .find(|o| o.node == node)
+                                    .map_or(tr.direct.rtt, |o| o.split.rtt);
+                                Some((slots, bps_true, leg_rtt, tr.direct.throughput_bps))
+                            }
+                            _ => None,
+                        }
+                    };
+                    match admitted {
+                        Some((slots, bps, leg_rtt, direct_true)) => {
+                            let done = epoch_start + completion_time(remaining, bps, leg_rtt);
+                            queue.schedule(
+                                done,
+                                Ev::RemoteComplete {
+                                    flow,
+                                    origin,
+                                    tenant,
+                                    slots,
+                                    ratio: bps / direct_true.max(1.0),
+                                    remaining,
+                                    issued,
+                                },
+                            );
+                        }
+                        None => outbox.push(ShardMsg::Retry {
+                            flow,
+                            origin,
+                            tenant,
+                            remaining,
+                            direct_bps,
+                            rtt,
+                            issued,
+                        }),
+                    }
+                }
+                ShardMsg::Done {
+                    flow,
+                    origin: _,
+                    tenant,
+                    remaining,
+                    ratio,
+                    latency,
+                } => {
+                    slo.record_completion(tenant, ratio, latency);
+                    *completed_total += 1;
+                    if lg {
+                        ledger.push(RemoteEvent::Completed {
+                            flow,
+                            delivered: remaining,
+                        });
+                    }
+                }
+                ShardMsg::Retry {
+                    flow,
+                    origin: _,
+                    tenant,
+                    remaining,
+                    direct_bps,
+                    rtt,
+                    issued,
+                } => {
+                    // Settle the remainder on the origin's direct path.
+                    *retries += 1;
+                    let done = epoch_start + completion_time(remaining, direct_bps, rtt);
+                    slo.record_completion(tenant, 1.0, done - issued);
+                    *completed_total += 1;
+                    if lg {
+                        ledger.push(RemoteEvent::Retried { flow });
+                        ledger.push(RemoteEvent::Completed {
+                            flow,
+                            delivered: remaining,
+                        });
+                    }
+                }
+            }
+        }
 
         while let Some((now, ev)) = queue.pop_before(epoch_end) {
             match ev {
                 Ev::Arrive { epoch, idx } if multihop => {
                     let req = &arrivals_by_epoch[epoch as usize][idx as usize];
                     let pi = pair_of(req.client, pairs.len());
-                    let (decision, arm) = broker.decide_paths(pi, |n| fleet.is_free(n));
+                    let (decision, arm) = broker.decide_paths(pi, |n| fleet.group_free(n));
+                    let split = remote.as_ref().and_then(|rc| rc.split(req.id));
                     if decision == Decision::Deny {
                         slo.record_denial(req.tenant);
+                        if lg {
+                            if let Some((gid, _)) = split {
+                                ledger.push(RemoteEvent::Requested {
+                                    flow: gid,
+                                    bytes: req.bytes,
+                                });
+                                ledger.push(RemoteEvent::Denied { flow: gid });
+                            }
+                        }
                         continue;
                     }
                     let hops = match decision {
@@ -635,71 +983,133 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
                         Decision::Chain { hops, .. } => hops,
                         Decision::Deny => unreachable!(),
                     };
-                    for r in hops.iter() {
-                        fleet.flow_started(r);
-                    }
+                    let slots = claim_slots(fleet, &hops);
                     // Ground truth for the chosen arm, not the bandit's
                     // estimate — a stale belief earns the real rate. The
                     // carried flow's rate also feeds the bandit for free.
                     let at = ptruth[pi][arm];
                     broker.learn_path(pi, arm, at.bps);
-                    let ratio = if hops.is_empty() {
-                        1.0
-                    } else {
-                        at.bps / ptruth[pi][0].bps.max(1.0)
-                    };
-                    let done = now + completion_time(req.bytes, at.bps, at.rtt);
-                    queue.schedule(
-                        done,
-                        Ev::Complete {
-                            tenant: req.tenant,
-                            hops,
-                            ratio,
-                            issued: now,
-                        },
-                    );
+                    match split {
+                        Some((gid, dst)) => {
+                            let handed = req.bytes / 2;
+                            if lg {
+                                ledger.push(RemoteEvent::Requested {
+                                    flow: gid,
+                                    bytes: req.bytes,
+                                });
+                            }
+                            let done = now + completion_time(handed, at.bps, at.rtt);
+                            queue.schedule(
+                                done,
+                                Ev::RemoteEgress {
+                                    flow: gid,
+                                    dst,
+                                    tenant: req.tenant,
+                                    slots,
+                                    handed,
+                                    remaining: req.bytes - handed,
+                                    direct_bps: ptruth[pi][0].bps,
+                                    rtt: ptruth[pi][0].rtt,
+                                    issued: now,
+                                },
+                            );
+                        }
+                        None => {
+                            let ratio = if hops.is_empty() {
+                                1.0
+                            } else {
+                                at.bps / ptruth[pi][0].bps.max(1.0)
+                            };
+                            let done = now + completion_time(req.bytes, at.bps, at.rtt);
+                            queue.schedule(
+                                done,
+                                Ev::Complete {
+                                    tenant: req.tenant,
+                                    slots,
+                                    ratio,
+                                    issued: now,
+                                },
+                            );
+                        }
+                    }
                 }
                 Ev::Arrive { epoch, idx } => {
                     let req = &arrivals_by_epoch[epoch as usize][idx as usize];
                     let pi = pair_of(req.client, pairs.len());
                     let (s, c) = pairs[pi];
-                    let decision = broker.decide(s, c, now, |n| fleet.is_free(n));
+                    let decision = broker.decide(s, c, now, |n| fleet.group_free(n));
                     let tr = &truth[pi];
                     let direct_true = tr.direct.throughput_bps;
-                    match decision {
-                        Decision::Deny => slo.record_denial(req.tenant),
+                    let split = remote.as_ref().and_then(|rc| rc.split(req.id));
+                    let (slots, bps_true, leg_rtt) = match decision {
+                        Decision::Deny => {
+                            slo.record_denial(req.tenant);
+                            if lg {
+                                if let Some((gid, _)) = split {
+                                    ledger.push(RemoteEvent::Requested {
+                                        flow: gid,
+                                        bytes: req.bytes,
+                                    });
+                                    ledger.push(RemoteEvent::Denied { flow: gid });
+                                }
+                            }
+                            continue;
+                        }
                         Decision::Chain { .. } => {
                             unreachable!("one-hop broker never emits chains")
                         }
-                        Decision::Direct { .. } => {
-                            let done = now + completion_time(req.bytes, direct_true, tr.direct.rtt);
-                            queue.schedule(
-                                done,
-                                Ev::Complete {
-                                    tenant: req.tenant,
-                                    hops: Hops::direct(),
-                                    ratio: 1.0,
-                                    issued: now,
-                                },
-                            );
-                        }
+                        Decision::Direct { .. } => (SlotHops::EMPTY, direct_true, tr.direct.rtt),
                         Decision::Overlay { node, .. } => {
-                            fleet.flow_started(node);
+                            let slots = claim_slots(fleet, &Hops::single(node));
                             // Ground truth, not the (possibly stale)
                             // probe: a stale steer earns a stale rate.
                             let bps_true = achieved(tr, PathChoice::Overlay(node));
-                            let rtt = tr
+                            let leg_rtt = tr
                                 .overlays
                                 .iter()
                                 .find(|o| o.node == node)
                                 .map_or(tr.direct.rtt, |o| o.split.rtt);
-                            let done = now + completion_time(req.bytes, bps_true, rtt);
+                            (slots, bps_true, leg_rtt)
+                        }
+                    };
+                    match split {
+                        Some((gid, dst)) => {
+                            let handed = req.bytes / 2;
+                            if lg {
+                                ledger.push(RemoteEvent::Requested {
+                                    flow: gid,
+                                    bytes: req.bytes,
+                                });
+                            }
+                            let done = now + completion_time(handed, bps_true, leg_rtt);
+                            queue.schedule(
+                                done,
+                                Ev::RemoteEgress {
+                                    flow: gid,
+                                    dst,
+                                    tenant: req.tenant,
+                                    slots,
+                                    handed,
+                                    remaining: req.bytes - handed,
+                                    direct_bps: direct_true,
+                                    rtt: tr.direct.rtt,
+                                    issued: now,
+                                },
+                            );
+                        }
+                        None => {
+                            let ratio = if slots.is_empty() {
+                                1.0
+                            } else {
+                                bps_true / direct_true.max(1.0)
+                            };
+                            let done = now + completion_time(req.bytes, bps_true, leg_rtt);
                             queue.schedule(
                                 done,
                                 Ev::Complete {
                                     tenant: req.tenant,
-                                    hops: Hops::single(node),
-                                    ratio: bps_true / direct_true.max(1.0),
+                                    slots,
+                                    ratio,
                                     issued: now,
                                 },
                             );
@@ -708,26 +1118,90 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
                 }
                 Ev::Complete {
                     tenant,
-                    hops,
+                    slots,
                     ratio,
                     issued,
                 } => {
-                    if !hops.is_empty() {
+                    if !slots.is_empty() {
                         // A completed drain stops these relays' meters now.
-                        fleet.accrue(now.min(horizon).saturating_duration_since(billed_to));
-                        billed_to = now.min(horizon).max(billed_to);
-                        for r in hops.iter() {
+                        fleet.accrue(now.min(horizon).saturating_duration_since(*billed_to));
+                        *billed_to = now.min(horizon).max(*billed_to);
+                        for r in slots.iter() {
                             fleet.flow_finished(r);
                         }
                     }
                     slo.record_completion(tenant, ratio, now - issued);
-                    completed_total += 1;
+                    *completed_total += 1;
+                }
+                Ev::RemoteEgress {
+                    flow,
+                    dst,
+                    tenant,
+                    slots,
+                    handed,
+                    remaining,
+                    direct_bps,
+                    rtt,
+                    issued,
+                } => {
+                    if !slots.is_empty() {
+                        fleet.accrue(now.min(horizon).saturating_duration_since(*billed_to));
+                        *billed_to = now.min(horizon).max(*billed_to);
+                        for r in slots.iter() {
+                            fleet.flow_finished(r);
+                        }
+                    }
+                    if lg {
+                        ledger.push(RemoteEvent::HandedOff {
+                            flow,
+                            delivered: handed,
+                        });
+                    }
+                    let origin = remote
+                        .as_ref()
+                        .expect("remote event without RemoteCfg")
+                        .region;
+                    *handoffs += 1;
+                    outbox.push(ShardMsg::Handoff {
+                        flow,
+                        dst: NodeAddr::region_gateway(dst as u8).raw(),
+                        origin,
+                        tenant,
+                        remaining,
+                        handed,
+                        direct_bps,
+                        rtt,
+                        issued,
+                    });
+                }
+                Ev::RemoteComplete {
+                    flow,
+                    origin,
+                    tenant,
+                    slots,
+                    ratio,
+                    remaining,
+                    issued,
+                } => {
+                    fleet.accrue(now.min(horizon).saturating_duration_since(*billed_to));
+                    *billed_to = now.min(horizon).max(*billed_to);
+                    for r in slots.iter() {
+                        fleet.flow_finished(r);
+                    }
+                    outbox.push(ShardMsg::Done {
+                        flow,
+                        origin,
+                        tenant,
+                        remaining,
+                        ratio,
+                        latency: now - issued,
+                    });
                 }
             }
         }
 
-        fleet.accrue(epoch_end.saturating_duration_since(billed_to));
-        billed_to = epoch_end;
+        fleet.accrue(epoch_end.saturating_duration_since(*billed_to));
+        *billed_to = epoch_end;
         fleet.rebalance(horizon - epoch_end);
 
         let b1 = broker.stats();
@@ -747,42 +1221,233 @@ pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
         });
     }
 
-    // Tail: flows admitted near the horizon finish after it. They still
-    // count for the SLO ledger but accrue no rent past the horizon (the
-    // run's billing window is the configured day).
-    while let Some((now, ev)) = queue.pop() {
-        match ev {
-            Ev::Arrive { .. } => unreachable!("arrivals all lie inside the horizon"),
-            Ev::Complete {
-                tenant,
-                hops,
-                ratio,
-                issued,
-            } => {
-                for r in hops.iter() {
-                    fleet.flow_finished(r);
+    /// Drains every event past the horizon. Flows admitted near the
+    /// horizon still count for the SLO ledger but accrue no rent past
+    /// it (the run's billing window is the configured day); remote legs
+    /// still emit their barrier messages.
+    pub(crate) fn drain_tail(&mut self) {
+        let lg = self.remote.as_ref().is_some_and(|r| r.ledger);
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Ev::Arrive { .. } => unreachable!("arrivals all lie inside the horizon"),
+                Ev::Complete {
+                    tenant,
+                    slots,
+                    ratio,
+                    issued,
+                } => {
+                    for r in slots.iter() {
+                        self.fleet.flow_finished(r);
+                    }
+                    self.slo.record_completion(tenant, ratio, now - issued);
+                    self.completed_total += 1;
                 }
-                slo.record_completion(tenant, ratio, now - issued);
-                completed_total += 1;
+                Ev::RemoteEgress {
+                    flow,
+                    dst,
+                    tenant,
+                    slots,
+                    handed,
+                    remaining,
+                    direct_bps,
+                    rtt,
+                    issued,
+                } => {
+                    for r in slots.iter() {
+                        self.fleet.flow_finished(r);
+                    }
+                    if lg {
+                        self.ledger.push(RemoteEvent::HandedOff {
+                            flow,
+                            delivered: handed,
+                        });
+                    }
+                    let origin = self
+                        .remote
+                        .as_ref()
+                        .expect("remote event without RemoteCfg")
+                        .region;
+                    self.handoffs += 1;
+                    self.outbox.push(ShardMsg::Handoff {
+                        flow,
+                        dst: NodeAddr::region_gateway(dst as u8).raw(),
+                        origin,
+                        tenant,
+                        remaining,
+                        handed,
+                        direct_bps,
+                        rtt,
+                        issued,
+                    });
+                }
+                Ev::RemoteComplete {
+                    flow,
+                    origin,
+                    tenant,
+                    slots,
+                    ratio,
+                    remaining,
+                    issued,
+                } => {
+                    for r in slots.iter() {
+                        self.fleet.flow_finished(r);
+                    }
+                    self.outbox.push(ShardMsg::Done {
+                        flow,
+                        origin,
+                        tenant,
+                        remaining,
+                        ratio,
+                        latency: now - issued,
+                    });
+                }
             }
         }
     }
 
-    broker.publish();
-    fleet.publish();
-    slo.publish();
-    cache.publish();
-
-    ServiceReport {
-        rows,
-        broker: broker.stats(),
-        fleet: fleet.stats(),
-        arrivals: total_arrivals,
-        completed: completed_total,
-        spend_usd: fleet.spend_usd(),
-        budget_usd: cfg.fleet.budget_usd,
-        slo,
+    /// Post-horizon settlement of messages still crossing the barrier
+    /// after the last epoch: a late handoff is settled on the direct
+    /// path (the relay pools are past their billing window), and
+    /// Done/Retry replies land on the origin's SLO ledger as usual.
+    pub(crate) fn settle(&mut self, inbox: Vec<ShardMsg>) {
+        let lg = self.remote.as_ref().is_some_and(|r| r.ledger);
+        let horizon = self.horizon;
+        for msg in inbox {
+            match msg {
+                ShardMsg::Handoff {
+                    flow,
+                    dst: _,
+                    origin,
+                    tenant,
+                    remaining,
+                    handed: _,
+                    direct_bps,
+                    rtt,
+                    issued,
+                } => {
+                    let done = horizon + completion_time(remaining, direct_bps, rtt);
+                    self.outbox.push(ShardMsg::Done {
+                        flow,
+                        origin,
+                        tenant,
+                        remaining,
+                        ratio: 1.0,
+                        latency: done - issued,
+                    });
+                }
+                ShardMsg::Done {
+                    flow,
+                    origin: _,
+                    tenant,
+                    remaining,
+                    ratio,
+                    latency,
+                } => {
+                    self.slo.record_completion(tenant, ratio, latency);
+                    self.completed_total += 1;
+                    if lg {
+                        self.ledger.push(RemoteEvent::Completed {
+                            flow,
+                            delivered: remaining,
+                        });
+                    }
+                }
+                ShardMsg::Retry {
+                    flow,
+                    origin: _,
+                    tenant,
+                    remaining,
+                    direct_bps,
+                    rtt,
+                    issued,
+                } => {
+                    self.retries += 1;
+                    let done = horizon + completion_time(remaining, direct_bps, rtt);
+                    self.slo.record_completion(tenant, 1.0, done - issued);
+                    self.completed_total += 1;
+                    if lg {
+                        self.ledger.push(RemoteEvent::Retried { flow });
+                        self.ledger.push(RemoteEvent::Completed {
+                            flow,
+                            delivered: remaining,
+                        });
+                    }
+                }
+            }
+        }
     }
+
+    /// Takes the messages emitted since the last barrier.
+    pub(crate) fn take_outbox(&mut self) -> Vec<ShardMsg> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Takes the ledger events recorded since the last barrier.
+    pub(crate) fn take_ledger(&mut self) -> Vec<RemoteEvent> {
+        std::mem::take(&mut self.ledger)
+    }
+
+    /// Exact spend as `f64` bits, for the ordered global rollup.
+    pub(crate) fn spend_bits(&self) -> u64 {
+        self.fleet.spend_usd().to_bits()
+    }
+
+    /// Replaces this shard's budget (the global reconciler's lever).
+    pub(crate) fn set_budget(&mut self, budget_usd: f64) {
+        self.fleet.set_budget(budget_usd);
+    }
+
+    /// Finishes the run: publishes telemetry (under `prefix` when
+    /// given, e.g. `control.` or `control.shard3.`; the route cache is
+    /// always published unprefixed) and returns the report.
+    pub(crate) fn into_report(self, prefix: Option<&str>) -> ServiceReport {
+        if let Some(p) = prefix {
+            self.broker.publish_prefixed(p);
+            self.fleet.publish_prefixed(p);
+            self.slo.publish_prefixed(p);
+            self.cache.publish();
+            if self.remote.is_some() {
+                obs::add_named(&format!("{p}remote.handoffs"), self.handoffs);
+                obs::add_named(&format!("{p}remote.retries"), self.retries);
+            }
+        }
+        ServiceReport {
+            rows: self.rows,
+            broker: self.broker.stats(),
+            fleet: self.fleet.stats(),
+            arrivals: self.total_arrivals,
+            completed: self.completed_total,
+            spend_usd: self.fleet.spend_usd(),
+            budget_usd: self.cfg.fleet.budget_usd,
+            slo: self.slo,
+        }
+    }
+}
+
+/// Runs the online service loop. Deterministic in `(cfg, seed)` at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (tenant counts differ,
+/// fleet slots don't group evenly over the overlay nodes, zero probe
+/// cadence, or no routable server/client pair).
+#[must_use]
+pub fn service(cfg: &ServiceConfig, seed: u64) -> ServiceReport {
+    if cfg.fidelity != Fidelity::Des {
+        assert_eq!(
+            cfg.paths,
+            PathsPolicy::OneHop,
+            "multihop paths require DES fidelity (chains have no analytic shortcut)"
+        );
+        return crate::hybrid::service_hybrid(cfg, seed);
+    }
+    let mut svc = ServiceLoop::new(cfg, seed, None);
+    for e in 0..cfg.workload.epochs {
+        svc.run_epoch(e, Vec::new());
+    }
+    svc.drain_tail();
+    svc.into_report(Some("control."))
 }
 
 #[cfg(test)]

@@ -1,0 +1,671 @@
+//! The sharded control plane: parallel per-region brokers behind
+//! epoch-barriered, hierarchically-addressed mailboxes.
+//!
+//! The classic [`crate::service`] loop is one broker, one fleet, one SLO
+//! ledger and one workload stream — fine for the paper's five relays,
+//! hopeless at planetary scale where a single grouped fleet pays a full
+//! group scan per admission probe. This module splits the control plane
+//! in two:
+//!
+//! * a **shard-local decision layer** — one [`ServiceLoop`] per region,
+//!   owning its broker, grouped fleet, SLO ledger, probe cache, workload
+//!   substream and RNG stream, stepped one epoch per round on
+//!   [`exec::shard_rounds`] worker lanes;
+//! * a **global reconciliation layer** — the barrier closure, run on the
+//!   calling thread between rounds: it routes cross-region messages by
+//!   [`GeoTable`] longest-prefix lookup over hierarchical [`NodeAddr`]
+//!   destinations, and reconciles the cloud budget by folding per-region
+//!   spends in region order over exact `f64` bit patterns
+//!   ([`merge_spend_bits`]) and re-granting each region its own spend
+//!   plus an equal share of the global headroom.
+//!
+//! Cross-region flows follow the [`ShardMsg`] protocol: a deterministic
+//! per-mille of arrivals (a SplitMix64 finalizer over the request id —
+//! no RNG draws, so sharding never perturbs the workload substreams)
+//! transfer their first leg at the origin, then hand the remainder off
+//! to the destination region (`Handoff`, addressed to the destination's
+//! region gateway [`NodeAddr`]). The destination admits the ingress leg
+//! onto its own relays and replies `Done`, or bounces the flow back
+//! (`Retry`) for settlement on the origin's direct path. Every byte is
+//! accounted at the origin: the optional [`RemoteEvent`] ledger replays
+//! into `faults::Invariants` to prove conservation across handoffs and
+//! bounces.
+//!
+//! # Determinism
+//!
+//! A sharded run is a pure function of `(config, seed)` for **any**
+//! `(--shards, --threads)` combination: lanes use static shard
+//! assignment, mailboxes deliver in (sender shard, emission) order, the
+//! barrier folds in region order on one thread, and telemetry rides the
+//! `obs` unit-shard capture path. With one region the engine defers to
+//! the classic loop, byte for byte.
+
+use control::shard::{merge_spend_bits, publish_broker_stats, publish_fleet_stats};
+use control::{BrokerStats, FleetStats, ShardMsg, SloAccount};
+use routing::{GeoPrefix, GeoTable, NodeAddr};
+use simcore::SimDuration;
+use transport::Fidelity;
+
+use crate::attribution::Attribution;
+use crate::chaos::{chaos, chaos_with_schedule_prefixed, ChaosConfig, ChaosReport, ChaosRow};
+use crate::service::{
+    service, EpochRow, RemoteCfg, RemoteEvent, ServiceConfig, ServiceLoop, ServiceReport,
+};
+
+/// Configuration of a sharded service run: the per-region service
+/// config plus the region fabric it is replicated over.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// The per-region service configuration (every region runs an
+    /// identical config under its own seed substream).
+    pub service: ServiceConfig,
+    /// Number of regions (= control-plane shards), 1..=256. Region `r`
+    /// owns the hierarchical address block `[r >> 4][r & 0xF][*][*]`.
+    pub regions: u32,
+    /// Per-mille of arrivals whose client lives in another region; those
+    /// flows cross the shard boundary via the [`ShardMsg`] protocol.
+    pub remote_permille: u32,
+}
+
+impl ShardedConfig {
+    /// The PR-10 planetary run: 64 regions × 162 500 arrivals over
+    /// 1 600 relay slots each — 10.4 M arrivals over 102 400 relays.
+    /// Each region is the smoke world (five overlay DCs) with 320 slots
+    /// per DC group, under a ~3.5-simulated-hour day of 50 epochs.
+    #[must_use]
+    pub fn planetary() -> ShardedConfig {
+        let mut service = ServiceConfig::smoke();
+        let epoch = SimDuration::from_secs(250);
+        let epochs = 50;
+        service.workload.epochs = epochs;
+        service.workload.epoch = epoch;
+        service.workload.mean_rate_per_sec = 13.0;
+        service.workload.diurnal_period = epoch * u64::from(epochs);
+        service.broker.max_probe_age = epoch.mul_f64(1.5);
+        service.fleet.relays = 1600;
+        service.fleet.budget_usd = 1.50;
+        ShardedConfig {
+            service,
+            regions: 64,
+            remote_permille: 20,
+        }
+    }
+
+    /// CI-sized planetary run: 8 regions × ~4 500 arrivals over 40 relay
+    /// slots each, small enough that the shard-invariance golden matrix
+    /// (shards × threads × seeds) stays cheap.
+    #[must_use]
+    pub fn planetary_smoke() -> ShardedConfig {
+        let mut service = ServiceConfig::smoke();
+        service.workload.epochs = 12;
+        service.workload.mean_rate_per_sec = 2.5;
+        service.workload.diurnal_period = service.workload.epoch * 12;
+        service.fleet.relays = 40;
+        ShardedConfig {
+            service,
+            regions: 8,
+            remote_permille: 60,
+        }
+    }
+
+    /// The same total workload and relay estate folded into one region —
+    /// the unsharded baseline the bench harness races the sharded engine
+    /// against. One broker scans `regions`-times-larger fleet groups per
+    /// admission probe, which is exactly the scaling wall PR 10 removes.
+    #[must_use]
+    pub fn monolithic(&self) -> ServiceConfig {
+        let mut cfg = self.service.clone();
+        let r = f64::from(self.regions);
+        cfg.workload.mean_rate_per_sec *= r;
+        cfg.fleet.relays *= self.regions as usize;
+        cfg.fleet.budget_usd *= r;
+        cfg
+    }
+}
+
+/// SplitMix64 over `(seed, region)`: each region's world, workload and
+/// bandit streams come from an independent substream.
+fn region_seed(seed: u64, region: u32) -> u64 {
+    let mut z = seed ^ (u64::from(region).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the sharded service: `shards` worker lanes over
+/// `cfg.regions` region loops. Deterministic in `(cfg, seed)` at any
+/// `(shards, threads)`; with one region it defers to the classic
+/// [`service`] loop byte for byte.
+///
+/// # Panics
+///
+/// Panics on an inconsistent configuration: zero shards or regions,
+/// more than 256 regions (the address space's region field is 8 bits),
+/// a non-DES fidelity, or any [`crate::service::ServiceLoop`]
+/// construction failure.
+#[must_use]
+pub fn service_sharded(cfg: &ShardedConfig, seed: u64, shards: usize) -> ServiceReport {
+    service_sharded_with_ledgers(cfg, seed, shards, false).0
+}
+
+/// [`service_sharded`] with the cross-region byte-conservation ledger
+/// switched on: also returns each region's [`RemoteEvent`] stream (in
+/// region order), for replay into `faults::Invariants`.
+///
+/// # Panics
+///
+/// See [`service_sharded`].
+#[must_use]
+pub fn service_sharded_with_ledgers(
+    cfg: &ShardedConfig,
+    seed: u64,
+    shards: usize,
+    ledger: bool,
+) -> (ServiceReport, Vec<Vec<RemoteEvent>>) {
+    assert!(shards >= 1, "at least one shard lane");
+    assert!(
+        (1..=256).contains(&cfg.regions),
+        "regions must fit the 8-bit region field (1..=256)"
+    );
+    assert_eq!(
+        cfg.service.fidelity,
+        Fidelity::Des,
+        "the sharded service is a DES engine"
+    );
+    if cfg.regions == 1 {
+        // One region is the classic loop; run it unchanged so the
+        // existing goldens hold byte for byte.
+        return (service(&cfg.service, seed), vec![Vec::new()]);
+    }
+    let regions = cfg.regions as usize;
+    let epochs = cfg.service.workload.epochs as usize;
+
+    // The routing table of the global layer: one region-granularity
+    // prefix per shard. Handoffs carry full [Geo1][Geo2][Group][Index]
+    // destinations; longest-prefix match owns the resolution.
+    let mut table = GeoTable::new();
+    for r in 0..cfg.regions {
+        table.insert(GeoPrefix::Region(r as u8), r);
+    }
+    table.build();
+    let table = &table;
+
+    // Region loops are built in region order on the calling thread —
+    // construction telemetry lands identically at any lane count.
+    let states: Vec<ServiceLoop> = (0..cfg.regions)
+        .map(|r| {
+            ServiceLoop::new(
+                &cfg.service,
+                region_seed(seed, r),
+                Some(RemoteCfg {
+                    region: r,
+                    regions: cfg.regions,
+                    permille: cfg.remote_permille,
+                    ledger,
+                }),
+            )
+        })
+        .collect();
+
+    // Rounds 0..epochs run epochs; round `epochs` drains each region's
+    // event tail; two further settle rounds flush Handoff → Done/Retry
+    // chains still crossing the barrier (the protocol's longest chain).
+    let rounds = epochs + 3;
+    let global_budget = cfg.service.fleet.budget_usd * cfg.regions as f64;
+    let states = exec::shard_rounds(
+        states,
+        shards,
+        rounds,
+        |_i, svc: &mut ServiceLoop, round, inbox: Vec<ShardMsg>| {
+            if round < epochs {
+                svc.run_epoch(round as u32, inbox);
+            } else if round == epochs {
+                svc.drain_tail();
+                svc.settle(inbox);
+            } else {
+                svc.settle(inbox);
+            }
+            svc.take_outbox()
+                .into_iter()
+                .map(|m| {
+                    let dst = match &m {
+                        ShardMsg::Handoff { dst, .. } => table
+                            .lookup(NodeAddr::from_raw(*dst))
+                            .expect("handoff names an unrouted region")
+                            as usize,
+                        ShardMsg::Done { origin, .. } | ShardMsg::Retry { origin, .. } => {
+                            *origin as usize
+                        }
+                    };
+                    (dst, m)
+                })
+                .collect()
+        },
+        |round, states: &mut [ServiceLoop]| {
+            // Budget reconciliation, on the calling thread in region
+            // order: every region keeps what it has spent and receives
+            // an equal share of the global headroom. Exact-bits folding
+            // makes the rollup independent of the lane schedule.
+            if round >= epochs {
+                return;
+            }
+            let spends: Vec<u64> = states.iter().map(ServiceLoop::spend_bits).collect();
+            let total = merge_spend_bits(spends.iter().copied());
+            let share = (global_budget - total).max(0.0) / states.len() as f64;
+            for (svc, bits) in states.iter_mut().zip(spends) {
+                svc.set_budget(f64::from_bits(bits) + share);
+            }
+        },
+    );
+
+    // Per-region publication under `control.shard<r>.`, then the merged
+    // rollup under the classic `control.` names — all in region order.
+    let mut ledgers = Vec::with_capacity(regions);
+    let mut reports = Vec::with_capacity(regions);
+    for (r, mut svc) in states.into_iter().enumerate() {
+        ledgers.push(svc.take_ledger());
+        reports.push(svc.into_report(Some(&format!("control.shard{r}."))));
+    }
+    (merge_service_reports(&reports, global_budget), ledgers)
+}
+
+/// Folds per-region [`ServiceReport`]s into the global report and
+/// publishes the merged `control.*` rollup: counters absorb in region
+/// order, utilization averages, and spends fold over exact `f64` bits.
+fn merge_service_reports(reports: &[ServiceReport], global_budget: f64) -> ServiceReport {
+    let epochs = reports[0].rows.len();
+    let regions = reports.len();
+    let rows: Vec<EpochRow> = (0..epochs)
+        .map(|e| {
+            let mut row = EpochRow {
+                epoch: e as u32,
+                arrivals: 0,
+                overlay: 0,
+                direct: 0,
+                denied: 0,
+                stale: 0,
+                completed: 0,
+                violations: 0,
+                active: 0,
+                draining: 0,
+                util: 0.0,
+                spend_usd: 0.0,
+            };
+            for rep in reports {
+                let r = &rep.rows[e];
+                row.arrivals += r.arrivals;
+                row.overlay += r.overlay;
+                row.direct += r.direct;
+                row.denied += r.denied;
+                row.stale += r.stale;
+                row.completed += r.completed;
+                row.violations += r.violations;
+                row.active += r.active;
+                row.draining += r.draining;
+                row.util += r.util;
+            }
+            row.util /= regions as f64;
+            row.spend_usd =
+                merge_spend_bits(reports.iter().map(|rep| rep.rows[e].spend_usd.to_bits()));
+            row
+        })
+        .collect();
+
+    let mut broker = BrokerStats::default();
+    let mut fleet = FleetStats::default();
+    let mut slo: Option<SloAccount> = None;
+    let mut arrivals = 0u64;
+    let mut completed = 0u64;
+    for rep in reports {
+        broker.absorb(&rep.broker);
+        fleet.absorb(&rep.fleet);
+        match &mut slo {
+            Some(s) => s.merge(&rep.slo),
+            None => slo = Some(rep.slo.clone()),
+        }
+        arrivals += rep.arrivals;
+        completed += rep.completed;
+    }
+    let slo = slo.expect("at least one region");
+    let spend_usd = merge_spend_bits(reports.iter().map(|rep| rep.spend_usd.to_bits()));
+
+    publish_broker_stats("control.", &broker);
+    publish_fleet_stats("control.", &fleet);
+    let last = rows.last().expect("at least one epoch");
+    obs::set(obs::gauge("control.fleet.active"), last.active as f64);
+    obs::set(obs::gauge("control.fleet.draining"), last.draining as f64);
+    obs::set(obs::gauge("control.fleet.failed"), 0.0);
+    obs::set(obs::gauge("control.fleet.spend_usd"), spend_usd);
+    slo.publish_prefixed("control.");
+
+    ServiceReport {
+        rows,
+        broker,
+        fleet,
+        slo,
+        arrivals,
+        completed,
+        spend_usd,
+        budget_usd: global_budget,
+    }
+}
+
+/// The planetary chaos fabric: the per-region chaos config and the
+/// region count. `smoke` selects the CI-sized 8-region fabric over the
+/// fuzz-sized regional day; the full fabric runs 64 smoke-sized regions.
+#[must_use]
+pub fn chaos_planetary(smoke: bool) -> (ChaosConfig, u32) {
+    if smoke {
+        (ChaosConfig::micro(), 8)
+    } else {
+        (ChaosConfig::smoke(), 64)
+    }
+}
+
+/// Runs `regions` independent regional chaos loops on `shards` worker
+/// lanes and folds them into one global report: counters absorb in
+/// region order, spans re-base onto one id stream, and attribution is
+/// recomputed over the merged stream. Regional faults stay regional —
+/// chaos shards share no flows, so the fan-out is pure; the global
+/// layer is the merge. Deterministic in `(cfg, regions, seed)` at any
+/// `(shards, threads)`; one region defers to the classic [`chaos`].
+///
+/// # Panics
+///
+/// Panics on zero shards or regions, more than 256 regions, or any
+/// inconsistency [`chaos`] itself rejects.
+#[must_use]
+pub fn chaos_sharded(cfg: &ChaosConfig, regions: u32, seed: u64, shards: usize) -> ChaosReport {
+    assert!(shards >= 1, "at least one shard lane");
+    assert!(
+        (1..=256).contains(&regions),
+        "regions must fit the 8-bit region field (1..=256)"
+    );
+    if regions == 1 {
+        return chaos(cfg, seed);
+    }
+    let states: Vec<Option<ChaosReport>> = (0..regions).map(|_| None).collect();
+    let states = exec::shard_rounds(
+        states,
+        shards,
+        1,
+        |r, slot: &mut Option<ChaosReport>, _round, _inbox: Vec<()>| {
+            let rseed = region_seed(seed, r as u32);
+            let schedule = faults::FaultSchedule::generate(&cfg.faults, rseed);
+            *slot = Some(chaos_with_schedule_prefixed(
+                cfg,
+                rseed,
+                &schedule,
+                &format!("control.shard{r}."),
+            ));
+            Vec::new()
+        },
+        |_, _| {},
+    );
+    let reports: Vec<ChaosReport> = states
+        .into_iter()
+        .map(|s| s.expect("every region ran"))
+        .collect();
+    merge_chaos_reports(cfg, &reports)
+}
+
+/// Folds per-region [`ChaosReport`]s into the global report and
+/// publishes the merged `control.*` rollup. Span ids re-base onto one
+/// contiguous stream (region order, roots stay roots) so the merged
+/// attribution walk sees every region's causal chains.
+fn merge_chaos_reports(cfg: &ChaosConfig, reports: &[ChaosReport]) -> ChaosReport {
+    let epochs = reports[0].rows.len();
+    let regions = reports.len();
+    let rows: Vec<ChaosRow> = (0..epochs)
+        .map(|e| {
+            let mut row = ChaosRow {
+                epoch: e as u32,
+                arrivals: 0,
+                retries: 0,
+                overlay: 0,
+                direct: 0,
+                denied: 0,
+                stale: 0,
+                completed: 0,
+                killed: 0,
+                violations: 0,
+                active: 0,
+                failed: 0,
+                availability: 0.0,
+                failover_ms: 0.0,
+                goodput_ratio: 0.0,
+                spend_usd: 0.0,
+            };
+            for rep in reports {
+                let r = &rep.rows[e];
+                row.arrivals += r.arrivals;
+                row.retries += r.retries;
+                row.overlay += r.overlay;
+                row.direct += r.direct;
+                row.denied += r.denied;
+                row.stale += r.stale;
+                row.completed += r.completed;
+                row.killed += r.killed;
+                row.violations += r.violations;
+                row.active += r.active;
+                row.failed += r.failed;
+                row.availability += r.availability;
+                row.failover_ms += r.failover_ms;
+                row.goodput_ratio += r.goodput_ratio;
+            }
+            row.availability /= regions as f64;
+            row.failover_ms /= regions as f64;
+            row.goodput_ratio /= regions as f64;
+            row.spend_usd =
+                merge_spend_bits(reports.iter().map(|rep| rep.rows[e].spend_usd.to_bits()));
+            row
+        })
+        .collect();
+
+    let mut broker = BrokerStats::default();
+    let mut fleet = FleetStats::default();
+    let mut slo: Option<SloAccount> = None;
+    let mut faults = faults::FaultCounts::default();
+    let mut arrivals = 0u64;
+    let mut killed = 0u64;
+    let mut retries = 0u64;
+    let mut completed = 0u64;
+    let mut span_dropped = 0u64;
+    let mut violations = Vec::new();
+    let mut spans = Vec::new();
+    let mut off = 0u64;
+    for rep in reports {
+        broker.absorb(&rep.broker);
+        fleet.absorb(&rep.fleet);
+        match &mut slo {
+            Some(s) => s.merge(&rep.slo),
+            None => slo = Some(rep.slo.clone()),
+        }
+        faults.crashes += rep.faults.crashes;
+        faults.restores += rep.faults.restores;
+        faults.outages += rep.faults.outages;
+        faults.degradations += rep.faults.degradations;
+        faults.blackholes += rep.faults.blackholes;
+        faults.poisons += rep.faults.poisons;
+        arrivals += rep.arrivals;
+        killed += rep.killed;
+        retries += rep.retries;
+        completed += rep.completed;
+        span_dropped += rep.span_dropped;
+        violations.extend(rep.invariant_violations.iter().cloned());
+        // Re-base this region's span ids past everything merged so far;
+        // parent 0 (a root) stays a root.
+        let mut hi = off;
+        for s in &rep.spans {
+            let mut s = *s;
+            s.id += off;
+            if s.parent != 0 {
+                s.parent += off;
+            }
+            hi = hi.max(s.id);
+            spans.push(s);
+        }
+        off = hi;
+    }
+    let slo = slo.expect("at least one region");
+    let spend_usd = merge_spend_bits(reports.iter().map(|rep| rep.spend_usd.to_bits()));
+    let attribution = Attribution::attribute(&spans);
+
+    publish_broker_stats("control.", &broker);
+    publish_fleet_stats("control.", &fleet);
+    let last = rows.last().expect("at least one epoch");
+    obs::set(obs::gauge("control.fleet.active"), last.active as f64);
+    obs::set(obs::gauge("control.fleet.failed"), last.failed as f64);
+    obs::set(obs::gauge("control.fleet.spend_usd"), spend_usd);
+    slo.publish_prefixed("control.");
+
+    ChaosReport {
+        rows,
+        broker,
+        fleet,
+        slo,
+        faults,
+        arrivals,
+        killed,
+        retries,
+        completed,
+        spend_usd,
+        budget_usd: cfg.service.fleet.budget_usd * regions as f64,
+        invariant_violations: violations,
+        spans,
+        span_dropped,
+        attribution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::Invariants;
+
+    /// A three-region fabric small enough for unit tests: six epochs at
+    /// a low rate, four slots per DC group, and a high cross-region
+    /// share so handoffs and bounces both happen.
+    fn tiny_sharded() -> ShardedConfig {
+        let mut cfg = ShardedConfig::planetary_smoke();
+        cfg.regions = 3;
+        cfg.remote_permille = 150;
+        cfg.service.workload.epochs = 6;
+        cfg.service.workload.mean_rate_per_sec = 2.0;
+        cfg.service.workload.diurnal_period = cfg.service.workload.epoch * 6;
+        cfg.service.fleet.relays = 20;
+        cfg
+    }
+
+    #[test]
+    fn one_region_is_the_classic_loop() {
+        let mut cfg = tiny_sharded();
+        cfg.regions = 1;
+        cfg.remote_permille = 0;
+        let sharded = service_sharded(&cfg, 7, 4);
+        let classic = service(&cfg.service, 7);
+        assert_eq!(sharded.to_tsv(), classic.to_tsv());
+        assert_eq!(format!("{sharded}"), format!("{classic}"));
+    }
+
+    #[test]
+    fn sharded_service_is_lane_invariant() {
+        let cfg = tiny_sharded();
+        let base = service_sharded(&cfg, 7, 1);
+        for shards in [2, 3, 8] {
+            let r = service_sharded(&cfg, 7, shards);
+            assert_eq!(r.to_tsv(), base.to_tsv(), "shards={shards}");
+            assert_eq!(format!("{r}"), format!("{base}"), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_service_balances_its_ledgers() {
+        let cfg = tiny_sharded();
+        let r = service_sharded(&cfg, 11, 2);
+        assert_eq!(r.rows.len(), 6);
+        let arrivals: u64 = r.rows.iter().map(|x| x.arrivals).sum();
+        assert_eq!(arrivals, r.arrivals);
+        // The destination-side handoff admissions make broker decisions
+        // exceed arrivals; completions still cover every workload flow.
+        assert!(r.broker.admitted + r.broker.denied >= r.arrivals);
+        assert_eq!(r.completed, r.slo.completed());
+        assert!(r.spend_usd <= r.budget_usd + 1e-9, "spend over budget");
+        assert!(r.broker.overlay > 0, "no overlay admissions");
+    }
+
+    #[test]
+    fn cross_region_retry_conserves_bytes() {
+        let cfg = tiny_sharded();
+        let (_, ledgers) = service_sharded_with_ledgers(&cfg, 11, 2, true);
+        let mut inv = Invariants::new(1, SimDuration::from_secs(1));
+        let mut handoffs = 0u64;
+        let mut retried = 0u64;
+        for ledger in &ledgers {
+            assert!(!ledger.is_empty(), "every region sees remote flows");
+            for ev in ledger {
+                match *ev {
+                    RemoteEvent::Requested { flow, bytes } => inv.flow_requested(flow, bytes),
+                    RemoteEvent::Denied { flow } => inv.flow_denied(flow),
+                    RemoteEvent::HandedOff { flow, delivered } => {
+                        handoffs += 1;
+                        inv.flow_killed(flow, delivered);
+                    }
+                    RemoteEvent::Retried { flow: _ } => retried += 1,
+                    RemoteEvent::Completed { flow, delivered } => {
+                        inv.flow_completed(flow, delivered);
+                    }
+                }
+            }
+        }
+        assert!(handoffs > 0, "no flow ever crossed the shard boundary");
+        assert!(retried > 0, "no handoff was ever bounced for retry");
+        assert!(
+            inv.violations().is_empty(),
+            "cross-shard bytes not conserved: {:?}",
+            inv.violations()
+        );
+    }
+
+    #[test]
+    fn ledger_flag_does_not_change_the_run() {
+        let cfg = tiny_sharded();
+        let (with, _) = service_sharded_with_ledgers(&cfg, 7, 2, true);
+        let without = service_sharded(&cfg, 7, 2);
+        assert_eq!(with.to_tsv(), without.to_tsv());
+    }
+
+    #[test]
+    fn sharded_chaos_is_lane_invariant() {
+        let (mut cfg, _) = chaos_planetary(true);
+        cfg.service.workload.epochs = 4;
+        cfg.service.workload.diurnal_period = cfg.service.workload.epoch * 4;
+        cfg.faults.horizon = cfg.service.workload.horizon();
+        let base = chaos_sharded(&cfg, 3, 7, 1);
+        for shards in [2, 3] {
+            let r = chaos_sharded(&cfg, 3, 7, shards);
+            assert_eq!(r.to_tsv(), base.to_tsv(), "shards={shards}");
+            assert_eq!(format!("{r}"), format!("{base}"), "shards={shards}");
+        }
+        assert!(base.faults.crashes > 0, "no region saw a crash");
+        assert!(
+            base.invariant_violations.is_empty(),
+            "{:?}",
+            base.invariant_violations
+        );
+        // Merged spans re-base onto one id stream: ids stay unique and
+        // every non-root parent resolves.
+        let mut seen = std::collections::HashSet::new();
+        for s in &base.spans {
+            assert!(seen.insert(s.id), "duplicate span id after re-base");
+        }
+        for s in &base.spans {
+            assert!(s.parent == 0 || seen.contains(&s.parent), "dangling parent");
+        }
+        // Attribution conservation holds over the merged stream.
+        assert_eq!(
+            base.attribution.attributed_killed() + base.attribution.unattributed_killed,
+            base.killed
+        );
+    }
+}

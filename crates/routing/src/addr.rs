@@ -1,0 +1,299 @@
+//! Compact hierarchical node addressing for the sharded control plane.
+//!
+//! A [`NodeAddr`] packs a four-level hierarchy into a single `u32`:
+//!
+//! ```text
+//!   31      28 27      24 23        16 15              0
+//!  +----------+----------+------------+-----------------+
+//!  |   Geo1   |   Geo2   |   Group    |      Index      |
+//!  |  4 bits  |  4 bits  |   8 bits   |     16 bits     |
+//!  +----------+----------+------------+-----------------+
+//! ```
+//!
+//! * **Geo1** — macro geography (continent-scale), 16 values.
+//! * **Geo2** — sub-geography within Geo1 (metro cluster), 16 values.
+//!   `Geo1 × Geo2` identifies a *region* (= one control-plane shard),
+//!   so the address space spans up to 256 regions.
+//! * **Group** — a relay group inside the region (one overlay DC's
+//!   relay pool), 256 values.
+//! * **Index** — the slot inside the group, 65 536 values.
+//!
+//! At 256 regions × 256 groups × 65 536 slots the scheme addresses
+//! ~4.3 billion relay slots; the PR-10 planetary run uses 64 regions ×
+//! 5 groups × 320 slots = 102 400 relays.
+//!
+//! [`GeoTable`] is the routing-table companion: a tiered longest-prefix
+//! lookup from an address to an owning shard. Prefixes can be installed
+//! at Geo1, Geo1·Geo2 (region), or Geo1·Geo2·Group granularity; lookup
+//! prefers the most specific entry, exactly like a forwarding table.
+//! Tables are tiny (hundreds of entries), sorted once, and probed with
+//! binary search — no hashing, so iteration and lookup are fully
+//! deterministic.
+
+use std::fmt;
+
+/// A hierarchical overlay-node address: `[Geo1][Geo2][Group][Index]`
+/// packed into a `u32` (4 + 4 + 8 + 16 bits).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeAddr(u32);
+
+impl NodeAddr {
+    /// Packs the four hierarchy levels into an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geo1` or `geo2` exceed their 4-bit fields.
+    #[must_use]
+    pub const fn new(geo1: u8, geo2: u8, group: u8, index: u16) -> NodeAddr {
+        assert!(geo1 < 16, "geo1 is a 4-bit field");
+        assert!(geo2 < 16, "geo2 is a 4-bit field");
+        NodeAddr(
+            ((geo1 as u32) << 28) | ((geo2 as u32) << 24) | ((group as u32) << 16) | index as u32,
+        )
+    }
+
+    /// Address of a region's gateway (group 0, index 0).
+    #[must_use]
+    pub const fn region_gateway(region: u8) -> NodeAddr {
+        NodeAddr::new(region >> 4, region & 0xF, 0, 0)
+    }
+
+    /// The macro-geography field.
+    #[must_use]
+    pub const fn geo1(self) -> u8 {
+        (self.0 >> 28) as u8
+    }
+
+    /// The sub-geography field.
+    #[must_use]
+    pub const fn geo2(self) -> u8 {
+        ((self.0 >> 24) & 0xF) as u8
+    }
+
+    /// The relay-group field.
+    #[must_use]
+    pub const fn group(self) -> u8 {
+        ((self.0 >> 16) & 0xFF) as u8
+    }
+
+    /// The slot index inside the group.
+    #[must_use]
+    pub const fn index(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// The region id (`Geo1 * 16 + Geo2`) — the shard key.
+    #[must_use]
+    pub const fn region(self) -> u8 {
+        (self.0 >> 24) as u8
+    }
+
+    /// The raw packed representation (wire format for shard messages).
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an address from its raw packed representation.
+    #[must_use]
+    pub const fn from_raw(raw: u32) -> NodeAddr {
+        NodeAddr(raw)
+    }
+}
+
+impl fmt::Debug for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            self.geo1(),
+            self.geo2(),
+            self.group(),
+            self.index()
+        )
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A geo-prefix on the address hierarchy, from coarse to fine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoPrefix {
+    /// All addresses under one macro geography.
+    Geo1(u8),
+    /// All addresses in one region (`Geo1 · Geo2`).
+    Region(u8),
+    /// All addresses in one relay group of a region.
+    Group(u8, u8),
+}
+
+/// Tiered longest-prefix-match table from [`NodeAddr`] to a shard id.
+///
+/// Build with [`GeoTable::insert`], seal with [`GeoTable::build`], then
+/// [`GeoTable::lookup`]. Duplicate prefixes keep the last value
+/// inserted (like a route overwrite).
+#[derive(Debug, Default, Clone)]
+pub struct GeoTable {
+    // Each tier is sorted by prefix key after `build`; keys are the
+    // address's top bits at that tier's granularity.
+    by_group: Vec<(u16, u32)>, // key = region:8 | group:8
+    by_region: Vec<(u8, u32)>, // key = region
+    by_geo1: Vec<(u8, u32)>,   // key = geo1
+    sealed: bool,
+}
+
+impl GeoTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> GeoTable {
+        GeoTable::default()
+    }
+
+    /// Installs (or overwrites) a prefix → shard mapping.
+    pub fn insert(&mut self, prefix: GeoPrefix, shard: u32) {
+        self.sealed = false;
+        match prefix {
+            GeoPrefix::Geo1(g1) => {
+                assert!(g1 < 16, "geo1 is a 4-bit field");
+                self.by_geo1.push((g1, shard));
+            }
+            GeoPrefix::Region(r) => self.by_region.push((r, shard)),
+            GeoPrefix::Group(r, g) => self.by_group.push((((r as u16) << 8) | g as u16, shard)),
+        }
+    }
+
+    /// Sorts the tiers for binary-search lookup. Later inserts of the
+    /// same prefix win.
+    pub fn build(&mut self) {
+        fn seal<K: Ord + Copy>(v: &mut Vec<(K, u32)>) {
+            // Stable sort keeps insertion order within a key; dedup
+            // keeping the last occurrence implements route overwrite.
+            v.sort_by_key(|&(k, _)| k);
+            let mut out: Vec<(K, u32)> = Vec::with_capacity(v.len());
+            for &(k, s) in v.iter() {
+                match out.last_mut() {
+                    Some(last) if last.0 == k => last.1 = s,
+                    _ => out.push((k, s)),
+                }
+            }
+            *v = out;
+        }
+        seal(&mut self.by_group);
+        seal(&mut self.by_region);
+        seal(&mut self.by_geo1);
+        self.sealed = true;
+    }
+
+    /// Longest-prefix lookup: group beats region beats geo1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was mutated since the last [`GeoTable::build`].
+    #[must_use]
+    pub fn lookup(&self, addr: NodeAddr) -> Option<u32> {
+        assert!(self.sealed, "GeoTable::build must run before lookup");
+        let gkey = ((addr.region() as u16) << 8) | addr.group() as u16;
+        if let Ok(i) = self.by_group.binary_search_by_key(&gkey, |&(k, _)| k) {
+            return Some(self.by_group[i].1);
+        }
+        if let Ok(i) = self
+            .by_region
+            .binary_search_by_key(&addr.region(), |&(k, _)| k)
+        {
+            return Some(self.by_region[i].1);
+        }
+        if let Ok(i) = self.by_geo1.binary_search_by_key(&addr.geo1(), |&(k, _)| k) {
+            return Some(self.by_geo1[i].1);
+        }
+        None
+    }
+
+    /// Number of installed prefixes across all tiers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_group.len() + self.by_region.len() + self.by_geo1.len()
+    }
+
+    /// Whether the table has no prefixes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let a = NodeAddr::new(11, 3, 200, 54_321);
+        assert_eq!(a.geo1(), 11);
+        assert_eq!(a.geo2(), 3);
+        assert_eq!(a.group(), 200);
+        assert_eq!(a.index(), 54_321);
+        assert_eq!(a.region(), 11 * 16 + 3);
+        assert_eq!(NodeAddr::from_raw(a.raw()), a);
+        assert_eq!(format!("{a}"), "11.3.200.54321");
+    }
+
+    #[test]
+    fn region_gateway_addresses_the_region() {
+        for r in [0u8, 1, 15, 16, 63, 255] {
+            let g = NodeAddr::region_gateway(r);
+            assert_eq!(g.region(), r);
+            assert_eq!(g.group(), 0);
+            assert_eq!(g.index(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geo1 is a 4-bit field")]
+    fn geo1_overflow_panics() {
+        let _ = NodeAddr::new(16, 0, 0, 0);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = GeoTable::new();
+        t.insert(GeoPrefix::Geo1(2), 100);
+        t.insert(GeoPrefix::Region(2 * 16 + 5), 200);
+        t.insert(GeoPrefix::Group(2 * 16 + 5, 7), 300);
+        t.build();
+        // Group-level entry is the most specific.
+        assert_eq!(t.lookup(NodeAddr::new(2, 5, 7, 9)), Some(300));
+        // Same region, different group → region entry.
+        assert_eq!(t.lookup(NodeAddr::new(2, 5, 8, 9)), Some(200));
+        // Same geo1, different region → geo1 entry.
+        assert_eq!(t.lookup(NodeAddr::new(2, 6, 7, 9)), Some(100));
+        // Different geo1 → no route.
+        assert_eq!(t.lookup(NodeAddr::new(3, 5, 7, 9)), None);
+    }
+
+    #[test]
+    fn reinsert_overwrites_like_a_route_update() {
+        let mut t = GeoTable::new();
+        t.insert(GeoPrefix::Region(9), 1);
+        t.insert(GeoPrefix::Region(9), 2);
+        t.build();
+        assert_eq!(t.lookup(NodeAddr::from_raw(9 << 24)), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn full_region_fabric_routes_every_region() {
+        let mut t = GeoTable::new();
+        for r in 0..64u32 {
+            t.insert(GeoPrefix::Region(r as u8), r);
+        }
+        t.build();
+        for r in 0..64u8 {
+            let addr = NodeAddr::new(r >> 4, r & 0xF, 4, 319);
+            assert_eq!(t.lookup(addr), Some(r as u32));
+        }
+    }
+}

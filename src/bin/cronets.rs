@@ -103,7 +103,7 @@ const RESULTS_DIR: &str = "results";
 
 fn usage() {
     eprintln!(
-        "usage: cronets <experiment|list|all|report|fuzz|soak> [--seed N] [--threads N] [--smoke] [--fidelity F] [--paths P] [--khops K] [--metrics] [--trace FLOW] [--spans] [--profile] [--budget N] [--resume CKPT] [--stop-after N]"
+        "usage: cronets <experiment|list|all|report|fuzz|soak> [--seed N] [--threads N] [--smoke] [--planet] [--shards S] [--fidelity F] [--paths P] [--khops K] [--metrics] [--trace FLOW] [--spans] [--profile] [--budget N] [--resume CKPT] [--stop-after N]"
     );
     eprintln!(
         "  --seed N      PRNG seed (default {})",
@@ -112,6 +112,12 @@ fn usage() {
     eprintln!("  --threads N   worker threads (default: available parallelism);");
     eprintln!("                output is byte-identical at any thread count");
     eprintln!("  --smoke       CI-sized run (service and chaos experiments only)");
+    eprintln!("  --planet      (service/chaos) planetary scale: the per-region");
+    eprintln!("                control plane replicated over the region fabric");
+    eprintln!("                (64 regions full, 8 with --smoke); DES fidelity only");
+    eprintln!("  --shards S    (service/chaos, with --planet) worker lanes for the");
+    eprintln!("                per-region shards, S >= 1 (default 1); output is");
+    eprintln!("                byte-identical for any (--shards, --threads)");
     eprintln!("  --fidelity F  service/chaos simulation fidelity: des (default,");
     eprintln!("                full event-driven day), hybrid (overlay flows exact,");
     eprintln!("                direct-path mass settled analytically) or analytic");
@@ -200,15 +206,26 @@ fn run(name: &str, seed: u64, opts: &Opts) -> bool {
         "placement" => println!("{}", exp::extensions::placement(seed, 4)),
         "failover" => println!("{}", exp::failover::failover(seed, 20, 60)),
         "service" => {
-            let mut cfg = if opts.smoke {
-                exp::service::ServiceConfig::smoke()
+            let report = if opts.planet {
+                let mut cfg = if opts.smoke {
+                    exp::sharded::ShardedConfig::planetary_smoke()
+                } else {
+                    exp::sharded::ShardedConfig::planetary()
+                };
+                cfg.service.paths = opts.paths;
+                cfg.service.khops = opts.khops;
+                exp::sharded::service_sharded(&cfg, seed, opts.shards)
             } else {
-                exp::service::ServiceConfig::paper()
+                let mut cfg = if opts.smoke {
+                    exp::service::ServiceConfig::smoke()
+                } else {
+                    exp::service::ServiceConfig::paper()
+                };
+                cfg.fidelity = opts.fidelity;
+                cfg.paths = opts.paths;
+                cfg.khops = opts.khops;
+                exp::service::service(&cfg, seed)
             };
-            cfg.fidelity = opts.fidelity;
-            cfg.paths = opts.paths;
-            cfg.khops = opts.khops;
-            let report = exp::service::service(&cfg, seed);
             print!("{report}");
             let path = std::path::Path::new(RESULTS_DIR).join("service.tsv");
             match std::fs::create_dir_all(RESULTS_DIR)
@@ -219,15 +236,22 @@ fn run(name: &str, seed: u64, opts: &Opts) -> bool {
             }
         }
         "chaos" => {
-            let mut cfg = if opts.smoke {
-                exp::chaos::ChaosConfig::smoke()
+            let report = if opts.planet {
+                let (mut cfg, regions) = exp::sharded::chaos_planetary(opts.smoke);
+                cfg.service.paths = opts.paths;
+                cfg.service.khops = opts.khops;
+                exp::sharded::chaos_sharded(&cfg, regions, seed, opts.shards)
             } else {
-                exp::chaos::ChaosConfig::paper()
+                let mut cfg = if opts.smoke {
+                    exp::chaos::ChaosConfig::smoke()
+                } else {
+                    exp::chaos::ChaosConfig::paper()
+                };
+                cfg.service.fidelity = opts.fidelity;
+                cfg.service.paths = opts.paths;
+                cfg.service.khops = opts.khops;
+                exp::chaos::chaos(&cfg, seed)
             };
-            cfg.service.fidelity = opts.fidelity;
-            cfg.service.paths = opts.paths;
-            cfg.service.khops = opts.khops;
-            let report = exp::chaos::chaos(&cfg, seed);
             print!("{report}");
             if report.span_dropped > 0 {
                 eprintln!(
@@ -311,6 +335,11 @@ fn run(name: &str, seed: u64, opts: &Opts) -> bool {
 struct Opts {
     metrics: bool,
     smoke: bool,
+    /// `--planet`: run service/chaos at planetary scale on the sharded
+    /// control plane.
+    planet: bool,
+    /// `--shards S`: worker lanes for the sharded control plane.
+    shards: usize,
     spans: bool,
     profile: bool,
     fidelity: Fidelity,
@@ -330,6 +359,8 @@ impl Default for Opts {
         Opts {
             metrics: false,
             smoke: false,
+            planet: false,
+            shards: 1,
             spans: false,
             profile: false,
             fidelity: Fidelity::Des,
@@ -598,6 +629,15 @@ fn main() -> ExitCode {
             },
             "--metrics" => opts.metrics = true,
             "--smoke" => opts.smoke = true,
+            "--planet" => opts.planet = true,
+            "--shards" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(s) if s >= 1 => opts.shards = s,
+                _ => {
+                    eprintln!("--shards needs a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
             "--fidelity" => match it.next().map(String::as_str).and_then(Fidelity::parse) {
                 Some(f) => opts.fidelity = f,
                 None => {
@@ -687,6 +727,30 @@ fn main() -> ExitCode {
         eprintln!(
             "error: --paths multihop runs DES fidelity only; --fidelity {} has no \
              multihop dataplane (drop --paths multihop or use --fidelity des)",
+            opts.fidelity
+        );
+        usage();
+        return ExitCode::FAILURE;
+    }
+    // The sharded control plane is a service/chaos DES engine: reject
+    // the planetary flags anywhere they cannot mean anything.
+    if (opts.planet || opts.shards > 1) && !matches!(cmd, "service" | "chaos") {
+        eprintln!("error: --planet/--shards only apply to cronets service and cronets chaos");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if opts.shards > 1 && !opts.planet {
+        eprintln!(
+            "error: --shards needs --planet (the classic single-region run has \
+             nothing to shard; its output is already byte-identical at any --threads N)"
+        );
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if opts.planet && opts.fidelity != Fidelity::Des {
+        eprintln!(
+            "error: --planet runs DES fidelity only (cross-region handoffs have no \
+             analytic shortcut); drop --fidelity {}",
             opts.fidelity
         );
         usage();

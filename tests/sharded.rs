@@ -1,0 +1,260 @@
+//! Shard-count invariance: `--shards S` picks how many worker lanes the
+//! planetary control plane runs its per-region shards on, and — like
+//! `--threads N` — it must not change a single output byte. Per-region
+//! mailboxes deliver in (sender, emission) order at every epoch
+//! barrier, the budget reconciler folds spends in region order over
+//! exact `f64` bits, and telemetry merges in region order, so stdout,
+//! the metric snapshot (including the per-shard
+//! `control.shard<k>.broker.*` namespaces) and every results file must
+//! be byte-identical for any `(--shards, --threads)` combination.
+//!
+//! These tests drive the real `cronets` binary as a subprocess over the
+//! golden matrix from the PR-10 acceptance list — shards {1, 4, 16} ×
+//! threads {1, 8} × seeds {7, 11, 13} — for the sharded service, the
+//! sharded chaos fabric, and the sharded multihop service, plus the
+//! strict-parse rejections for the planetary flags.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Creates (wiping) the scratch directory for one tagged run.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Runs `cronets <args>` with `dir` as working directory; returns its
+/// stdout.
+fn run_in(dir: &Path, args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_cronets"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("cronets runs");
+    assert!(
+        out.status.success(),
+        "cronets {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// Reads every file under `dir/results`, keyed by file name, with
+/// wall-clock manifest rows stripped.
+fn read_results(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    let results = dir.join("results");
+    if results.is_dir() {
+        for entry in fs::read_dir(&results).expect("results dir") {
+            let p = entry.expect("entry").path();
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let body = fs::read(&p).expect("results file");
+            let body = if name.starts_with("manifest_") {
+                let text = String::from_utf8_lossy(&body);
+                text.lines()
+                    .filter(|l| !l.starts_with("phase\t") && !l.contains("\"phase\""))
+                    .flat_map(|l| l.bytes().chain(std::iter::once(b'\n')))
+                    .collect()
+            } else {
+                body
+            };
+            files.insert(name, body);
+        }
+    }
+    files
+}
+
+/// One golden run of `experiment --planet --smoke` at a given shard and
+/// thread count: stdout plus the results files.
+fn planet_run(
+    tag: &str,
+    experiment: &str,
+    extra: &[&str],
+    seed: u64,
+    shards: u32,
+    threads: u32,
+) -> (String, BTreeMap<String, Vec<u8>>) {
+    let dir = scratch_dir(tag);
+    let seed = seed.to_string();
+    let shards = shards.to_string();
+    let threads = threads.to_string();
+    let mut args = vec![experiment, "--planet", "--smoke", "--metrics"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["--seed", &seed, "--shards", &shards, "--threads", &threads]);
+    let out = run_in(&dir, &args);
+    (out, read_results(&dir))
+}
+
+/// Asserts the full golden matrix for one experiment: shards {1, 4, 16}
+/// × threads {1, 8}, each byte-identical to the `--shards 1 --threads 1`
+/// reference at that seed.
+fn assert_shard_invariant(experiment: &str, extra: &[&str], seed: u64) {
+    let (base_out, base_files) = planet_run(
+        &format!("{experiment}_{seed}_s1_t1"),
+        experiment,
+        extra,
+        seed,
+        1,
+        1,
+    );
+    assert!(
+        base_out.contains("control.shard0.broker.admitted"),
+        "{experiment} seed {seed}: per-shard counter namespace missing from snapshot"
+    );
+    for shards in [1u32, 4, 16] {
+        for threads in [1u32, 8] {
+            if shards == 1 && threads == 1 {
+                continue;
+            }
+            let (out, files) = planet_run(
+                &format!("{experiment}_{seed}_s{shards}_t{threads}"),
+                experiment,
+                extra,
+                seed,
+                shards,
+                threads,
+            );
+            assert_eq!(
+                out, base_out,
+                "{experiment} seed {seed}: stdout differs at shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                files, base_files,
+                "{experiment} seed {seed}: results differ at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_service_matrix_seed7() {
+    assert_shard_invariant("service", &[], 7);
+}
+
+#[test]
+fn sharded_service_matrix_seed11() {
+    assert_shard_invariant("service", &[], 11);
+}
+
+#[test]
+fn sharded_service_matrix_seed13() {
+    assert_shard_invariant("service", &[], 13);
+}
+
+#[test]
+fn sharded_chaos_matrix_seed7() {
+    assert_shard_invariant("chaos", &["--spans"], 7);
+}
+
+#[test]
+fn sharded_chaos_matrix_seed11() {
+    assert_shard_invariant("chaos", &["--spans"], 11);
+}
+
+#[test]
+fn sharded_chaos_matrix_seed13() {
+    assert_shard_invariant("chaos", &["--spans"], 13);
+}
+
+#[test]
+fn sharded_multihop_matrix_seed7() {
+    assert_shard_invariant("service", &["--paths", "multihop"], 7);
+}
+
+#[test]
+fn sharded_multihop_matrix_seed11() {
+    assert_shard_invariant("service", &["--paths", "multihop"], 11);
+}
+
+#[test]
+fn sharded_multihop_matrix_seed13() {
+    assert_shard_invariant("service", &["--paths", "multihop"], 13);
+}
+
+/// Runs `cronets <args>`; expects a non-zero exit, the usage banner, and
+/// a message mentioning `needle`.
+fn assert_rejected(args: &[&str], needle: &str) {
+    let dir = scratch_dir(&format!("reject_{}", args.join("_").replace('-', "")));
+    let out = Command::new(env!("CARGO_BIN_EXE_cronets"))
+        .args(args)
+        .current_dir(&dir)
+        .output()
+        .expect("cronets runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "cronets {args:?} was accepted; stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "cronets {args:?}: expected {needle:?} in stderr, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage: cronets"),
+        "cronets {args:?}: usage banner missing from stderr"
+    );
+}
+
+#[test]
+fn shards_flag_rejects_zero() {
+    assert_rejected(
+        &["service", "--planet", "--smoke", "--shards", "0"],
+        "--shards needs a positive integer",
+    );
+}
+
+#[test]
+fn shards_flag_rejects_non_numeric() {
+    assert_rejected(
+        &["service", "--planet", "--smoke", "--shards", "many"],
+        "--shards needs a positive integer",
+    );
+    assert_rejected(
+        &["service", "--planet", "--smoke", "--shards"],
+        "--shards needs a positive integer",
+    );
+}
+
+#[test]
+fn planet_rejects_non_des_fidelity() {
+    assert_rejected(
+        &["service", "--planet", "--smoke", "--fidelity", "hybrid"],
+        "--planet runs DES fidelity only",
+    );
+    assert_rejected(
+        &[
+            "chaos",
+            "--planet",
+            "--smoke",
+            "--shards",
+            "4",
+            "--fidelity",
+            "analytic",
+        ],
+        "--planet runs DES fidelity only",
+    );
+}
+
+#[test]
+fn planet_flags_reject_other_commands() {
+    assert_rejected(
+        &["fig2", "--planet"],
+        "--planet/--shards only apply to cronets service and cronets chaos",
+    );
+    assert_rejected(
+        &["soak", "--smoke", "--shards", "4"],
+        "--planet/--shards only apply to cronets service and cronets chaos",
+    );
+}
+
+#[test]
+fn shards_flag_requires_planet() {
+    assert_rejected(
+        &["service", "--smoke", "--shards", "4"],
+        "--shards needs --planet",
+    );
+}
